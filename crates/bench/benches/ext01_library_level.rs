@@ -1,0 +1,48 @@
+//! Extension experiment (§III-E): library-level profiling — cuDNN/cuBLAS
+//! API-call spans interposed between the layer and kernel levels, plus the
+//! AX1 aggregation the paper says new profilers enable.
+
+use xsp_bench::{banner, resnet50, timed};
+use xsp_core::analysis::{ax1_library_calls, library_span_count};
+use xsp_core::profile::XspConfig;
+use xsp_core::report::{fmt_ms, Table};
+use xsp_core::Xsp;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+
+fn main() {
+    timed("ext01", || {
+        banner(
+            "EXTENSION §III-E — library-level (cuDNN API) profiling",
+            "paper: 'one can also add a ML library profiling level between the layer- and GPU kernel-level to measure the cuDNN API calls'",
+        );
+        let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+            .runs(1)
+            .library_level(true);
+        let xsp = Xsp::new(cfg);
+        let profile = xsp.leveled(&resnet50().graph(64));
+        println!(
+            "library-level spans captured: {}",
+            library_span_count(&profile)
+        );
+        let rows = ax1_library_calls(&profile);
+        let mut t = Table::new(
+            "AX1 — library API calls aggregated by name (batch 64, V100)",
+            &["API", "Calls", "Total (ms)", "%", "Kernels launched"],
+        );
+        for r in &rows {
+            t.row(vec![
+                r.api.clone(),
+                r.count.to_string(),
+                fmt_ms(r.total_ms),
+                format!("{:.2}", r.percent),
+                r.kernels.to_string(),
+            ]);
+        }
+        println!("{t}");
+        assert!(rows.iter().any(|r| r.api == "cudnnConvolutionForward"));
+        // kernels still resolve to layers through the extra level
+        assert!(profile.kernels().iter().all(|k| k.layer_index.is_some()));
+        println!("four-level hierarchy (model/layer/library/kernel) correlated cleanly");
+    });
+}

@@ -1,0 +1,50 @@
+//! Figure 2: leveled experimentation — per-level prediction latency and the
+//! profiling overhead each level introduces, plus the metric-collection
+//! (kernel replay) regime.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::report::fmt_ms;
+
+fn main() {
+    timed("fig02", || {
+        banner(
+            "FIGURE 2 — XSP profiles at different profiling levels",
+            "paper: M 275.1ms; M/L adds 157ms; M/L/G adds 215.2ms total (prediction observed at 490.3ms); metrics can slow execution >100x",
+        );
+        let (profile, _) = resnet50_profile(256);
+        let o = profile.overhead_report();
+        println!("M     : prediction {} ms (accurate model latency)", fmt_ms(o.model_ms));
+        println!(
+            "M/L   : prediction {} ms — layer profiling overhead {} ms",
+            fmt_ms(o.model_layer_ms),
+            fmt_ms(o.layer_overhead_ms)
+        );
+        println!(
+            "M/L/G : prediction {} ms — GPU profiling overhead {} ms",
+            fmt_ms(o.model_layer_gpu_ms),
+            fmt_ms(o.gpu_overhead_ms)
+        );
+        let metric_ms = profile.metric_run_predict_ms();
+        println!(
+            "M/L/G + 4 metrics: prediction {} ms — kernel replay slows execution {:.0}x",
+            fmt_ms(metric_ms),
+            metric_ms / o.model_ms
+        );
+        // per-layer accuracy: layer latencies at M/L match M/L/G within noise
+        let ml_layers = profile.layers();
+        let mlg_layers = profile.layers_at_gpu_level();
+        let first_conv_ml = ml_layers.iter().find(|l| l.type_name == "Conv2D").unwrap();
+        let first_conv_mlg = mlg_layers
+            .iter()
+            .find(|l| l.index == first_conv_ml.index)
+            .unwrap();
+        println!(
+            "first conv layer: {} ms at M/L vs {} ms at M/L/G (G-level overhead on its kernels: {} ms)",
+            fmt_ms(first_conv_ml.latency_ms),
+            fmt_ms(first_conv_mlg.latency_ms),
+            fmt_ms(first_conv_mlg.latency_ms - first_conv_ml.latency_ms),
+        );
+        assert!(o.layer_overhead_ms > 0.0 && o.gpu_overhead_ms > 0.0);
+        assert!(metric_ms > o.model_ms * 20.0, "metric replay must dominate");
+    });
+}

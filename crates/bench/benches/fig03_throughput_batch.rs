@@ -1,0 +1,37 @@
+//! Figure 3: throughput of MLPerf_ResNet50_v1.5 across batch sizes on
+//! Tesla_V100, and the derived optimal batch size (A1).
+
+use xsp_bench::{banner, resnet50_sweep, timed, BATCHES_512};
+use xsp_core::analysis::a1_model_info;
+use xsp_core::report::render_series;
+use xsp_gpu::systems;
+
+fn main() {
+    timed("fig03", || {
+        banner(
+            "FIGURE 3 — throughput across batch sizes (A1)",
+            "paper: throughput rises to ~930 inputs/s; optimal batch 256; batch latency there 275.05 ms",
+        );
+        let sweep = resnet50_sweep(systems::tesla_v100(), &BATCHES_512);
+        let table = a1_model_info(&sweep);
+        let series: Vec<(f64, f64)> = table
+            .rows
+            .iter()
+            .map(|r| (r.batch as f64, r.throughput))
+            .collect();
+        println!("{}", render_series("throughput vs batch", "batch", "inputs/s", &series));
+        println!(
+            "optimal batch = {}, max throughput = {:.1} inputs/s, online latency = {:.2} ms",
+            table.optimal_batch, table.max_throughput, table.online_latency_ms
+        );
+        // monotone non-decreasing up to the optimal batch
+        let mut last = 0.0;
+        for r in &table.rows {
+            if r.batch <= table.optimal_batch {
+                assert!(r.throughput >= last * 0.98, "throughput should rise to the optimum");
+                last = r.throughput;
+            }
+        }
+        assert!(table.optimal_batch >= 64, "large optimal batch (paper: 256)");
+    });
+}

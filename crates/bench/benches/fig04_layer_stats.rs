@@ -1,0 +1,40 @@
+//! Figure 4: layer statistics — (a) type distribution A5, (b) latency by
+//! type A6, (c) allocation by type A7.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::{a5_layer_type_distribution, a6_latency_by_type, a7_allocation_by_type};
+use xsp_core::report::Table;
+
+fn main() {
+    timed("fig04", || {
+        banner(
+            "FIGURE 4 — layer statistics by type (A5/A6/A7)",
+            "paper: counts dominated by Add/Mul/Conv2D/Relu (ResNet modules as Conv2D->Mul->Add->Relu); latency share Conv2D 58.56%, Add 11.43%, Mul 11.26%, Relu 9.71%, AddN 6.93%",
+        );
+        let (profile, _) = resnet50_profile(256);
+        let a5 = a5_layer_type_distribution(&profile);
+        let a6 = a6_latency_by_type(&profile);
+        let a7 = a7_allocation_by_type(&profile);
+        let mut t = Table::new("(a) A5 layer type distribution", &["Type", "Count", "%"]);
+        for r in a5.iter().take(8) {
+            t.row(vec![r.type_name.clone(), r.count.to_string(), format!("{:.2}", r.percent)]);
+        }
+        println!("{t}");
+        let mut t = Table::new("(b) A6 latency by type", &["Type", "Total (ms)", "%"]);
+        for r in a6.iter().take(8) {
+            t.row(vec![r.type_name.clone(), format!("{:.2}", r.total), format!("{:.2}", r.percent)]);
+        }
+        println!("{t}");
+        let mut t = Table::new("(c) A7 allocation by type", &["Type", "Total (MB)", "%"]);
+        for r in a7.iter().take(8) {
+            t.row(vec![r.type_name.clone(), format!("{:.1}", r.total), format!("{:.2}", r.percent)]);
+        }
+        println!("{t}");
+        assert_eq!(a6[0].type_name, "Conv2D", "Conv2D is the most time-consuming type");
+        assert!(a6[0].percent > 40.0, "Conv2D dominates latency: {:.1}%", a6[0].percent);
+        let top4: Vec<&str> = a5.iter().take(4).map(|r| r.type_name.as_str()).collect();
+        for ty in ["Conv2D", "Mul", "Add", "Relu"] {
+            assert!(top4.contains(&ty), "{ty} among most common types: {top4:?}");
+        }
+    });
+}

@@ -1,0 +1,43 @@
+//! Figure 5: per-layer (a) latency A3 and (b) memory allocation A4 in
+//! execution order, with the beginning/middle/end trend.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::{a3_layer_latency, a4_layer_allocation, dominant_stage, Stage};
+
+fn main() {
+    timed("fig05", || {
+        banner(
+            "FIGURE 5 — per-layer latency and allocation (A3/A4)",
+            "paper: latency and allocation are highest in the early stage of execution, lower in middle and end",
+        );
+        let (profile, _) = resnet50_profile(256);
+        let a3 = a3_layer_latency(&profile);
+        let a4 = a4_layer_allocation(&profile);
+        let n = a3.len();
+        println!("layers: {n}");
+        // condensed series print: every 10th layer
+        println!("{:>6} {:>14} {:>14}", "index", "latency (ms)", "alloc (MB)");
+        for i in (0..n).step_by(10) {
+            println!("{:>6} {:>14.3} {:>14.2}", a3[i].0, a3[i].1, a4[i].1);
+        }
+        let lat_stage = dominant_stage(&a3, n);
+        let mem_stage = dominant_stage(&a4, n);
+        println!(
+            "latency stages  B/M/E: {:.1}/{:.1}/{:.1} ms  -> dominant {}",
+            lat_stage.beginning, lat_stage.middle, lat_stage.end, lat_stage.dominant()
+        );
+        println!(
+            "alloc stages    B/M/E: {:.0}/{:.0}/{:.0} MB  -> dominant {}",
+            mem_stage.beginning, mem_stage.middle, mem_stage.end, mem_stage.dominant()
+        );
+        assert_eq!(
+            mem_stage.dominant(),
+            Stage::Beginning,
+            "large early feature maps dominate allocation"
+        );
+        assert!(
+            lat_stage.beginning > lat_stage.end * 0.5,
+            "early layers carry substantial latency"
+        );
+    });
+}

@@ -1,0 +1,47 @@
+//! Figure 6: the GPU-kernel roofline (A9) — convolution kernels
+//! compute-bound, element-wise kernels memory-bound.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::a9_kernel_roofline;
+use xsp_core::roofline::attainable_tflops;
+
+fn main() {
+    timed("fig06", || {
+        banner(
+            "FIGURE 6 — kernel roofline (A9)",
+            "paper: most time-consuming kernels are conv kernels, all compute-bound; boundary at ideal AI 17.44 flops/byte on V100",
+        );
+        let (profile, system) = resnet50_profile(256);
+        let points = a9_kernel_roofline(&profile, &system);
+        println!("{:>10} {:>12} {:>12}  kernel", "AI (f/B)", "Tflop/s", "roof");
+        // print the distinct extremes: top 12 by throughput
+        let mut sorted = points.clone();
+        sorted.sort_by(|a, b| b.throughput_tflops.partial_cmp(&a.throughput_tflops).unwrap());
+        for p in sorted.iter().take(12) {
+            println!(
+                "{:>10.2} {:>12.2} {:>12.2}  {} [{}]",
+                p.arithmetic_intensity,
+                p.throughput_tflops,
+                attainable_tflops(p.arithmetic_intensity, &system),
+                p.name.chars().take(44).collect::<String>(),
+                if p.memory_bound { "memory" } else { "compute" },
+            );
+        }
+        let compute = points.iter().filter(|p| !p.memory_bound).count();
+        let memory = points.len() - compute;
+        println!("\n{} kernels: {compute} compute-bound, {memory} memory-bound", points.len());
+        for p in &points {
+            assert!(
+                p.throughput_tflops <= attainable_tflops(p.arithmetic_intensity, &system) * 1.02,
+                "{} exceeds its roofline",
+                p.name
+            );
+            if p.name.contains("scudnn") || p.name.contains("cgemm") {
+                assert!(!p.memory_bound, "{} must be compute-bound", p.name);
+            }
+            if p.name.contains("Eigen") {
+                assert!(p.memory_bound, "{} must be memory-bound", p.name);
+            }
+        }
+    });
+}

@@ -1,0 +1,32 @@
+//! Figure 7: per-layer GPU metrics (A12) — total flops, DRAM reads, DRAM
+//! writes per layer in execution order.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::a12_metrics_per_layer;
+
+fn main() {
+    timed("fig07", || {
+        banner(
+            "FIGURE 7 — per-layer flops and DRAM traffic (A12)",
+            "paper: conv layers carry the flops (up to ~80 Gflops each at batch 256); elementwise layers carry traffic without flops",
+        );
+        let (profile, system) = resnet50_profile(256);
+        let rows = a12_metrics_per_layer(&profile, &system);
+        println!("{:>6} {:>12} {:>12} {:>12}", "index", "Gflops", "reads (MB)", "writes (MB)");
+        for r in rows.iter().step_by(10) {
+            println!(
+                "{:>6} {:>12.2} {:>12.1} {:>12.1}",
+                r.layer_index, r.gflops, r.dram_read_mb, r.dram_write_mb
+            );
+        }
+        let max_flops = rows.iter().map(|r| r.gflops).fold(0.0, f64::max);
+        let total_flops: f64 = rows.iter().map(|r| r.gflops).sum();
+        println!("\nmax per-layer {max_flops:.1} Gflops; model total {total_flops:.1} Gflops");
+        assert!(max_flops > 20.0, "big conv layers execute tens of Gflops");
+        // layers with zero flops but nonzero traffic exist (Relu)
+        assert!(
+            rows.iter().any(|r| r.gflops == 0.0 && r.dram_read_mb > 0.0),
+            "Relu layers: traffic without counted flops"
+        );
+    });
+}

@@ -1,0 +1,41 @@
+//! Figure 8: normalized GPU vs non-GPU latency per layer (A13) — the
+//! analysis that exposes framework overhead and GPU stalls per layer.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::a13_gpu_vs_nongpu;
+
+fn main() {
+    timed("fig08", || {
+        banner(
+            "FIGURE 8 — GPU vs non-GPU latency per layer (A13)",
+            "paper: large conv layers are ~98% GPU; small layers show meaningful non-GPU (dispatch) share",
+        );
+        let (profile, system) = resnet50_profile(256);
+        let rows = a13_gpu_vs_nongpu(&profile, &system);
+        println!("{:>6} {:>10} {:>12} {:>8}", "index", "GPU (ms)", "nonGPU (ms)", "GPU %");
+        for (idx, gpu, non_gpu) in rows.iter().step_by(10) {
+            let pct = 100.0 * gpu / (gpu + non_gpu).max(1e-12);
+            println!("{idx:>6} {gpu:>10.3} {non_gpu:>12.3} {pct:>8.1}");
+        }
+        let total_gpu: f64 = rows.iter().map(|r| r.1).sum();
+        let total_non: f64 = rows.iter().map(|r| r.2).sum();
+        println!(
+            "\nmodel: GPU {total_gpu:.1} ms, non-GPU {total_non:.1} ms ({:.1}% GPU)",
+            100.0 * total_gpu / (total_gpu + total_non)
+        );
+        // the largest layer is nearly all GPU
+        let largest = rows
+            .iter()
+            .max_by(|a, b| (a.1 + a.2).partial_cmp(&(b.1 + b.2)).unwrap())
+            .unwrap();
+        let largest_pct = largest.1 / (largest.1 + largest.2);
+        assert!(largest_pct > 0.9, "largest layer is GPU-dominated: {largest_pct}");
+        // some small layers have >5% non-GPU share
+        let spread = rows
+            .iter()
+            .filter(|r| r.1 + r.2 > 0.0)
+            .filter(|r| r.2 / (r.1 + r.2) > 0.05)
+            .count();
+        assert!(spread > 10, "dispatch-visible layers exist: {spread}");
+    });
+}

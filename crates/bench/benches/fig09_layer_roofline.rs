@@ -1,0 +1,46 @@
+//! Figure 9: the layer roofline (A14) — Conv2D/MatMul compute-bound, the
+//! element-wise layers (Add/Mul/Relu) memory-bound.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::a14_layer_roofline;
+
+fn main() {
+    timed("fig09", || {
+        banner(
+            "FIGURE 9 — layer roofline (A14)",
+            "paper: Conv2D layers most compute- and memory-intensive; Conv2D/MatMul/BiasAdd/Softmax compute-bound, Add/Mul/Relu memory-bound",
+        );
+        let (profile, system) = resnet50_profile(256);
+        let points = a14_layer_roofline(&profile, &system);
+        let classify = |name: &str| {
+            points
+                .iter()
+                .filter(|p| p.name.contains(name))
+                .map(|p| p.memory_bound)
+                .collect::<Vec<bool>>()
+        };
+        let conv = classify("conv2d");
+        let mul = classify("/mul");
+        let add = classify("/add");
+        let relu = classify("Relu");
+        println!(
+            "layers: {} | conv compute-bound {}/{} | mul memory-bound {}/{} | add memory-bound {}/{} | relu memory-bound {}/{}",
+            points.len(),
+            conv.iter().filter(|b| !**b).count(), conv.len(),
+            mul.iter().filter(|b| **b).count(), mul.len(),
+            add.iter().filter(|b| **b).count(), add.len(),
+            relu.iter().filter(|b| **b).count(), relu.len(),
+        );
+        println!("\n{:>10} {:>10}  layer", "AI", "Tflop/s");
+        let mut sorted = points.clone();
+        sorted.sort_by(|a, b| b.throughput_tflops.partial_cmp(&a.throughput_tflops).unwrap());
+        for p in sorted.iter().take(10) {
+            println!("{:>10.2} {:>10.2}  {}", p.arithmetic_intensity, p.throughput_tflops, p.name);
+        }
+        let conv_compute = conv.iter().filter(|b| !**b).count();
+        assert!(conv_compute * 10 > conv.len() * 9, "conv layers are compute-bound");
+        assert!(mul.iter().all(|b| *b), "Mul layers memory-bound");
+        assert!(add.iter().all(|b| *b), "Add layers memory-bound");
+        assert!(relu.iter().all(|b| *b), "Relu layers memory-bound");
+    });
+}

@@ -1,0 +1,46 @@
+//! Figure 10: the whole-model roofline across batch sizes (A15) — the
+//! paper's cuDNN-algorithm-switch story: memory-bound at batch 16/32 only.
+
+use xsp_bench::{banner, resnet50, timed, xsp_on, BATCHES};
+use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::roofline::attainable_tflops;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+
+fn main() {
+    timed("fig10", || {
+        banner(
+            "FIGURE 10 — model roofline across batch sizes (A15)",
+            "paper: compute-bound except batches 16 and 32 (cuDNN switches IMPLICIT_GEMM -> IMPLICIT_PRECOMP_GEMM at 16; scudnn kernel has low AI below batch 64)",
+        );
+        let system = systems::tesla_v100();
+        let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 2);
+        let model = resnet50();
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>9}",
+            "batch", "AI (f/B)", "Tflop/s", "roof", "bound"
+        );
+        let mut bound_at = Vec::new();
+        for batch in BATCHES {
+            let p = xsp.with_gpu(&model.graph(batch));
+            let a = a15_model_aggregate(&p, &system);
+            println!(
+                "{:>6} {:>10.2} {:>10.2} {:>10.2} {:>9}",
+                batch,
+                a.arithmetic_intensity,
+                a.throughput_tflops,
+                attainable_tflops(a.arithmetic_intensity, &system),
+                if a.memory_bound { "memory" } else { "compute" }
+            );
+            bound_at.push((batch, a.memory_bound));
+        }
+        for (batch, memory_bound) in bound_at {
+            assert_eq!(
+                memory_bound,
+                batch == 16 || batch == 32,
+                "batch {batch} bound-ness"
+            );
+        }
+        println!("\nshape check passed: memory-bound at batches 16 and 32 only");
+    });
+}

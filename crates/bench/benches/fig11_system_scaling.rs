@@ -1,0 +1,77 @@
+//! Figure 11: MLPerf_ResNet50_v1.5 throughput and GPU latency across the
+//! five systems and batch sizes, plus the per-architecture kernel-selection
+//! check of §IV-C.
+
+use xsp_bench::{banner, resnet50, timed, xsp_on, BATCHES};
+use xsp_core::analysis::a10_kernel_info_by_name;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+
+fn main() {
+    timed("fig11", || {
+        banner(
+            "FIGURE 11 — throughput and GPU latency across 5 systems",
+            "paper: V100 best, Quadro_RTX slightly worse (lower bandwidth), then P100, P4, M60; volta_* kernels on RTX/V100 vs maxwell_* kernels on P100/P4/M60",
+        );
+        println!("(a) throughput (inputs/s)");
+        print!("{:>6}", "batch");
+        for s in systems::all() {
+            print!(" {:>12}", s.name);
+        }
+        println!();
+        let mut tp_at_256 = Vec::new();
+        let mut sweeps = Vec::new();
+        for s in systems::all() {
+            let xsp = xsp_on(s.clone(), FrameworkKind::TensorFlow, 1);
+            let sweep: Vec<(usize, f64, f64)> = BATCHES
+                .iter()
+                .map(|&b| {
+                    let p = xsp.with_gpu(&resnet50().graph(b));
+                    let kernel_ms = p.kernel_latency_ms();
+                    (b, p.throughput(), kernel_ms)
+                })
+                .collect();
+            sweeps.push((s, sweep));
+        }
+        for (i, &batch) in BATCHES.iter().enumerate() {
+            print!("{batch:>6}");
+            for (_, sweep) in &sweeps {
+                print!(" {:>12.1}", sweep[i].1);
+            }
+            println!();
+        }
+        println!("\n(b) GPU latency (ms, log-scale in the paper)");
+        for (i, &batch) in BATCHES.iter().enumerate() {
+            print!("{batch:>6}");
+            for (_, sweep) in &sweeps {
+                print!(" {:>12.2}", sweep[i].2);
+            }
+            println!();
+        }
+        for (s, sweep) in &sweeps {
+            tp_at_256.push((s.name.clone(), sweep.last().unwrap().1));
+        }
+        // ordering at batch 256: V100 >= RTX > P100 > P4 ~ M60
+        let get = |n: &str| tp_at_256.iter().find(|(name, _)| name == n).unwrap().1;
+        assert!(get("Tesla_V100") > get("Quadro_RTX"), "V100 beats RTX (bandwidth)");
+        assert!(get("Quadro_RTX") > get("Tesla_P100"));
+        assert!(get("Tesla_P100") > get("Tesla_P4"));
+        assert!(get("Tesla_P4") > get("Tesla_M60"));
+
+        // §IV-C: kernel catalogs differ per architecture.
+        println!("\nkernel selection per system (batch 256):");
+        for s in systems::all() {
+            let xsp = xsp_on(s.clone(), FrameworkKind::TensorFlow, 1);
+            let p = xsp.with_gpu(&resnet50().graph(256));
+            let rows = a10_kernel_info_by_name(&p, &s);
+            let conv = rows.iter().find(|r| r.name.contains("scudnn")).unwrap();
+            println!("  {:>11}: {} x{}", s.name, conv.name, conv.count);
+            if s.gpu.arch.has_volta_optimized_kernels() {
+                assert!(conv.name.starts_with("volta"), "{}", s.name);
+            } else {
+                assert!(conv.name.starts_with("maxwell"), "{}", s.name);
+            }
+        }
+        println!("\nshape check passed: system ordering and kernel catalogs match §IV-C");
+    });
+}

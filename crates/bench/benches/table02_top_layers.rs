@@ -1,0 +1,40 @@
+//! Table II: the top-5 most time-consuming layers of MLPerf_ResNet50_v1.5
+//! at batch 256 on Tesla_V100 (A2).
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::a2_layer_info;
+use xsp_core::report::{fmt_mb, fmt_ms, Table};
+
+fn main() {
+    timed("table02", || {
+        banner(
+            "TABLE II — top-5 most time-consuming layers (A2)",
+            "paper: conv2d_48 7.59ms/25.7MB, conv2d_51 7.57, conv2d_45 5.67, conv2d 5.08/822.1MB, conv2d_26 4.67; 234 layers total, 143 under 1ms",
+        );
+        let (profile, _) = resnet50_profile(256);
+        let mut rows = a2_layer_info(&profile);
+        let total = rows.len();
+        let under_1ms = rows.iter().filter(|r| r.latency_ms < 1.0).count();
+        rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
+        let mut t = Table::new(
+            "Top-5 layers, batch 256, Tesla_V100",
+            &["Layer Index", "Layer Name", "Layer Type", "Layer Shape", "Latency (ms)", "Alloc Mem (MB)"],
+        );
+        for r in rows.iter().take(5) {
+            t.row(vec![
+                r.index.to_string(),
+                r.name.clone(),
+                r.type_name.clone(),
+                r.shape.clone(),
+                fmt_ms(r.latency_ms),
+                fmt_mb(r.alloc_mb),
+            ]);
+        }
+        println!("{t}");
+        println!("measured: {total} layers total, {under_1ms} take less than 1 ms");
+        assert!(
+            rows.iter().take(5).all(|r| r.type_name == "Conv2D"),
+            "shape check: top-5 must be convolutions"
+        );
+    });
+}

@@ -1,0 +1,44 @@
+//! Table III: the top-5 most time-consuming GPU kernel calls (A8) with
+//! their hardware metrics.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::a8_kernel_info;
+use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
+
+fn main() {
+    timed("table03", || {
+        banner(
+            "TABLE III — top-5 most time-consuming kernels (A8)",
+            "paper: volta_cgemm_32x32_tn x2 (6.04/6.03ms), scudnn_128x128 (5.48), scudnn_128x64 (4.91), scudnn_128x128 (4.56); 375 kernels, 284 under 1ms; all compute-bound",
+        );
+        let (profile, system) = resnet50_profile(256);
+        let mut rows = a8_kernel_info(&profile, &system);
+        let total = rows.len();
+        let under_1ms = rows.iter().filter(|r| r.latency_ms < 1.0).count();
+        rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
+        let mut t = Table::new(
+            "Top-5 kernel calls, batch 256, Tesla_V100",
+            &["Kernel Name", "Layer", "Latency (ms)", "Gflops", "Reads (MB)", "Writes (MB)", "Occ (%)", "AI (f/B)", "Tflop/s", "Mem-bound"],
+        );
+        for r in rows.iter().take(5) {
+            t.row(vec![
+                r.name.chars().take(46).collect(),
+                r.layer_index.map(|i| i.to_string()).unwrap_or_default(),
+                fmt_ms(r.latency_ms),
+                format!("{:.2}", r.gflops),
+                fmt_mb(r.dram_read_mb),
+                fmt_mb(r.dram_write_mb),
+                fmt_pct(r.occupancy_pct),
+                format!("{:.2}", r.arithmetic_intensity),
+                format!("{:.2}", r.throughput_tflops),
+                fmt_bound(r.memory_bound),
+            ]);
+        }
+        println!("{t}");
+        println!("measured: {total} kernels invoked, {under_1ms} take less than 1 ms");
+        assert!(
+            rows.iter().take(5).all(|r| !r.memory_bound),
+            "shape check: the top-5 kernels are compute-bound conv/gemm kernels"
+        );
+    });
+}

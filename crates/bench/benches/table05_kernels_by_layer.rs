@@ -1,0 +1,46 @@
+//! Table V: GPU kernel information aggregated by layer (A11) for the top-5
+//! most time-consuming layers — the first analysis that *requires*
+//! correlated layer+kernel profiles.
+
+use xsp_bench::{banner, resnet50_profile, timed};
+use xsp_core::analysis::a11_kernel_info_by_layer;
+use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
+
+fn main() {
+    timed("table05", || {
+        banner(
+            "TABLE V — kernel aggregation for the top-5 layers (A11)",
+            "paper: layers 208/221/195/3/113; layer latency 7.59/7.57/5.67/5.08/4.67ms with kernel latency 7.45/7.43/5.55/4.91/4.57ms; all compute-bound",
+        );
+        let (profile, system) = resnet50_profile(256);
+        let mut rows = a11_kernel_info_by_layer(&profile, &system);
+        rows.sort_by(|a, b| b.layer_latency_ms.partial_cmp(&a.layer_latency_ms).unwrap());
+        let mut t = Table::new(
+            "Top-5 layers with aggregated kernel info, batch 256, Tesla_V100",
+            &["Layer Index", "Layer Latency (ms)", "Kernel Latency (ms)", "Kernels", "Gflops", "Reads (MB)", "Writes (MB)", "Occ (%)", "AI (f/B)", "Tflop/s", "Mem-bound"],
+        );
+        for r in rows.iter().take(5) {
+            t.row(vec![
+                r.layer_index.to_string(),
+                fmt_ms(r.layer_latency_ms),
+                fmt_ms(r.kernel_latency_ms),
+                r.kernel_count.to_string(),
+                format!("{:.2}", r.gflops),
+                fmt_mb(r.dram_read_mb),
+                fmt_mb(r.dram_write_mb),
+                fmt_pct(r.occupancy_pct),
+                format!("{:.2}", r.arithmetic_intensity),
+                format!("{:.2}", r.throughput_tflops),
+                fmt_bound(r.memory_bound),
+            ]);
+        }
+        println!("{t}");
+        for r in rows.iter().take(5) {
+            assert!(
+                r.kernel_latency_ms <= r.layer_latency_ms,
+                "kernel time fits inside the layer"
+            );
+            assert!(!r.memory_bound, "top layers are compute-bound convs");
+        }
+    });
+}

@@ -1,0 +1,58 @@
+//! Table VI: the A15 model-level aggregate across batch sizes — including
+//! the memory-bound rows at batch 16 and 32 and occupancy rising toward the
+//! optimal batch size.
+
+use xsp_bench::{banner, resnet50, timed, xsp_on, BATCHES};
+use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+
+fn main() {
+    timed("table06", || {
+        banner(
+            "TABLE VI — A15 aggregated within the model across batch sizes",
+            "paper: latencies 6.21/6.83/8.51/12.80/21.90/40.03/74.03/142.89/275.05 ms; memory-bound at batch 16 and 32 only; occupancy 22.65% -> ~43-44%",
+        );
+        let system = systems::tesla_v100();
+        let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 2);
+        let model = resnet50();
+        let mut t = Table::new(
+            "MLPerf_ResNet50_v1.5 across batch sizes, Tesla_V100",
+            &["Batch", "Model Latency (ms)", "Kernel Latency (ms)", "Gflops", "Reads (MB)", "Writes (MB)", "Occ (%)", "Mem-bound"],
+        );
+        let mut bounds = Vec::new();
+        let mut occs = Vec::new();
+        for batch in BATCHES {
+            let p = xsp.with_gpu(&model.graph(batch));
+            let a = a15_model_aggregate(&p, &system);
+            bounds.push((batch, a.memory_bound));
+            occs.push(a.occupancy_pct);
+            t.row(vec![
+                batch.to_string(),
+                fmt_ms(a.model_latency_ms),
+                fmt_ms(a.kernel_latency_ms),
+                format!("{:.2}", a.gflops),
+                fmt_mb(a.dram_read_mb),
+                fmt_mb(a.dram_write_mb),
+                fmt_pct(a.occupancy_pct),
+                fmt_bound(a.memory_bound),
+            ]);
+        }
+        println!("{t}");
+        // The paper's signature shape: memory-bound at exactly 16 and 32.
+        for (batch, memory_bound) in &bounds {
+            let expect = *batch == 16 || *batch == 32;
+            assert_eq!(
+                *memory_bound, expect,
+                "batch {batch}: expected memory_bound={expect}"
+            );
+        }
+        assert!(
+            occs.last().unwrap() > occs.first().unwrap(),
+            "occupancy rises toward the optimal batch"
+        );
+        println!("shape check passed: memory-bound at batches 16/32 only; occupancy rises {:.1}% -> {:.1}%",
+            occs.first().unwrap(), occs.last().unwrap());
+    });
+}

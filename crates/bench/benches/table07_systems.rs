@@ -1,0 +1,33 @@
+//! Table VII: the five evaluation systems and their ideal arithmetic
+//! intensities.
+
+use xsp_bench::{banner, timed};
+use xsp_core::report::Table;
+use xsp_gpu::systems;
+
+fn main() {
+    timed("table07", || {
+        banner(
+            "TABLE VII — evaluation systems",
+            "paper: RTX 16.3TF/624GBs AI 26.12; V100 15.7/900 17.44; P100 9.3/732 12.70; P4 5.5/192 28.34; M60 4.8/160 30.12",
+        );
+        let mut t = Table::new(
+            "Five systems spanning Turing/Volta/Pascal/Maxwell",
+            &["Name", "CPU", "GPU", "Architecture", "Peak TFLOPS", "Bandwidth (GB/s)", "Ideal AI (flops/byte)"],
+        );
+        for s in systems::all() {
+            t.row(vec![
+                s.name.clone(),
+                s.cpu.name.clone(),
+                s.gpu.name.clone(),
+                s.gpu.arch.to_string(),
+                format!("{:.1}", s.gpu.peak_tflops),
+                format!("{:.0}", s.gpu.mem_bandwidth_gbps),
+                format!("{:.2}", s.ideal_arithmetic_intensity()),
+            ]);
+        }
+        println!("{t}");
+        let ais: Vec<f64> = systems::all().iter().map(|s| s.ideal_arithmetic_intensity()).collect();
+        assert!(ais[1] < ais[0] && ais[2] < ais[1], "V100 < RTX; P100 lowest of the three big ones");
+    });
+}

@@ -1,0 +1,94 @@
+//! Table VIII: the 55 TensorFlow models — accuracy, graph size, online
+//! latency, max throughput, optimal batch size, and convolution latency
+//! percentage, all on Tesla_V100.
+
+use xsp_bench::{banner, timed, xsp_on};
+use xsp_core::analysis::convolution_latency_percent;
+use xsp_core::profile::Xsp;
+use xsp_core::report::{fmt_ms, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo::{self, Task};
+
+fn main() {
+    timed("table08", || {
+        banner(
+            "TABLE VIII — 55 TensorFlow models on Tesla_V100",
+            "paper: IC conv% 36.3-80.2; OD conv% 0.6-14.9 except Faster_RCNN_NAS 85.2; optimal batches: large (64-256) for IC, small (1-16) for OD/IS, 1 for SS",
+        );
+        let system = systems::tesla_v100();
+        let xsp = xsp_on(system, FrameworkKind::TensorFlow, 1);
+        let mut t = Table::new(
+            "55 TensorFlow models",
+            &["ID", "Name", "Task", "Accuracy", "Graph (MB)", "Online Latency (ms)", "Max Throughput (in/s)", "Optimal Batch", "Conv %"],
+        );
+        let mut ic_conv = Vec::new();
+        let mut od_conv = Vec::new();
+        let mut ic_optimal = Vec::new();
+        let mut od_optimal = Vec::new();
+        for m in zoo::tensorflow_models() {
+            // sweep with early stop; heavy OD/IS/SS models cap at batch 32
+            let max_batch: usize = match m.task {
+                Task::ImageClassification => 256,
+                _ => 32,
+            };
+            let batches: Vec<usize> =
+                [1usize, 2, 4, 8, 16, 32, 64, 128, 256].into_iter().filter(|b| *b <= max_batch).collect();
+            let sweep = xsp.batch_sweep(|b| m.graph(b), &batches);
+            let optimal = Xsp::optimal_batch(&sweep);
+            let online = sweep.first().map(|p| p.profile.model_latency_ms()).unwrap_or(0.0);
+            let max_tp = sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
+            // conv share needs layer-level profiling at the optimal batch
+            let lp = xsp.leveled(&m.graph(optimal));
+            let conv_pct = convolution_latency_percent(&lp);
+            match m.task {
+                Task::ImageClassification => {
+                    ic_conv.push(conv_pct);
+                    ic_optimal.push(optimal);
+                }
+                Task::ObjectDetection => {
+                    od_conv.push((m.name, conv_pct));
+                    od_optimal.push(optimal);
+                }
+                _ => {}
+            }
+            t.row(vec![
+                m.id.to_string(),
+                m.name.to_owned(),
+                m.task.code().to_owned(),
+                m.accuracy.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
+                format!("{:.1}", m.graph_size_mb),
+                fmt_ms(online),
+                format!("{max_tp:.1}"),
+                optimal.to_string(),
+                format!("{conv_pct:.1}"),
+            ]);
+        }
+        println!("{t}");
+
+        // Shape checks from §IV-A.
+        let ic_mean = ic_conv.iter().sum::<f64>() / ic_conv.len() as f64;
+        let od_mean: f64 =
+            od_conv.iter().map(|(_, c)| *c).sum::<f64>() / od_conv.len() as f64;
+        println!("IC mean conv% = {ic_mean:.1}, OD mean conv% = {od_mean:.1}");
+        assert!(ic_mean > 30.0, "conv layers dominate IC models");
+        let od_nonnas: Vec<f64> = od_conv
+            .iter()
+            .filter(|(n, _)| !n.contains("NAS"))
+            .map(|(_, c)| *c)
+            .collect();
+        let od_nonnas_mean = od_nonnas.iter().sum::<f64>() / od_nonnas.len() as f64;
+        assert!(
+            od_nonnas_mean < ic_mean / 2.0,
+            "non-NAS OD models are Where-dominated: {od_nonnas_mean:.1} vs IC {ic_mean:.1}"
+        );
+        let nas = od_conv.iter().find(|(n, _)| n.contains("NAS")).unwrap();
+        assert!(nas.1 > od_nonnas_mean * 2.0, "Faster_RCNN_NAS is conv-dominated");
+        let ic_large = ic_optimal.iter().filter(|&&b| b >= 64).count();
+        assert!(ic_large * 2 > ic_optimal.len(), "most IC models prefer large batches");
+        assert!(
+            od_optimal.iter().all(|&b| b <= 16),
+            "OD models saturate at small batches: {od_optimal:?}"
+        );
+    });
+}

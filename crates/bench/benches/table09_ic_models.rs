@@ -1,0 +1,83 @@
+//! Table IX: in-depth characterization of the 37 image-classification
+//! models at their optimal batch sizes on Tesla_V100 — GPU latency
+//! percentage, flops, DRAM traffic, occupancy, roofline classification, and
+//! the dominant execution stage for latency/alloc/flops/memory.
+
+use xsp_bench::{banner, timed, xsp_on};
+use xsp_core::analysis::{
+    a11_kernel_info_by_layer, a15_model_aggregate, a3_layer_latency, a4_layer_allocation,
+    dominant_stage,
+};
+use xsp_core::profile::Xsp;
+use xsp_core::report::{fmt_bound, fmt_ms, fmt_pct, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn main() {
+    timed("table09", || {
+        banner(
+            "TABLE IX — 37 IC models at optimal batch on Tesla_V100",
+            "paper: GPU latency 53.68-96.32%; 20 of 37 memory-bound; peak throughput <=52% of theoretical; MobileNets memory-bound, ResNets/VGG compute-bound",
+        );
+        let system = systems::tesla_v100();
+        let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 1);
+        let mut t = Table::new(
+            "IC models in depth",
+            &["ID", "Batch Latency (ms)", "GPU %", "Gflops", "Reads (GB)", "Writes (GB)", "Occ (%)", "AI", "Tflop/s", "Mem-bound", "Lat stage", "Alloc stage", "Flops stage", "MemAcc stage"],
+        );
+        let mut memory_bound_count = 0usize;
+        let mut max_tp_frac = 0.0f64;
+        for m in zoo::image_classification_models() {
+            let sweep = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+            let optimal = Xsp::optimal_batch(&sweep);
+            let p = xsp.leveled(&m.graph(optimal));
+            let a15 = a15_model_aggregate(&p, &system);
+            let total_layers = p.layers().len();
+            let lat = dominant_stage(&a3_layer_latency(&p), total_layers);
+            let alloc = dominant_stage(&a4_layer_allocation(&p), total_layers);
+            let a11 = a11_kernel_info_by_layer(&p, &system);
+            let flops_series: Vec<(usize, f64)> =
+                a11.iter().map(|r| (r.layer_index, r.gflops)).collect();
+            let mem_series: Vec<(usize, f64)> = a11
+                .iter()
+                .map(|r| (r.layer_index, r.dram_read_mb + r.dram_write_mb))
+                .collect();
+            let flops_stage = dominant_stage(&flops_series, total_layers);
+            let mem_stage = dominant_stage(&mem_series, total_layers);
+            if a15.memory_bound {
+                memory_bound_count += 1;
+            }
+            max_tp_frac = max_tp_frac.max(a15.throughput_tflops / system.gpu.peak_tflops);
+            t.row(vec![
+                m.id.to_string(),
+                fmt_ms(a15.model_latency_ms),
+                fmt_pct(a15.gpu_latency_percent),
+                format!("{:.1}", a15.gflops),
+                format!("{:.2}", a15.dram_read_mb / 1e3),
+                format!("{:.2}", a15.dram_write_mb / 1e3),
+                fmt_pct(a15.occupancy_pct),
+                format!("{:.2}", a15.arithmetic_intensity),
+                format!("{:.2}", a15.throughput_tflops),
+                fmt_bound(a15.memory_bound),
+                lat.dominant().to_string(),
+                alloc.dominant().to_string(),
+                flops_stage.dominant().to_string(),
+                mem_stage.dominant().to_string(),
+            ]);
+        }
+        println!("{t}");
+        println!(
+            "measured: {memory_bound_count}/37 memory-bound; best throughput fraction of peak {:.0}%",
+            max_tp_frac * 100.0
+        );
+        assert!(
+            (10..=30).contains(&memory_bound_count),
+            "a large minority of IC models are memory-bound (paper: 20/37), got {memory_bound_count}"
+        );
+        assert!(
+            max_tp_frac < 0.7,
+            "no model should approach theoretical peak (paper: <=52%)"
+        );
+    });
+}

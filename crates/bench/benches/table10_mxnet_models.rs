@@ -1,0 +1,72 @@
+//! Table X: the 10 MXNet models vs their TensorFlow counterparts —
+//! compute-bound ResNets pay MXNet's fixed overhead at batch 1 but match at
+//! the optimal batch; memory-bound MobileNets beat TensorFlow because the
+//! native element-wise kernels avoid Eigen's DRAM excess.
+
+use xsp_bench::{banner, timed, xsp_on};
+use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::profile::Xsp;
+use xsp_core::report::{fmt_bound, fmt_pct, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn main() {
+    timed("table10", || {
+        banner(
+            "TABLE X — MXNet vs TensorFlow on Tesla_V100",
+            "paper: MXNet ResNets 1.32-1.76x slower online but ~same max throughput; MXNet MobileNets 1.35-1.76x higher max throughput (Eigen's excess DRAM traffic)",
+        );
+        let system = systems::tesla_v100();
+        let tf = xsp_on(system.clone(), FrameworkKind::TensorFlow, 1);
+        let mx = xsp_on(system.clone(), FrameworkKind::MXNet, 1);
+        let batches = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+        let mut t = Table::new(
+            "10 MXNet models (normalized to TensorFlow)",
+            &["ID", "Name", "Norm Online Latency", "Optimal Batch", "Norm Max Throughput", "GPU %", "Gflops", "Occ (%)", "Mem-bound"],
+        );
+        let mut resnet_lat = Vec::new();
+        let mut mobilenet_tp = Vec::new();
+        for m in zoo::mxnet_models() {
+            let tf_online = tf.model_only(&m.graph(1)).model_latency_ms();
+            let mx_online = mx.model_only(&m.graph(1)).model_latency_ms();
+            let tf_sweep = tf.batch_sweep(|b| m.graph(b), &batches);
+            let mx_sweep = mx.batch_sweep(|b| m.graph(b), &batches);
+            let mx_optimal = Xsp::optimal_batch(&mx_sweep);
+            let tf_max = tf_sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
+            let mx_max = mx_sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
+            let p = mx.leveled(&m.graph(mx_optimal));
+            let a15 = a15_model_aggregate(&p, &system);
+            let norm_lat = mx_online / tf_online;
+            let norm_tp = mx_max / tf_max;
+            if m.name.contains("ResNet") {
+                resnet_lat.push(norm_lat);
+            } else {
+                mobilenet_tp.push(norm_tp);
+            }
+            t.row(vec![
+                m.id.to_string(),
+                m.name.to_owned(),
+                format!("{norm_lat:.2}"),
+                mx_optimal.to_string(),
+                format!("{norm_tp:.2}"),
+                fmt_pct(a15.gpu_latency_percent),
+                format!("{:.1}", a15.gflops),
+                fmt_pct(a15.occupancy_pct),
+                fmt_bound(a15.memory_bound),
+            ]);
+        }
+        println!("{t}");
+        // §IV-B shape checks.
+        assert!(
+            resnet_lat.iter().all(|&r| r > 1.05),
+            "MXNet ResNets pay fixed overhead online: {resnet_lat:?}"
+        );
+        let mobile_win = mobilenet_tp.iter().filter(|&&r| r > 1.1).count();
+        assert!(
+            mobile_win >= 3,
+            "MXNet MobileNets out-throughput TF (Eigen excess): {mobilenet_tp:?}"
+        );
+        println!("shape check passed: ResNets online {resnet_lat:?}; MobileNet throughput ratios {mobilenet_tp:?}");
+    });
+}

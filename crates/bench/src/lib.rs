@@ -1,0 +1,96 @@
+//! # xsp-bench — the reproduction harness
+//!
+//! One bench target per table and figure of the paper (`benches/`), plus
+//! Criterion micro-benchmarks of the profiling infrastructure itself.
+//! Each target prints the paper's reference values next to the measured
+//! ones; `EXPERIMENTS.md` records the comparison.
+//!
+//! Run everything: `cargo bench --workspace`.
+//! Run one experiment: `cargo bench -p xsp-bench --bench fig10_model_roofline_batch`.
+
+#![warn(missing_docs)]
+
+use xsp_core::profile::{BatchProfile, LeveledProfile, Xsp, XspConfig};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::{systems, System};
+use xsp_models::zoo::{self, ModelEntry};
+
+/// The batch sizes the paper sweeps (Figures 3/10/11, Table VI).
+pub const BATCHES: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Batch sizes for Figure 3 (which extends to 512).
+pub const BATCHES_512: [usize; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Builds the default profiler: `runs` evaluations per level.
+pub fn xsp_on(system: System, framework: FrameworkKind, runs: usize) -> Xsp {
+    Xsp::new(XspConfig::new(system, framework).runs(runs))
+}
+
+/// The default V100/TensorFlow profiler used by most experiments.
+pub fn default_xsp() -> Xsp {
+    xsp_on(systems::tesla_v100(), FrameworkKind::TensorFlow, 2)
+}
+
+/// The paper's reference model for the walkthrough experiments.
+pub fn resnet50() -> ModelEntry {
+    zoo::by_name("MLPerf_ResNet50_v1.5").expect("reference model present")
+}
+
+/// Full leveled profile of the reference model at `batch` on V100.
+pub fn resnet50_profile(batch: usize) -> (LeveledProfile, System) {
+    let system = systems::tesla_v100();
+    let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 2);
+    (xsp.leveled(&resnet50().graph(batch)), system)
+}
+
+/// Model-level batch sweep of the reference model (no early stop, full
+/// range) — Figures 3/10/11 need every point.
+pub fn resnet50_sweep(system: System, batches: &[usize]) -> Vec<BatchProfile> {
+    let xsp = xsp_on(system, FrameworkKind::TensorFlow, 2);
+    batches
+        .iter()
+        .map(|&batch| {
+            let profile = xsp.model_only(&resnet50().graph(batch));
+            BatchProfile { batch, profile }
+        })
+        .collect()
+}
+
+/// Prints the standard experiment banner with the paper's claim for
+/// side-by-side comparison.
+pub fn banner(experiment: &str, paper_reference: &str) {
+    println!("\n================================================================");
+    println!("{experiment}");
+    println!("paper reference: {paper_reference}");
+    println!("================================================================");
+}
+
+/// Wall-clock the harness body (the "bench" part of a harness=false bench).
+pub fn timed(label: &str, f: impl FnOnce()) {
+    let start = std::time::Instant::now();
+    f();
+    println!("\n[{label}: completed in {:.2?}]", start.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_model_resolves() {
+        assert_eq!(resnet50().id, 7);
+    }
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let sweep = resnet50_sweep(systems::tesla_v100(), &[1, 2]);
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[0].throughput() > 0.0);
+    }
+
+    #[test]
+    fn batch_lists() {
+        assert_eq!(BATCHES.len(), 9);
+        assert_eq!(*BATCHES_512.last().unwrap(), 512);
+    }
+}

@@ -1,0 +1,82 @@
+//! The 15 automated analyses of Table I.
+//!
+//! Grouped, as in the paper, by the profiling information they require:
+//!
+//! | Analyses | Needs |
+//! |---|---|
+//! | A1 | model-level profile |
+//! | A2–A7 | model + layer-level profiles |
+//! | A8–A10 | GPU kernel-level profile |
+//! | A11–A14 | layer + kernel profiles, correlated |
+//! | A15 | model + kernel profiles |
+//!
+//! Every function consumes a [`crate::LeveledProfile`] (or a batch sweep)
+//! and returns plain typed rows; rendering lives in [`crate::report`].
+
+mod cross_level;
+mod host_level;
+mod kernel_level;
+mod layer_level;
+mod library_level;
+mod model_level;
+mod stage;
+
+pub use cross_level::{
+    a11_kernel_info_by_layer, a12_metrics_per_layer, a13_gpu_vs_nongpu, a14_layer_roofline,
+    a15_model_aggregate, LayerKernelRow, LayerMetricsRow, ModelAggregateRow,
+};
+pub use kernel_level::{
+    a10_kernel_info_by_name, a8_kernel_info, a9_kernel_roofline, KernelInfoRow, KernelNameAggRow,
+};
+pub use layer_level::{
+    a2_layer_info, a3_layer_latency, a4_layer_allocation, a5_layer_type_distribution,
+    a6_latency_by_type, a7_allocation_by_type, convolution_latency_percent, LayerInfoRow,
+    TypeAggRow,
+};
+pub use host_level::{ax2_host_dispatch, HostDispatchRow};
+pub use library_level::{
+    ax1_library_calls, library_span_count, library_span_layers, LibraryCallRow,
+};
+pub use model_level::{a1_model_info, ModelInfoRow, ModelInfoTable};
+pub use stage::{dominant_stage, stage_of_index, Stage, StageSummary};
+
+/// Capability matrix of Table I: which analyses each tooling class can
+/// perform. Used by the `table01_analyses` bench to regenerate the table.
+pub fn capability_matrix() -> Vec<(&'static str, &'static str, [bool; 4])> {
+    // (analysis, levels required, [end-to-end benchmarking, framework
+    // profilers, NVIDIA profilers, XSP])
+    vec![
+        ("A1  Model information table", "M", [true, false, false, true]),
+        ("A2  Layer information table", "L", [false, true, false, true]),
+        ("A3  Layer latency", "L", [false, true, false, true]),
+        ("A4  Layer memory allocation", "L", [false, true, false, true]),
+        ("A5  Layer type distribution", "L", [false, true, false, true]),
+        ("A6  Layer latency aggregated by type", "L", [false, true, false, true]),
+        ("A7  Layer memory allocation aggregated by type", "L", [false, true, false, true]),
+        ("A8  GPU kernel information table", "G", [false, false, true, true]),
+        ("A9  GPU kernel roofline", "G", [false, false, true, true]),
+        ("A10 GPU kernel information aggregated by name", "G", [false, false, true, true]),
+        ("A11 GPU kernel information aggregated by layer", "L/G", [false, false, false, true]),
+        ("A12 GPU metrics aggregated by layer", "L/G", [false, false, false, true]),
+        ("A13 GPU vs Non-GPU latency", "L/G", [false, false, false, true]),
+        ("A14 Layer roofline", "L/G", [false, false, false, true]),
+        ("A15 GPU kernel information aggregated by model", "M/G", [false, false, true, true]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_analyses() {
+        let m = capability_matrix();
+        assert_eq!(m.len(), 15);
+        // XSP performs all 15
+        assert!(m.iter().all(|(_, _, caps)| caps[3]));
+        // A11-A14 are XSP-exclusive
+        for row in &m[10..14] {
+            assert_eq!(&row.2[..3], &[false, false, false], "{}", row.0);
+        }
+    }
+}

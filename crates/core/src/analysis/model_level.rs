@@ -1,0 +1,81 @@
+//! A1 — the model information table (§III-D1): latency and throughput
+//! across batch sizes, plus the optimal batch size.
+
+use crate::profile::{BatchProfile, Xsp};
+
+/// One row of the A1 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfoRow {
+    /// Batch size.
+    pub batch: usize,
+    /// Model (batch) latency, ms.
+    pub latency_ms: f64,
+    /// Throughput, inputs/s.
+    pub throughput: f64,
+}
+
+/// The A1 table.
+#[derive(Debug, Clone)]
+pub struct ModelInfoTable {
+    /// Rows in increasing batch order.
+    pub rows: Vec<ModelInfoRow>,
+    /// Optimal batch size by the 5 %-doubling rule.
+    pub optimal_batch: usize,
+    /// Maximum throughput observed.
+    pub max_throughput: f64,
+    /// Latency at batch 1 ("online latency").
+    pub online_latency_ms: f64,
+}
+
+/// Builds the A1 model-information table from a batch sweep.
+pub fn a1_model_info(sweep: &[BatchProfile]) -> ModelInfoTable {
+    let rows: Vec<ModelInfoRow> = sweep
+        .iter()
+        .map(|p| ModelInfoRow {
+            batch: p.batch,
+            latency_ms: p.profile.model_latency_ms(),
+            throughput: p.throughput(),
+        })
+        .collect();
+    let optimal_batch = Xsp::optimal_batch(sweep);
+    let max_throughput = rows.iter().map(|r| r.throughput).fold(0.0, f64::max);
+    let online_latency_ms = rows
+        .iter()
+        .find(|r| r.batch == 1)
+        .map(|r| r.latency_ms)
+        .unwrap_or_else(|| rows.first().map(|r| r.latency_ms).unwrap_or(0.0));
+    ModelInfoTable {
+        rows,
+        optimal_batch,
+        max_throughput,
+        online_latency_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Xsp, XspConfig};
+    use xsp_framework::FrameworkKind;
+    use xsp_gpu::systems;
+    use xsp_models::zoo;
+
+    #[test]
+    fn table_from_real_sweep() {
+        let xsp = Xsp::new(
+            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1),
+        );
+        let entry = zoo::by_name("MobileNet_v1_0.25_128").unwrap();
+        let sweep = xsp.batch_sweep(|b| entry.graph(b), &[1, 2, 4, 8, 16, 32, 64]);
+        let table = a1_model_info(&sweep);
+        assert!(!table.rows.is_empty());
+        assert!(table.online_latency_ms > 0.0);
+        assert!(table.max_throughput >= table.rows[0].throughput);
+        assert!(table.rows.iter().any(|r| r.batch == table.optimal_batch));
+        // throughput = batch / latency
+        for r in &table.rows {
+            let expect = r.batch as f64 / r.latency_ms * 1e3;
+            assert!((r.throughput - expect).abs() / expect < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Execution-stage analysis (Figure 5 / Table IX): "we divide the model
+//! execution into 3 intervals based on the layer index: beginning, middle,
+//! and end. We then compute the total latency, flops, and memory accesses
+//! within each interval and identify which interval dominates."
+
+/// One of the three execution intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// First third of the layer indices.
+    Beginning,
+    /// Middle third.
+    Middle,
+    /// Final third.
+    End,
+}
+
+impl Stage {
+    /// Single-letter code used in Table IX.
+    pub fn code(self) -> &'static str {
+        match self {
+            Stage::Beginning => "B",
+            Stage::Middle => "M",
+            Stage::End => "E",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Maps a layer index to its stage given the total layer count.
+pub fn stage_of_index(index: usize, total: usize) -> Stage {
+    if total == 0 {
+        return Stage::Beginning;
+    }
+    let third = total.div_ceil(3);
+    if index < third {
+        Stage::Beginning
+    } else if index < 2 * third {
+        Stage::Middle
+    } else {
+        Stage::End
+    }
+}
+
+/// Totals per stage and the dominant stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    /// Total over the beginning interval.
+    pub beginning: f64,
+    /// Total over the middle interval.
+    pub middle: f64,
+    /// Total over the end interval.
+    pub end: f64,
+}
+
+impl StageSummary {
+    /// The stage with the largest total.
+    pub fn dominant(&self) -> Stage {
+        if self.beginning >= self.middle && self.beginning >= self.end {
+            Stage::Beginning
+        } else if self.middle >= self.end {
+            Stage::Middle
+        } else {
+            Stage::End
+        }
+    }
+}
+
+/// Computes the per-stage totals of `(index, value)` series and returns the
+/// summary. `total` is the layer count of the model.
+pub fn dominant_stage(series: &[(usize, f64)], total: usize) -> StageSummary {
+    let mut s = StageSummary {
+        beginning: 0.0,
+        middle: 0.0,
+        end: 0.0,
+    };
+    for &(idx, v) in series {
+        match stage_of_index(idx, total) {
+            Stage::Beginning => s.beginning += v,
+            Stage::Middle => s.middle += v,
+            Stage::End => s.end += v,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirds_partition_the_index_space() {
+        let total = 234;
+        let mut counts = [0usize; 3];
+        for i in 0..total {
+            match stage_of_index(i, total) {
+                Stage::Beginning => counts[0] += 1,
+                Stage::Middle => counts[1] += 1,
+                Stage::End => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), total);
+        // balanced within 2
+        assert!(counts.iter().all(|&c| (77..=79).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn dominant_is_argmax() {
+        let series = vec![(0, 1.0), (50, 2.0), (99, 10.0)];
+        let s = dominant_stage(&series, 100);
+        assert_eq!(s.dominant(), Stage::End);
+        assert_eq!(s.beginning, 1.0);
+        assert_eq!(s.middle, 2.0);
+        assert_eq!(s.end, 10.0);
+    }
+
+    #[test]
+    fn ties_prefer_earlier_stage() {
+        let s = StageSummary {
+            beginning: 5.0,
+            middle: 5.0,
+            end: 5.0,
+        };
+        assert_eq!(s.dominant(), Stage::Beginning);
+    }
+
+    #[test]
+    fn codes() {
+        assert_eq!(Stage::Beginning.code(), "B");
+        assert_eq!(Stage::Middle.code(), "M");
+        assert_eq!(Stage::End.code(), "E");
+        assert_eq!(Stage::End.to_string(), "E");
+    }
+
+    #[test]
+    fn empty_model_is_safe() {
+        assert_eq!(stage_of_index(0, 0), Stage::Beginning);
+        let s = dominant_stage(&[], 0);
+        assert_eq!(s.dominant(), Stage::Beginning);
+    }
+}

@@ -1,0 +1,406 @@
+//! `xsp` — command-line front-end for across-stack profiling.
+//!
+//! ```console
+//! $ xsp list-models                      # the 65-model zoo
+//! $ xsp list-systems                     # the 5 evaluation systems
+//! $ xsp profile --model MLPerf_ResNet50_v1.5 --batch 64 \
+//!       --analyses a2,a10,a15 --flamegraph /tmp/r50.folded
+//! $ xsp sweep --model Inception_v3      # A1 table + optimal batch size
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use xsp_core::analysis;
+use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn usage() -> &'static str {
+    "xsp — across-stack profiling of ML models on (simulated) GPUs
+
+USAGE:
+  xsp list-models
+  xsp list-systems
+  xsp profile --model <NAME> [--batch <N>] [--system <NAME>]
+              [--framework tensorflow|mxnet] [--runs <N>]
+              [--analyses a2,a6,a10,a15,...] [--library-level]
+              [--chrome <out.json>] [--flamegraph <out.folded>]
+  xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
+
+ANALYSES: a1 (via sweep), a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
+          a13, a14, a15, ax1 (library level; needs --library-level)
+"
+}
+
+struct Args {
+    cmd: String,
+    flags: HashMap<String, String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next()?;
+    let mut flags = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in argv {
+        if let Some(stripped) = a.strip_prefix("--") {
+            if let Some(k) = key.take() {
+                flags.insert(k, "true".to_owned()); // boolean flag
+            }
+            key = Some(stripped.to_owned());
+        } else if let Some(k) = key.take() {
+            flags.insert(k, a);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            return None;
+        }
+    }
+    if let Some(k) = key.take() {
+        flags.insert(k, "true".to_owned());
+    }
+    Some(Args { cmd, flags })
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match args.cmd.as_str() {
+        "list-models" => list_models(),
+        "list-systems" => list_systems(),
+        "profile" => profile(&args.flags),
+        "sweep" => sweep(&args.flags),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list_models() -> ExitCode {
+    let mut t = Table::new(
+        "Model zoo (Table VIII ids)",
+        &["ID", "Name", "Task", "Accuracy", "Graph (MB)"],
+    );
+    for m in zoo::tensorflow_models() {
+        t.row(vec![
+            m.id.to_string(),
+            m.name.to_owned(),
+            m.task.code().to_owned(),
+            m.accuracy.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
+            format!("{:.1}", m.graph_size_mb),
+        ]);
+    }
+    println!("{t}");
+    println!("MXNet counterparts (Table X): ids 4, 5, 6, 8, 10, 11, 18, 23, 28, 34");
+    ExitCode::SUCCESS
+}
+
+fn list_systems() -> ExitCode {
+    let mut t = Table::new(
+        "Evaluation systems (Table VII)",
+        &["Name", "GPU", "Architecture", "TFLOPS", "GB/s", "Ideal AI"],
+    );
+    for s in systems::all() {
+        t.row(vec![
+            s.name.clone(),
+            s.gpu.name.clone(),
+            s.gpu.arch.to_string(),
+            format!("{:.1}", s.gpu.peak_tflops),
+            format!("{:.0}", s.gpu.mem_bandwidth_gbps),
+            format!("{:.2}", s.ideal_arithmetic_intensity()),
+        ]);
+    }
+    println!("{t}");
+    ExitCode::SUCCESS
+}
+
+fn build_xsp(flags: &HashMap<String, String>) -> Result<(Xsp, xsp_gpu::System), String> {
+    let system_name = flags.get("system").map(|s| s.as_str()).unwrap_or("Tesla_V100");
+    let system = systems::by_name(system_name)
+        .ok_or_else(|| format!("unknown system '{system_name}' (try: xsp list-systems)"))?;
+    let framework = match flags.get("framework").map(|s| s.as_str()).unwrap_or("tensorflow") {
+        "tensorflow" | "tf" => FrameworkKind::TensorFlow,
+        "mxnet" | "mx" => FrameworkKind::MXNet,
+        other => return Err(format!("unknown framework '{other}'")),
+    };
+    let runs: usize = flags
+        .get("runs")
+        .map(|s| s.parse().map_err(|_| format!("bad --runs '{s}'")))
+        .transpose()?
+        .unwrap_or(2);
+    let mut cfg = XspConfig::new(system.clone(), framework).runs(runs);
+    if flags.contains_key("library-level") {
+        cfg = cfg.library_level(true);
+    }
+    Ok((Xsp::new(cfg), system))
+}
+
+fn lookup_model(flags: &HashMap<String, String>) -> Result<zoo::ModelEntry, String> {
+    let name = flags
+        .get("model")
+        .ok_or_else(|| "missing --model".to_owned())?;
+    zoo::by_name(name).ok_or_else(|| format!("unknown model '{name}' (try: xsp list-models)"))
+}
+
+fn profile(flags: &HashMap<String, String>) -> ExitCode {
+    let result = (|| -> Result<(), String> {
+        let (xsp, system) = build_xsp(flags)?;
+        let model = lookup_model(flags)?;
+        let batch: usize = flags
+            .get("batch")
+            .map(|s| s.parse().map_err(|_| format!("bad --batch '{s}'")))
+            .transpose()?
+            .unwrap_or(1);
+        println!(
+            "profiling {} @ batch {batch} on {} ({}, {} runs/level)...",
+            model.name,
+            system.name,
+            xsp.config().framework.name(),
+            xsp.config().runs
+        );
+        let p = xsp.leveled(&model.graph(batch));
+
+        let o = p.overhead_report();
+        println!(
+            "\nmodel latency {} ms | throughput {:.1} inputs/s | GPU latency {}%",
+            fmt_ms(o.model_ms),
+            p.throughput(),
+            fmt_pct(p.gpu_latency_percent())
+        );
+        println!(
+            "profiling overheads: layer +{} ms, GPU +{} ms, metrics {}x",
+            fmt_ms(o.layer_overhead_ms),
+            fmt_ms(o.gpu_overhead_ms),
+            (p.metric_run_predict_ms() / o.model_ms).round()
+        );
+
+        let selected = flags
+            .get("analyses")
+            .map(|s| s.split(',').map(|a| a.trim().to_lowercase()).collect::<Vec<_>>())
+            .unwrap_or_else(|| vec!["a2".into(), "a10".into(), "a15".into()]);
+        for a in &selected {
+            render_analysis(a, &p, &system)?;
+        }
+
+        if let Some(path) = flags.get("chrome") {
+            let run = &p.mlg_runs[0];
+            let spans: Vec<xsp_trace::Span> =
+                run.trace.spans.iter().map(|s| s.span.clone()).collect();
+            let json = xsp_trace::export::to_chrome_trace(&xsp_trace::Trace::from_spans(spans));
+            std::fs::write(path, json).map_err(|e| e.to_string())?;
+            println!("chrome trace written to {path}");
+        }
+        if let Some(path) = flags.get("flamegraph") {
+            let folded = xsp_trace::export::to_folded_stacks(&p.mlg_runs[0].trace);
+            std::fs::write(path, folded).map_err(|e| e.to_string())?;
+            println!("folded stacks written to {path}");
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn render_analysis(
+    which: &str,
+    p: &xsp_core::LeveledProfile,
+    system: &xsp_gpu::System,
+) -> Result<(), String> {
+    match which {
+        "a2" => {
+            let mut rows = analysis::a2_layer_info(p);
+            rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
+            let mut t = Table::new(
+                "A2 — top-10 layers",
+                &["Index", "Name", "Type", "Shape", "Latency (ms)", "Alloc (MB)"],
+            );
+            for r in rows.iter().take(10) {
+                t.row(vec![
+                    r.index.to_string(),
+                    r.name.clone(),
+                    r.type_name.clone(),
+                    r.shape.clone(),
+                    fmt_ms(r.latency_ms),
+                    fmt_mb(r.alloc_mb),
+                ]);
+            }
+            println!("{t}");
+        }
+        "a3" | "a4" => {
+            let series = if which == "a3" {
+                analysis::a3_layer_latency(p)
+            } else {
+                analysis::a4_layer_allocation(p)
+            };
+            let label = if which == "a3" { "latency (ms)" } else { "alloc (MB)" };
+            println!("{} — per layer ({} layers):", which.to_uppercase(), series.len());
+            for (i, v) in series.iter().step_by((series.len() / 20).max(1)) {
+                println!("  {i:>5} {v:>12.3} {label}");
+            }
+        }
+        "a5" | "a6" | "a7" => {
+            let rows = match which {
+                "a5" => analysis::a5_layer_type_distribution(p),
+                "a6" => analysis::a6_latency_by_type(p),
+                _ => analysis::a7_allocation_by_type(p),
+            };
+            let mut t = Table::new(
+                format!("{} — by layer type", which.to_uppercase()),
+                &["Type", "Count", "Total", "%"],
+            );
+            for r in rows.iter().take(10) {
+                t.row(vec![
+                    r.type_name.clone(),
+                    r.count.to_string(),
+                    format!("{:.2}", r.total),
+                    fmt_pct(r.percent),
+                ]);
+            }
+            println!("{t}");
+        }
+        "a8" | "a9" => {
+            let mut rows = analysis::a8_kernel_info(p, system);
+            rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
+            let mut t = Table::new(
+                "A8/A9 — top-10 kernels",
+                &["Kernel", "Layer", "Latency (ms)", "Gflops", "AI", "Tflop/s", "Mem-bound"],
+            );
+            for r in rows.iter().take(10) {
+                t.row(vec![
+                    r.name.chars().take(46).collect(),
+                    r.layer_index.map(|i| i.to_string()).unwrap_or_default(),
+                    fmt_ms(r.latency_ms),
+                    format!("{:.2}", r.gflops),
+                    format!("{:.2}", r.arithmetic_intensity),
+                    format!("{:.2}", r.throughput_tflops),
+                    fmt_bound(r.memory_bound),
+                ]);
+            }
+            println!("{t}");
+        }
+        "a10" => {
+            let rows = analysis::a10_kernel_info_by_name(p, system);
+            let mut t = Table::new(
+                "A10 — kernels by name",
+                &["Kernel", "Count", "Latency (ms)", "%", "Occ (%)", "Mem-bound"],
+            );
+            for r in rows.iter().take(10) {
+                t.row(vec![
+                    r.name.chars().take(50).collect(),
+                    r.count.to_string(),
+                    fmt_ms(r.latency_ms),
+                    fmt_pct(r.latency_percent),
+                    fmt_pct(r.occupancy_pct),
+                    fmt_bound(r.memory_bound),
+                ]);
+            }
+            println!("{t}");
+        }
+        "a11" | "a12" | "a13" | "a14" => {
+            let mut rows = analysis::a11_kernel_info_by_layer(p, system);
+            rows.sort_by(|a, b| b.kernel_latency_ms.partial_cmp(&a.kernel_latency_ms).unwrap());
+            let mut t = Table::new(
+                "A11-A14 — per-layer kernel aggregation (top 10)",
+                &["Layer", "Layer (ms)", "Kernels (ms)", "Gflops", "AI", "Mem-bound"],
+            );
+            for r in rows.iter().take(10) {
+                t.row(vec![
+                    format!("{} {}", r.layer_index, r.layer_name),
+                    fmt_ms(r.layer_latency_ms),
+                    fmt_ms(r.kernel_latency_ms),
+                    format!("{:.2}", r.gflops),
+                    format!("{:.2}", r.arithmetic_intensity),
+                    fmt_bound(r.memory_bound),
+                ]);
+            }
+            println!("{t}");
+        }
+        "a15" => {
+            let a = analysis::a15_model_aggregate(p, system);
+            println!(
+                "A15 — model aggregate @ batch {}: kernel {} ms, {:.1} Gflops, \
+                 reads {} MB, writes {} MB, occ {}%, AI {:.2}, {}",
+                a.batch,
+                fmt_ms(a.kernel_latency_ms),
+                a.gflops,
+                fmt_mb(a.dram_read_mb),
+                fmt_mb(a.dram_write_mb),
+                fmt_pct(a.occupancy_pct),
+                a.arithmetic_intensity,
+                if a.memory_bound { "memory-bound" } else { "compute-bound" }
+            );
+        }
+        "ax1" => {
+            let rows = analysis::ax1_library_calls(p);
+            if rows.is_empty() {
+                return Err("ax1 needs --library-level".to_owned());
+            }
+            let mut t = Table::new(
+                "AX1 — library API calls",
+                &["API", "Calls", "Total (ms)", "%", "Kernels"],
+            );
+            for r in &rows {
+                t.row(vec![
+                    r.api.clone(),
+                    r.count.to_string(),
+                    fmt_ms(r.total_ms),
+                    fmt_pct(r.percent),
+                    r.kernels.to_string(),
+                ]);
+            }
+            println!("{t}");
+        }
+        "a1" => return Err("a1 is produced by `xsp sweep`".to_owned()),
+        other => return Err(format!("unknown analysis '{other}'")),
+    }
+    Ok(())
+}
+
+fn sweep(flags: &HashMap<String, String>) -> ExitCode {
+    let result = (|| -> Result<(), String> {
+        let (xsp, system) = build_xsp(flags)?;
+        let model = lookup_model(flags)?;
+        println!("sweeping {} on {}...", model.name, system.name);
+        let sweep = xsp.batch_sweep(|b| model.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+        let table = analysis::a1_model_info(&sweep);
+        let mut t = Table::new(
+            "A1 — model information table",
+            &["Batch", "Latency (ms)", "Throughput (inputs/s)"],
+        );
+        for r in &table.rows {
+            t.row(vec![
+                r.batch.to_string(),
+                fmt_ms(r.latency_ms),
+                format!("{:.1}", r.throughput),
+            ]);
+        }
+        println!("{t}");
+        println!(
+            "optimal batch: {} | max throughput: {:.1} inputs/s | online latency: {} ms",
+            table.optimal_batch,
+            table.max_throughput,
+            fmt_ms(table.online_latency_ms)
+        );
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

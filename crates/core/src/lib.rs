@@ -1,0 +1,54 @@
+//! # xsp-core — across-stack profiling and analysis of ML models on GPUs
+//!
+//! This crate is the reproduction of the XSP system itself (Li & Dakkak et
+//! al., IPDPS 2020): a profiling *design* that aggregates and correlates
+//! profile data from the model, layer, and GPU-kernel levels of the HW/SW
+//! stack into one hierarchical timeline, copes with profiling overhead via
+//! *leveled experimentation*, and feeds an automated pipeline of **15
+//! analyses** (Table I of the paper).
+//!
+//! ## Architecture
+//!
+//! * [`api`] — the two-line tracing API (`start_span`/`SpanHandle::finish`)
+//!   users put around code regions of interest (§III-B-1).
+//! * [`pipeline`] — one evaluation run: wire a simulated GPU
+//!   ([`xsp_gpu`]), the CUPTI adapter ([`xsp_cupti`]), and a framework
+//!   session ([`xsp_framework`]) to a tracing server, run the inference
+//!   pipeline, and correlate the resulting spans (interval-tree parent
+//!   reconstruction, async launch/execution merging, optional serialized
+//!   re-run for ambiguous parents).
+//! * [`profile`] — leveled experimentation (§III-C): orchestrates runs at
+//!   profiling levels M, M/L, M/L/G (+metrics), keeps the accurate
+//!   measurements from each level, and quantifies per-level overhead.
+//! * [`analysis`] — the 15 automated analyses A1–A15 (§III-D).
+//! * [`report`] — fixed-width table/series rendering used by the bench
+//!   harness to print paper-style tables and figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xsp_core::profile::{Xsp, XspConfig};
+//! use xsp_framework::FrameworkKind;
+//! use xsp_gpu::systems;
+//!
+//! let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow);
+//! let xsp = Xsp::new(cfg);
+//! let graph = xsp_models::zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(4);
+//! let profile = xsp.leveled(&graph);
+//! assert!(profile.model_latency_ms() > 0.0);
+//! let a2 = xsp_core::analysis::a2_layer_info(&profile);
+//! assert!(!a2.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod api;
+pub mod pipeline;
+pub mod profile;
+pub mod report;
+pub mod roofline;
+
+pub use pipeline::{KernelProfile, LayerProfile, ModelPhases, RunProfile};
+pub use profile::{BatchProfile, LeveledProfile, ProfilingLevel, Xsp, XspConfig};
+pub use roofline::{classify, RooflinePoint};

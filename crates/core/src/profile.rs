@@ -1,0 +1,561 @@
+//! Leveled experimentation (§III-C) and multi-run orchestration (§III-D).
+//!
+//! "Profilers at a specific stack level accurately capture the events within
+//! that level. ... the profiling overhead can be controlled by picking the
+//! profiling level. For an event at level n, the profiling overhead
+//! introduced at level n+1 can be quantified by subtracting the latency of
+//! the event when profilers up to level n are enabled from the latency when
+//! profilers up to level n+1 are enabled."
+//!
+//! [`Xsp::leveled`] therefore runs the model at M, M/L, and M/L/G and keeps,
+//! for every event, the measurement from the *shallowest* level that
+//! observes it: model latency from M runs, layer latencies from M/L runs,
+//! kernel latencies from M/L/G runs. The per-level overhead is what
+//! [`LeveledProfile::overhead_report`] quantifies (Figure 2).
+
+use crate::pipeline::{run_once, run_once_with_metrics, KernelProfile, LayerProfile, RunProfile};
+use xsp_cupti::MetricKind;
+use xsp_framework::{FrameworkKind, LayerGraph};
+use xsp_gpu::System;
+use xsp_trace::stats::trimmed_mean;
+
+/// Which profilers are enabled for a run (paper notation M, M/L, M/L/G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfilingLevel {
+    /// Model-level timers only (M).
+    Model,
+    /// Model + framework layer profiler (M/L).
+    ModelLayer,
+    /// Model + layer + GPU kernel profiling (M/L/G).
+    ModelLayerGpu,
+}
+
+impl ProfilingLevel {
+    /// Whether the framework layer profiler is on.
+    pub fn includes_layers(self) -> bool {
+        matches!(self, ProfilingLevel::ModelLayer | ProfilingLevel::ModelLayerGpu)
+    }
+
+    /// Whether CUPTI-level profiling is on.
+    pub fn includes_gpu(self) -> bool {
+        matches!(self, ProfilingLevel::ModelLayerGpu)
+    }
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfilingLevel::Model => "M",
+            ProfilingLevel::ModelLayer => "M/L",
+            ProfilingLevel::ModelLayerGpu => "M/L/G",
+        }
+    }
+}
+
+/// XSP configuration: target system, framework, and measurement policy.
+#[derive(Debug, Clone)]
+pub struct XspConfig {
+    /// Evaluation system (Table VII).
+    pub system: System,
+    /// Framework personality.
+    pub framework: FrameworkKind,
+    /// Evaluations per level ("the pipeline takes traces from a user-defined
+    /// number of evaluations").
+    pub runs: usize,
+    /// Trim fraction for the trimmed-mean summary.
+    pub trim: f64,
+    /// Base jitter seed.
+    pub seed: u64,
+    /// Jitter amplitude.
+    pub jitter: f64,
+    /// GPU metrics to collect in M/L/G runs.
+    pub metrics: Vec<MetricKind>,
+    /// Re-run serialized when parent reconstruction is ambiguous.
+    pub serialize_on_ambiguity: bool,
+    /// §III-E extension: capture library-level (cuDNN/cuBLAS API) spans
+    /// between the layer and kernel levels in M/L/G runs.
+    pub library_level: bool,
+    /// §III-E extension: capture host/CPU dispatch spans alongside the GPU
+    /// activity in M/L/G runs.
+    pub host_level: bool,
+}
+
+impl XspConfig {
+    /// Default policy: 3 evaluations, 10 % trim, all four GPU metrics.
+    pub fn new(system: System, framework: FrameworkKind) -> Self {
+        Self {
+            system,
+            framework,
+            runs: 3,
+            trim: 0.1,
+            seed: 0x5E_ED,
+            jitter: 0.012,
+            metrics: MetricKind::ALL.to_vec(),
+            serialize_on_ambiguity: true,
+            library_level: false,
+            host_level: false,
+        }
+    }
+
+    /// Builder: enable the library-level tracer (§III-E extension).
+    pub fn library_level(mut self, on: bool) -> Self {
+        self.library_level = on;
+        self
+    }
+
+    /// Builder: enable the host/CPU tracer (§III-E extension).
+    pub fn host_level(mut self, on: bool) -> Self {
+        self.host_level = on;
+        self
+    }
+
+    /// Builder: number of evaluations per level.
+    pub fn runs(mut self, runs: usize) -> Self {
+        assert!(runs >= 1, "at least one evaluation");
+        self.runs = runs;
+        self
+    }
+
+    /// Builder: metric selection.
+    pub fn metrics(mut self, metrics: Vec<MetricKind>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Builder: jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The merged result of leveled experimentation on one (graph, system,
+/// framework) triple.
+#[derive(Debug, Clone)]
+pub struct LeveledProfile {
+    /// M-level runs.
+    pub m_runs: Vec<RunProfile>,
+    /// M/L-level runs.
+    pub ml_runs: Vec<RunProfile>,
+    /// M/L/G-level runs (kernel tracing without metric collection).
+    pub mlg_runs: Vec<RunProfile>,
+    /// M/L/G runs with hardware-metric collection (kernel replay) enabled;
+    /// supply the metric tags merged into [`LeveledProfile::kernels`].
+    pub metric_runs: Vec<RunProfile>,
+    /// Trim fraction used for summaries.
+    pub trim: f64,
+    /// Batch size of the profiled graph.
+    pub batch: usize,
+}
+
+impl LeveledProfile {
+    /// Model prediction latency, ms — the *accurate* value, from M runs.
+    pub fn model_latency_ms(&self) -> f64 {
+        let samples: Vec<f64> = self.m_runs.iter().map(|r| r.phases.predict_ms).collect();
+        trimmed_mean(&samples, self.trim).unwrap_or(0.0)
+    }
+
+    /// Throughput, inputs/second, at this batch size.
+    pub fn throughput(&self) -> f64 {
+        let ms = self.model_latency_ms();
+        if ms <= 0.0 {
+            0.0
+        } else {
+            self.batch as f64 / ms * 1e3
+        }
+    }
+
+    /// Per-layer profiles with latencies trimmed-averaged across M/L runs
+    /// (the accurate layer-level values).
+    pub fn layers(&self) -> Vec<LayerProfile> {
+        merge_layers(&self.ml_runs, self.trim)
+    }
+
+    /// Per-kernel profiles: latencies merged across the plain M/L/G runs,
+    /// metric values (flops, DRAM traffic, occupancy) grafted from the
+    /// metric-collection runs — the per-level accuracy rule of §III-C.
+    pub fn kernels(&self) -> Vec<KernelProfile> {
+        let mut kernels = if self.mlg_runs.is_empty() {
+            merge_kernels(&self.metric_runs, self.trim)
+        } else {
+            merge_kernels(&self.mlg_runs, self.trim)
+        };
+        if let Some(metric_run) = self.metric_runs.first() {
+            for k in &mut kernels {
+                if let Some(m) = metric_run.kernels.get(k.order) {
+                    if m.name == k.name {
+                        k.flops = m.flops;
+                        k.dram_read = m.dram_read;
+                        k.dram_write = m.dram_write;
+                        k.occupancy = m.occupancy;
+                        if k.layer_index.is_none() {
+                            k.layer_index = m.layer_index;
+                        }
+                    }
+                }
+            }
+        }
+        kernels
+    }
+
+    /// Prediction latency of a metric-collection run — the ">100x" slowdown
+    /// regime of §III-C, useful for demonstrating why leveled
+    /// experimentation exists.
+    pub fn metric_run_predict_ms(&self) -> f64 {
+        let samples: Vec<f64> = self
+            .metric_runs
+            .iter()
+            .map(|r| r.phases.predict_ms)
+            .collect();
+        trimmed_mean(&samples, self.trim).unwrap_or(0.0)
+    }
+
+    /// Layer profiles as observed in the M/L/G runs — needed when relating
+    /// layers to kernels within the same run (A11-A14).
+    pub fn layers_at_gpu_level(&self) -> Vec<LayerProfile> {
+        if self.mlg_runs.is_empty() {
+            merge_layers(&self.metric_runs, self.trim)
+        } else {
+            merge_layers(&self.mlg_runs, self.trim)
+        }
+    }
+
+    /// Model prediction latency as observed at a given level (includes that
+    /// level's profiling overhead) — the input to Figure 2.
+    pub fn predict_ms_at(&self, level: ProfilingLevel) -> f64 {
+        let runs = match level {
+            ProfilingLevel::Model => &self.m_runs,
+            ProfilingLevel::ModelLayer => &self.ml_runs,
+            ProfilingLevel::ModelLayerGpu => &self.mlg_runs,
+        };
+        let samples: Vec<f64> = runs.iter().map(|r| r.phases.predict_ms).collect();
+        trimmed_mean(&samples, self.trim).unwrap_or(0.0)
+    }
+
+    /// The leveled-experimentation overhead report (Figure 2): prediction
+    /// latency observed at each level and the incremental overhead.
+    pub fn overhead_report(&self) -> OverheadReport {
+        let m = self.predict_ms_at(ProfilingLevel::Model);
+        let ml = self.predict_ms_at(ProfilingLevel::ModelLayer);
+        let mlg = self.predict_ms_at(ProfilingLevel::ModelLayerGpu);
+        OverheadReport {
+            model_ms: m,
+            model_layer_ms: ml,
+            model_layer_gpu_ms: mlg,
+            layer_overhead_ms: ml - m,
+            gpu_overhead_ms: mlg - ml,
+        }
+    }
+
+    /// Total GPU kernel latency, ms (from M/L/G runs).
+    pub fn kernel_latency_ms(&self) -> f64 {
+        self.kernels().iter().map(|k| k.latency_ms).sum()
+    }
+
+    /// GPU latency percentage: kernel time over accurate model latency
+    /// (Table IX "GPU latency percentage").
+    pub fn gpu_latency_percent(&self) -> f64 {
+        100.0 * self.kernel_latency_ms() / self.model_latency_ms().max(f64::EPSILON)
+    }
+}
+
+fn merge_layers(runs: &[RunProfile], trim: f64) -> Vec<LayerProfile> {
+    let Some(first) = runs.first() else {
+        return Vec::new();
+    };
+    first
+        .layers
+        .iter()
+        .map(|proto| {
+            let samples: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.layers.get(proto.index))
+                .map(|l| l.latency_ms)
+                .collect();
+            let mut merged = proto.clone();
+            merged.latency_ms = trimmed_mean(&samples, trim).unwrap_or(proto.latency_ms);
+            merged
+        })
+        .collect()
+}
+
+fn merge_kernels(runs: &[RunProfile], trim: f64) -> Vec<KernelProfile> {
+    let Some(first) = runs.first() else {
+        return Vec::new();
+    };
+    first
+        .kernels
+        .iter()
+        .map(|proto| {
+            let samples: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.kernels.get(proto.order))
+                .filter(|k| k.name == proto.name)
+                .map(|k| k.latency_ms)
+                .collect();
+            let mut merged = proto.clone();
+            merged.latency_ms = trimmed_mean(&samples, trim).unwrap_or(proto.latency_ms);
+            merged
+        })
+        .collect()
+}
+
+/// Figure 2's numbers: per-level prediction latency and incremental
+/// overheads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Accurate model latency (M).
+    pub model_ms: f64,
+    /// Latency with the layer profiler on (M/L).
+    pub model_layer_ms: f64,
+    /// Latency with layer + GPU profiling on (M/L/G).
+    pub model_layer_gpu_ms: f64,
+    /// Overhead the layer profiler introduced.
+    pub layer_overhead_ms: f64,
+    /// Additional overhead GPU profiling introduced.
+    pub gpu_overhead_ms: f64,
+}
+
+/// A point in a batch-size sweep.
+#[derive(Debug, Clone)]
+pub struct BatchProfile {
+    /// Batch size.
+    pub batch: usize,
+    /// The leveled profile at this batch.
+    pub profile: LeveledProfile,
+}
+
+impl BatchProfile {
+    /// Throughput at this batch.
+    pub fn throughput(&self) -> f64 {
+        self.profile.throughput()
+    }
+}
+
+/// The XSP profiler front-end.
+pub struct Xsp {
+    cfg: XspConfig,
+}
+
+impl Xsp {
+    /// Creates a profiler with the given configuration.
+    pub fn new(cfg: XspConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &XspConfig {
+        &self.cfg
+    }
+
+    /// Runs the full leveled experimentation on one graph: `runs`
+    /// evaluations at each of M, M/L, M/L/G.
+    pub fn leveled(&self, graph: &LayerGraph) -> LeveledProfile {
+        let runs = self.cfg.runs;
+        let run_at = |level: ProfilingLevel, base: u64| -> Vec<RunProfile> {
+            (0..runs)
+                .map(|i| run_once(&self.cfg, graph, level, base + i as u64))
+                .collect()
+        };
+        let metric_runs = (0..runs)
+            .map(|i| {
+                run_once_with_metrics(
+                    &self.cfg,
+                    graph,
+                    ProfilingLevel::ModelLayerGpu,
+                    3000 + i as u64,
+                    true,
+                )
+            })
+            .collect();
+        LeveledProfile {
+            m_runs: run_at(ProfilingLevel::Model, 0),
+            ml_runs: run_at(ProfilingLevel::ModelLayer, 1000),
+            mlg_runs: run_at(ProfilingLevel::ModelLayerGpu, 2000),
+            metric_runs,
+            trim: self.cfg.trim,
+            batch: graph.batch(),
+        }
+    }
+
+    /// Model-level only (cheap; used by batch sweeps).
+    pub fn model_only(&self, graph: &LayerGraph) -> LeveledProfile {
+        let runs = self.cfg.runs;
+        LeveledProfile {
+            m_runs: (0..runs)
+                .map(|i| run_once(&self.cfg, graph, ProfilingLevel::Model, i as u64))
+                .collect(),
+            ml_runs: Vec::new(),
+            mlg_runs: Vec::new(),
+            metric_runs: Vec::new(),
+            trim: self.cfg.trim,
+            batch: graph.batch(),
+        }
+    }
+
+    /// Model + GPU-level only profile (A15 across batch sizes needs kernels
+    /// but not layers).
+    pub fn with_gpu(&self, graph: &LayerGraph) -> LeveledProfile {
+        let runs = self.cfg.runs;
+        LeveledProfile {
+            m_runs: (0..runs)
+                .map(|i| run_once(&self.cfg, graph, ProfilingLevel::Model, i as u64))
+                .collect(),
+            ml_runs: Vec::new(),
+            mlg_runs: Vec::new(),
+            metric_runs: (0..runs)
+                .map(|i| {
+                    run_once_with_metrics(
+                        &self.cfg,
+                        graph,
+                        ProfilingLevel::ModelLayerGpu,
+                        3000 + i as u64,
+                        true,
+                    )
+                })
+                .collect(),
+            trim: self.cfg.trim,
+            batch: graph.batch(),
+        }
+    }
+
+    /// Sweeps batch sizes (model-level profiling only), stopping early once
+    /// throughput stops improving for two consecutive doublings.
+    pub fn batch_sweep(
+        &self,
+        build: impl Fn(usize) -> LayerGraph,
+        batches: &[usize],
+    ) -> Vec<BatchProfile> {
+        let mut out = Vec::new();
+        let mut stale = 0usize;
+        let mut best = 0.0f64;
+        for &batch in batches {
+            let graph = build(batch);
+            let profile = self.model_only(&graph);
+            let tp = profile.throughput();
+            out.push(BatchProfile { batch, profile });
+            if tp > best * 1.02 {
+                best = best.max(tp);
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= 2 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's optimal-batch-size rule (§III-D1): "the batch size where
+    /// doubling it does not increase the model's throughput by more than
+    /// 5%".
+    pub fn optimal_batch(sweep: &[BatchProfile]) -> usize {
+        if sweep.is_empty() {
+            return 1;
+        }
+        for w in sweep.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if b.batch == a.batch * 2 && b.throughput() <= a.throughput() * 1.05 {
+                return a.batch;
+            }
+        }
+        sweep
+            .iter()
+            .max_by(|a, b| a.throughput().partial_cmp(&b.throughput()).unwrap())
+            .map(|p| p.batch)
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_gpu::systems;
+    use xsp_models::zoo;
+
+    fn xsp() -> Xsp {
+        Xsp::new(
+            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(2),
+        )
+    }
+
+    fn tiny(batch: usize) -> LayerGraph {
+        zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(batch)
+    }
+
+    #[test]
+    fn leveled_profile_is_complete() {
+        let p = xsp().leveled(&tiny(2));
+        assert_eq!(p.m_runs.len(), 2);
+        assert!(!p.layers().is_empty());
+        assert!(!p.kernels().is_empty());
+        assert!(p.model_latency_ms() > 0.0);
+        assert!(p.throughput() > 0.0);
+    }
+
+    #[test]
+    fn overheads_are_positive_and_ordered() {
+        let p = xsp().leveled(&tiny(2));
+        let o = p.overhead_report();
+        assert!(
+            o.model_ms < o.model_layer_ms,
+            "layer profiling must add overhead: {o:?}"
+        );
+        assert!(
+            o.model_layer_ms < o.model_layer_gpu_ms,
+            "gpu profiling must add more overhead: {o:?}"
+        );
+        assert!(o.layer_overhead_ms > 0.0);
+        assert!(o.gpu_overhead_ms > 0.0);
+    }
+
+    #[test]
+    fn gpu_latency_percent_is_sane() {
+        let p = xsp().leveled(&tiny(2));
+        let pct = p.gpu_latency_percent();
+        assert!(pct > 5.0 && pct < 100.0, "GPU latency {pct}%");
+    }
+
+    #[test]
+    fn optimal_batch_rule_applies_5_percent_doubling() {
+        // synthetic sweep: throughput saturates at batch 8
+        let mk = |batch: usize, tp_ms: f64| {
+            let mut p = xsp().model_only(&tiny(1));
+            // overwrite the measured latency by fabricating batch/latency
+            p.batch = batch;
+            for r in &mut p.m_runs {
+                r.phases.predict_ms = batch as f64 / tp_ms * 1000.0;
+            }
+            BatchProfile { batch, profile: p }
+        };
+        let sweep = vec![
+            mk(1, 100.0),
+            mk(2, 180.0),
+            mk(4, 300.0),
+            mk(8, 400.0),
+            mk(16, 410.0), // +2.5% only
+        ];
+        assert_eq!(Xsp::optimal_batch(&sweep), 8);
+    }
+
+    #[test]
+    fn batch_sweep_stops_after_saturation() {
+        let xsp = xsp();
+        let sweep = xsp.batch_sweep(tiny, &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+        assert!(sweep.len() >= 2);
+        // early termination must have kicked in before 256 for this tiny model
+        // or completed the full range — either way throughput is recorded
+        for p in &sweep {
+            assert!(p.throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn levels_report_labels() {
+        assert_eq!(ProfilingLevel::Model.label(), "M");
+        assert_eq!(ProfilingLevel::ModelLayer.label(), "M/L");
+        assert_eq!(ProfilingLevel::ModelLayerGpu.label(), "M/L/G");
+        assert!(!ProfilingLevel::Model.includes_layers());
+        assert!(ProfilingLevel::ModelLayerGpu.includes_gpu());
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text rendering of analysis tables and figure series — what the
+//! bench harness prints to regenerate the paper's tables and figures.
+
+use std::fmt;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row should match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line_len: usize = widths.iter().sum::<usize>() + 3 * cols + 1;
+        writeln!(f, "{}", "=".repeat(line_len.min(200)))?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let pad = w.saturating_sub(cell.chars().count());
+                write!(f, " {}{} |", cell, " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(line_len.min(200)))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders an `(x, y)` series as aligned text — the harness's "figure"
+/// output format.
+pub fn render_series(title: &str, x_label: &str, y_label: &str, series: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:>14}  {:>14}", x_label, y_label);
+    for (x, y) in series {
+        let _ = writeln!(out, "{x:>14.3}  {y:>14.3}");
+    }
+    out
+}
+
+/// Formats milliseconds with adaptive precision.
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats megabytes with thousands grouping for large values.
+pub fn fmt_mb(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a boolean as the paper's check/cross.
+pub fn fmt_bound(memory_bound: bool) -> String {
+    if memory_bound { "yes".into() } else { "no".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("TABLE X: demo", &["Name", "Latency (ms)"]);
+        t.row(vec!["conv2d/Conv2D".into(), "7.59".into()]);
+        t.row(vec!["relu".into(), "0.1".into()]);
+        let s = t.to_string();
+        assert!(s.contains("TABLE X: demo"));
+        assert!(s.contains("| conv2d/Conv2D | 7.59"));
+        // every data line equally wide
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn series_renders_rows() {
+        let s = render_series("Figure 3", "batch", "inputs/s", &[(1.0, 160.0), (2.0, 300.0)]);
+        assert!(s.contains("Figure 3"));
+        assert!(s.contains("160.000"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(123.456), "123.5");
+        assert_eq!(fmt_ms(7.591), "7.59");
+        assert_eq!(fmt_ms(0.12345), "0.123");
+        assert_eq!(fmt_pct(58.561), "58.56");
+        assert_eq!(fmt_bound(true), "yes");
+        assert_eq!(fmt_bound(false), "no");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", &["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.to_string().contains("empty"));
+    }
+}

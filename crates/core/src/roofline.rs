@@ -1,0 +1,122 @@
+//! Roofline analysis helpers (§III-D3).
+//!
+//! `arithmetic_intensity = flops / (dram_read + dram_write)`,
+//! `arithmetic_throughput = flops / latency`, and a kernel/layer/model is
+//! memory-bound iff its arithmetic intensity is below the device's ideal
+//! arithmetic intensity (`peak_FLOPS / memory_bandwidth`).
+
+use xsp_gpu::System;
+
+/// One point in a roofline plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// What the point describes (kernel/layer/model name).
+    pub name: String,
+    /// Arithmetic intensity, flops/byte.
+    pub arithmetic_intensity: f64,
+    /// Arithmetic throughput, Tflops/s.
+    pub throughput_tflops: f64,
+    /// Latency used for the throughput computation, ms.
+    pub latency_ms: f64,
+    /// Whether the point is memory-bound on the reference system.
+    pub memory_bound: bool,
+}
+
+/// Computes a roofline point from raw counters.
+///
+/// Returns `None` when latency is zero (no throughput defined). Zero memory
+/// traffic yields infinite intensity — treated as compute-bound.
+pub fn classify(
+    name: impl Into<String>,
+    flops: u64,
+    dram_read: u64,
+    dram_write: u64,
+    latency_ms: f64,
+    system: &System,
+) -> Option<RooflinePoint> {
+    if latency_ms <= 0.0 {
+        return None;
+    }
+    let bytes = dram_read + dram_write;
+    let ai = if bytes == 0 {
+        f64::INFINITY
+    } else {
+        flops as f64 / bytes as f64
+    };
+    let throughput = flops as f64 / (latency_ms / 1e3) / 1e12;
+    Some(RooflinePoint {
+        name: name.into(),
+        arithmetic_intensity: ai,
+        throughput_tflops: throughput,
+        latency_ms,
+        memory_bound: ai < system.ideal_arithmetic_intensity(),
+    })
+}
+
+/// The attainable-throughput ceiling at a given arithmetic intensity
+/// (`min(peak, ai × bandwidth)`), Tflops/s — the roofline itself.
+pub fn attainable_tflops(ai: f64, system: &System) -> f64 {
+    let bw_limited = ai * system.gpu.bandwidth_bytes() / 1e12;
+    bw_limited.min(system.gpu.peak_tflops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_gpu::systems;
+
+    #[test]
+    fn v100_boundary_is_17_44() {
+        let v100 = systems::tesla_v100();
+        // just below the ideal AI: memory-bound
+        let below = classify("k", 17_000, 500, 500, 1.0, &v100).unwrap();
+        assert!(below.memory_bound);
+        // just above: compute-bound
+        let above = classify("k", 18_000, 500, 500, 1.0, &v100).unwrap();
+        assert!(!above.memory_bound);
+    }
+
+    #[test]
+    fn zero_traffic_is_compute_bound() {
+        let v100 = systems::tesla_v100();
+        let p = classify("cached", 1000, 0, 0, 1.0, &v100).unwrap();
+        assert!(!p.memory_bound);
+        assert!(p.arithmetic_intensity.is_infinite());
+    }
+
+    #[test]
+    fn zero_latency_is_undefined() {
+        let v100 = systems::tesla_v100();
+        assert!(classify("k", 1000, 1, 1, 0.0, &v100).is_none());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let v100 = systems::tesla_v100();
+        // 1 Gflop in 1 ms = 1 Tflop/s
+        let p = classify("k", 1_000_000_000, 1, 1, 1.0, &v100).unwrap();
+        assert!((p.throughput_tflops - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofline_ceiling() {
+        let v100 = systems::tesla_v100();
+        // far right: compute ceiling
+        assert_eq!(attainable_tflops(1e9, &v100), 15.7);
+        // at AI 1: bandwidth-limited to 0.9 Tflops
+        assert!((attainable_tflops(1.0, &v100) - 0.9).abs() < 1e-9);
+        // ceiling crosses at the ideal AI
+        let ideal = v100.ideal_arithmetic_intensity();
+        assert!((attainable_tflops(ideal, &v100) - 15.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn p4_boundary_differs() {
+        let p4 = systems::tesla_p4();
+        // AI 20 is compute-bound on V100 (17.44) but memory-bound on P4 (28.6)
+        let v = classify("k", 20_000, 500, 500, 1.0, &systems::tesla_v100()).unwrap();
+        let p = classify("k", 20_000, 500, 500, 1.0, &p4).unwrap();
+        assert!(!v.memory_bound);
+        assert!(p.memory_bound);
+    }
+}

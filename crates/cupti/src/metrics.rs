@@ -1,0 +1,142 @@
+//! GPU metric definitions and replay-pass accounting.
+//!
+//! "GPU memory metrics are especially expensive to profile and can slow down
+//! execution by over 100×. This is due to the limited number of GPU hardware
+//! performance counters, which require GPU kernels to be replayed multiple
+//! times to capture the user-specified metrics." (§III-C)
+//!
+//! The cost model: SM-counter metrics (`flop_count_sp`,
+//! `achieved_occupancy`) consume counter registers, and a pass provides
+//! [`xsp_gpu::GpuSpec::hw_counters_per_pass`] of them. DRAM metrics are
+//! observed at the memory partitions, one partition per pass, so each DRAM
+//! metric costs [`DRAM_PARTITION_PASSES`] replays — requesting both read and
+//! write traffic alone gives ~96 replays, matching the paper's "over 100×"
+//! once per-pass setup is included.
+
+use serde::{Deserialize, Serialize};
+use xsp_gpu::GpuSpec;
+
+/// Replay passes needed per DRAM-traffic metric (one per memory partition
+/// sampled serially).
+pub const DRAM_PARTITION_PASSES: u32 = 48;
+
+/// A GPU hardware metric XSP can capture (the four the paper focuses on;
+/// §III-D3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Total single-precision flops executed by a kernel.
+    FlopCountSp,
+    /// Bytes read from DRAM to L2.
+    DramReadBytes,
+    /// Bytes written from L2 to DRAM.
+    DramWriteBytes,
+    /// Average active warps / max warps per SM.
+    AchievedOccupancy,
+}
+
+impl MetricKind {
+    /// All four standard metrics.
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::FlopCountSp,
+        MetricKind::DramReadBytes,
+        MetricKind::DramWriteBytes,
+        MetricKind::AchievedOccupancy,
+    ];
+
+    /// The nvprof metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::FlopCountSp => "flop_count_sp",
+            MetricKind::DramReadBytes => "dram_read_bytes",
+            MetricKind::DramWriteBytes => "dram_write_bytes",
+            MetricKind::AchievedOccupancy => "achieved_occupancy",
+        }
+    }
+
+    /// Whether this is a DRAM-partition metric (expensive to replay).
+    pub fn is_memory_metric(self) -> bool {
+        matches!(self, MetricKind::DramReadBytes | MetricKind::DramWriteBytes)
+    }
+
+    /// SM counter registers this metric consumes (memory metrics use
+    /// partition counters instead).
+    pub fn sm_counters(self) -> u32 {
+        match self {
+            MetricKind::FlopCountSp => 2,
+            MetricKind::AchievedOccupancy => 1,
+            MetricKind::DramReadBytes | MetricKind::DramWriteBytes => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of times a kernel must execute to collect `metrics` on `gpu`.
+/// Returns 1 (a single clean pass) when no metrics are requested.
+pub fn replay_passes_for(metrics: &[MetricKind], gpu: &GpuSpec) -> u32 {
+    if metrics.is_empty() {
+        return 1;
+    }
+    let sm_counters: u32 = metrics.iter().map(|m| m.sm_counters()).sum();
+    let sm_passes = sm_counters.div_ceil(gpu.hw_counters_per_pass);
+    let mem_passes = metrics.iter().filter(|m| m.is_memory_metric()).count() as u32
+        * DRAM_PARTITION_PASSES;
+    (sm_passes + mem_passes).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_gpu::systems;
+
+    fn v100() -> GpuSpec {
+        systems::tesla_v100().gpu
+    }
+
+    #[test]
+    fn no_metrics_one_pass() {
+        assert_eq!(replay_passes_for(&[], &v100()), 1);
+    }
+
+    #[test]
+    fn sm_metrics_are_cheap() {
+        let passes = replay_passes_for(
+            &[MetricKind::FlopCountSp, MetricKind::AchievedOccupancy],
+            &v100(),
+        );
+        assert_eq!(passes, 1, "3 counters fit in one 4-counter pass");
+    }
+
+    #[test]
+    fn memory_metrics_cost_partition_replays() {
+        let passes = replay_passes_for(&[MetricKind::DramReadBytes], &v100());
+        assert_eq!(passes, DRAM_PARTITION_PASSES);
+    }
+
+    #[test]
+    fn full_metric_set_exceeds_90_passes() {
+        // The paper's ">100x slowdown" regime: all four metrics.
+        let passes = replay_passes_for(&MetricKind::ALL, &v100());
+        assert!(passes > 90, "got {passes}");
+    }
+
+    #[test]
+    fn names_match_nvprof() {
+        assert_eq!(MetricKind::FlopCountSp.name(), "flop_count_sp");
+        assert_eq!(MetricKind::DramReadBytes.name(), "dram_read_bytes");
+        assert_eq!(MetricKind::DramWriteBytes.name(), "dram_write_bytes");
+        assert_eq!(MetricKind::AchievedOccupancy.name(), "achieved_occupancy");
+    }
+
+    #[test]
+    fn memory_metric_classification() {
+        assert!(MetricKind::DramReadBytes.is_memory_metric());
+        assert!(MetricKind::DramWriteBytes.is_memory_metric());
+        assert!(!MetricKind::FlopCountSp.is_memory_metric());
+        assert!(!MetricKind::AchievedOccupancy.is_memory_metric());
+    }
+}

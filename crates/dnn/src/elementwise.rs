@@ -1,0 +1,268 @@
+//! Element-wise kernels: the Eigen-vs-native split that decides framework
+//! throughput on memory-bound models (§IV-B).
+//!
+//! "Further GPU kernel-level analysis attributes the cause to the Eigen
+//! library. The Eigen library is used by TensorFlow (but not MXNet) for
+//! element-wise layers and it incurs excessive DRAM reads and writes. This
+//! becomes a performance-limiting factor for memory-bound models."
+//!
+//! Calibration anchors (Table IV, batch 256 ResNet-50, per instance):
+//! `scalar_product_op` reads ≈80 MB / writes ≈123 MB on ≈64 MB tensors —
+//! i.e. ≈1.3× reads and ≈1.9× writes versus the tensor size — at ≈50 %
+//! occupancy, while `scalar_max_op` (Relu) runs at ≈98 % occupancy with
+//! zero counted flops.
+
+use crate::F32;
+use serde::{Deserialize, Serialize};
+use xsp_gpu::{Dim3, GpuArchitecture, KernelDesc};
+
+/// Which library implements element-wise layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementwiseBackend {
+    /// Eigen tensor expressions (TensorFlow): excess DRAM traffic.
+    Eigen,
+    /// Framework-native mshadow-style kernels (MXNet): near-minimal traffic.
+    Native,
+}
+
+/// An element-wise operation over a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementwiseOp {
+    /// Broadcast multiply (BN scale).
+    Mul,
+    /// Broadcast add (BN shift / bias).
+    Add,
+    /// N-ary add (residual connections); the operand count.
+    AddN(u8),
+    /// Rectified linear unit (max with 0).
+    Relu,
+    /// Relu clipped at 6.
+    Relu6,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Bias addition over the channel dim.
+    BiasAdd,
+}
+
+impl ElementwiseOp {
+    /// Eigen functor name as it appears in kernel names.
+    pub fn eigen_functor(self) -> &'static str {
+        match self {
+            ElementwiseOp::Mul => "scalar_product_op",
+            ElementwiseOp::Add | ElementwiseOp::BiasAdd => "scalar_sum_op",
+            ElementwiseOp::AddN(_) => "scalar_sum_op",
+            ElementwiseOp::Relu | ElementwiseOp::Relu6 => "scalar_max_op",
+            ElementwiseOp::Sigmoid => "scalar_logistic_op",
+            ElementwiseOp::Tanh => "scalar_tanh_op",
+        }
+    }
+
+    /// MXNet-native kernel name.
+    pub fn native_name(self) -> &'static str {
+        match self {
+            ElementwiseOp::Mul => "mshadow_op::mul",
+            ElementwiseOp::Add | ElementwiseOp::BiasAdd => "mshadow_op::plus",
+            ElementwiseOp::AddN(_) => "ElementWiseSumCompute",
+            ElementwiseOp::Relu => "mshadow_op::relu",
+            ElementwiseOp::Relu6 => "mshadow_op::clip",
+            ElementwiseOp::Sigmoid => "mshadow_op::sigmoid",
+            ElementwiseOp::Tanh => "mshadow_op::tanh",
+        }
+    }
+
+    /// Flops the hardware counter attributes per element. Comparisons
+    /// (Relu's max) count zero — Table IV shows `scalar_max_op` at 0 Gflops.
+    pub fn flops_per_element(self) -> u64 {
+        match self {
+            ElementwiseOp::Relu | ElementwiseOp::Relu6 => 0,
+            ElementwiseOp::Mul | ElementwiseOp::Add | ElementwiseOp::BiasAdd => 1,
+            ElementwiseOp::AddN(n) => n.saturating_sub(1) as u64,
+            ElementwiseOp::Sigmoid | ElementwiseOp::Tanh => 10,
+        }
+    }
+
+    /// Number of input tensors read.
+    fn input_arity(self) -> u64 {
+        match self {
+            ElementwiseOp::AddN(n) => n as u64,
+            ElementwiseOp::Mul | ElementwiseOp::Add => 1, // second operand broadcast
+            _ => 1,
+        }
+    }
+}
+
+/// Builds the element-wise kernel for `op` over `elements` f32 values.
+pub fn elementwise_kernel(
+    op: ElementwiseOp,
+    elements: u64,
+    backend: ElementwiseBackend,
+    _arch: GpuArchitecture,
+) -> KernelDesc {
+    let tensor_bytes = elements * F32;
+    let flops = elements * op.flops_per_element();
+    let grid = Dim3::x((elements.div_ceil(256 * 4)).clamp(1, u32::MAX as u64) as u32);
+    let block = Dim3::x(256);
+
+    match backend {
+        ElementwiseBackend::Eigen => {
+            let name = format!(
+                "Eigen::TensorCwiseBinaryOp<Eigen::internal::{}>",
+                op.eigen_functor()
+            );
+            // Eigen expression evaluation reads operands with poor L2
+            // forwarding and never fuses adjacent ops, so per-op traffic is
+            // ~20% above what the native fused kernels see — and TF's graph
+            // runs *two* such ops per decomposed BatchNorm where MXNet runs
+            // one fused kernel. Both effects together reproduce the paper's
+            // "excessive DRAM reads and writes" (§IV-B).
+            let reads = (tensor_bytes as f64 * 0.75 * op.input_arity() as f64) as u64;
+            let writes = (tensor_bytes as f64 * 0.95) as u64;
+            let occ = match op {
+                ElementwiseOp::Relu | ElementwiseOp::Relu6 => 0.98,
+                _ => 0.50,
+            };
+            KernelDesc::new(name, grid, block)
+                .flops(flops)
+                .dram(reads, writes)
+                .efficiency(0.04, 0.66, occ)
+                .fixed_overhead(3_000)
+        }
+        ElementwiseBackend::Native => {
+            let reads = (tensor_bytes as f64 * 0.62 * op.input_arity() as f64) as u64;
+            let writes = (tensor_bytes as f64 * 0.78) as u64;
+            KernelDesc::new(op.native_name(), grid, block)
+                .flops(flops)
+                .dram(reads, writes)
+                .efficiency(0.06, 0.78, 0.65)
+                .fixed_overhead(2_500)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: u64 = 16 * 1024 * 1024; // a 64 MB f32 tensor
+
+    #[test]
+    fn eigen_traffic_is_excessive() {
+        let e = elementwise_kernel(
+            ElementwiseOp::Mul,
+            M,
+            ElementwiseBackend::Eigen,
+            GpuArchitecture::Volta,
+        );
+        let n = elementwise_kernel(
+            ElementwiseOp::Mul,
+            M,
+            ElementwiseBackend::Native,
+            GpuArchitecture::Volta,
+        );
+        assert!(
+            e.dram_total() as f64 > n.dram_total() as f64 * 1.15,
+            "eigen {} vs native {}",
+            e.dram_total(),
+            n.dram_total()
+        );
+        // per-op excess ≈ 1.2x; the other half of the paper's gap comes
+        // from TF running 2 elementwise ops per BN vs MXNet's fused 1.
+        let bytes = M * F32;
+        assert!((e.dram_read as f64 / bytes as f64 - 0.75).abs() < 0.05);
+        assert!((e.dram_write as f64 / bytes as f64 - 0.95).abs() < 0.05);
+    }
+
+    #[test]
+    fn relu_counts_zero_flops() {
+        let k = elementwise_kernel(
+            ElementwiseOp::Relu,
+            M,
+            ElementwiseBackend::Eigen,
+            GpuArchitecture::Volta,
+        );
+        assert_eq!(k.flops, 0);
+        assert!(k.name.contains("scalar_max_op"));
+        assert!((k.occupancy_cap - 0.98).abs() < 1e-9, "Table IV: 98.39%");
+    }
+
+    #[test]
+    fn mul_add_occupancy_caps_match_table_iv() {
+        for op in [ElementwiseOp::Mul, ElementwiseOp::Add] {
+            let k = elementwise_kernel(op, M, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+            assert!((k.occupancy_cap - 0.50).abs() < 1e-9, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn addn_reads_all_operands() {
+        let k2 = elementwise_kernel(
+            ElementwiseOp::AddN(2),
+            M,
+            ElementwiseBackend::Native,
+            GpuArchitecture::Volta,
+        );
+        let k4 = elementwise_kernel(
+            ElementwiseOp::AddN(4),
+            M,
+            ElementwiseBackend::Native,
+            GpuArchitecture::Volta,
+        );
+        assert_eq!(k4.dram_read, 2 * k2.dram_read, "reads scale with arity");
+        assert_eq!(k4.flops, 3 * M);
+    }
+
+    #[test]
+    fn names_identify_backend() {
+        let e = elementwise_kernel(
+            ElementwiseOp::Add,
+            1024,
+            ElementwiseBackend::Eigen,
+            GpuArchitecture::Volta,
+        );
+        assert!(e.name.starts_with("Eigen::TensorCwiseBinaryOp"));
+        let n = elementwise_kernel(
+            ElementwiseOp::Add,
+            1024,
+            ElementwiseBackend::Native,
+            GpuArchitecture::Volta,
+        );
+        assert!(n.name.contains("mshadow_op"));
+    }
+
+    #[test]
+    fn elementwise_ai_is_memory_bound_territory() {
+        // All element-wise kernels must sit far below V100's ideal AI 17.44.
+        for op in [
+            ElementwiseOp::Mul,
+            ElementwiseOp::Add,
+            ElementwiseOp::AddN(2),
+            ElementwiseOp::Relu,
+            ElementwiseOp::Sigmoid,
+        ] {
+            for backend in [ElementwiseBackend::Eigen, ElementwiseBackend::Native] {
+                let k = elementwise_kernel(op, M, backend, GpuArchitecture::Volta);
+                let ai = k.arithmetic_intensity().unwrap_or(0.0);
+                assert!(ai < 5.0, "{op:?}/{backend:?}: AI {ai}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_scales_with_elements() {
+        let small = elementwise_kernel(
+            ElementwiseOp::Add,
+            1024,
+            ElementwiseBackend::Eigen,
+            GpuArchitecture::Volta,
+        );
+        let large = elementwise_kernel(
+            ElementwiseOp::Add,
+            M,
+            ElementwiseBackend::Eigen,
+            GpuArchitecture::Volta,
+        );
+        assert!(large.grid.count() > small.grid.count() * 1000);
+    }
+}

@@ -1,0 +1,93 @@
+//! cuBLAS-style GEMM kernels for dense (`MatMul`) layers.
+
+use crate::F32;
+use xsp_gpu::{Dim3, GpuArchitecture, KernelDesc};
+
+/// Tile selection mirroring cuBLAS kernel-name conventions.
+fn gemm_tile(m: u64, n: u64) -> (u64, u64) {
+    if m >= 128 && n >= 128 {
+        (128, 128)
+    } else if m >= 128 || n >= 128 {
+        (128, 64)
+    } else {
+        (64, 64)
+    }
+}
+
+/// Builds the kernel sequence for a single-precision GEMM:
+/// `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// `n` is typically the batch dimension for a dense layer, so small batches
+/// produce narrow launches that underfill the device — the same
+/// wave-quantization behavior real sgemm kernels show.
+pub fn gemm_kernels(m: u64, n: u64, k: u64, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    assert!(m > 0 && n > 0 && k > 0, "degenerate GEMM {m}x{n}x{k}");
+    let prefix = arch.cudnn_kernel_prefix();
+    let (tm, tn) = gemm_tile(m, n);
+    let name = format!("{prefix}_sgemm_{tm}x{tn}_tn");
+    let flops = 2 * m * n * k;
+    // A is streamed once per CTA column wave, B once per row wave; C written
+    // once. Model reuse with a sqrt-of-tiles factor, floored at one fetch.
+    let a_bytes = m * k * F32;
+    let b_bytes = k * n * F32;
+    let c_bytes = m * n * F32;
+    let col_waves = (n.div_ceil(tn) as f64).sqrt().max(1.0);
+    let row_waves = (m.div_ceil(tm) as f64).sqrt().max(1.0);
+    let reads = (a_bytes as f64 * col_waves.min(4.0) + b_bytes as f64 * row_waves.min(4.0))
+        as u64;
+    let writes = c_bytes;
+    let grid = Dim3::new(
+        n.div_ceil(tn).min(u32::MAX as u64) as u32,
+        m.div_ceil(tm).min(u32::MAX as u64) as u32,
+        1,
+    );
+    vec![KernelDesc::new(name, grid, Dim3::x(256))
+        .flops(flops)
+        .dram(reads, writes)
+        .efficiency(0.85, 0.72, 0.25)
+        .fixed_overhead(4_000)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_are_2mnk() {
+        let ks = gemm_kernels(2048, 256, 1024, GpuArchitecture::Volta);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].flops, 2 * 2048 * 256 * 1024);
+    }
+
+    #[test]
+    fn names_follow_architecture_and_tile() {
+        let v = gemm_kernels(2048, 256, 1024, GpuArchitecture::Volta);
+        assert!(v[0].name.starts_with("volta_sgemm_128x128"), "{}", v[0].name);
+        let p = gemm_kernels(2048, 16, 1024, GpuArchitecture::Maxwell);
+        assert!(p[0].name.starts_with("maxwell_sgemm_128x64"), "{}", p[0].name);
+        let tiny = gemm_kernels(64, 8, 64, GpuArchitecture::Volta);
+        assert!(tiny[0].name.contains("64x64"));
+    }
+
+    #[test]
+    fn grid_covers_output() {
+        let ks = gemm_kernels(1000, 257, 64, GpuArchitecture::Volta);
+        let k = &ks[0];
+        // (m,n) = (1000, 257) selects 128x128 tiles -> grid (ceil(257/128), ceil(1000/128))
+        assert_eq!(k.grid.x, 3);
+        assert_eq!(k.grid.y, 8);
+    }
+
+    #[test]
+    fn gemm_is_compute_bound_for_square_shapes() {
+        let ks = gemm_kernels(4096, 4096, 4096, GpuArchitecture::Volta);
+        let ai = ks[0].arithmetic_intensity().unwrap();
+        assert!(ai > 100.0, "square GEMM AI {ai}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_dim_rejected() {
+        gemm_kernels(0, 1, 1, GpuArchitecture::Volta);
+    }
+}

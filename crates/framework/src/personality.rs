@@ -1,0 +1,230 @@
+//! Framework personalities: the TensorFlow/MXNet behavioral split.
+//!
+//! Everything §IV-B attributes to the *framework* (rather than the model or
+//! the GPU) is encoded here: graph-rewrite policy, element-wise backend,
+//! per-op dispatch cost, fixed per-inference overhead, and the cost of the
+//! built-in layer profiler.
+
+use crate::graph::{Layer, LayerGraph, LayerOp};
+use serde::{Deserialize, Serialize};
+use xsp_dnn::ElementwiseBackend;
+
+/// Which framework executes the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameworkKind {
+    /// TensorFlow (NGC v19.06-style).
+    TensorFlow,
+    /// MXNet (NGC v19.06-style).
+    MXNet,
+}
+
+impl FrameworkKind {
+    /// Human name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameworkKind::TensorFlow => "TensorFlow",
+            FrameworkKind::MXNet => "MXNet",
+        }
+    }
+
+    /// The container tag the paper evaluates with.
+    pub fn container(self) -> &'static str {
+        match self {
+            FrameworkKind::TensorFlow => "NGC TensorFlow v19.06",
+            FrameworkKind::MXNet => "NGC MXNet v19.06",
+        }
+    }
+
+    /// Element-wise kernel library (§IV-B: Eigen for TF, native for MXNet).
+    pub fn backend(self) -> ElementwiseBackend {
+        match self {
+            FrameworkKind::TensorFlow => ElementwiseBackend::Eigen,
+            FrameworkKind::MXNet => ElementwiseBackend::Native,
+        }
+    }
+
+    /// Runtime graph rewrite: what the framework *executes* for a given
+    /// static graph (§III-D2). TensorFlow decomposes `FusedBatchNorm` into a
+    /// `Mul` + `Add` element-wise pair (Conv→BN→Relu becomes
+    /// Conv2D→Mul→Add→Relu); MXNet executes BN fused.
+    pub fn prepare_graph(self, graph: &LayerGraph) -> LayerGraph {
+        match self {
+            FrameworkKind::TensorFlow => {
+                let mut out = LayerGraph::default();
+                for layer in &graph.layers {
+                    match &layer.op {
+                        LayerOp::FusedBatchNorm => {
+                            out.push(Layer::new(
+                                format!("{}/mul", layer.name),
+                                LayerOp::Mul,
+                                layer.out_shape.clone(),
+                            ));
+                            out.push(Layer::new(
+                                format!("{}/add", layer.name),
+                                LayerOp::Add,
+                                layer.out_shape.clone(),
+                            ));
+                        }
+                        _ => {
+                            out.push(layer.clone());
+                        }
+                    }
+                }
+                out
+            }
+            FrameworkKind::MXNet => graph.clone(),
+        }
+    }
+
+    /// Host-side dispatch cost of one op, ns (before CPU-frequency scaling).
+    /// Host-heavy ops (`Where`, NMS, crop) model the paper's observation
+    /// that detection models spend most of their time outside conv layers.
+    pub fn dispatch_ns(self, op: &LayerOp, batch: usize) -> u64 {
+        let base: u64 = match op {
+            LayerOp::Data => 3_000 + 4_500 * batch as u64,
+            LayerOp::Conv2D(_) => 22_000,
+            LayerOp::DepthwiseConv2dNative(_) => 20_000,
+            LayerOp::FusedBatchNorm => 18_000,
+            LayerOp::Mul | LayerOp::Add | LayerOp::AddN(_) => 11_000,
+            LayerOp::Relu | LayerOp::Relu6 | LayerOp::Sigmoid | LayerOp::Tanh => 10_000,
+            LayerOp::BiasAdd => 10_000,
+            LayerOp::MaxPool { .. } | LayerOp::AvgPool { .. } => 14_000,
+            LayerOp::Mean => 14_000,
+            LayerOp::MatMul { .. } => 16_000,
+            LayerOp::Softmax => 12_000,
+            LayerOp::Concat => 14_000,
+            LayerOp::Pad => 12_000,
+            LayerOp::Reshape => 4_000,
+            LayerOp::Transpose => 12_000,
+            // Dynamic-shape host ops: `Where` forces a device→host sync and
+            // per-image decode work, so its cost scales with batch — this is
+            // what pins detection models to small optimal batch sizes and
+            // low convolution shares (Table VIII, §IV-A).
+            LayerOp::Where => 100_000 + 250_000 * batch as u64,
+            LayerOp::NonMaxSuppression => 500_000 + 500_000 * batch as u64,
+            LayerOp::CropAndResize => 120_000 + 20_000 * batch as u64,
+            LayerOp::ResizeBilinear => 18_000,
+            LayerOp::Lrn => 15_000,
+        };
+        match self {
+            FrameworkKind::TensorFlow => base,
+            // MXNet's engine threads add per-op queueing cost.
+            FrameworkKind::MXNet => base + base / 4,
+        }
+    }
+
+    /// Fixed per-inference engine overhead, ns — the MXNet "fixed overhead
+    /// for model execution which is more pronounced for small batch sizes"
+    /// (§IV-B). Serial with the GPU (engine setup precedes launches).
+    pub fn fixed_overhead_ns(self) -> u64 {
+        match self {
+            FrameworkKind::TensorFlow => 350_000,
+            FrameworkKind::MXNet => 2_600_000,
+        }
+    }
+
+    /// Cost the built-in layer profiler adds per executed layer, ns.
+    /// TensorFlow's full-trace RunMetadata collection measures ≈157 ms over
+    /// 234 layers in the paper (Figure 2) ⇒ ≈0.67 ms/layer.
+    pub fn layer_profiler_overhead_ns(self) -> u64 {
+        match self {
+            FrameworkKind::TensorFlow => 620_000,
+            FrameworkKind::MXNet => 480_000,
+        }
+    }
+
+    /// Name of the profiler-control API, for documentation/display.
+    pub fn profiler_api(self) -> &'static str {
+        match self {
+            FrameworkKind::TensorFlow => "RunOptions.TraceLevel / TF_SessionRun",
+            FrameworkKind::MXNet => "MXSetProfilerState",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TensorShape;
+    use xsp_dnn::ConvParams;
+
+    fn bn_graph() -> LayerGraph {
+        let p = ConvParams {
+            batch: 2,
+            in_c: 3,
+            in_h: 8,
+            in_w: 8,
+            out_c: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        LayerGraph::new(vec![
+            Layer::new("conv1", LayerOp::Conv2D(p), TensorShape::nchw(2, 8, 8, 8)),
+            Layer::new(
+                "bn1",
+                LayerOp::FusedBatchNorm,
+                TensorShape::nchw(2, 8, 8, 8),
+            ),
+            Layer::new("relu1", LayerOp::Relu, TensorShape::nchw(2, 8, 8, 8)),
+        ])
+    }
+
+    #[test]
+    fn tf_rewrites_bn_to_mul_add() {
+        let executed = FrameworkKind::TensorFlow.prepare_graph(&bn_graph());
+        let types: Vec<&str> = executed.layers.iter().map(|l| l.op.type_name()).collect();
+        assert_eq!(types, vec!["Conv2D", "Mul", "Add", "Relu"]);
+        assert!(executed.layers[1].name.contains("bn1"));
+    }
+
+    #[test]
+    fn mxnet_keeps_bn_fused() {
+        let executed = FrameworkKind::MXNet.prepare_graph(&bn_graph());
+        let types: Vec<&str> = executed.layers.iter().map(|l| l.op.type_name()).collect();
+        assert_eq!(types, vec!["Conv2D", "BatchNorm", "Relu"]);
+    }
+
+    #[test]
+    fn mxnet_fixed_overhead_exceeds_tf() {
+        assert!(
+            FrameworkKind::MXNet.fixed_overhead_ns()
+                > FrameworkKind::TensorFlow.fixed_overhead_ns() * 4
+        );
+    }
+
+    #[test]
+    fn backends_split_correctly() {
+        assert_eq!(
+            FrameworkKind::TensorFlow.backend(),
+            ElementwiseBackend::Eigen
+        );
+        assert_eq!(FrameworkKind::MXNet.backend(), ElementwiseBackend::Native);
+    }
+
+    #[test]
+    fn where_dispatch_dominates_conv_dispatch() {
+        let tf = FrameworkKind::TensorFlow;
+        let p = ConvParams {
+            batch: 8,
+            in_c: 3,
+            in_h: 8,
+            in_w: 8,
+            out_c: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert!(tf.dispatch_ns(&LayerOp::Where, 8) > 10 * tf.dispatch_ns(&LayerOp::Conv2D(p), 8));
+    }
+
+    #[test]
+    fn mxnet_dispatch_costs_more_per_op() {
+        let op = LayerOp::Relu;
+        assert!(
+            FrameworkKind::MXNet.dispatch_ns(&op, 1) > FrameworkKind::TensorFlow.dispatch_ns(&op, 1)
+        );
+    }
+}

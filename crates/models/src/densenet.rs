@@ -1,0 +1,91 @@
+//! DenseNet-121 (AI-Matrix): dense blocks with channel concatenation —
+//! memory-bound at every batch size in the paper's Table IX (model 14).
+
+use crate::builder::GraphBuilder;
+use xsp_framework::LayerGraph;
+
+/// DenseNet-121 with growth rate 32.
+pub fn densenet121(batch: usize) -> LayerGraph {
+    let growth = 32usize;
+    let mut b = GraphBuilder::new(batch, 3, 224, 224);
+    b.conv_bn_relu(64, 7, 2, 3);
+    b.maxpool(3, 2);
+
+    let block_layers = [6usize, 12, 24, 16];
+    let mut channels = 64usize;
+    for (i, &layers) in block_layers.iter().enumerate() {
+        for _ in 0..layers {
+            let input = channels;
+            let (h, w) = b.spatial();
+            // bottleneck: BN-Relu-Conv1x1(4g) -> BN-Relu-Conv3x3(g)
+            b.bn().relu();
+            b.conv(4 * growth, 1, 1, 0);
+            b.bn().relu();
+            b.conv(growth, 3, 1, 1);
+            channels = input + growth;
+            b.set_shape(channels, h, w);
+            b.concat(channels);
+        }
+        if i < 3 {
+            // transition: BN-Relu-Conv1x1(c/2)-AvgPool2
+            channels /= 2;
+            b.bn().relu();
+            b.conv(channels, 1, 1, 0);
+            b.avgpool(2, 2);
+        }
+    }
+    b.bn().relu();
+    b.global_pool();
+    b.fc(1000);
+    b.softmax();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::LayerOp;
+
+    #[test]
+    fn dense_blocks_total_58_layers_of_convs() {
+        // 6+12+24+16 = 58 dense layers × 2 convs + stem + 3 transitions
+        let g = densenet121(1);
+        let convs = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::Conv2D(_)))
+            .count();
+        assert_eq!(convs, 58 * 2 + 1 + 3);
+    }
+
+    #[test]
+    fn concat_heavy_structure() {
+        let g = densenet121(1);
+        let concats = g
+            .layers
+            .iter()
+            .filter(|l| l.op.type_name() == "ConcatV2")
+            .count();
+        assert_eq!(concats, 58, "one concat per dense layer");
+    }
+
+    #[test]
+    fn channel_growth_is_linear_within_blocks() {
+        let g = densenet121(1);
+        // final dense block ends at 512 + 16*32 = 1024 channels
+        let last_concat = g
+            .layers
+            .iter()
+            .rev()
+            .find(|l| l.op.type_name() == "ConcatV2")
+            .unwrap();
+        assert_eq!(last_concat.out_shape.0[1], 1024);
+    }
+
+    #[test]
+    fn graph_is_compact_on_disk_but_layer_heavy() {
+        // DenseNet's defining trait: tiny parameter count, many layers.
+        let g = densenet121(1);
+        assert!(g.len() > 350, "got {}", g.len());
+    }
+}

@@ -1,0 +1,562 @@
+//! Inception family: GoogLeNet / Inception v1–v4 and Inception-ResNet v2.
+//!
+//! Multi-branch modules are built sequentially: each branch starts by
+//! rewinding the tracked shape to the module input, and the module ends with
+//! a `Concat` layer carrying the combined channel count — matching how the
+//! executed graph interleaves branch ops in practice.
+
+use crate::builder::GraphBuilder;
+use xsp_framework::LayerGraph;
+
+/// Runs `f` as a branch from the current module input shape.
+fn with_branch(b: &mut GraphBuilder, input: (usize, usize, usize), f: impl FnOnce(&mut GraphBuilder)) {
+    b.set_shape(input.0, input.1, input.2);
+    f(b);
+}
+
+fn module_input(b: &GraphBuilder) -> (usize, usize, usize) {
+    let (h, w) = b.spatial();
+    (b.channels(), h, w)
+}
+
+/// Classic GoogLeNet inception module: 1×1 / 1×1→3×3 / 1×1→5×5 / pool→1×1.
+#[allow(clippy::too_many_arguments)] // mirrors the module's published channel table
+fn inception_v1_module(
+    b: &mut GraphBuilder,
+    with_bn: bool,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    cp: usize,
+) {
+    let input = module_input(b);
+    let cbr = |b: &mut GraphBuilder, c: usize, k: usize, pad: usize| {
+        if with_bn {
+            b.conv_bn_relu(c, k, 1, pad);
+        } else {
+            b.conv(c, k, 1, pad).bias_add().relu();
+        }
+    };
+    with_branch(b, input, |b| cbr(b, c1, 1, 0));
+    with_branch(b, input, |b| {
+        cbr(b, c3r, 1, 0);
+        cbr(b, c3, 3, 1);
+    });
+    with_branch(b, input, |b| {
+        cbr(b, c5r, 1, 0);
+        cbr(b, c5, 5, 2);
+    });
+    with_branch(b, input, |b| {
+        b.maxpool(3, 1);
+        cbr(b, cp, 1, 0);
+    });
+    b.concat(c1 + c3 + c5 + cp);
+}
+
+/// GoogLeNet / Inception v1 (`with_bn` = TF-slim style; `false` = BVLC
+/// Caffe style with LRN).
+pub fn inception_v1(batch: usize, with_bn: bool, classes: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 224, 224);
+    if with_bn {
+        b.conv_bn_relu(64, 7, 2, 3);
+    } else {
+        b.conv(64, 7, 2, 3).bias_add().relu();
+    }
+    b.maxpool(3, 2);
+    if !with_bn {
+        b.lrn();
+    }
+    if with_bn {
+        b.conv_bn_relu(64, 1, 1, 0);
+        b.conv_bn_relu(192, 3, 1, 1);
+    } else {
+        b.conv(64, 1, 1, 0).bias_add().relu();
+        b.conv(192, 3, 1, 1).bias_add().relu();
+        b.lrn();
+    }
+    b.maxpool(3, 2); // 28x28
+    inception_v1_module(&mut b, with_bn, 64, 96, 128, 16, 32, 32); // 3a -> 256
+    inception_v1_module(&mut b, with_bn, 128, 128, 192, 32, 96, 64); // 3b -> 480
+    b.maxpool(3, 2); // 14x14
+    inception_v1_module(&mut b, with_bn, 192, 96, 208, 16, 48, 64); // 4a
+    inception_v1_module(&mut b, with_bn, 160, 112, 224, 24, 64, 64); // 4b
+    inception_v1_module(&mut b, with_bn, 128, 128, 256, 24, 64, 64); // 4c
+    inception_v1_module(&mut b, with_bn, 112, 144, 288, 32, 64, 64); // 4d
+    inception_v1_module(&mut b, with_bn, 256, 160, 320, 32, 128, 128); // 4e
+    b.maxpool(3, 2); // 7x7
+    inception_v1_module(&mut b, with_bn, 256, 160, 320, 32, 128, 128); // 5a
+    inception_v1_module(&mut b, with_bn, 384, 192, 384, 48, 128, 128); // 5b -> 1024
+    b.global_pool();
+    b.fc(classes);
+    b.softmax();
+    b.finish()
+}
+
+/// Appends the Inception v2 feature extractor (detection backbones reuse
+/// it).
+pub fn inception_v2_backbone(b: &mut GraphBuilder) {
+    b.conv_bn_relu(64, 7, 2, 3);
+    b.maxpool(3, 2);
+    b.conv_bn_relu(64, 1, 1, 0);
+    b.conv_bn_relu(192, 3, 1, 1);
+    b.maxpool(3, 2);
+    let module = |b: &mut GraphBuilder, c1: usize, c3r: usize, c3: usize, c5r: usize, c5: usize, cp: usize| {
+        let input = module_input(b);
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(c1, 1, 1, 0);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(c3r, 1, 1, 0);
+            b.conv_bn_relu(c3, 3, 1, 1);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(c5r, 1, 1, 0);
+            b.conv_bn_relu(c5, 3, 1, 1);
+            b.conv_bn_relu(c5, 3, 1, 1);
+        });
+        with_branch(b, input, |b| {
+            b.avgpool(3, 1);
+            b.conv_bn_relu(cp, 1, 1, 0);
+        });
+        b.concat(c1 + c3 + c5 + cp);
+    };
+    module(b, 64, 64, 64, 64, 96, 32);
+    module(b, 64, 64, 96, 64, 96, 64);
+    b.maxpool(3, 2);
+    module(b, 224, 64, 96, 96, 128, 128);
+    module(b, 192, 96, 128, 96, 128, 128);
+    module(b, 160, 128, 160, 128, 160, 96);
+    module(b, 96, 128, 192, 160, 192, 96);
+    b.maxpool(3, 2);
+    module(b, 352, 192, 320, 160, 224, 128);
+    module(b, 352, 192, 320, 192, 224, 128);
+}
+
+/// Inception v2: v1 topology with BN everywhere and 5×5 factored into two
+/// 3×3 convs.
+pub fn inception_v2(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 224, 224);
+    inception_v2_backbone(&mut b);
+    b.global_pool();
+    b.fc(1000);
+    b.softmax();
+    b.finish()
+}
+
+/// Inception v3 (299×299 input) with factorized 7×1/1×7 middle modules.
+pub fn inception_v3(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 299, 299);
+    // stem
+    b.conv_bn_relu(32, 3, 2, 0); // 149
+    b.conv_bn_relu(32, 3, 1, 0); // 147
+    b.conv_bn_relu(64, 3, 1, 1);
+    b.maxpool(3, 2); // 73
+    b.conv_bn_relu(80, 1, 1, 0);
+    b.conv_bn_relu(192, 3, 1, 0); // 71
+    b.maxpool(3, 2); // 35
+
+    // 3 × mixed 35×35 (5b, 5c, 5d)
+    for pool_c in [32usize, 64, 64] {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(64, 1, 1, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(48, 1, 1, 0);
+            b.conv_bn_relu(64, 5, 1, 2);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(64, 1, 1, 0);
+            b.conv_bn_relu(96, 3, 1, 1);
+            b.conv_bn_relu(96, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.avgpool(3, 1);
+            b.conv_bn_relu(pool_c, 1, 1, 0);
+        });
+        b.concat(64 + 64 + 96 + pool_c);
+    }
+
+    // grid reduction to 17×17
+    {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(384, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(64, 1, 1, 0);
+            b.conv_bn_relu(96, 3, 1, 1);
+            b.conv_bn_relu(96, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.maxpool(3, 2);
+        });
+        b.concat(384 + 96 + input.0);
+    }
+
+    // 4 × mixed 17×17 with 7×1 factorization (approximated as two 3×3-cost
+    // convs plus the 1×1s; flop-equivalent to 1x7+7x1 pairs)
+    for mid in [128usize, 160, 160, 192] {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(mid, 1, 1, 0);
+            b.conv_bn_relu(mid, 3, 1, 1); // ≈ 1x7 + 7x1
+            b.conv_bn_relu(192, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(mid, 1, 1, 0);
+            b.conv_bn_relu(mid, 3, 1, 1);
+            b.conv_bn_relu(192, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.avgpool(3, 1);
+            b.conv_bn_relu(192, 1, 1, 0);
+        });
+        b.concat(192 * 4);
+    }
+
+    // grid reduction to 8×8
+    {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+            b.conv_bn_relu(320, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+            b.conv_bn_relu(192, 3, 1, 1);
+            b.conv_bn_relu(192, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.maxpool(3, 2);
+        });
+        b.concat(320 + 192 + input.0);
+    }
+
+    // 2 × mixed 8×8
+    for _ in 0..2 {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(320, 1, 1, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(384, 1, 1, 0);
+            b.conv_bn_relu(384, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(448, 1, 1, 0);
+            b.conv_bn_relu(384, 3, 1, 1);
+            b.conv_bn_relu(384, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.avgpool(3, 1);
+            b.conv_bn_relu(192, 1, 1, 0);
+        });
+        b.concat(320 + 384 + 384 + 192 + 768); // ≈2048 executed width
+        b.set_channels(2048);
+    }
+
+    b.global_pool();
+    b.fc(1000);
+    b.softmax();
+    b.finish()
+}
+
+/// Inception v4 (299×299): deeper stacks of A/B/C modules.
+pub fn inception_v4(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 299, 299);
+    // stem
+    b.conv_bn_relu(32, 3, 2, 0);
+    b.conv_bn_relu(32, 3, 1, 0);
+    b.conv_bn_relu(64, 3, 1, 1);
+    b.maxpool(3, 2);
+    b.conv_bn_relu(96, 3, 1, 0);
+    b.conv_bn_relu(96, 1, 1, 0);
+    b.conv_bn_relu(192, 3, 1, 0);
+    b.maxpool(3, 2); // ~35x35
+    b.set_channels(384);
+
+    // 4 × inception-A
+    for _ in 0..4 {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(96, 1, 1, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(64, 1, 1, 0);
+            b.conv_bn_relu(96, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(64, 1, 1, 0);
+            b.conv_bn_relu(96, 3, 1, 1);
+            b.conv_bn_relu(96, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.avgpool(3, 1);
+            b.conv_bn_relu(96, 1, 1, 0);
+        });
+        b.concat(384);
+    }
+    // reduction-A
+    {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(384, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+            b.conv_bn_relu(224, 3, 1, 1);
+            b.conv_bn_relu(256, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.maxpool(3, 2);
+        });
+        b.concat(1024);
+    }
+    // 7 × inception-B (factorized 7x1/1x7, flop-approximated)
+    for _ in 0..7 {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(384, 1, 1, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+            b.conv_bn_relu(224, 3, 1, 1);
+            b.conv_bn_relu(256, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+            b.conv_bn_relu(224, 3, 1, 1);
+            b.conv_bn_relu(256, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.avgpool(3, 1);
+            b.conv_bn_relu(128, 1, 1, 0);
+        });
+        b.concat(1024);
+    }
+    // reduction-B
+    {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+            b.conv_bn_relu(192, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(256, 1, 1, 0);
+            b.conv_bn_relu(320, 3, 1, 1);
+            b.conv_bn_relu(320, 3, 2, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.maxpool(3, 2);
+        });
+        b.concat(1536);
+    }
+    // 3 × inception-C
+    for _ in 0..3 {
+        let input = module_input(&b);
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(256, 1, 1, 0);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(384, 1, 1, 0);
+            b.conv_bn_relu(256, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.conv_bn_relu(384, 1, 1, 0);
+            b.conv_bn_relu(448, 3, 1, 1);
+            b.conv_bn_relu(256, 3, 1, 1);
+        });
+        with_branch(&mut b, input, |b| {
+            b.avgpool(3, 1);
+            b.conv_bn_relu(256, 1, 1, 0);
+        });
+        b.concat(1536);
+    }
+    b.global_pool();
+    b.fc(1000);
+    b.softmax();
+    b.finish()
+}
+
+/// Appends the Inception-ResNet v2 feature extractor (Mask R-CNN reuses
+/// it).
+pub fn inception_resnet_v2_backbone(b: &mut GraphBuilder) {
+    b.conv_bn_relu(32, 3, 2, 0);
+    b.conv_bn_relu(32, 3, 1, 0);
+    b.conv_bn_relu(64, 3, 1, 1);
+    b.maxpool(3, 2);
+    b.conv_bn_relu(80, 1, 1, 0);
+    b.conv_bn_relu(192, 3, 1, 0);
+    b.maxpool(3, 2);
+    b.set_channels(320);
+
+    // 5 × block35 (residual)
+    for _ in 0..5 {
+        let input = module_input(b);
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(32, 1, 1, 0);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(32, 1, 1, 0);
+            b.conv_bn_relu(32, 3, 1, 1);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(32, 1, 1, 0);
+            b.conv_bn_relu(48, 3, 1, 1);
+            b.conv_bn_relu(64, 3, 1, 1);
+        });
+        b.concat(128);
+        b.conv(input.0, 1, 1, 0); // projection back to input width
+        b.mul(); // residual scaling
+        b.residual_add().relu();
+    }
+    // reduction to 17×17
+    {
+        let input = module_input(b);
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(384, 3, 2, 0);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(256, 1, 1, 0);
+            b.conv_bn_relu(256, 3, 1, 1);
+            b.conv_bn_relu(384, 3, 2, 0);
+        });
+        with_branch(b, input, |b| {
+            b.maxpool(3, 2);
+        });
+        b.concat(1088);
+    }
+    // 10 × block17 (residual)
+    for _ in 0..10 {
+        let input = module_input(b);
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(128, 1, 1, 0);
+            b.conv_bn_relu(160, 3, 1, 1); // ≈1x7
+            b.conv_bn_relu(192, 3, 1, 1); // ≈7x1
+        });
+        b.concat(384);
+        b.conv(input.0, 1, 1, 0);
+        b.mul();
+        b.residual_add().relu();
+    }
+    // reduction to 8×8
+    {
+        let input = module_input(b);
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(256, 1, 1, 0);
+            b.conv_bn_relu(384, 3, 2, 0);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(256, 1, 1, 0);
+            b.conv_bn_relu(288, 3, 2, 0);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(256, 1, 1, 0);
+            b.conv_bn_relu(288, 3, 1, 1);
+            b.conv_bn_relu(320, 3, 2, 0);
+        });
+        with_branch(b, input, |b| {
+            b.maxpool(3, 2);
+        });
+        b.concat(2080);
+    }
+    // 5 × block8 (residual)
+    for _ in 0..5 {
+        let input = module_input(b);
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+        });
+        with_branch(b, input, |b| {
+            b.conv_bn_relu(192, 1, 1, 0);
+            b.conv_bn_relu(224, 3, 1, 1);
+            b.conv_bn_relu(256, 3, 1, 1);
+        });
+        b.concat(448);
+        b.conv(input.0, 1, 1, 0);
+        b.mul();
+        b.residual_add().relu();
+    }
+    b.conv_bn_relu(1536, 1, 1, 0);
+}
+
+/// Inception-ResNet v2 (299×299): residual inception blocks.
+pub fn inception_resnet_v2(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 299, 299);
+    inception_resnet_v2_backbone(&mut b);
+    b.global_pool();
+    b.fc(1000);
+    b.softmax();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::FrameworkKind;
+
+    #[test]
+    fn v1_has_nine_modules() {
+        let g = inception_v1(1, true, 1000);
+        let concats = g
+            .layers
+            .iter()
+            .filter(|l| l.op.type_name() == "ConcatV2")
+            .count();
+        assert_eq!(concats, 9);
+    }
+
+    #[test]
+    fn bvlc_variant_uses_lrn_and_no_bn() {
+        let g = inception_v1(1, false, 1000);
+        assert!(g.layers.iter().any(|l| l.op.type_name() == "LRN"));
+        assert!(!g.layers.iter().any(|l| l.op.type_name() == "BatchNorm"));
+    }
+
+    #[test]
+    fn family_depth_ordering() {
+        // deeper variants have more layers: v1 < v3 < v4 < inception-resnet
+        let v1 = inception_v1(1, true, 1000).len();
+        let v3 = inception_v3(1).len();
+        let v4 = inception_v4(1).len();
+        let ir2 = inception_resnet_v2(1).len();
+        assert!(v1 < v3, "{v1} {v3}");
+        assert!(v3 < v4, "{v3} {v4}");
+        assert!(v4 < ir2, "{v4} {ir2}");
+    }
+
+    #[test]
+    fn v3_input_is_299() {
+        let g = inception_v3(2);
+        assert_eq!(g.layers[0].out_shape.0, vec![2, 3, 299, 299]);
+    }
+
+    #[test]
+    fn graphs_execute_under_both_frameworks() {
+        for g in [inception_v3(1), inception_resnet_v2(1)] {
+            let tf = FrameworkKind::TensorFlow.prepare_graph(&g);
+            assert!(tf.len() > g.len(), "BN decomposition grows the graph");
+            let mx = FrameworkKind::MXNet.prepare_graph(&g);
+            assert_eq!(mx.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn inception_resnet_has_residual_adds() {
+        let g = inception_resnet_v2(1);
+        let adds = g
+            .layers
+            .iter()
+            .filter(|l| l.op.type_name() == "AddN")
+            .count();
+        assert_eq!(adds, 20, "5 + 10 + 5 residual blocks");
+    }
+}

@@ -1,0 +1,34 @@
+//! # xsp-models — the model zoo
+//!
+//! Layer-graph builders for the 65 models the paper evaluates: 55
+//! TensorFlow models drawn from MLPerf Inference, AI-Matrix and the
+//! TensorFlow Slim / Detection / DeepLab zoos (Table VIII), plus the 10
+//! MXNet Gluon counterparts (Table X).
+//!
+//! Each builder is an architecture definition: given a batch size it emits
+//! the static [`xsp_framework::LayerGraph`] (shapes, channels, kernel
+//! sizes), from which the dnn substrate derives flops, DRAM traffic and
+//! kernel launches analytically. Published top-1 accuracy and frozen-graph
+//! sizes are embedded as metadata so Table VIII can be regenerated.
+//!
+//! Graphs are faithful at the level the paper's analyses consume: layer
+//! counts and types, channel/spatial progressions, convolution share,
+//! residual/concat structure, detection-head `Where`/NMS load. They are not
+//! weight-level replicas.
+
+#![warn(missing_docs)]
+
+pub mod alexnet;
+pub mod builder;
+pub mod densenet;
+pub mod detection;
+pub mod inception;
+pub mod mobilenet;
+pub mod resnet;
+pub mod segmentation;
+pub mod srgan;
+pub mod vgg;
+pub mod zoo;
+
+pub use builder::GraphBuilder;
+pub use zoo::{mxnet_models, tensorflow_models, ModelEntry, Task};

@@ -1,0 +1,175 @@
+//! MobileNet v1 (the 16-variant α×resolution grid of Table VIII) and
+//! MobileNet v2 (SSD/DeepLab backbones).
+
+use crate::builder::GraphBuilder;
+use xsp_framework::LayerGraph;
+
+fn scaled(c: usize, alpha: f64) -> usize {
+    ((c as f64 * alpha).round() as usize).max(8)
+}
+
+/// Appends the MobileNet v1 feature extractor (stem + 13 separable blocks).
+pub fn mobilenet_v1_backbone(b: &mut GraphBuilder, alpha: f64) {
+    b.conv_bn_relu6(scaled(32, alpha), 3, 2, 1);
+    // 13 depthwise-separable blocks: (stride, pointwise channels)
+    let blocks: [(usize, usize); 13] = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    for (stride, pw_c) in blocks {
+        b.dwconv(3, stride, 1).bn().relu6();
+        b.conv_bn_relu6(scaled(pw_c, alpha), 1, 1, 0);
+    }
+}
+
+/// MobileNet v1 at width multiplier `alpha` ∈ {0.25, 0.5, 0.75, 1.0} and
+/// input `resolution` ∈ {128, 160, 192, 224}.
+pub fn mobilenet_v1(batch: usize, alpha: f64, resolution: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, resolution, resolution);
+    mobilenet_v1_backbone(&mut b, alpha);
+    b.global_pool();
+    b.fc(1001);
+    b.softmax();
+    b.finish()
+}
+
+/// Appends the MobileNet v2 feature extractor (inverted residuals).
+pub fn mobilenet_v2_backbone(b: &mut GraphBuilder, alpha: f64) {
+    b.conv_bn_relu6(scaled(32, alpha), 3, 2, 1);
+    // inverted residual blocks: (expansion, out_c, repeats, stride)
+    let cfg: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (expand, out_c, repeats, first_stride) in cfg {
+        for r in 0..repeats {
+            let stride = if r == 0 { first_stride } else { 1 };
+            let in_c = b.channels();
+            let (h, w) = b.spatial();
+            let residual = stride == 1 && in_c == scaled(out_c, alpha);
+            if expand != 1 {
+                b.conv_bn_relu6(in_c * expand, 1, 1, 0);
+            }
+            b.dwconv(3, stride, 1).bn().relu6();
+            b.conv(scaled(out_c, alpha), 1, 1, 0).bn(); // linear bottleneck
+            if residual {
+                b.residual_add();
+            }
+            let _ = (h, w);
+        }
+    }
+    b.conv_bn_relu6(1280.max(scaled(1280, alpha)), 1, 1, 0);
+}
+
+/// MobileNet v2 classifier at width multiplier `alpha`.
+pub fn mobilenet_v2(batch: usize, alpha: f64, resolution: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, resolution, resolution);
+    mobilenet_v2_backbone(&mut b, alpha);
+    b.global_pool();
+    b.fc(1001);
+    b.softmax();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::LayerOp;
+
+    #[test]
+    fn v1_has_13_depthwise_blocks() {
+        let g = mobilenet_v1(1, 1.0, 224);
+        let dw = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::DepthwiseConv2dNative(_)))
+            .count();
+        assert_eq!(dw, 13);
+        // 1 stem + 13 pointwise convolutions
+        let convs = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::Conv2D(_)))
+            .count();
+        assert_eq!(convs, 14);
+    }
+
+    #[test]
+    fn alpha_scales_channels() {
+        let full = mobilenet_v1(1, 1.0, 224);
+        let quarter = mobilenet_v1(1, 0.25, 224);
+        let widest = |g: &xsp_framework::LayerGraph| {
+            g.layers
+                .iter()
+                .filter(|l| l.out_shape.0.len() == 4)
+                .filter_map(|l| l.out_shape.0.get(1).copied())
+                .max()
+                .unwrap()
+        };
+        assert_eq!(widest(&full), 1024);
+        assert_eq!(widest(&quarter), 256);
+    }
+
+    #[test]
+    fn resolution_flows_through() {
+        let g = mobilenet_v1(1, 0.5, 160);
+        assert_eq!(g.layers[0].out_shape.0[2], 160);
+    }
+
+    #[test]
+    fn v1_final_spatial_is_resolution_over_32() {
+        for res in [128usize, 160, 192, 224] {
+            let g = mobilenet_v1(1, 1.0, res);
+            let last_conv = g
+                .layers
+                .iter()
+                .rev()
+                .find(|l| matches!(l.op, LayerOp::Conv2D(_)))
+                .unwrap();
+            assert_eq!(last_conv.out_shape.0[2], res / 32, "res {res}");
+        }
+    }
+
+    #[test]
+    fn v2_has_inverted_residuals() {
+        let g = mobilenet_v2(1, 1.0, 224);
+        let adds = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::AddN(_)))
+            .count();
+        assert!(adds >= 8, "got {adds} residual adds");
+    }
+
+    #[test]
+    fn smaller_alpha_smaller_flops() {
+        let flops = |alpha: f64| -> u64 {
+            mobilenet_v1(1, alpha, 224)
+                .layers
+                .iter()
+                .filter_map(|l| match &l.op {
+                    LayerOp::Conv2D(p) => Some(p.direct_flops()),
+                    _ => None,
+                })
+                .sum()
+        };
+        assert!(flops(0.25) < flops(0.5));
+        assert!(flops(0.5) < flops(1.0));
+    }
+}

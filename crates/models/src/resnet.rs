@@ -1,0 +1,231 @@
+//! ResNet family: v1, v1.5 (MLPerf), and v2 (pre-activation) at depths 50,
+//! 101 and 152, plus the AI-Matrix variants.
+
+use crate::builder::GraphBuilder;
+use xsp_framework::LayerGraph;
+
+/// Bottleneck-block counts per stage for each depth.
+fn stage_blocks(depth: usize) -> [usize; 4] {
+    match depth {
+        50 => [3, 4, 6, 3],
+        101 => [3, 4, 23, 3],
+        152 => [3, 8, 36, 3],
+        other => panic!("unsupported ResNet depth {other}"),
+    }
+}
+
+/// ResNet version: original post-activation vs pre-activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResNetVersion {
+    /// v1: conv → BN → Relu, stride on the first 1×1 (v1) or the 3×3
+    /// (v1.5/MLPerf).
+    V1 {
+        /// Place the stage stride on the 3×3 conv (the "v1.5" variant).
+        stride_on_3x3: bool,
+    },
+    /// v2: BN → Relu → conv pre-activation ordering.
+    V2,
+}
+
+/// Builds a bottleneck residual block in place.
+///
+/// The builder tracks one tensor sequentially, so the projection shortcut is
+/// emitted first and the tracked shape is rewound to the branch point before
+/// the main path.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    version: ResNetVersion,
+    mid_c: usize,
+    out_c: usize,
+    stride: usize,
+    downsample: bool,
+) {
+    let in_c = b.channels();
+    let (h, w) = b.spatial();
+    match version {
+        ResNetVersion::V1 { stride_on_3x3 } => {
+            let (s1, s3) = if stride_on_3x3 { (1, stride) } else { (stride, 1) };
+            if downsample {
+                b.conv(out_c, 1, stride, 0).bn();
+                b.set_shape(in_c, h, w);
+            }
+            b.conv_bn_relu(mid_c, 1, s1, 0);
+            b.conv_bn_relu(mid_c, 3, s3, 1);
+            b.conv(out_c, 1, 1, 0).bn();
+            b.residual_add().relu();
+        }
+        ResNetVersion::V2 => {
+            b.bn().relu();
+            if downsample {
+                b.conv(out_c, 1, stride, 0);
+                b.set_shape(in_c, h, w);
+            }
+            b.conv_bn_relu(mid_c, 1, 1, 0);
+            b.conv_bn_relu(mid_c, 3, stride, 1);
+            b.conv(out_c, 1, 1, 0);
+            b.residual_add();
+        }
+    }
+}
+
+/// Appends the ResNet feature extractor (stem + 4 bottleneck stages) to an
+/// existing builder — reused by the detection/segmentation second stages.
+pub fn resnet_backbone(b: &mut GraphBuilder, depth: usize, version: ResNetVersion) {
+    let blocks = stage_blocks(depth);
+    b.pad_layer(3);
+    b.conv(64, 7, 2, 0).bn().relu();
+    b.maxpool(3, 2);
+
+    let stage_out = [256usize, 512, 1024, 2048];
+    let stage_mid = [64usize, 128, 256, 512];
+    for stage in 0..4 {
+        let stride = if stage == 0 { 1 } else { 2 };
+        for block in 0..blocks[stage] {
+            let s = if block == 0 { stride } else { 1 };
+            let ds = block == 0;
+            bottleneck(b, version, stage_mid[stage], stage_out[stage], s, ds);
+        }
+    }
+    if version == ResNetVersion::V2 {
+        b.bn().relu();
+    }
+}
+
+/// Appends a ResNet-34 basic-block backbone (the MLPerf SSD feature
+/// extractor): stages of two 3×3 convolutions each, no bottlenecks.
+pub fn resnet34_backbone(b: &mut GraphBuilder) {
+    b.pad_layer(3);
+    b.conv(64, 7, 2, 0).bn().relu();
+    b.maxpool(3, 2);
+    let stage_c = [64usize, 128, 256, 512];
+    let blocks = [3usize, 4, 6, 3];
+    for stage in 0..4 {
+        let stride = if stage == 0 { 1 } else { 2 };
+        for block in 0..blocks[stage] {
+            let s = if block == 0 { stride } else { 1 };
+            let in_c = b.channels();
+            let (h, w) = b.spatial();
+            if s != 1 || in_c != stage_c[stage] {
+                b.conv(stage_c[stage], 1, s, 0).bn();
+                b.set_shape(in_c, h, w);
+            }
+            b.conv_bn_relu(stage_c[stage], 3, s, 1);
+            b.conv(stage_c[stage], 3, 1, 1).bn();
+            b.residual_add().relu();
+        }
+    }
+}
+
+/// Builds a full ResNet classifier graph.
+pub fn resnet(batch: usize, depth: usize, version: ResNetVersion, classes: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 224, 224);
+    resnet_backbone(&mut b, depth, version);
+    b.global_pool();
+    b.fc(classes);
+    b.bias_add();
+    b.softmax();
+    b.finish()
+}
+
+/// MLPerf_ResNet50_v1.5: the reference model of the paper's walkthroughs.
+pub fn mlperf_resnet50_v15(batch: usize) -> LayerGraph {
+    resnet(batch, 50, ResNetVersion::V1 { stride_on_3x3: true }, 1001)
+}
+
+/// ResNet v1 at `depth` ∈ {50, 101, 152}.
+pub fn resnet_v1(batch: usize, depth: usize) -> LayerGraph {
+    resnet(
+        batch,
+        depth,
+        ResNetVersion::V1 {
+            stride_on_3x3: false,
+        },
+        1000,
+    )
+}
+
+/// ResNet v2 at `depth` ∈ {50, 101, 152}.
+pub fn resnet_v2(batch: usize, depth: usize) -> LayerGraph {
+    resnet(batch, depth, ResNetVersion::V2, 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_v15_layer_count_matches_paper_scale() {
+        // Paper: "In total, there are 234 layers" for the TF-executed graph.
+        // The static graph here carries FusedBatchNorm layers that TF
+        // decomposes 1→2, so executed = static + #BN.
+        let g = mlperf_resnet50_v15(256);
+        let bn = g
+            .layers
+            .iter()
+            .filter(|l| l.op.type_name() == "BatchNorm")
+            .count();
+        let executed = g.len() + bn;
+        assert!(
+            (225..=245).contains(&executed),
+            "executed layer count {executed} (static {} + bn {bn})",
+            g.len()
+        );
+    }
+
+    #[test]
+    fn resnet50_conv_count() {
+        // 16 blocks × 3 convs + 4 downsample + stem = 53 convolutions.
+        let g = mlperf_resnet50_v15(1);
+        let convs = g
+            .layers
+            .iter()
+            .filter(|l| l.op.type_name() == "Conv2D")
+            .count();
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn deeper_resnets_have_more_layers() {
+        let l50 = resnet_v1(1, 50).len();
+        let l101 = resnet_v1(1, 101).len();
+        let l152 = resnet_v1(1, 152).len();
+        assert!(l50 < l101 && l101 < l152);
+    }
+
+    #[test]
+    fn output_is_class_distribution() {
+        let g = mlperf_resnet50_v15(4);
+        let last = g.layers.last().unwrap();
+        assert_eq!(last.op.type_name(), "Softmax");
+        assert_eq!(last.out_shape.elements(), 4 * 1001);
+    }
+
+    #[test]
+    fn v2_uses_preactivation_ordering() {
+        let g = resnet_v2(1, 50);
+        // v2 ends with a final BN+Relu before pooling
+        let names: Vec<&str> = g.layers.iter().map(|l| l.op.type_name()).collect();
+        let mean_pos = names.iter().position(|n| *n == "Mean").unwrap();
+        assert_eq!(names[mean_pos - 1], "Relu");
+        assert_eq!(names[mean_pos - 2], "BatchNorm");
+    }
+
+    #[test]
+    fn final_spatial_extent_is_7x7() {
+        // 224 → stem/4 → stages strides 1,2,2,2 → 7
+        let g = mlperf_resnet50_v15(1);
+        let last_conv = g
+            .layers
+            .iter()
+            .rev()
+            .find(|l| l.op.type_name() == "Conv2D")
+            .unwrap();
+        assert_eq!(&last_conv.out_shape.0[2..], &[7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn bad_depth_panics() {
+        resnet_v1(1, 34);
+    }
+}

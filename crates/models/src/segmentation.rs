@@ -1,0 +1,261 @@
+//! Instance segmentation (Mask R-CNN) and semantic segmentation
+//! (DeepLabv3) models — Table VIII models 48–54.
+//!
+//! Mask R-CNN = Faster R-CNN + a mask head; its conv share sits between the
+//! detection and classification families (29–42 % in Table VIII).
+//! DeepLabv3's latency "is affected by both the convolution layers and the
+//! memory-bound layers (such as Transpose, Add, and Mul)" (§IV-A); its
+//! optimal batch size is 1.
+
+use crate::builder::GraphBuilder;
+use crate::inception::{inception_resnet_v2_backbone, inception_v2_backbone};
+use crate::mobilenet::mobilenet_v2_backbone;
+use crate::resnet::{resnet_backbone, ResNetVersion};
+use xsp_framework::LayerGraph;
+
+/// Proposal storm shared with the detection heads.
+fn decode_storm(b: &mut GraphBuilder, count: usize) {
+    let c = b.channels();
+    let (h, w) = b.spatial();
+    b.set_shape(4, (h * w / 16).max(1), 16);
+    for i in 0..count {
+        b.where_op();
+        if i % 3 == 0 {
+            b.reshape(4, (h * w / 16).max(1), 16);
+        }
+    }
+    b.nms();
+    b.set_shape(c, h, w);
+}
+
+/// Mask R-CNN: backbone → RPN → storm → crops → box head + mask head.
+fn mask_rcnn(
+    mut b: GraphBuilder,
+    backbone: impl FnOnce(&mut GraphBuilder),
+    head_c: usize,
+    storm: usize,
+) -> LayerGraph {
+    backbone(&mut b);
+    // RPN
+    let c = b.channels();
+    let (h, w) = b.spatial();
+    b.conv(512, 3, 1, 1).bias_add().relu();
+    b.conv(24, 1, 1, 0);
+    b.set_shape(c, h, w);
+    decode_storm(&mut b, storm / 2);
+    // ROI crops for the box head (≈64 proposals at 7×7 ⇒ 56×56 equivalent)
+    b.crop_and_resize(64, 56, 56);
+    b.set_shape(head_c, 56, 56);
+    for _ in 0..3 {
+        b.conv_bn_relu(head_c / 2, 1, 1, 0);
+        b.conv_bn_relu(head_c / 2, 3, 1, 1);
+        b.conv_bn_relu(head_c, 1, 1, 0);
+    }
+    // mask head: 4 conv3x3(256) + deconv over ≈100 proposals at 14×14
+    // (fold into a 140×140-equivalent tensor)
+    b.set_shape(256, 140, 140);
+    for _ in 0..4 {
+        b.conv_bn_relu(256, 3, 1, 1);
+    }
+    b.resize_bilinear(2);
+    b.conv(91, 1, 1, 0);
+    b.sigmoid();
+    decode_storm(&mut b, storm / 2);
+    b.finish()
+}
+
+/// Mask_RCNN_Inception_ResNet_v2 (the heaviest IS model).
+pub fn mask_rcnn_inception_resnet_v2(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 800, 800);
+    let backbone = |b: &mut GraphBuilder| inception_resnet_v2_backbone(b);
+    mask_rcnn(
+        {
+            backbone(&mut b);
+            b
+        },
+        |_| {},
+        1088,
+        160,
+    )
+}
+
+/// Mask_RCNN_ResNet101_v2.
+pub fn mask_rcnn_resnet101_v2(batch: usize) -> LayerGraph {
+    let b = GraphBuilder::new(batch, 3, 800, 800);
+    mask_rcnn(b, |b| resnet_backbone(b, 101, ResNetVersion::V2), 1024, 150)
+}
+
+/// Mask_RCNN_ResNet50_v2.
+pub fn mask_rcnn_resnet50_v2(batch: usize) -> LayerGraph {
+    let b = GraphBuilder::new(batch, 3, 800, 800);
+    mask_rcnn(b, |b| resnet_backbone(b, 50, ResNetVersion::V2), 1024, 150)
+}
+
+/// Mask_RCNN_Inception_v2 (Where-dominated like its detection sibling).
+pub fn mask_rcnn_inception_v2(batch: usize) -> LayerGraph {
+    let b = GraphBuilder::new(batch, 3, 512, 512);
+    mask_rcnn(b, inception_v2_backbone, 576, 260)
+}
+
+/// Atrous spatial pyramid pooling: parallel atrous convs + image pooling,
+/// concatenated — DeepLab's signature block.
+fn aspp(b: &mut GraphBuilder, out_c: usize) {
+    let input = (b.channels(), b.spatial().0, b.spatial().1);
+    let branches = 4usize;
+    for rate in 0..branches {
+        b.set_shape(input.0, input.1, input.2);
+        if rate == 0 {
+            b.conv_bn_relu(out_c, 1, 1, 0);
+        } else {
+            b.conv_bn_relu(out_c, 3, 1, 1); // atrous: same cost profile
+        }
+    }
+    // image-level pooling branch
+    b.set_shape(input.0, input.1, input.2);
+    b.global_pool();
+    b.conv_bn_relu(out_c, 1, 1, 0);
+    b.set_shape(out_c, input.1, input.2);
+    b.resize_bilinear(1);
+    b.concat(out_c * (branches + 1));
+    b.conv_bn_relu(out_c, 1, 1, 0);
+}
+
+/// DeepLabv3 with an Xception-65 backbone at 513×513.
+pub fn deeplabv3_xception65(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 513, 513);
+    // entry flow
+    b.conv_bn_relu(32, 3, 2, 1);
+    b.conv_bn_relu(64, 3, 1, 1);
+    for c in [128usize, 256, 728] {
+        let in_c = b.channels();
+        let (h, w) = b.spatial();
+        b.conv(c, 1, 2, 0).bn();
+        b.set_shape(in_c, h, w);
+        for _ in 0..2 {
+            b.dwconv(3, 1, 1).bn();
+            b.conv_bn_relu(c, 1, 1, 0);
+        }
+        b.dwconv(3, 2, 1).bn();
+        b.conv(c, 1, 1, 0).bn();
+        b.residual_add();
+    }
+    // middle flow: 16 blocks of 3 separable convs
+    for _ in 0..16 {
+        for _ in 0..3 {
+            b.dwconv(3, 1, 1).bn().relu();
+            b.conv_bn_relu(728, 1, 1, 0);
+        }
+        b.residual_add();
+    }
+    // exit flow
+    b.dwconv(3, 1, 1).bn().relu();
+    b.conv_bn_relu(1024, 1, 1, 0);
+    b.dwconv(3, 1, 1).bn().relu();
+    b.conv_bn_relu(1536, 1, 1, 0);
+    b.dwconv(3, 1, 1).bn().relu();
+    b.conv_bn_relu(2048, 1, 1, 0);
+    aspp(&mut b, 256);
+    // decoder: upsample to full resolution
+    b.conv(21, 1, 1, 0);
+    b.resize_bilinear(4);
+    b.resize_bilinear(4);
+    b.softmax();
+    b.finish()
+}
+
+/// DeepLabv3 with a MobileNet v2 backbone (`dm` = depth multiplier).
+pub fn deeplabv3_mobilenet_v2(batch: usize, dm: f64) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 513, 513);
+    mobilenet_v2_backbone(&mut b, dm);
+    aspp(&mut b, 256);
+    b.conv(21, 1, 1, 0);
+    b.resize_bilinear(4);
+    b.resize_bilinear(4);
+    b.softmax();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::LayerOp;
+
+    #[test]
+    fn mask_rcnn_variants_build() {
+        for g in [
+            mask_rcnn_inception_resnet_v2(1),
+            mask_rcnn_resnet101_v2(1),
+            mask_rcnn_resnet50_v2(1),
+            mask_rcnn_inception_v2(1),
+        ] {
+            assert!(g.len() > 100);
+            assert!(g
+                .layers
+                .iter()
+                .any(|l| matches!(l.op, LayerOp::Where)));
+            assert!(g
+                .layers
+                .iter()
+                .any(|l| matches!(l.op, LayerOp::Sigmoid)), "mask head present");
+        }
+    }
+
+    #[test]
+    fn mask_rcnn_resnet101_deeper_than_50() {
+        assert!(mask_rcnn_resnet101_v2(1).len() > mask_rcnn_resnet50_v2(1).len());
+    }
+
+    #[test]
+    fn deeplab_has_resize_layers() {
+        let g = deeplabv3_xception65(1);
+        let resizes = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::ResizeBilinear))
+            .count();
+        assert!(resizes >= 3, "ASPP pooling + decoder upsampling");
+    }
+
+    #[test]
+    fn deeplab_mobilenet_is_much_smaller() {
+        let x = deeplabv3_xception65(1);
+        let m = deeplabv3_mobilenet_v2(1, 1.0);
+        let flops = |g: &LayerGraph| -> u64 {
+            g.layers
+                .iter()
+                .filter_map(|l| match &l.op {
+                    LayerOp::Conv2D(p) | LayerOp::DepthwiseConv2dNative(p) => {
+                        Some(p.direct_flops())
+                    }
+                    _ => None,
+                })
+                .sum()
+        };
+        assert!(flops(&x) > flops(&m) * 5);
+    }
+
+    #[test]
+    fn dm05_halves_depth() {
+        let full = deeplabv3_mobilenet_v2(1, 1.0);
+        let half = deeplabv3_mobilenet_v2(1, 0.5);
+        let widest = |g: &LayerGraph| {
+            g.layers
+                .iter()
+                .filter_map(|l| l.out_shape.0.get(1).copied())
+                .max()
+                .unwrap()
+        };
+        assert!(widest(&half) <= widest(&full));
+    }
+
+    #[test]
+    fn mask_rcnn_inception_v2_is_wherest() {
+        let count = |g: &LayerGraph| {
+            g.layers
+                .iter()
+                .filter(|l| matches!(l.op, LayerOp::Where))
+                .count()
+        };
+        assert!(count(&mask_rcnn_inception_v2(1)) > count(&mask_rcnn_resnet50_v2(1)));
+    }
+}

@@ -1,0 +1,65 @@
+//! SRGAN generator (super-resolution, Table VIII model 55) — residual
+//! blocks at constant spatial resolution plus upsampling, conv-dominated
+//! (62.3 % in the paper).
+
+use crate::builder::GraphBuilder;
+use xsp_framework::LayerGraph;
+
+/// SRGAN generator: 16 residual blocks at 128×128, ×4 upsampling.
+pub fn srgan(batch: usize) -> LayerGraph {
+    let mut b = GraphBuilder::new(batch, 3, 128, 128);
+    b.conv(128, 9, 1, 4).bias_add().relu();
+    for _ in 0..16 {
+        b.conv(128, 3, 1, 1).bn().relu();
+        b.conv(128, 3, 1, 1).bn();
+        b.residual_add();
+    }
+    b.conv(128, 3, 1, 1).bn();
+    b.residual_add();
+    // two ×2 upsample stages (conv + pixel-shuffle modeled as resize)
+    for _ in 0..2 {
+        b.conv(256, 3, 1, 1);
+        b.resize_bilinear(2);
+        b.relu();
+    }
+    b.conv(3, 9, 1, 4);
+    b.tanh();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::LayerOp;
+
+    #[test]
+    fn sixteen_residual_blocks() {
+        let g = srgan(1);
+        let adds = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::AddN(_)))
+            .count();
+        assert_eq!(adds, 17); // 16 blocks + trunk join
+    }
+
+    #[test]
+    fn output_is_4x_input() {
+        let g = srgan(1);
+        let last_conv = g
+            .layers
+            .iter()
+            .rev()
+            .find(|l| matches!(l.op, LayerOp::Conv2D(_)))
+            .unwrap();
+        assert_eq!(&last_conv.out_shape.0[2..], &[512, 512]);
+        assert_eq!(last_conv.out_shape.0[1], 3);
+    }
+
+    #[test]
+    fn structurally_conv_dominated() {
+        let g = srgan(1);
+        let convs = g.layers.iter().filter(|l| l.op.is_convolution()).count();
+        assert!(convs * 4 > g.len(), "{convs} convs of {} layers", g.len());
+    }
+}

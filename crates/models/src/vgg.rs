@@ -1,0 +1,110 @@
+//! VGG-16/19: plain deep stacks without BN, with the giant FC head that
+//! makes their frozen graphs 500+ MB.
+
+use crate::builder::GraphBuilder;
+use xsp_framework::LayerGraph;
+
+/// Convolutions per stage: VGG-16 = [2,2,3,3,3]; VGG-19 = [2,2,4,4,4].
+fn stage_convs(depth: usize) -> [usize; 5] {
+    match depth {
+        16 => [2, 2, 3, 3, 3],
+        19 => [2, 2, 4, 4, 4],
+        other => panic!("unsupported VGG depth {other}"),
+    }
+}
+
+/// VGG at `depth` ∈ {16, 19}.
+pub fn vgg(batch: usize, depth: usize) -> LayerGraph {
+    let convs = stage_convs(depth);
+    let channels = [64usize, 128, 256, 512, 512];
+    let mut b = GraphBuilder::new(batch, 3, 224, 224);
+    for stage in 0..5 {
+        for _ in 0..convs[stage] {
+            b.conv(channels[stage], 3, 1, 1).bias_add().relu();
+        }
+        b.maxpool(2, 2);
+    }
+    // classifier head: fc6/fc7/fc8
+    b.fc(4096).bias_add().relu();
+    b.fc(4096).bias_add().relu();
+    b.fc(1000).bias_add();
+    b.softmax();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::LayerOp;
+
+    #[test]
+    fn vgg16_has_13_convs_and_3_fcs() {
+        let g = vgg(1, 16);
+        let convs = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::Conv2D(_)))
+            .count();
+        let fcs = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::MatMul { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+    }
+
+    #[test]
+    fn vgg19_has_16_convs() {
+        let g = vgg(1, 19);
+        let convs = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::Conv2D(_)))
+            .count();
+        assert_eq!(convs, 16);
+    }
+
+    #[test]
+    fn no_batchnorm_anywhere() {
+        assert!(!vgg(1, 16)
+            .layers
+            .iter()
+            .any(|l| l.op.type_name() == "BatchNorm"));
+    }
+
+    #[test]
+    fn fc6_consumes_7x7x512() {
+        let g = vgg(1, 16);
+        let fc = g
+            .layers
+            .iter()
+            .find(|l| matches!(l.op, LayerOp::MatMul { .. }))
+            .unwrap();
+        if let LayerOp::MatMul { in_features, .. } = fc.op {
+            assert_eq!(in_features, 7 * 7 * 512);
+        }
+    }
+
+    #[test]
+    fn vgg_flops_exceed_resnet50() {
+        // VGG-16 ≈ 31 Gflop/image vs ResNet-50 ≈ 8.2: the paper's Table IX
+        // ordering (VGG 2655 Gflops vs ResNet 1742 at b256) depends on it.
+        let flops = |g: &LayerGraph| -> u64 {
+            g.layers
+                .iter()
+                .filter_map(|l| match &l.op {
+                    LayerOp::Conv2D(p) => Some(p.direct_flops()),
+                    LayerOp::MatMul {
+                        in_features,
+                        out_features,
+                    } => Some(2 * *in_features as u64 * *out_features as u64),
+                    _ => None,
+                })
+                .sum()
+        };
+        let v = flops(&vgg(1, 16));
+        let r = flops(&crate::resnet::mlperf_resnet50_v15(1));
+        assert!(v > 2 * r, "VGG {v} vs ResNet {r}");
+    }
+}

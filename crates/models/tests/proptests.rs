@@ -1,0 +1,59 @@
+//! Property tests over the zoo: every builder must produce well-formed
+//! graphs whose analytic cost scales linearly in batch size.
+
+use proptest::prelude::*;
+use xsp_framework::LayerOp;
+use xsp_models::zoo;
+
+fn conv_flops(g: &xsp_framework::LayerGraph) -> u64 {
+    g.layers
+        .iter()
+        .filter_map(|l| match &l.op {
+            LayerOp::Conv2D(p) | LayerOp::DepthwiseConv2dNative(p) => Some(p.direct_flops()),
+            _ => None,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_model_builds_well_formed_graphs(
+        id in 1u32..=55,
+        batch in prop::sample::select(vec![1usize, 2, 3, 5, 8, 17]),
+    ) {
+        let m = zoo::by_id(id).unwrap();
+        let g = m.graph(batch);
+        prop_assert!(!g.is_empty(), "{}", m.name);
+        prop_assert_eq!(g.batch(), batch);
+        prop_assert_eq!(g.layers[0].op.type_name(), "Data");
+        for l in &g.layers {
+            prop_assert!(l.out_shape.elements() > 0, "{}: {}", m.name, l.name);
+            prop_assert_eq!(l.out_shape.batch(), batch, "{}: {}", m.name, l.name);
+            prop_assert!(!l.name.is_empty());
+        }
+        // layer count independent of batch
+        let g2 = m.graph(batch * 2);
+        prop_assert_eq!(g.len(), g2.len(), "{}", m.name);
+    }
+
+    #[test]
+    fn conv_flops_linear_in_batch(id in 1u32..=55, batch in 1usize..8) {
+        let m = zoo::by_id(id).unwrap();
+        let f1 = conv_flops(&m.graph(batch));
+        let f2 = conv_flops(&m.graph(batch * 2));
+        prop_assert_eq!(f2, 2 * f1, "{}", m.name);
+    }
+
+    #[test]
+    fn layer_names_unique_within_graph(id in 1u32..=55) {
+        let m = zoo::by_id(id).unwrap();
+        let g = m.graph(1);
+        let mut names: Vec<&str> = g.layers.iter().map(|l| l.name.as_str()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), total, "{} has duplicate layer names", m.name);
+    }
+}

@@ -1,0 +1,531 @@
+//! Offline trace correlation (§III-A).
+//!
+//! Two reconstruction problems are solved here:
+//!
+//! 1. **Async correlation** — asynchronous operations (GPU kernels, async
+//!    memcpy) appear as *two* spans: a launch span captured on the CPU
+//!    timeline (CUPTI callback API) and an execution span on the GPU timeline
+//!    (CUPTI activity API), linked by a `correlation_id` tag. Per the paper,
+//!    "XSP uses the launch span's parent as the parent of the asynchronous
+//!    function and uses the execution span to get the performance
+//!    information". [`correlate_async_spans`] performs that merge.
+//!
+//! 2. **Parent reconstruction** — profilers at different stack levels cannot
+//!    see each other, so e.g. kernel spans arrive without a layer parent.
+//!    [`reconstruct_parents`] builds an [`IntervalTree`] per stack level and
+//!    assigns each orphan span the unique span one level up (among levels
+//!    present) whose interval contains it. Ambiguities (several containing
+//!    candidates, i.e. parallel events) are reported so the caller can re-run
+//!    with serialized execution (`CUDA_LAUNCH_BLOCKING=1`).
+
+use crate::interval::{Interval, IntervalTree};
+use crate::span::{tag_keys, Span, SpanId, StackLevel, TagValue};
+use crate::server::Trace;
+use std::collections::HashMap;
+
+/// A span with its resolved parent and, for async operations, the launch
+/// interval used during parent matching.
+#[derive(Debug, Clone)]
+pub struct CorrelatedSpan {
+    /// The effective span. For async operations this carries the *execution*
+    /// timing (performance information) with tags merged from both halves.
+    pub span: Span,
+    /// `[start, end]` of the launch span for async operations; parent
+    /// matching uses this interval because the execution may slide past the
+    /// end of the enclosing layer.
+    pub launch_interval: Option<(u64, u64)>,
+    /// Resolved parent (explicit or reconstructed).
+    pub parent: Option<SpanId>,
+}
+
+impl CorrelatedSpan {
+    /// The interval used for parent matching: the launch interval for async
+    /// spans, the span's own interval otherwise.
+    pub fn anchor_interval(&self) -> (u64, u64) {
+        self.launch_interval
+            .unwrap_or((self.span.start_ns, self.span.end_ns))
+    }
+}
+
+/// Ambiguities discovered during parent reconstruction.
+#[derive(Debug, Clone, Default)]
+pub struct AmbiguityReport {
+    /// Spans with more than one containing candidate parent, along with all
+    /// candidates. Best-effort resolution picked the tightest interval.
+    pub ambiguous: Vec<(SpanId, Vec<SpanId>)>,
+    /// Spans below the top level with no containing candidate at the level
+    /// above (typically execution spans that slid past their layer when the
+    /// launch interval was unavailable).
+    pub orphans: Vec<SpanId>,
+}
+
+impl AmbiguityReport {
+    /// Whether every parent was assigned uniquely.
+    pub fn is_clean(&self) -> bool {
+        self.ambiguous.is_empty() && self.orphans.is_empty()
+    }
+
+    /// Whether a serialized re-run (e.g. `CUDA_LAUNCH_BLOCKING=1`) is needed
+    /// to obtain the missing correlation information (§III-A).
+    pub fn needs_serialized_rerun(&self) -> bool {
+        !self.ambiguous.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: AmbiguityReport) {
+        self.ambiguous.extend(other.ambiguous);
+        self.orphans.extend(other.orphans);
+    }
+}
+
+/// A fully correlated single-run trace: every span has a resolved parent
+/// (where one exists) and async pairs are merged.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelatedTrace {
+    /// Correlated spans in publication order.
+    pub spans: Vec<CorrelatedSpan>,
+    /// Reconstruction diagnostics.
+    pub ambiguities: AmbiguityReport,
+}
+
+impl CorrelatedTrace {
+    /// Spans at the given level.
+    pub fn at_level(&self, level: StackLevel) -> impl Iterator<Item = &CorrelatedSpan> {
+        self.spans.iter().filter(move |s| s.span.level == level)
+    }
+
+    /// Direct children of `parent`.
+    pub fn children_of(&self, parent: SpanId) -> Vec<&CorrelatedSpan> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect()
+    }
+
+    /// Finds a span by id.
+    pub fn find(&self, id: SpanId) -> Option<&CorrelatedSpan> {
+        self.spans.iter().find(|s| s.span.id == id)
+    }
+
+    /// Total number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Merges async launch/execution span pairs by correlation id.
+///
+/// Returns correlated spans where each async pair became a single entry
+/// (execution timing + merged tags + launch parent/interval) plus all
+/// non-async spans unchanged. Unpaired halves are passed through unchanged —
+/// a launch whose kernel never ran, or an execution record whose callback was
+/// dropped, must stay visible to the analysis.
+pub fn correlate_async_spans(spans: &[Span]) -> Vec<CorrelatedSpan> {
+    let mut launches: HashMap<u64, &Span> = HashMap::new();
+    let mut executions: HashMap<u64, &Span> = HashMap::new();
+    for s in spans {
+        if let Some(cid) = s.correlation_id() {
+            if s.is_async_launch() {
+                launches.insert(cid, s);
+                continue;
+            } else if s.is_async_execution() {
+                executions.insert(cid, s);
+                continue;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(spans.len());
+    for s in spans {
+        let cid = s.correlation_id();
+        match cid {
+            Some(cid) if s.is_async_execution() => {
+                if let Some(launch) = launches.get(&cid) {
+                    // Merge: execution timing, union of tags, launch parent.
+                    let mut merged = s.clone();
+                    merged.parent = launch.parent;
+                    for (k, v) in &launch.tags {
+                        if merged.tag(k).is_none() {
+                            merged.tags.push((k.clone(), v.clone()));
+                        }
+                    }
+                    out.push(CorrelatedSpan {
+                        launch_interval: Some((launch.start_ns, launch.end_ns)),
+                        parent: merged.parent,
+                        span: merged,
+                    });
+                } else {
+                    out.push(CorrelatedSpan {
+                        span: s.clone(),
+                        launch_interval: None,
+                        parent: s.parent,
+                    });
+                }
+            }
+            Some(cid) if s.is_async_launch() => {
+                // Launch halves are folded into their execution span; keep
+                // only unpaired launches.
+                if !executions.contains_key(&cid) {
+                    out.push(CorrelatedSpan {
+                        span: s.clone(),
+                        launch_interval: None,
+                        parent: s.parent,
+                    });
+                }
+            }
+            _ => out.push(CorrelatedSpan {
+                span: s.clone(),
+                launch_interval: None,
+                parent: s.parent,
+            }),
+        }
+    }
+    out
+}
+
+/// Reconstructs the parent of every span lacking an explicit reference, per
+/// evaluation run, and returns the correlated trace.
+///
+/// For each stack level present in the trace, candidate parents for a child
+/// at level `L` are spans at the *nearest* level above `L` that is present.
+/// A unique containing candidate becomes the parent. Multiple candidates are
+/// recorded in the [`AmbiguityReport`] (best-effort: tightest containing
+/// interval wins), mirroring the paper's requirement of a serialized re-run
+/// for parallel events.
+pub fn reconstruct_parents(trace: &Trace) -> CorrelatedTrace {
+    let mut result = CorrelatedTrace::default();
+    for tid in trace.trace_ids() {
+        let run: Vec<Span> = trace
+            .spans()
+            .iter()
+            .filter(|s| s.trace_id == tid)
+            .cloned()
+            .collect();
+        let sub = reconstruct_single_run(&run);
+        result.spans.extend(sub.spans);
+        result.ambiguities.merge(sub.ambiguities);
+    }
+    result
+}
+
+fn reconstruct_single_run(spans: &[Span]) -> CorrelatedTrace {
+    let mut correlated = correlate_async_spans(spans);
+
+    // Which levels exist in this run, ordered top-to-bottom.
+    let levels: Vec<StackLevel> = StackLevel::ALL
+        .iter()
+        .copied()
+        .filter(|l| correlated.iter().any(|s| s.span.level == *l))
+        .collect();
+
+    // One interval tree per level, keyed by index into `correlated`.
+    let mut trees: HashMap<StackLevel, IntervalTree> = HashMap::new();
+    for &level in &levels {
+        let intervals: Vec<Interval> = correlated
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.span.level == level)
+            .map(|(i, s)| Interval::new(s.span.start_ns, s.span.end_ns, i))
+            .collect();
+        trees.insert(level, IntervalTree::build(intervals));
+    }
+
+    let mut ambiguities = AmbiguityReport::default();
+
+    for i in 0..correlated.len() {
+        if correlated[i].parent.is_some() {
+            continue; // explicit reference wins
+        }
+        let child_level = correlated[i].span.level;
+        let Some(pos) = levels.iter().position(|l| *l == child_level) else {
+            continue;
+        };
+        if pos == 0 {
+            continue; // top level present: no parent expected
+        }
+        // Candidate intervals, in preference order: the launch interval for
+        // async spans ("XSP uses the kernel launch span to associate it with
+        // the parent layer span"), then the span's own execution interval —
+        // needed when the parent profiler reports device-anchored intervals,
+        // as TensorFlow's device tracer does.
+        let mut probes: Vec<(u64, u64)> = vec![correlated[i].anchor_interval()];
+        let own = (correlated[i].span.start_ns, correlated[i].span.end_ns);
+        if probes[0] != own {
+            probes.push(own);
+        }
+        // Search the nearest level above first; when nothing there contains
+        // the span (e.g. a memcpy issued during model-level pre-processing,
+        // with no enclosing layer), walk further up the stack.
+        let mut candidates: Vec<usize> = Vec::new();
+        'search: for ancestor in (0..pos).rev() {
+            let tree = &trees[&levels[ancestor]];
+            for &(lo, hi) in &probes {
+                candidates = tree.containing(lo, hi).map(|iv| iv.key).collect();
+                // A span never parents itself (possible only with equal
+                // intervals at mixed levels, but be safe).
+                candidates.retain(|&c| c != i);
+                if !candidates.is_empty() {
+                    break 'search;
+                }
+            }
+        }
+        match candidates.len() {
+            0 => {
+                ambiguities.orphans.push(correlated[i].span.id);
+            }
+            1 => {
+                let pid = correlated[candidates[0]].span.id;
+                correlated[i].parent = Some(pid);
+                correlated[i].span.parent = Some(pid);
+            }
+            _ => {
+                // Best effort: tightest containing interval.
+                let best = *candidates
+                    .iter()
+                    .min_by_key(|&&c| {
+                        correlated[c].span.end_ns - correlated[c].span.start_ns
+                    })
+                    .expect("nonempty");
+                let all: Vec<SpanId> =
+                    candidates.iter().map(|&c| correlated[c].span.id).collect();
+                ambiguities
+                    .ambiguous
+                    .push((correlated[i].span.id, all));
+                let pid = correlated[best].span.id;
+                correlated[i].parent = Some(pid);
+                correlated[i].span.parent = Some(pid);
+            }
+        }
+    }
+
+    CorrelatedTrace {
+        spans: correlated,
+        ambiguities,
+    }
+}
+
+/// Convenience: attaches a numeric tag to a span (used by adapters when
+/// merging metric values post-hoc).
+pub fn set_tag(span: &mut Span, key: &str, value: TagValue) {
+    if let Some(slot) = span.tags.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value;
+    } else {
+        span.tags.push((key.to_owned(), value));
+    }
+}
+
+/// Extracts a named metric tag as `f64` from a span, if present.
+pub fn metric_f64(span: &Span, key: &str) -> Option<f64> {
+    span.tag(key).and_then(|v| v.as_f64())
+}
+
+/// Extracts the standard GPU metric tags (`flop_count_sp`,
+/// `dram_read_bytes`, `dram_write_bytes`, `achieved_occupancy`).
+pub fn gpu_metrics(span: &Span) -> (Option<u64>, Option<u64>, Option<u64>, Option<f64>) {
+    (
+        span.tag(tag_keys::FLOP_COUNT_SP).and_then(|v| v.as_u64()),
+        span.tag(tag_keys::DRAM_READ_BYTES).and_then(|v| v.as_u64()),
+        span.tag(tag_keys::DRAM_WRITE_BYTES).and_then(|v| v.as_u64()),
+        span.tag(tag_keys::ACHIEVED_OCCUPANCY).and_then(|v| v.as_f64()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanBuilder, TraceId};
+
+    fn span(name: &str, level: StackLevel, s: u64, e: u64) -> Span {
+        SpanBuilder::new(name, level, TraceId(1)).start(s).finish(e)
+    }
+
+    fn launch(name: &str, cid: u64, s: u64, e: u64, parent: Option<SpanId>) -> Span {
+        SpanBuilder::new(name, StackLevel::Kernel, TraceId(1))
+            .start(s)
+            .maybe_parent(parent)
+            .tag(tag_keys::CORRELATION_ID, cid)
+            .tag(tag_keys::ASYNC_LAUNCH, true)
+            .finish(e)
+    }
+
+    fn exec(name: &str, cid: u64, s: u64, e: u64) -> Span {
+        SpanBuilder::new(name, StackLevel::Kernel, TraceId(1))
+            .start(s)
+            .tag(tag_keys::CORRELATION_ID, cid)
+            .tag(tag_keys::ASYNC_EXECUTION, true)
+            .tag(tag_keys::FLOP_COUNT_SP, 1000u64)
+            .finish(e)
+    }
+
+    #[test]
+    fn async_pair_merges_to_execution_timing() {
+        let l = launch("cudaLaunchKernel", 7, 100, 110, None);
+        let x = exec("convKernel", 7, 150, 400);
+        let merged = correlate_async_spans(&[l, x]);
+        assert_eq!(merged.len(), 1);
+        let m = &merged[0];
+        assert_eq!(m.span.start_ns, 150, "execution timing retained");
+        assert_eq!(m.launch_interval, Some((100, 110)));
+        assert_eq!(m.anchor_interval(), (100, 110));
+        assert_eq!(
+            m.span.tag(tag_keys::FLOP_COUNT_SP).unwrap().as_u64(),
+            Some(1000)
+        );
+    }
+
+    #[test]
+    fn unpaired_halves_pass_through() {
+        let l = launch("cudaLaunchKernel", 1, 0, 5, None);
+        let x = exec("kernel", 2, 10, 20);
+        let merged = correlate_async_spans(&[l, x]);
+        assert_eq!(merged.len(), 2, "both unpaired halves kept");
+    }
+
+    #[test]
+    fn reconstructs_kernel_to_layer_parent() {
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let mut layer1 = span("conv", StackLevel::Layer, 10, 400);
+        layer1.parent = Some(mid);
+        let l1 = layer1.id;
+        let mut layer2 = span("relu", StackLevel::Layer, 420, 800);
+        layer2.parent = Some(mid);
+        // kernel launched inside layer1, executes way past layer1's end
+        let l = launch("cudaLaunchKernel", 9, 50, 60, None);
+        let x = exec("volta_scudnn", 9, 500, 900);
+        let trace = Trace::from_spans(vec![model, layer1, layer2, l, x]);
+        let c = reconstruct_parents(&trace);
+        assert!(c.ambiguities.is_clean(), "{:?}", c.ambiguities);
+        let kernel = c
+            .spans
+            .iter()
+            .find(|s| s.span.name == "volta_scudnn")
+            .unwrap();
+        assert_eq!(
+            kernel.parent,
+            Some(l1),
+            "launch interval must bind kernel to layer1"
+        );
+    }
+
+    #[test]
+    fn explicit_parent_is_preserved() {
+        let model = span("predict", StackLevel::Model, 0, 100);
+        let mid = model.id;
+        let mut layer = span("conv", StackLevel::Layer, 0, 100);
+        layer.parent = Some(mid);
+        let trace = Trace::from_spans(vec![model, layer]);
+        let c = reconstruct_parents(&trace);
+        let l = c.spans.iter().find(|s| s.span.name == "conv").unwrap();
+        assert_eq!(l.parent, Some(mid));
+    }
+
+    #[test]
+    fn skips_missing_levels() {
+        // No layer-level spans: kernels bind directly to the model span.
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let k = span("kernel", StackLevel::Kernel, 100, 200);
+        let trace = Trace::from_spans(vec![model, k]);
+        let c = reconstruct_parents(&trace);
+        assert!(c.ambiguities.is_clean());
+        let kernel = c.spans.iter().find(|s| s.span.name == "kernel").unwrap();
+        assert_eq!(kernel.parent, Some(mid));
+    }
+
+    #[test]
+    fn parallel_parents_are_flagged_ambiguous() {
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let mut a = span("layerA", StackLevel::Layer, 0, 500);
+        a.parent = Some(mid);
+        let mut b = span("layerB", StackLevel::Layer, 0, 600); // overlaps A
+        b.parent = Some(mid);
+        let a_id = a.id;
+        let k = span("kernel", StackLevel::Kernel, 100, 200);
+        let trace = Trace::from_spans(vec![model, a, b, k]);
+        let c = reconstruct_parents(&trace);
+        assert!(!c.ambiguities.is_clean());
+        assert!(c.ambiguities.needs_serialized_rerun());
+        assert_eq!(c.ambiguities.ambiguous.len(), 1);
+        // best effort picked the tighter span (layerA)
+        let kernel = c.spans.iter().find(|s| s.span.name == "kernel").unwrap();
+        assert_eq!(kernel.parent, Some(a_id));
+    }
+
+    #[test]
+    fn orphans_are_reported() {
+        let model = span("predict", StackLevel::Model, 0, 100);
+        let k = span("stray", StackLevel::Kernel, 500, 600); // outside model
+        let trace = Trace::from_spans(vec![model, k]);
+        let c = reconstruct_parents(&trace);
+        assert_eq!(c.ambiguities.orphans.len(), 1);
+    }
+
+    #[test]
+    fn uncovered_kernel_walks_up_to_model_level() {
+        // An H2D copy during pre-processing: layers exist elsewhere in the
+        // trace but none contains the copy; it must bind to the model span.
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let mut layer = span("conv", StackLevel::Layer, 300, 600);
+        layer.parent = Some(mid);
+        let copy = span("cudaMemcpyH2D", StackLevel::Kernel, 50, 120);
+        let trace = Trace::from_spans(vec![model, layer, copy]);
+        let c = reconstruct_parents(&trace);
+        assert!(c.ambiguities.is_clean(), "{:?}", c.ambiguities);
+        let m = c.spans.iter().find(|s| s.span.name == "cudaMemcpyH2D").unwrap();
+        assert_eq!(m.parent, Some(mid));
+    }
+
+    #[test]
+    fn runs_are_correlated_independently() {
+        let mut m1 = span("predict", StackLevel::Model, 0, 100);
+        m1.trace_id = TraceId(1);
+        let mut k1 = span("k", StackLevel::Kernel, 10, 20);
+        k1.trace_id = TraceId(1);
+        // run 2 overlaps run 1 in virtual time but must not cross-link
+        let mut m2 = span("predict", StackLevel::Model, 0, 100);
+        m2.trace_id = TraceId(2);
+        let m2_id = m2.id;
+        let mut k2 = span("k", StackLevel::Kernel, 10, 20);
+        k2.trace_id = TraceId(2);
+        let m1_id = m1.id;
+        let trace = Trace::from_spans(vec![m1, k1, m2, k2]);
+        let c = reconstruct_parents(&trace);
+        assert!(c.ambiguities.is_clean());
+        let parents: Vec<Option<SpanId>> = c
+            .spans
+            .iter()
+            .filter(|s| s.span.level == StackLevel::Kernel)
+            .map(|s| s.parent)
+            .collect();
+        assert_eq!(parents, vec![Some(m1_id), Some(m2_id)]);
+    }
+
+    #[test]
+    fn set_tag_overwrites() {
+        let mut s = span("x", StackLevel::Kernel, 0, 1);
+        set_tag(&mut s, "k", TagValue::U64(1));
+        set_tag(&mut s, "k", TagValue::U64(2));
+        assert_eq!(s.tag("k").unwrap().as_u64(), Some(2));
+        assert_eq!(s.tags.iter().filter(|(k, _)| k == "k").count(), 1);
+    }
+
+    #[test]
+    fn gpu_metrics_extraction() {
+        let s = SpanBuilder::new("k", StackLevel::Kernel, TraceId(1))
+            .start(0)
+            .tag(tag_keys::FLOP_COUNT_SP, 10u64)
+            .tag(tag_keys::DRAM_READ_BYTES, 20u64)
+            .tag(tag_keys::DRAM_WRITE_BYTES, 30u64)
+            .tag(tag_keys::ACHIEVED_OCCUPANCY, 0.25f64)
+            .finish(1);
+        assert_eq!(gpu_metrics(&s), (Some(10), Some(20), Some(30), Some(0.25)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace export: Chrome trace-event JSON (loadable in `chrome://tracing` /
+//! Perfetto) and raw span JSON for offline analysis pipelines.
+
+use crate::span::{Span, TagValue};
+use crate::server::Trace;
+use serde::Serialize;
+
+/// One event in Chrome trace-event format ("X" complete events).
+#[derive(Debug, Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    cat: String,
+    ph: &'static str,
+    /// Microseconds (Chrome's unit).
+    ts: f64,
+    dur: f64,
+    pid: u64,
+    tid: u64,
+    args: serde_json::Map<String, serde_json::Value>,
+}
+
+fn tag_to_json(v: &TagValue) -> serde_json::Value {
+    match v {
+        TagValue::Str(s) => serde_json::Value::String(s.clone()),
+        TagValue::I64(i) => serde_json::json!(i),
+        TagValue::U64(u) => serde_json::json!(u),
+        TagValue::F64(f) => serde_json::json!(f),
+        TagValue::Bool(b) => serde_json::Value::Bool(*b),
+    }
+}
+
+/// Serializes a trace to Chrome trace-event JSON. Each stack level maps to
+/// its own "thread" row so the across-stack timeline reads top-down like
+/// Figure 1 of the paper.
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let events: Vec<ChromeEvent<'_>> = trace
+        .spans()
+        .iter()
+        .map(|s| {
+            let mut args = serde_json::Map::new();
+            args.insert("span_id".into(), serde_json::json!(s.id.0));
+            if let Some(p) = s.parent {
+                args.insert("parent".into(), serde_json::json!(p.0));
+            }
+            for (k, v) in &s.tags {
+                args.insert(k.clone(), tag_to_json(v));
+            }
+            ChromeEvent {
+                name: &s.name,
+                cat: s.level.to_string(),
+                ph: "X",
+                ts: s.start_ns as f64 / 1e3,
+                dur: s.duration_ns() as f64 / 1e3,
+                pid: s.trace_id.0,
+                tid: s.level.rank() as u64,
+                args,
+            }
+        })
+        .collect();
+    serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
+        .expect("chrome trace serialization cannot fail")
+}
+
+/// Serializes a correlated trace to Brendan-Gregg folded-stack format, one
+/// line per leaf span: `model_prediction;conv2d/Conv2D;volta_scudnn 1234`
+/// (weight = self time in microseconds). Feed to `flamegraph.pl` or
+/// speedscope.
+pub fn to_folded_stacks(trace: &crate::correlate::CorrelatedTrace) -> String {
+    use std::collections::HashMap;
+    let mut out = String::new();
+    use std::fmt::Write;
+    // index spans and children
+    let mut children: HashMap<crate::span::SpanId, Vec<usize>> = HashMap::new();
+    let mut roots = Vec::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        match s.parent {
+            Some(p) if trace.find(p).is_some() => children.entry(p).or_default().push(i),
+            _ => roots.push(i),
+        }
+    }
+    fn emit(
+        trace: &crate::correlate::CorrelatedTrace,
+        children: &HashMap<crate::span::SpanId, Vec<usize>>,
+        idx: usize,
+        stack: &mut Vec<String>,
+        out: &mut String,
+    ) {
+        let span = &trace.spans[idx].span;
+        stack.push(span.name.replace([';', ' '], "_"));
+        let kids = children.get(&span.id).cloned().unwrap_or_default();
+        let child_time: u64 = kids
+            .iter()
+            .map(|&k| trace.spans[k].span.duration_ns())
+            .sum();
+        let self_us = span.duration_ns().saturating_sub(child_time) / 1_000;
+        if self_us > 0 || kids.is_empty() {
+            use std::fmt::Write;
+            let _ = writeln!(out, "{} {}", stack.join(";"), self_us.max(1));
+        }
+        for k in kids {
+            emit(trace, children, k, stack, out);
+        }
+        stack.pop();
+    }
+    let mut stack = Vec::new();
+    for r in roots {
+        emit(trace, &children, r, &mut stack, &mut out);
+    }
+    let _ = write!(out, "");
+    out
+}
+
+/// Serializes the raw spans to JSON (offline-analysis input format).
+pub fn to_span_json(trace: &Trace) -> String {
+    serde_json::to_string(trace.spans()).expect("span serialization cannot fail")
+}
+
+/// Deserializes spans previously written by [`to_span_json`]; this is the
+/// offline conversion path (§III-A: conversion "can be performed off-line by
+/// processing the output of the profiler").
+pub fn from_span_json(json: &str) -> Result<Trace, serde_json::Error> {
+    let spans: Vec<Span> = serde_json::from_str(json)?;
+    Ok(Trace::from_spans(spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanBuilder, StackLevel, TraceId};
+
+    fn sample_trace() -> Trace {
+        let model = SpanBuilder::new("predict", StackLevel::Model, TraceId(1))
+            .start(0)
+            .tag("batch_size", 256u64)
+            .finish(1_000_000);
+        let pid = model.id;
+        let layer = SpanBuilder::new("conv2d/Conv2D", StackLevel::Layer, TraceId(1))
+            .start(1_000)
+            .parent(pid)
+            .tag("occ", 0.5f64)
+            .finish(500_000);
+        Trace::from_spans(vec![model, layer])
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = to_chrome_trace(&sample_trace());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["cat"], "model");
+        assert_eq!(events[1]["cat"], "layer");
+        assert_eq!(events[1]["tid"], 2); // layer rank
+        assert!(events[1]["args"]["parent"].is_u64());
+        // ns -> µs conversion
+        assert_eq!(events[0]["dur"].as_f64().unwrap(), 1_000.0);
+    }
+
+    #[test]
+    fn span_json_roundtrip() {
+        let trace = sample_trace();
+        let json = to_span_json(&trace);
+        let back = from_span_json(&json).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.spans()[0].name, "predict");
+        assert_eq!(back.spans()[1].parent, trace.spans()[1].parent);
+        assert_eq!(
+            back.spans()[0].tag("batch_size").unwrap().as_u64(),
+            Some(256)
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_span_json("not json").is_err());
+    }
+
+    #[test]
+    fn folded_stacks_weight_self_time() {
+        use crate::correlate::reconstruct_parents;
+        let model = SpanBuilder::new("predict", StackLevel::Model, TraceId(1))
+            .start(0)
+            .finish(10_000_000); // 10 ms
+        let layer = SpanBuilder::new("conv", StackLevel::Layer, TraceId(1))
+            .start(1_000_000)
+            .finish(9_000_000); // 8 ms
+        let kernel = SpanBuilder::new("k", StackLevel::Kernel, TraceId(1))
+            .start(2_000_000)
+            .finish(8_000_000); // 6 ms
+        let c = reconstruct_parents(&Trace::from_spans(vec![model, layer, kernel]));
+        let folded = to_folded_stacks(&c);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 3, "{folded}");
+        assert!(lines.contains(&"predict 2000"), "{folded}"); // 10-8 ms self
+        assert!(lines.contains(&"predict;conv 2000"), "{folded}");
+        assert!(lines.contains(&"predict;conv;k 6000"), "{folded}");
+    }
+
+    #[test]
+    fn folded_stacks_sanitize_names() {
+        use crate::correlate::reconstruct_parents;
+        let s = SpanBuilder::new("has space;semi", StackLevel::Model, TraceId(1))
+            .start(0)
+            .finish(2_000);
+        let c = reconstruct_parents(&Trace::from_spans(vec![s]));
+        let folded = to_folded_stacks(&c);
+        assert!(folded.starts_with("has_space_semi "), "{folded}");
+    }
+}

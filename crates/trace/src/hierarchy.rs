@@ -1,0 +1,206 @@
+//! Span hierarchy: the "holistic and hierarchical view of model execution"
+//! (§I) materialized as a tree for step-through navigation.
+
+use crate::correlate::CorrelatedTrace;
+use crate::span::{Span, SpanId};
+use std::collections::HashMap;
+
+/// A parent/child tree over the spans of a correlated trace.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    spans: Vec<Span>,
+    children: HashMap<SpanId, Vec<usize>>,
+    roots: Vec<usize>,
+    index_of: HashMap<SpanId, usize>,
+}
+
+impl SpanTree {
+    /// Builds the tree from a correlated trace.
+    pub fn build(trace: &CorrelatedTrace) -> Self {
+        let spans: Vec<Span> = trace.spans.iter().map(|c| c.span.clone()).collect();
+        let mut children: HashMap<SpanId, Vec<usize>> = HashMap::new();
+        let mut roots = Vec::new();
+        let mut index_of = HashMap::with_capacity(spans.len());
+        for (i, s) in spans.iter().enumerate() {
+            index_of.insert(s.id, i);
+        }
+        for (i, c) in trace.spans.iter().enumerate() {
+            match c.parent {
+                Some(p) if index_of.contains_key(&p) => {
+                    children.entry(p).or_default().push(i)
+                }
+                _ => roots.push(i),
+            }
+        }
+        // Children in chronological order, the natural step-through order.
+        for v in children.values_mut() {
+            v.sort_by_key(|&i| spans[i].start_ns);
+        }
+        roots.sort_by_key(|&i| spans[i].start_ns);
+        Self {
+            spans,
+            children,
+            roots,
+            index_of,
+        }
+    }
+
+    /// The root spans (no parent), chronological.
+    pub fn roots(&self) -> Vec<&Span> {
+        self.roots.iter().map(|&i| &self.spans[i]).collect()
+    }
+
+    /// Children of `id`, chronological.
+    pub fn children(&self, id: SpanId) -> Vec<&Span> {
+        self.children
+            .get(&id)
+            .map(|v| v.iter().map(|&i| &self.spans[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Looks up a span by id.
+    pub fn get(&self, id: SpanId) -> Option<&Span> {
+        self.index_of.get(&id).map(|&i| &self.spans[i])
+    }
+
+    /// All descendants of `id` (pre-order).
+    pub fn descendants(&self, id: SpanId) -> Vec<&Span> {
+        let mut out = Vec::new();
+        let mut stack: Vec<SpanId> = self.children(id).iter().map(|s| s.id).collect();
+        stack.reverse();
+        while let Some(next) = stack.pop() {
+            if let Some(s) = self.get(next) {
+                out.push(s);
+                let mut kids: Vec<SpanId> = self.children(next).iter().map(|k| k.id).collect();
+                kids.reverse();
+                stack.extend(kids);
+            }
+        }
+        out
+    }
+
+    /// Depth of the subtree rooted at `id` (1 = leaf).
+    pub fn depth(&self, id: SpanId) -> usize {
+        1 + self
+            .children(id)
+            .iter()
+            .map(|c| self.depth(c.id))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders an indented textual view of the hierarchy — the "smooth
+    /// hierarchical step-through" presentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            self.render_node(*root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, idx: usize, depth: usize, out: &mut String) {
+        let s = &self.spans[idx];
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{}{} [{}] {:.3} ms",
+            "  ".repeat(depth),
+            s.name,
+            s.level,
+            s.duration_ms()
+        );
+        for child in self.children(s.id).iter().map(|c| c.id) {
+            if let Some(&i) = self.index_of.get(&child) {
+                self.render_node(i, depth + 1, out);
+            }
+        }
+    }
+
+    /// Total number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::reconstruct_parents;
+    use crate::server::Trace;
+    use crate::span::{SpanBuilder, StackLevel, TraceId};
+
+    fn make_trace() -> CorrelatedTrace {
+        let model = SpanBuilder::new("predict", StackLevel::Model, TraceId(1))
+            .start(0)
+            .finish(1000);
+        let mid = model.id;
+        let layer1 = SpanBuilder::new("conv", StackLevel::Layer, TraceId(1))
+            .start(10)
+            .parent(mid)
+            .finish(400);
+        let layer2 = SpanBuilder::new("relu", StackLevel::Layer, TraceId(1))
+            .start(500)
+            .parent(mid)
+            .finish(700);
+        let k1 = SpanBuilder::new("k1", StackLevel::Kernel, TraceId(1))
+            .start(20)
+            .finish(100);
+        let k2 = SpanBuilder::new("k2", StackLevel::Kernel, TraceId(1))
+            .start(120)
+            .finish(300);
+        reconstruct_parents(&Trace::from_spans(vec![model, layer1, layer2, k1, k2]))
+    }
+
+    #[test]
+    fn builds_three_level_tree() {
+        let tree = SpanTree::build(&make_trace());
+        assert_eq!(tree.len(), 5);
+        let roots = tree.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "predict");
+        let layers = tree.children(roots[0].id);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].name, "conv");
+        let kernels = tree.children(layers[0].id);
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].name, "k1");
+        assert_eq!(tree.depth(roots[0].id), 3);
+    }
+
+    #[test]
+    fn descendants_are_preorder() {
+        let tree = SpanTree::build(&make_trace());
+        let root = tree.roots()[0].id;
+        let names: Vec<&str> = tree
+            .descendants(root)
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["conv", "k1", "k2", "relu"]);
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let tree = SpanTree::build(&make_trace());
+        let text = tree.render();
+        assert!(text.contains("predict [model]"));
+        assert!(text.contains("  conv [layer]"));
+        assert!(text.contains("    k1 [kernel]"));
+    }
+
+    #[test]
+    fn children_are_chronological() {
+        let tree = SpanTree::build(&make_trace());
+        let root = tree.roots()[0].id;
+        let starts: Vec<u64> = tree.children(root).iter().map(|s| s.start_ns).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+}

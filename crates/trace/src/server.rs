@@ -1,0 +1,278 @@
+//! The tracing server: aggregates spans published by all tracers into one
+//! application timeline trace (§III-A: "spans are published to a tracing
+//! server ... the tracing server aggregates the spans published by the
+//! different tracers into one application timeline trace").
+
+use crate::span::{Span, SpanId, StackLevel, TraceId};
+use crate::tracer::ChannelTracer;
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An aggregated timeline trace: every span published during one (or more)
+/// evaluation runs, in publication order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Builds a trace directly from spans (used by offline conversion paths
+    /// and tests).
+    pub fn from_spans(spans: Vec<Span>) -> Self {
+        Self { spans }
+    }
+
+    /// All spans, in publication order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Consumes the trace, returning its spans.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans at a given stack level.
+    pub fn at_level(&self, level: StackLevel) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.level == level)
+    }
+
+    /// The distinct stack levels present, ordered top to bottom.
+    pub fn levels_present(&self) -> Vec<StackLevel> {
+        StackLevel::ALL
+            .iter()
+            .copied()
+            .filter(|l| self.spans.iter().any(|s| s.level == *l))
+            .collect()
+    }
+
+    /// Looks up a span by id (linear scan; traces are processed offline).
+    pub fn find(&self, id: SpanId) -> Option<&Span> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Spans restricted to a single evaluation run.
+    pub fn for_trace_id(&self, trace_id: TraceId) -> Trace {
+        Trace {
+            spans: self
+                .spans
+                .iter()
+                .filter(|s| s.trace_id == trace_id)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The distinct evaluation runs present.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = Vec::new();
+        for s in &self.spans {
+            if !ids.contains(&s.trace_id) {
+                ids.push(s.trace_id);
+            }
+        }
+        ids
+    }
+
+    /// Direct children of `parent` (explicit parent references only).
+    pub fn children_of(&self, parent: SpanId) -> Vec<&Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect()
+    }
+
+    /// Appends all spans of `other`.
+    pub fn merge(&mut self, other: Trace) {
+        self.spans.extend(other.spans);
+    }
+}
+
+/// Aggregation endpoint for all tracers in the process.
+///
+/// The server hands out [`ChannelTracer`]s; spans published through them are
+/// buffered internally. [`TracingServer::drain`] collects everything
+/// published so far into a [`Trace`], and [`TracingServer::fresh_trace_id`]
+/// allocates per-run trace ids so a multi-run experiment can be demultiplexed
+/// later.
+pub struct TracingServer {
+    tx: Sender<Span>,
+    rx: Receiver<Span>,
+    registered: Mutex<HashMap<&'static str, ChannelTracer>>,
+    next_trace_id: AtomicU64,
+}
+
+impl Default for TracingServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TracingServer {
+    /// Creates a new server with an empty buffer.
+    pub fn new() -> Self {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        Self {
+            tx,
+            rx,
+            registered: Mutex::new(HashMap::new()),
+            next_trace_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Creates (or returns the previously created) tracer named `name`.
+    ///
+    /// Multiple profilers may coexist within a stack level (§III-A: "multiple
+    /// tracers (or profilers) can exist within a stack level"); each gets its
+    /// own named tracer, all feeding the same timeline.
+    pub fn tracer(&self, name: &'static str) -> ChannelTracer {
+        let mut reg = self.registered.lock();
+        reg.entry(name)
+            .or_insert_with(|| ChannelTracer::new(name, self.tx.clone()))
+            .clone()
+    }
+
+    /// Names of all registered tracers.
+    pub fn tracer_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.registered.lock().keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Allocates a fresh per-run trace id.
+    pub fn fresh_trace_id(&self) -> TraceId {
+        TraceId(self.next_trace_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Collects every span published since the previous drain.
+    pub fn drain(&self) -> Trace {
+        Trace {
+            spans: self.rx.try_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanBuilder;
+    use crate::tracer::Tracer;
+
+    fn span(trace_id: TraceId, name: &str, level: StackLevel, s: u64, e: u64) -> Span {
+        SpanBuilder::new(name, level, trace_id).start(s).finish(e)
+    }
+
+    #[test]
+    fn drain_collects_published_spans() {
+        let server = TracingServer::new();
+        let t1 = server.tracer("model");
+        let t2 = server.tracer("layer");
+        let id = server.fresh_trace_id();
+        t1.report(span(id, "predict", StackLevel::Model, 0, 100));
+        t2.report(span(id, "conv", StackLevel::Layer, 10, 60));
+        let trace = server.drain();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.levels_present(), vec![StackLevel::Model, StackLevel::Layer]);
+        // second drain is empty
+        assert!(server.drain().is_empty());
+    }
+
+    #[test]
+    fn tracer_is_memoized_by_name() {
+        let server = TracingServer::new();
+        let a = server.tracer("gpu");
+        a.set_enabled(false);
+        let b = server.tracer("gpu");
+        assert!(!b.is_enabled(), "same underlying tracer must be returned");
+        assert_eq!(server.tracer_names(), vec!["gpu"]);
+    }
+
+    #[test]
+    fn fresh_trace_ids_are_distinct() {
+        let server = TracingServer::new();
+        let a = server.fresh_trace_id();
+        let b = server.fresh_trace_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_demultiplexes_runs() {
+        let server = TracingServer::new();
+        let t = server.tracer("model");
+        let run1 = server.fresh_trace_id();
+        let run2 = server.fresh_trace_id();
+        t.report(span(run1, "p", StackLevel::Model, 0, 10));
+        t.report(span(run2, "p", StackLevel::Model, 20, 35));
+        let all = server.drain();
+        assert_eq!(all.trace_ids(), vec![run1, run2]);
+        assert_eq!(all.for_trace_id(run1).len(), 1);
+        assert_eq!(all.for_trace_id(run2).spans()[0].start_ns, 20);
+    }
+
+    #[test]
+    fn children_of_uses_explicit_parents() {
+        let server = TracingServer::new();
+        let t = server.tracer("fw");
+        let id = server.fresh_trace_id();
+        let parent = span(id, "predict", StackLevel::Model, 0, 100);
+        let pid = parent.id;
+        let child = SpanBuilder::new("conv", StackLevel::Layer, id)
+            .start(5)
+            .parent(pid)
+            .finish(50);
+        t.report(parent);
+        t.report(child);
+        let trace = server.drain();
+        let kids = trace.children_of(pid);
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].name, "conv");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Trace::from_spans(vec![span(TraceId(1), "x", StackLevel::Model, 0, 1)]);
+        let b = Trace::from_spans(vec![span(TraceId(2), "y", StackLevel::Layer, 2, 3)]);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn spans_survive_cross_thread_publication() {
+        let server = TracingServer::new();
+        let id = server.fresh_trace_id();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tracer = server.tracer("gpu");
+                std::thread::spawn(move || {
+                    for j in 0..100u64 {
+                        tracer.report(
+                            SpanBuilder::new(
+                                format!("k{i}_{j}"),
+                                StackLevel::Kernel,
+                                id,
+                            )
+                            .start(j)
+                            .finish(j + 1),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.drain().len(), 400);
+    }
+}

@@ -1,0 +1,178 @@
+//! Statistical summaries used by the automated analysis pipeline.
+//!
+//! §III-D: "the pipeline takes traces from a user-defined number of
+//! evaluations, correlates the information, and computes the trimmed mean
+//! value (or other user-defined statistical summaries) for the same
+//! performance value across runs."
+
+/// Trimmed mean: drops `trim_fraction` of the samples from *each* tail
+/// before averaging. `trim_fraction = 0.0` is the arithmetic mean;
+/// `trim_fraction = 0.5` degenerates to the median-ish midpoint.
+///
+/// Returns `None` for an empty slice.
+pub fn trimmed_mean(samples: &[f64], trim_fraction: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!(
+        (0.0..=0.5).contains(&trim_fraction),
+        "trim fraction {trim_fraction} outside [0, 0.5]"
+    );
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let k = ((sorted.len() as f64) * trim_fraction).floor() as usize;
+    let kept = &sorted[k..sorted.len() - k];
+    if kept.is_empty() {
+        // Trimming removed everything (tiny n, large trim): fall back to the
+        // median midpoint so the summary stays defined.
+        let mid = sorted.len() / 2;
+        return Some(if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        });
+    }
+    Some(kept.iter().sum::<f64>() / kept.len() as f64)
+}
+
+/// Arithmetic mean; `None` when empty.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` when empty.
+pub fn std_dev(samples: &[f64]) -> Option<f64> {
+    let m = mean(samples)?;
+    let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`; `None` when empty.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let w = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - w) + sorted[hi] * w)
+    }
+}
+
+/// A full statistical summary of one performance value across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Trimmed mean (the analysis pipeline's default summary).
+    pub trimmed_mean: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples` with the given trim fraction. Returns `None`
+    /// when `samples` is empty.
+    pub fn of(samples: &[f64], trim_fraction: f64) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            n: samples.len(),
+            min,
+            max,
+            mean: mean(samples)?,
+            trimmed_mean: trimmed_mean(samples, trim_fraction)?,
+            median: percentile(samples, 50.0)?,
+            std_dev: std_dev(samples)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        let samples = [10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 1000.0, 0.0];
+        // 10% trim drops the single outlier on each tail
+        let tm = trimmed_mean(&samples, 0.1).unwrap();
+        assert!((tm - 10.0).abs() < 1e-9, "got {tm}");
+        // untrimmed mean is polluted
+        assert!(mean(&samples).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_mean() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(trimmed_mean(&samples, 0.0), mean(&samples));
+    }
+
+    #[test]
+    fn trimmed_mean_empty_is_none() {
+        assert_eq!(trimmed_mean(&[], 0.1), None);
+    }
+
+    #[test]
+    fn trimmed_mean_tiny_n_full_trim_falls_back_to_median() {
+        let samples = [1.0, 100.0];
+        let tm = trimmed_mean(&samples, 0.5).unwrap();
+        assert!((tm - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn trim_fraction_out_of_range_panics() {
+        trimmed_mean(&[1.0], 0.6);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let samples = [0.0, 10.0];
+        assert_eq!(percentile(&samples, 0.0), Some(0.0));
+        assert_eq!(percentile(&samples, 100.0), Some(10.0));
+        assert_eq!(percentile(&samples, 50.0), Some(5.0));
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), Some(0.0));
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = Summary::of(&samples, 0.2).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        // 20% trim on 5 samples drops 1 from each side: mean of 2,3,4
+        assert_eq!(s.trimmed_mean, 3.0);
+        assert!(s.std_dev > 0.0);
+        assert!(Summary::of(&[], 0.1).is_none());
+    }
+}

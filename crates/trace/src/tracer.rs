@@ -1,0 +1,146 @@
+//! Tracers: per-profiler span publishers (§III-A step 1: "each profiler
+//! within a stack is turned into a tracer").
+//!
+//! Every profiler — the model-level timer, the framework layer profiler, the
+//! CUPTI adapter — holds a [`Tracer`] and publishes finished spans through
+//! it. Spans travel over a lock-free channel to the [`crate::TracingServer`],
+//! so publication is asynchronous and adds negligible overhead to the
+//! profiled application (§III-C: "creating spans online adds negligible
+//! overhead per span"). Tracers can be enabled and disabled at runtime, which
+//! is the mechanism behind leveled experimentation.
+
+use crate::span::Span;
+use crossbeam_channel::Sender;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A destination for finished spans.
+pub trait Tracer: Send + Sync {
+    /// Publishes a finished span. Implementations must not block on the
+    /// consumer.
+    fn report(&self, span: Span);
+
+    /// Whether the tracer currently forwards spans. Disabled tracers drop
+    /// spans silently, letting callers skip span construction entirely.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A tracer that forwards spans to a tracing server over a channel.
+///
+/// The channel is unbounded: the profiled application never blocks on the
+/// aggregation side. An atomic enable flag supports runtime toggling
+/// (§III-A: "tracers can be enabled or disabled at runtime").
+#[derive(Clone)]
+pub struct ChannelTracer {
+    name: &'static str,
+    tx: Sender<Span>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl ChannelTracer {
+    /// Creates a tracer named `name` publishing into `tx`.
+    pub fn new(name: &'static str, tx: Sender<Span>) -> Self {
+        Self {
+            name,
+            tx,
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// The tracer's name (identifies the producing profiler).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Enables or disables the tracer.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+}
+
+impl Tracer for ChannelTracer {
+    fn report(&self, span: Span) {
+        if self.is_enabled() {
+            // The server may already have shut down during teardown; spans
+            // reported after that point are intentionally dropped.
+            let _ = self.tx.send(span);
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+}
+
+/// A tracer that drops every span; used when a stack level's profiling is
+/// turned off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    fn report(&self, _span: Span) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanBuilder, StackLevel, TraceId};
+
+    fn mk_span(name: &str) -> Span {
+        SpanBuilder::new(name, StackLevel::Model, TraceId(0))
+            .start(0)
+            .finish(1)
+    }
+
+    #[test]
+    fn channel_tracer_forwards_spans() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let tracer = ChannelTracer::new("test", tx);
+        tracer.report(mk_span("a"));
+        tracer.report(mk_span("b"));
+        let got: Vec<_> = rx.try_iter().map(|s| s.name).collect();
+        assert_eq!(got, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn disabled_tracer_drops_spans() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let tracer = ChannelTracer::new("test", tx);
+        tracer.set_enabled(false);
+        assert!(!tracer.is_enabled());
+        tracer.report(mk_span("dropped"));
+        assert!(rx.try_iter().next().is_none());
+        tracer.set_enabled(true);
+        tracer.report(mk_span("kept"));
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn clones_share_enable_flag() {
+        let (tx, _rx) = crossbeam_channel::unbounded();
+        let a = ChannelTracer::new("t", tx);
+        let b = a.clone();
+        b.set_enabled(false);
+        assert!(!a.is_enabled());
+    }
+
+    #[test]
+    fn report_after_receiver_drop_is_silent() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let tracer = ChannelTracer::new("t", tx);
+        drop(rx);
+        tracer.report(mk_span("late")); // must not panic
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled() {
+        assert!(!NoopTracer.is_enabled());
+        NoopTracer.report(mk_span("x"));
+    }
+}

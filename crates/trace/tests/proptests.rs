@@ -1,0 +1,153 @@
+//! Property tests for the tracing substrate: interval-tree queries vs a
+//! naive oracle, parent-reconstruction invariants, and statistics bounds.
+
+use proptest::prelude::*;
+use xsp_trace::interval::{Interval, IntervalTree};
+use xsp_trace::span::tag_keys;
+use xsp_trace::stats::{percentile, trimmed_mean, Summary};
+use xsp_trace::{reconstruct_parents, SpanBuilder, StackLevel, Trace, TraceId};
+
+fn arb_intervals(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0u64..1000, 0u64..100), 0..max_n).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(k, (start, len))| Interval::new(start, start + len, k))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn tree_containing_matches_naive(intervals in arb_intervals(120), lo in 0u64..1100, len in 0u64..120) {
+        let hi = lo + len;
+        let tree = IntervalTree::build(intervals.clone());
+        let mut got: Vec<usize> = tree.containing(lo, hi).map(|iv| iv.key).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = intervals
+            .iter()
+            .filter(|iv| iv.contains_range(lo, hi))
+            .map(|iv| iv.key)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tree_overlapping_matches_naive(intervals in arb_intervals(120), lo in 0u64..1100, len in 0u64..120) {
+        let hi = lo + len;
+        let tree = IntervalTree::build(intervals.clone());
+        let mut got: Vec<usize> = tree.overlapping(lo, hi).map(|iv| iv.key).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = intervals
+            .iter()
+            .filter(|iv| iv.overlaps(lo, hi))
+            .map(|iv| iv.key)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tree_contained_in_matches_naive(intervals in arb_intervals(120), lo in 0u64..1100, len in 0u64..200) {
+        let hi = lo + len;
+        let tree = IntervalTree::build(intervals.clone());
+        let mut got: Vec<usize> = tree.contained_in(lo, hi).map(|iv| iv.key).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = intervals
+            .iter()
+            .filter(|iv| lo <= iv.start && iv.end <= hi)
+            .map(|iv| iv.key)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic(intervals in arb_intervals(256)) {
+        let n = intervals.len();
+        let tree = IntervalTree::build(intervals);
+        if n > 0 {
+            let bound = (n as f64).log2().ceil() as usize + 1;
+            prop_assert!(tree.depth() <= bound, "depth {} for {} nodes", tree.depth(), n);
+        }
+    }
+
+    /// Nested (non-overlapping-sibling) layer structures always reconstruct
+    /// cleanly: every kernel's parent is the layer that contains it.
+    #[test]
+    fn reconstruction_recovers_nested_structure(
+        layer_lens in prop::collection::vec(10u64..60, 1..12),
+        kernel_fracs in prop::collection::vec((0.1f64..0.9, 0.02f64..0.08), 1..30),
+    ) {
+        let trace_id = TraceId(1);
+        let mut spans = Vec::new();
+        // model covers everything
+        let total: u64 = layer_lens.iter().sum::<u64>() + 10;
+        let model = SpanBuilder::new("model", StackLevel::Model, trace_id)
+            .start(0)
+            .finish(total + 10);
+        spans.push(model);
+        // consecutive layers
+        let mut cursor = 5u64;
+        let mut layer_bounds = Vec::new();
+        for (i, len) in layer_lens.iter().enumerate() {
+            let s = SpanBuilder::new(format!("layer{i}"), StackLevel::Layer, trace_id)
+                .start(cursor)
+                .tag(tag_keys::LAYER_INDEX, i as u64)
+                .finish(cursor + len);
+            layer_bounds.push((s.id, cursor, cursor + len));
+            spans.push(s);
+            cursor += len;
+        }
+        // kernels at fractional positions within random layers
+        for (j, (frac, width)) in kernel_fracs.iter().enumerate() {
+            let (lid, lo, hi) = layer_bounds[j % layer_bounds.len()];
+            let span_len = hi - lo;
+            let start = lo + (span_len as f64 * frac) as u64;
+            let dur = ((span_len as f64) * width).max(1.0) as u64;
+            let end = (start + dur).min(hi);
+            if end <= start { continue; }
+            let k = SpanBuilder::new(format!("kernel{j}"), StackLevel::Kernel, trace_id)
+                .start(start)
+                .finish(end);
+            spans.push(k);
+            let _ = lid;
+        }
+        let correlated = reconstruct_parents(&Trace::from_spans(spans));
+        prop_assert!(correlated.ambiguities.is_clean(), "{:?}", correlated.ambiguities);
+        for s in &correlated.spans {
+            if s.span.level == StackLevel::Kernel {
+                let parent = s.parent.expect("kernel parented");
+                let p = correlated.find(parent).unwrap();
+                prop_assert_eq!(p.span.level, StackLevel::Layer);
+                prop_assert!(p.span.contains(&s.span));
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_within_min_max(samples in prop::collection::vec(-1e6f64..1e6, 1..50), trim in 0.0f64..0.49) {
+        let tm = trimmed_mean(&samples, trim).unwrap();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(tm >= min - 1e-9 && tm <= max + 1e-9, "{tm} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn percentiles_are_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let p25 = percentile(&samples, 25.0).unwrap();
+        let p50 = percentile(&samples, 50.0).unwrap();
+        let p75 = percentile(&samples, 75.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p75);
+    }
+
+    #[test]
+    fn summary_invariants(samples in prop::collection::vec(0f64..1e9, 1..40)) {
+        let s = Summary::of(&samples, 0.1).unwrap();
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, samples.len());
+    }
+}

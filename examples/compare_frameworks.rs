@@ -1,0 +1,48 @@
+//! Framework comparison (§IV-B / Table X): TensorFlow vs MXNet on a
+//! compute-bound ResNet and a memory-bound MobileNet.
+//!
+//! Run with: `cargo run --release --example compare_frameworks`
+
+use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::report::{fmt_ms, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn main() {
+    let system = systems::tesla_v100();
+    let tf = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(2));
+    let mx = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::MXNet).runs(2));
+    let batches = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+
+    let mut t = Table::new(
+        "TensorFlow vs MXNet on Tesla_V100 (cf. Table X)",
+        &["Model", "Framework", "Online (ms)", "Max Throughput (in/s)", "Kernel (ms @opt)", "DRAM r+w (GB @opt)"],
+    );
+    for name in ["ResNet_v1_50", "MobileNet_v1_1.0_224"] {
+        let m = zoo::by_name(name).unwrap();
+        for (label, xsp) in [("TensorFlow", &tf), ("MXNet", &mx)] {
+            let online = xsp.model_only(&m.graph(1)).model_latency_ms();
+            let sweep = xsp.batch_sweep(|b| m.graph(b), &batches);
+            let optimal = Xsp::optimal_batch(&sweep);
+            let max_tp = sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
+            let p = xsp.with_gpu(&m.graph(optimal));
+            let a = a15_model_aggregate(&p, &system);
+            t.row(vec![
+                name.to_owned(),
+                label.to_owned(),
+                fmt_ms(online),
+                format!("{max_tp:.0}"),
+                fmt_ms(a.kernel_latency_ms),
+                format!("{:.2}", (a.dram_read_mb + a.dram_write_mb) / 1e3),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected shape (paper §IV-B): MXNet ResNet pays its fixed engine overhead at batch 1\n\
+         but matches TensorFlow at the optimal batch; MXNet MobileNet wins on throughput\n\
+         because its native element-wise kernels avoid Eigen's excess DRAM traffic."
+    );
+}

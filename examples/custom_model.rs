@@ -1,0 +1,98 @@
+//! Calibration probe + "bring your own model" demo: profiles
+//! MLPerf_ResNet50_v1.5 with XSP and prints the A15 aggregate across batch
+//! sizes (the Figure 10 experiment), then does the same for a hand-built
+//! custom model — showing XSP needs no zoo integration.
+//!
+//! Run with: `cargo run --release --example custom_model`
+
+use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::profile::{Xsp, XspConfig};
+use xsp_dnn::ConvParams;
+use xsp_framework::{FrameworkKind, Layer, LayerGraph, LayerOp, TensorShape};
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn a15_sweep(xsp: &Xsp, name: &str, build: impl Fn(usize) -> LayerGraph) {
+    let system = xsp.config().system.clone();
+    println!("\n== {name} ==");
+    println!("batch | model_ms | kernel_ms | Gflops | reads_MB | writes_MB | occ% |    AI | bound");
+    for batch in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let p = xsp.with_gpu(&build(batch));
+        let a = a15_model_aggregate(&p, &system);
+        println!(
+            "{:5} | {:8.2} | {:9.2} | {:6.1} | {:8.0} | {:9.0} | {:4.1} | {:5.2} | {}",
+            batch,
+            a.model_latency_ms,
+            a.kernel_latency_ms,
+            a.gflops,
+            a.dram_read_mb,
+            a.dram_write_mb,
+            a.occupancy_pct,
+            a.arithmetic_intensity,
+            if a.memory_bound { "memory" } else { "compute" }
+        );
+    }
+}
+
+/// A custom model defined without the zoo: conv → BN → relu ×4 + classifier.
+fn custom(batch: usize) -> LayerGraph {
+    let mut layers = vec![Layer::new(
+        "data",
+        LayerOp::Data,
+        TensorShape::nchw(batch, 3, 64, 64),
+    )];
+    let mut c = 3usize;
+    let mut hw = 64usize;
+    for (i, out_c) in [32usize, 64, 128, 256].iter().enumerate() {
+        let p = ConvParams {
+            batch,
+            in_c: c,
+            in_h: hw,
+            in_w: hw,
+            out_c: *out_c,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            pad: 1,
+        };
+        hw = p.out_h();
+        c = *out_c;
+        layers.push(Layer::new(
+            format!("block{i}/conv"),
+            LayerOp::Conv2D(p),
+            TensorShape::nchw(batch, c, hw, hw),
+        ));
+        layers.push(Layer::new(
+            format!("block{i}/bn"),
+            LayerOp::FusedBatchNorm,
+            TensorShape::nchw(batch, c, hw, hw),
+        ));
+        layers.push(Layer::new(
+            format!("block{i}/relu"),
+            LayerOp::Relu,
+            TensorShape::nchw(batch, c, hw, hw),
+        ));
+    }
+    layers.push(Layer::new(
+        "head/fc",
+        LayerOp::MatMul {
+            in_features: c * hw * hw,
+            out_features: 10,
+        },
+        TensorShape::nf(batch, 10),
+    ));
+    layers.push(Layer::new(
+        "head/softmax",
+        LayerOp::Softmax,
+        TensorShape::nf(batch, 10),
+    ));
+    LayerGraph::new(layers)
+}
+
+fn main() {
+    let system = systems::tesla_v100();
+    let xsp = Xsp::new(XspConfig::new(system, FrameworkKind::TensorFlow).runs(1));
+    let resnet = zoo::by_name("MLPerf_ResNet50_v1.5").unwrap();
+    a15_sweep(&xsp, resnet.name, |b| resnet.graph(b));
+    a15_sweep(&xsp, "custom_cnn (user-defined)", custom);
+}

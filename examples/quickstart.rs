@@ -1,0 +1,105 @@
+//! Quickstart: profile MLPerf_ResNet50_v1.5 on a simulated Tesla V100
+//! across all three stack levels and print the paper's walkthrough numbers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xsp_core::analysis;
+use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn main() {
+    let system = systems::tesla_v100();
+    let cfg = XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(2);
+    let xsp = Xsp::new(cfg);
+
+    let model = zoo::by_name("MLPerf_ResNet50_v1.5").expect("model in zoo");
+    println!("== XSP quickstart: {} on {} ==\n", model.name, system.name);
+
+    // Across-stack profile at batch 256 (the model's optimal batch size).
+    let graph = model.graph(256);
+    let profile = xsp.leveled(&graph);
+
+    // Leveled experimentation (Figure 2).
+    let o = profile.overhead_report();
+    println!("Leveled experimentation (Figure 2):");
+    println!("  M     prediction latency : {} ms", fmt_ms(o.model_ms));
+    println!(
+        "  M/L   prediction latency : {} ms  (layer profiling overhead {} ms)",
+        fmt_ms(o.model_layer_ms),
+        fmt_ms(o.layer_overhead_ms)
+    );
+    println!(
+        "  M/L/G prediction latency : {} ms  (GPU profiling overhead {} ms)\n",
+        fmt_ms(o.model_layer_gpu_ms),
+        fmt_ms(o.gpu_overhead_ms)
+    );
+
+    println!(
+        "model latency {} ms | throughput {:.1} inputs/s | GPU latency {}%\n",
+        fmt_ms(profile.model_latency_ms()),
+        profile.throughput(),
+        fmt_pct(profile.gpu_latency_percent()),
+    );
+
+    // A2: top-5 most time-consuming layers (Table II).
+    let mut layers = analysis::a2_layer_info(&profile);
+    layers.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
+    let mut t = Table::new(
+        "Top-5 most time-consuming layers (A2, cf. Table II)",
+        &["Index", "Name", "Type", "Shape", "Latency (ms)", "Alloc (MB)"],
+    );
+    for l in layers.iter().take(5) {
+        t.row(vec![
+            l.index.to_string(),
+            l.name.clone(),
+            l.type_name.clone(),
+            l.shape.clone(),
+            fmt_ms(l.latency_ms),
+            fmt_mb(l.alloc_mb),
+        ]);
+    }
+    println!("{t}");
+
+    // A10: top-5 kernels by name (Table IV).
+    let a10 = analysis::a10_kernel_info_by_name(&profile, &system);
+    let mut t = Table::new(
+        "Top-5 kernels aggregated by name (A10, cf. Table IV)",
+        &["Kernel", "Count", "Latency (ms)", "%", "Gflops", "Occ (%)", "Mem-bound"],
+    );
+    for k in a10.iter().take(5) {
+        t.row(vec![
+            k.name.chars().take(48).collect(),
+            k.count.to_string(),
+            fmt_ms(k.latency_ms),
+            fmt_pct(k.latency_percent),
+            format!("{:.2}", k.gflops),
+            fmt_pct(k.occupancy_pct),
+            fmt_bound(k.memory_bound),
+        ]);
+    }
+    println!("{t}");
+
+    // A15: whole-model aggregate (Table VI row for batch 256).
+    let a15 = analysis::a15_model_aggregate(&profile, &system);
+    println!(
+        "A15 @ batch {}: kernel latency {} ms, {:.1} Gflops, reads {} MB, writes {} MB, occ {}%, AI {:.2}, {}",
+        a15.batch,
+        fmt_ms(a15.kernel_latency_ms),
+        a15.gflops,
+        fmt_mb(a15.dram_read_mb),
+        fmt_mb(a15.dram_write_mb),
+        fmt_pct(a15.occupancy_pct),
+        a15.arithmetic_intensity,
+        if a15.memory_bound { "memory-bound" } else { "compute-bound" },
+    );
+
+    // Online latency (batch 1).
+    let online = xsp.model_only(&model.graph(1));
+    println!(
+        "\nonline latency (batch 1): {} ms",
+        fmt_ms(online.model_latency_ms())
+    );
+}

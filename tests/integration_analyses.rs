@@ -1,0 +1,160 @@
+//! Cross-analysis consistency: the A1–A15 results must agree with each
+//! other and with ground truth wherever they overlap.
+
+use xsp_core::analysis::*;
+use xsp_core::profile::{BatchProfile, Xsp, XspConfig};
+use xsp_core::roofline::attainable_tflops;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn profile(batch: usize) -> (xsp_core::LeveledProfile, xsp_gpu::System) {
+    let system = systems::tesla_v100();
+    let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(1));
+    (
+        xsp.leveled(&zoo::by_name("Inception_v1").unwrap().graph(batch)),
+        system,
+    )
+}
+
+#[test]
+fn a15_equals_sum_of_a11() {
+    let (p, sys) = profile(8);
+    let a11 = a11_kernel_info_by_layer(&p, &sys);
+    let a15 = a15_model_aggregate(&p, &sys);
+    let lat: f64 = a11.iter().map(|r| r.kernel_latency_ms).sum();
+    let flops: f64 = a11.iter().map(|r| r.gflops).sum();
+    let reads: f64 = a11.iter().map(|r| r.dram_read_mb).sum();
+    let writes: f64 = a11.iter().map(|r| r.dram_write_mb).sum();
+    assert!((lat - a15.kernel_latency_ms).abs() < 1e-6);
+    assert!((flops - a15.gflops).abs() < 1e-6);
+    assert!((reads - a15.dram_read_mb).abs() < 1e-3);
+    assert!((writes - a15.dram_write_mb).abs() < 1e-3);
+}
+
+#[test]
+fn a12_equals_a11_projection() {
+    let (p, sys) = profile(8);
+    let a11 = a11_kernel_info_by_layer(&p, &sys);
+    let a12 = a12_metrics_per_layer(&p, &sys);
+    assert_eq!(a11.len(), a12.len());
+    for (x, y) in a11.iter().zip(a12.iter()) {
+        assert_eq!(x.layer_index, y.layer_index);
+        assert_eq!(x.gflops, y.gflops);
+    }
+}
+
+#[test]
+fn a13_sums_to_layer_latency() {
+    let (p, sys) = profile(8);
+    let a13 = a13_gpu_vs_nongpu(&p, &sys);
+    let layers = p.layers();
+    for (idx, gpu, non_gpu) in &a13 {
+        let layer = layers.iter().find(|l| l.index == *idx).unwrap();
+        assert!(
+            (gpu + non_gpu - layer.latency_ms).abs() < 1e-6
+                || gpu + non_gpu <= layer.latency_ms + 1e-6,
+            "layer {idx}: {gpu}+{non_gpu} vs {}",
+            layer.latency_ms
+        );
+    }
+}
+
+#[test]
+fn a2_through_a7_are_mutually_consistent() {
+    let (p, _) = profile(8);
+    let a2 = a2_layer_info(&p);
+    let a3 = a3_layer_latency(&p);
+    let a5 = a5_layer_type_distribution(&p);
+    let a6 = a6_latency_by_type(&p);
+    assert_eq!(a2.len(), a3.len());
+    let count_sum: usize = a5.iter().map(|r| r.count).sum();
+    assert_eq!(count_sum, a2.len());
+    let a2_total: f64 = a2.iter().map(|r| r.latency_ms).sum();
+    let a6_total: f64 = a6.iter().map(|r| r.total).sum();
+    assert!((a2_total - a6_total).abs() < 1e-6);
+}
+
+#[test]
+fn a9_points_respect_the_roofline_ceiling() {
+    let (p, sys) = profile(8);
+    for pt in a9_kernel_roofline(&p, &sys) {
+        let ceiling = attainable_tflops(pt.arithmetic_intensity, &sys);
+        assert!(
+            pt.throughput_tflops <= ceiling * 1.02,
+            "{}: {:.2} above ceiling {:.2}",
+            pt.name,
+            pt.throughput_tflops,
+            ceiling
+        );
+    }
+}
+
+#[test]
+fn a14_layer_points_respect_the_ceiling_too() {
+    let (p, sys) = profile(8);
+    for pt in a14_layer_roofline(&p, &sys) {
+        let ceiling = attainable_tflops(pt.arithmetic_intensity, &sys);
+        assert!(
+            pt.throughput_tflops <= ceiling * 1.02,
+            "{}: {:.2} above {:.2}",
+            pt.name,
+            pt.throughput_tflops,
+            ceiling
+        );
+    }
+}
+
+#[test]
+fn a1_optimal_batch_consistent_with_throughputs() {
+    let system = systems::tesla_v100();
+    let xsp = Xsp::new(XspConfig::new(system, FrameworkKind::TensorFlow).runs(1));
+    let m = zoo::by_name("ResNet_v2_50").unwrap();
+    let sweep: Vec<BatchProfile> = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+    let table = a1_model_info(&sweep);
+    // doubling past the optimum gains <= 5%
+    let opt_tp = table
+        .rows
+        .iter()
+        .find(|r| r.batch == table.optimal_batch)
+        .unwrap()
+        .throughput;
+    if let Some(next) = table
+        .rows
+        .iter()
+        .find(|r| r.batch == table.optimal_batch * 2)
+    {
+        assert!(next.throughput <= opt_tp * 1.05);
+    }
+}
+
+#[test]
+fn kernel_flops_match_analytic_conv_flops() {
+    // ground truth check: A8's per-kernel flops for the stem conv equal the
+    // analytic direct_flops of the layer's ConvParams
+    let system = systems::tesla_v100();
+    let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(1));
+    let graph = zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(4);
+    use xsp_framework::LayerOp;
+    let stem_flops = graph
+        .layers
+        .iter()
+        .find_map(|l| match &l.op {
+            LayerOp::Conv2D(p) => Some(p.direct_flops()),
+            _ => None,
+        })
+        .unwrap();
+    let p = xsp.leveled(&graph);
+    let a8 = a8_kernel_info(&p, &system);
+    let stem_kernel = a8
+        .iter()
+        .find(|k| k.name.contains("convolve") || k.name.contains("scudnn"))
+        .unwrap();
+    let rel_err = ((stem_kernel.gflops * 1e9) - stem_flops as f64).abs() / (stem_flops as f64);
+    assert!(
+        rel_err < 0.01,
+        "kernel {} vs analytic {}",
+        stem_kernel.gflops * 1e9,
+        stem_flops
+    );
+}

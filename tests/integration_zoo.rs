@@ -1,0 +1,118 @@
+//! Zoo-wide integration: all 65 models execute under XSP and their
+//! task-level signatures match §IV-A.
+
+use xsp_core::analysis::convolution_latency_percent;
+use xsp_core::profile::{Xsp, XspConfig};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo::{self};
+
+fn xsp(framework: FrameworkKind) -> Xsp {
+    Xsp::new(XspConfig::new(systems::tesla_v100(), framework).runs(1))
+}
+
+#[test]
+fn all_55_tensorflow_models_profile_at_model_level() {
+    let xsp = xsp(FrameworkKind::TensorFlow);
+    for m in zoo::tensorflow_models() {
+        let p = xsp.model_only(&m.graph(1));
+        let ms = p.model_latency_ms();
+        assert!(ms > 0.1, "{}: {ms} ms", m.name);
+        assert!(ms < 60_000.0, "{}: {ms} ms", m.name);
+    }
+}
+
+#[test]
+fn all_10_mxnet_models_profile_at_model_level() {
+    let xsp = xsp(FrameworkKind::MXNet);
+    for m in zoo::mxnet_models() {
+        let p = xsp.model_only(&m.graph(1));
+        assert!(p.model_latency_ms() > 0.1, "{}", m.name);
+    }
+}
+
+#[test]
+fn ic_models_are_conv_dominated() {
+    let xsp = xsp(FrameworkKind::TensorFlow);
+    // spot-check a spread of IC models at batch 16
+    for (name, min_pct) in [
+        ("VGG16", 55.0),
+        ("ResNet_v1_50", 40.0),
+        ("Inception_v3", 45.0),
+        ("MobileNet_v1_1.0_224", 30.0),
+    ] {
+        let p = xsp.leveled(&zoo::by_name(name).unwrap().graph(16));
+        let pct = convolution_latency_percent(&p);
+        assert!(pct > min_pct, "{name}: conv {pct:.1}% < {min_pct}%");
+    }
+}
+
+#[test]
+fn detection_models_are_where_dominated() {
+    let xsp = xsp(FrameworkKind::TensorFlow);
+    for name in ["SSD_MobileNet_v2", "MLPerf_SSD_MobileNet_v1_300x300"] {
+        let p = xsp.leveled(&zoo::by_name(name).unwrap().graph(4));
+        let conv_pct = convolution_latency_percent(&p);
+        assert!(conv_pct < 15.0, "{name}: conv {conv_pct:.1}%");
+        // Where layers carry the latency
+        let layers = p.layers();
+        let total: f64 = layers.iter().map(|l| l.latency_ms).sum();
+        let where_ms: f64 = layers
+            .iter()
+            .filter(|l| l.type_name == "Where")
+            .map(|l| l.latency_ms)
+            .sum();
+        assert!(
+            where_ms / total > 0.4,
+            "{name}: Where share {:.1}%",
+            100.0 * where_ms / total
+        );
+    }
+}
+
+#[test]
+fn mobilenet_grid_orders_by_cost() {
+    // throughput rises as alpha and resolution shrink (Table VIII ordering)
+    let xsp = xsp(FrameworkKind::TensorFlow);
+    let tp = |name: &str| {
+        let m = zoo::by_name(name).unwrap();
+        xsp.model_only(&m.graph(64)).throughput()
+    };
+    assert!(tp("MobileNet_v1_0.25_128") > tp("MobileNet_v1_0.5_160"));
+    assert!(tp("MobileNet_v1_0.5_160") > tp("MobileNet_v1_1.0_224"));
+}
+
+#[test]
+fn deeper_resnets_are_slower() {
+    let xsp = xsp(FrameworkKind::TensorFlow);
+    let ms = |name: &str| {
+        xsp.model_only(&zoo::by_name(name).unwrap().graph(16))
+            .model_latency_ms()
+    };
+    let r50 = ms("ResNet_v1_50");
+    let r101 = ms("ResNet_v1_101");
+    let r152 = ms("ResNet_v1_152");
+    assert!(r50 < r101 && r101 < r152, "{r50} {r101} {r152}");
+}
+
+#[test]
+fn faster_rcnn_nas_is_the_slowest_model() {
+    let xsp = xsp(FrameworkKind::TensorFlow);
+    let nas = xsp
+        .model_only(&zoo::by_name("Faster_RCNN_NAS").unwrap().graph(1))
+        .model_latency_ms();
+    for other in ["Faster_RCNN_ResNet101", "Mask_RCNN_ResNet101_v2", "VGG19"] {
+        let ms = xsp
+            .model_only(&zoo::by_name(other).unwrap().graph(1))
+            .model_latency_ms();
+        assert!(nas > ms * 3.0, "NAS {nas} vs {other} {ms}");
+    }
+}
+
+#[test]
+fn srgan_is_conv_heavy() {
+    let xsp = xsp(FrameworkKind::TensorFlow);
+    let p = xsp.leveled(&zoo::by_name("SRGAN").unwrap().graph(1));
+    let pct = convolution_latency_percent(&p);
+    assert!(pct > 50.0, "SRGAN conv {pct:.1}% (paper: 62.3%)");
+}
