@@ -1,7 +1,7 @@
 //! Extension experiment (§III-E): host/CPU tracer co-existing with the GPU
 //! tracers in one timeline, plus the AX2 per-op-type dispatch aggregation.
 
-use xsp_bench::{banner, timed, xsp_on};
+use xsp_bench::{banner, timed};
 use xsp_core::analysis::ax2_host_dispatch;
 use xsp_core::profile::XspConfig;
 use xsp_core::report::{fmt_ms, Table};
@@ -37,9 +37,14 @@ fn main() {
             }
             println!("{t}");
             if name.contains("SSD") {
-                assert_eq!(rows[0].op_type, "Where", "host time is Where-dominated on detection models");
+                assert_eq!(
+                    rows[0].op_type, "Where",
+                    "host time is Where-dominated on detection models"
+                );
             }
         }
-        println!("CPU and GPU spans share one timeline; A13's non-GPU latency now itemized per op.");
+        println!(
+            "CPU and GPU spans share one timeline; A13's non-GPU latency now itemized per op."
+        );
     });
 }

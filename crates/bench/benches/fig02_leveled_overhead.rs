@@ -13,7 +13,10 @@ fn main() {
         );
         let (profile, _) = resnet50_profile(256);
         let o = profile.overhead_report();
-        println!("M     : prediction {} ms (accurate model latency)", fmt_ms(o.model_ms));
+        println!(
+            "M     : prediction {} ms (accurate model latency)",
+            fmt_ms(o.model_ms)
+        );
         println!(
             "M/L   : prediction {} ms — layer profiling overhead {} ms",
             fmt_ms(o.model_layer_ms),

@@ -19,7 +19,10 @@ fn main() {
             .iter()
             .map(|r| (r.batch as f64, r.throughput))
             .collect();
-        println!("{}", render_series("throughput vs batch", "batch", "inputs/s", &series));
+        println!(
+            "{}",
+            render_series("throughput vs batch", "batch", "inputs/s", &series)
+        );
         println!(
             "optimal batch = {}, max throughput = {:.1} inputs/s, online latency = {:.2} ms",
             table.optimal_batch, table.max_throughput, table.online_latency_ms
@@ -28,10 +31,16 @@ fn main() {
         let mut last = 0.0;
         for r in &table.rows {
             if r.batch <= table.optimal_batch {
-                assert!(r.throughput >= last * 0.98, "throughput should rise to the optimum");
+                assert!(
+                    r.throughput >= last * 0.98,
+                    "throughput should rise to the optimum"
+                );
                 last = r.throughput;
             }
         }
-        assert!(table.optimal_batch >= 64, "large optimal batch (paper: 256)");
+        assert!(
+            table.optimal_batch >= 64,
+            "large optimal batch (paper: 256)"
+        );
     });
 }

@@ -17,21 +17,40 @@ fn main() {
         let a7 = a7_allocation_by_type(&profile);
         let mut t = Table::new("(a) A5 layer type distribution", &["Type", "Count", "%"]);
         for r in a5.iter().take(8) {
-            t.row(vec![r.type_name.clone(), r.count.to_string(), format!("{:.2}", r.percent)]);
+            t.row(vec![
+                r.type_name.clone(),
+                r.count.to_string(),
+                format!("{:.2}", r.percent),
+            ]);
         }
         println!("{t}");
         let mut t = Table::new("(b) A6 latency by type", &["Type", "Total (ms)", "%"]);
         for r in a6.iter().take(8) {
-            t.row(vec![r.type_name.clone(), format!("{:.2}", r.total), format!("{:.2}", r.percent)]);
+            t.row(vec![
+                r.type_name.clone(),
+                format!("{:.2}", r.total),
+                format!("{:.2}", r.percent),
+            ]);
         }
         println!("{t}");
         let mut t = Table::new("(c) A7 allocation by type", &["Type", "Total (MB)", "%"]);
         for r in a7.iter().take(8) {
-            t.row(vec![r.type_name.clone(), format!("{:.1}", r.total), format!("{:.2}", r.percent)]);
+            t.row(vec![
+                r.type_name.clone(),
+                format!("{:.1}", r.total),
+                format!("{:.2}", r.percent),
+            ]);
         }
         println!("{t}");
-        assert_eq!(a6[0].type_name, "Conv2D", "Conv2D is the most time-consuming type");
-        assert!(a6[0].percent > 40.0, "Conv2D dominates latency: {:.1}%", a6[0].percent);
+        assert_eq!(
+            a6[0].type_name, "Conv2D",
+            "Conv2D is the most time-consuming type"
+        );
+        assert!(
+            a6[0].percent > 40.0,
+            "Conv2D dominates latency: {:.1}%",
+            a6[0].percent
+        );
         let top4: Vec<&str> = a5.iter().take(4).map(|r| r.type_name.as_str()).collect();
         for ty in ["Conv2D", "Mul", "Add", "Relu"] {
             assert!(top4.contains(&ty), "{ty} among most common types: {top4:?}");

@@ -24,11 +24,17 @@ fn main() {
         let mem_stage = dominant_stage(&a4, n);
         println!(
             "latency stages  B/M/E: {:.1}/{:.1}/{:.1} ms  -> dominant {}",
-            lat_stage.beginning, lat_stage.middle, lat_stage.end, lat_stage.dominant()
+            lat_stage.beginning,
+            lat_stage.middle,
+            lat_stage.end,
+            lat_stage.dominant()
         );
         println!(
             "alloc stages    B/M/E: {:.0}/{:.0}/{:.0} MB  -> dominant {}",
-            mem_stage.beginning, mem_stage.middle, mem_stage.end, mem_stage.dominant()
+            mem_stage.beginning,
+            mem_stage.middle,
+            mem_stage.end,
+            mem_stage.dominant()
         );
         assert_eq!(
             mem_stage.dominant(),

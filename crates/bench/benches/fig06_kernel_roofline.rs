@@ -13,10 +13,17 @@ fn main() {
         );
         let (profile, system) = resnet50_profile(256);
         let points = a9_kernel_roofline(&profile, &system);
-        println!("{:>10} {:>12} {:>12}  kernel", "AI (f/B)", "Tflop/s", "roof");
+        println!(
+            "{:>10} {:>12} {:>12}  kernel",
+            "AI (f/B)", "Tflop/s", "roof"
+        );
         // print the distinct extremes: top 12 by throughput
         let mut sorted = points.clone();
-        sorted.sort_by(|a, b| b.throughput_tflops.partial_cmp(&a.throughput_tflops).unwrap());
+        sorted.sort_by(|a, b| {
+            b.throughput_tflops
+                .partial_cmp(&a.throughput_tflops)
+                .unwrap()
+        });
         for p in sorted.iter().take(12) {
             println!(
                 "{:>10.2} {:>12.2} {:>12.2}  {} [{}]",
@@ -29,7 +36,10 @@ fn main() {
         }
         let compute = points.iter().filter(|p| !p.memory_bound).count();
         let memory = points.len() - compute;
-        println!("\n{} kernels: {compute} compute-bound, {memory} memory-bound", points.len());
+        println!(
+            "\n{} kernels: {compute} compute-bound, {memory} memory-bound",
+            points.len()
+        );
         for p in &points {
             assert!(
                 p.throughput_tflops <= attainable_tflops(p.arithmetic_intensity, &system) * 1.02,

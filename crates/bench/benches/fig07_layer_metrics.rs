@@ -12,7 +12,10 @@ fn main() {
         );
         let (profile, system) = resnet50_profile(256);
         let rows = a12_metrics_per_layer(&profile, &system);
-        println!("{:>6} {:>12} {:>12} {:>12}", "index", "Gflops", "reads (MB)", "writes (MB)");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12}",
+            "index", "Gflops", "reads (MB)", "writes (MB)"
+        );
         for r in rows.iter().step_by(10) {
             println!(
                 "{:>6} {:>12.2} {:>12.1} {:>12.1}",

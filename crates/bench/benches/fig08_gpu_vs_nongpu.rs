@@ -12,7 +12,10 @@ fn main() {
         );
         let (profile, system) = resnet50_profile(256);
         let rows = a13_gpu_vs_nongpu(&profile, &system);
-        println!("{:>6} {:>10} {:>12} {:>8}", "index", "GPU (ms)", "nonGPU (ms)", "GPU %");
+        println!(
+            "{:>6} {:>10} {:>12} {:>8}",
+            "index", "GPU (ms)", "nonGPU (ms)", "GPU %"
+        );
         for (idx, gpu, non_gpu) in rows.iter().step_by(10) {
             let pct = 100.0 * gpu / (gpu + non_gpu).max(1e-12);
             println!("{idx:>6} {gpu:>10.3} {non_gpu:>12.3} {pct:>8.1}");
@@ -29,7 +32,10 @@ fn main() {
             .max_by(|a, b| (a.1 + a.2).partial_cmp(&(b.1 + b.2)).unwrap())
             .unwrap();
         let largest_pct = largest.1 / (largest.1 + largest.2);
-        assert!(largest_pct > 0.9, "largest layer is GPU-dominated: {largest_pct}");
+        assert!(
+            largest_pct > 0.9,
+            "largest layer is GPU-dominated: {largest_pct}"
+        );
         // some small layers have >5% non-GPU share
         let spread = rows
             .iter()

@@ -33,12 +33,22 @@ fn main() {
         );
         println!("\n{:>10} {:>10}  layer", "AI", "Tflop/s");
         let mut sorted = points.clone();
-        sorted.sort_by(|a, b| b.throughput_tflops.partial_cmp(&a.throughput_tflops).unwrap());
+        sorted.sort_by(|a, b| {
+            b.throughput_tflops
+                .partial_cmp(&a.throughput_tflops)
+                .unwrap()
+        });
         for p in sorted.iter().take(10) {
-            println!("{:>10.2} {:>10.2}  {}", p.arithmetic_intensity, p.throughput_tflops, p.name);
+            println!(
+                "{:>10.2} {:>10.2}  {}",
+                p.arithmetic_intensity, p.throughput_tflops, p.name
+            );
         }
         let conv_compute = conv.iter().filter(|b| !**b).count();
-        assert!(conv_compute * 10 > conv.len() * 9, "conv layers are compute-bound");
+        assert!(
+            conv_compute * 10 > conv.len() * 9,
+            "conv layers are compute-bound"
+        );
         assert!(mul.iter().all(|b| *b), "Mul layers memory-bound");
         assert!(add.iter().all(|b| *b), "Add layers memory-bound");
         assert!(relu.iter().all(|b| *b), "Relu layers memory-bound");

@@ -53,7 +53,10 @@ fn main() {
         }
         // ordering at batch 256: V100 >= RTX > P100 > P4 ~ M60
         let get = |n: &str| tp_at_256.iter().find(|(name, _)| name == n).unwrap().1;
-        assert!(get("Tesla_V100") > get("Quadro_RTX"), "V100 beats RTX (bandwidth)");
+        assert!(
+            get("Tesla_V100") > get("Quadro_RTX"),
+            "V100 beats RTX (bandwidth)"
+        );
         assert!(get("Quadro_RTX") > get("Tesla_P100"));
         assert!(get("Tesla_P100") > get("Tesla_P4"));
         assert!(get("Tesla_P4") > get("Tesla_M60"));

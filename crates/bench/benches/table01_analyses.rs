@@ -14,7 +14,14 @@ fn main() {
         );
         let mut t = Table::new(
             "Capability matrix",
-            &["Analysis", "Levels", "E2E bench", "FW profilers", "NVIDIA profilers", "XSP"],
+            &[
+                "Analysis",
+                "Levels",
+                "E2E bench",
+                "FW profilers",
+                "NVIDIA profilers",
+                "XSP",
+            ],
         );
         for (name, levels, caps) in analysis::capability_matrix() {
             let yn = |b: bool| if b { "yes" } else { "-" }.to_owned();

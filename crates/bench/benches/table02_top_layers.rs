@@ -18,7 +18,14 @@ fn main() {
         rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
         let mut t = Table::new(
             "Top-5 layers, batch 256, Tesla_V100",
-            &["Layer Index", "Layer Name", "Layer Type", "Layer Shape", "Latency (ms)", "Alloc Mem (MB)"],
+            &[
+                "Layer Index",
+                "Layer Name",
+                "Layer Type",
+                "Layer Shape",
+                "Latency (ms)",
+                "Alloc Mem (MB)",
+            ],
         );
         for r in rows.iter().take(5) {
             t.row(vec![

@@ -18,7 +18,18 @@ fn main() {
         rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
         let mut t = Table::new(
             "Top-5 kernel calls, batch 256, Tesla_V100",
-            &["Kernel Name", "Layer", "Latency (ms)", "Gflops", "Reads (MB)", "Writes (MB)", "Occ (%)", "AI (f/B)", "Tflop/s", "Mem-bound"],
+            &[
+                "Kernel Name",
+                "Layer",
+                "Latency (ms)",
+                "Gflops",
+                "Reads (MB)",
+                "Writes (MB)",
+                "Occ (%)",
+                "AI (f/B)",
+                "Tflop/s",
+                "Mem-bound",
+            ],
         );
         for r in rows.iter().take(5) {
             t.row(vec![

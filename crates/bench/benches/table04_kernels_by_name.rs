@@ -14,7 +14,19 @@ fn main() {
         let rows = a10_kernel_info_by_name(&profile, &system);
         let mut t = Table::new(
             "Kernels by name, batch 256, Tesla_V100",
-            &["Kernel Name", "Count", "Latency (ms)", "Latency %", "Gflops", "Reads (MB)", "Writes (MB)", "Occ (%)", "AI (f/B)", "Tflop/s", "Mem-bound"],
+            &[
+                "Kernel Name",
+                "Count",
+                "Latency (ms)",
+                "Latency %",
+                "Gflops",
+                "Reads (MB)",
+                "Writes (MB)",
+                "Occ (%)",
+                "AI (f/B)",
+                "Tflop/s",
+                "Mem-bound",
+            ],
         );
         for r in rows.iter().take(5) {
             t.row(vec![
@@ -34,10 +46,20 @@ fn main() {
         println!("{t}");
         println!("measured: {} unique kernels", rows.len());
         // shape checks mirroring the paper's findings
-        assert!(rows[0].name.contains("scudnn_128x64"), "most expensive kernel");
+        assert!(
+            rows[0].name.contains("scudnn_128x64"),
+            "most expensive kernel"
+        );
         assert!(!rows[0].memory_bound);
-        let eigen_in_top5 = rows.iter().take(5).filter(|r| r.name.contains("Eigen")).count();
+        let eigen_in_top5 = rows
+            .iter()
+            .take(5)
+            .filter(|r| r.name.contains("Eigen"))
+            .count();
         assert!(eigen_in_top5 >= 2, "Eigen element-wise kernels rank high");
-        assert!(rows.iter().filter(|r| r.name.contains("Eigen")).all(|r| r.memory_bound));
+        assert!(rows
+            .iter()
+            .filter(|r| r.name.contains("Eigen"))
+            .all(|r| r.memory_bound));
     });
 }

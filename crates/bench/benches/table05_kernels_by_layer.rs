@@ -17,7 +17,19 @@ fn main() {
         rows.sort_by(|a, b| b.layer_latency_ms.partial_cmp(&a.layer_latency_ms).unwrap());
         let mut t = Table::new(
             "Top-5 layers with aggregated kernel info, batch 256, Tesla_V100",
-            &["Layer Index", "Layer Latency (ms)", "Kernel Latency (ms)", "Kernels", "Gflops", "Reads (MB)", "Writes (MB)", "Occ (%)", "AI (f/B)", "Tflop/s", "Mem-bound"],
+            &[
+                "Layer Index",
+                "Layer Latency (ms)",
+                "Kernel Latency (ms)",
+                "Kernels",
+                "Gflops",
+                "Reads (MB)",
+                "Writes (MB)",
+                "Occ (%)",
+                "AI (f/B)",
+                "Tflop/s",
+                "Mem-bound",
+            ],
         );
         for r in rows.iter().take(5) {
             t.row(vec![

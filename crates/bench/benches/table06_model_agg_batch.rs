@@ -19,7 +19,16 @@ fn main() {
         let model = resnet50();
         let mut t = Table::new(
             "MLPerf_ResNet50_v1.5 across batch sizes, Tesla_V100",
-            &["Batch", "Model Latency (ms)", "Kernel Latency (ms)", "Gflops", "Reads (MB)", "Writes (MB)", "Occ (%)", "Mem-bound"],
+            &[
+                "Batch",
+                "Model Latency (ms)",
+                "Kernel Latency (ms)",
+                "Gflops",
+                "Reads (MB)",
+                "Writes (MB)",
+                "Occ (%)",
+                "Mem-bound",
+            ],
         );
         let mut bounds = Vec::new();
         let mut occs = Vec::new();

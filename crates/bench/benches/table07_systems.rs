@@ -13,7 +13,15 @@ fn main() {
         );
         let mut t = Table::new(
             "Five systems spanning Turing/Volta/Pascal/Maxwell",
-            &["Name", "CPU", "GPU", "Architecture", "Peak TFLOPS", "Bandwidth (GB/s)", "Ideal AI (flops/byte)"],
+            &[
+                "Name",
+                "CPU",
+                "GPU",
+                "Architecture",
+                "Peak TFLOPS",
+                "Bandwidth (GB/s)",
+                "Ideal AI (flops/byte)",
+            ],
         );
         for s in systems::all() {
             t.row(vec![
@@ -27,7 +35,13 @@ fn main() {
             ]);
         }
         println!("{t}");
-        let ais: Vec<f64> = systems::all().iter().map(|s| s.ideal_arithmetic_intensity()).collect();
-        assert!(ais[1] < ais[0] && ais[2] < ais[1], "V100 < RTX; P100 lowest of the three big ones");
+        let ais: Vec<f64> = systems::all()
+            .iter()
+            .map(|s| s.ideal_arithmetic_intensity())
+            .collect();
+        assert!(
+            ais[1] < ais[0] && ais[2] < ais[1],
+            "V100 < RTX; P100 lowest of the three big ones"
+        );
     });
 }

@@ -20,7 +20,17 @@ fn main() {
         let xsp = xsp_on(system, FrameworkKind::TensorFlow, 1);
         let mut t = Table::new(
             "55 TensorFlow models",
-            &["ID", "Name", "Task", "Accuracy", "Graph (MB)", "Online Latency (ms)", "Max Throughput (in/s)", "Optimal Batch", "Conv %"],
+            &[
+                "ID",
+                "Name",
+                "Task",
+                "Accuracy",
+                "Graph (MB)",
+                "Online Latency (ms)",
+                "Max Throughput (in/s)",
+                "Optimal Batch",
+                "Conv %",
+            ],
         );
         let mut ic_conv = Vec::new();
         let mut od_conv = Vec::new();
@@ -32,11 +42,16 @@ fn main() {
                 Task::ImageClassification => 256,
                 _ => 32,
             };
-            let batches: Vec<usize> =
-                [1usize, 2, 4, 8, 16, 32, 64, 128, 256].into_iter().filter(|b| *b <= max_batch).collect();
+            let batches: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
+                .into_iter()
+                .filter(|b| *b <= max_batch)
+                .collect();
             let sweep = xsp.batch_sweep(|b| m.graph(b), &batches);
             let optimal = Xsp::optimal_batch(&sweep);
-            let online = sweep.first().map(|p| p.profile.model_latency_ms()).unwrap_or(0.0);
+            let online = sweep
+                .first()
+                .map(|p| p.profile.model_latency_ms())
+                .unwrap_or(0.0);
             let max_tp = sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
             // conv share needs layer-level profiling at the optimal batch
             let lp = xsp.leveled(&m.graph(optimal));
@@ -56,7 +71,9 @@ fn main() {
                 m.id.to_string(),
                 m.name.to_owned(),
                 m.task.code().to_owned(),
-                m.accuracy.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
+                m.accuracy
+                    .map(|a| format!("{a:.2}"))
+                    .unwrap_or_else(|| "-".into()),
                 format!("{:.1}", m.graph_size_mb),
                 fmt_ms(online),
                 format!("{max_tp:.1}"),
@@ -68,8 +85,7 @@ fn main() {
 
         // Shape checks from §IV-A.
         let ic_mean = ic_conv.iter().sum::<f64>() / ic_conv.len() as f64;
-        let od_mean: f64 =
-            od_conv.iter().map(|(_, c)| *c).sum::<f64>() / od_conv.len() as f64;
+        let od_mean: f64 = od_conv.iter().map(|(_, c)| *c).sum::<f64>() / od_conv.len() as f64;
         println!("IC mean conv% = {ic_mean:.1}, OD mean conv% = {od_mean:.1}");
         assert!(ic_mean > 30.0, "conv layers dominate IC models");
         let od_nonnas: Vec<f64> = od_conv
@@ -83,9 +99,15 @@ fn main() {
             "non-NAS OD models are Where-dominated: {od_nonnas_mean:.1} vs IC {ic_mean:.1}"
         );
         let nas = od_conv.iter().find(|(n, _)| n.contains("NAS")).unwrap();
-        assert!(nas.1 > od_nonnas_mean * 2.0, "Faster_RCNN_NAS is conv-dominated");
+        assert!(
+            nas.1 > od_nonnas_mean * 2.0,
+            "Faster_RCNN_NAS is conv-dominated"
+        );
         let ic_large = ic_optimal.iter().filter(|&&b| b >= 64).count();
-        assert!(ic_large * 2 > ic_optimal.len(), "most IC models prefer large batches");
+        assert!(
+            ic_large * 2 > ic_optimal.len(),
+            "most IC models prefer large batches"
+        );
         assert!(
             od_optimal.iter().all(|&b| b <= 16),
             "OD models saturate at small batches: {od_optimal:?}"

@@ -24,7 +24,22 @@ fn main() {
         let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 1);
         let mut t = Table::new(
             "IC models in depth",
-            &["ID", "Batch Latency (ms)", "GPU %", "Gflops", "Reads (GB)", "Writes (GB)", "Occ (%)", "AI", "Tflop/s", "Mem-bound", "Lat stage", "Alloc stage", "Flops stage", "MemAcc stage"],
+            &[
+                "ID",
+                "Batch Latency (ms)",
+                "GPU %",
+                "Gflops",
+                "Reads (GB)",
+                "Writes (GB)",
+                "Occ (%)",
+                "AI",
+                "Tflop/s",
+                "Mem-bound",
+                "Lat stage",
+                "Alloc stage",
+                "Flops stage",
+                "MemAcc stage",
+            ],
         );
         let mut memory_bound_count = 0usize;
         let mut max_tp_frac = 0.0f64;

@@ -23,7 +23,17 @@ fn main() {
         let batches = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
         let mut t = Table::new(
             "10 MXNet models (normalized to TensorFlow)",
-            &["ID", "Name", "Norm Online Latency", "Optimal Batch", "Norm Max Throughput", "GPU %", "Gflops", "Occ (%)", "Mem-bound"],
+            &[
+                "ID",
+                "Name",
+                "Norm Online Latency",
+                "Optimal Batch",
+                "Norm Max Throughput",
+                "GPU %",
+                "Gflops",
+                "Occ (%)",
+                "Mem-bound",
+            ],
         );
         let mut resnet_lat = Vec::new();
         let mut mobilenet_tp = Vec::new();

@@ -55,10 +55,7 @@ pub fn a8_kernel_info(profile: &LeveledProfile, system: &System) -> Vec<KernelIn
                     .as_ref()
                     .map(|p| p.arithmetic_intensity)
                     .unwrap_or(0.0),
-                throughput_tflops: point
-                    .as_ref()
-                    .map(|p| p.throughput_tflops)
-                    .unwrap_or(0.0),
+                throughput_tflops: point.as_ref().map(|p| p.throughput_tflops).unwrap_or(0.0),
                 memory_bound: point.map(|p| p.memory_bound).unwrap_or(false),
             }
         })

@@ -90,7 +90,11 @@ fn aggregate_by_type(
     }
     let sum: f64 = rows.iter().map(|r| r.total).sum();
     for r in &mut rows {
-        r.percent = if sum > 0.0 { 100.0 * r.total / sum } else { 0.0 };
+        r.percent = if sum > 0.0 {
+            100.0 * r.total / sum
+        } else {
+            0.0
+        };
     }
     rows.sort_by(|a, b| b.total.partial_cmp(&a.total).unwrap());
     rows
@@ -140,9 +144,8 @@ mod tests {
     use xsp_models::zoo;
 
     fn profile() -> LeveledProfile {
-        let xsp = Xsp::new(
-            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1),
-        );
+        let xsp =
+            Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1));
         xsp.leveled(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2))
     }
 

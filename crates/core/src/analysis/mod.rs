@@ -25,6 +25,7 @@ pub use cross_level::{
     a11_kernel_info_by_layer, a12_metrics_per_layer, a13_gpu_vs_nongpu, a14_layer_roofline,
     a15_model_aggregate, LayerKernelRow, LayerMetricsRow, ModelAggregateRow,
 };
+pub use host_level::{ax2_host_dispatch, HostDispatchRow};
 pub use kernel_level::{
     a10_kernel_info_by_name, a8_kernel_info, a9_kernel_roofline, KernelInfoRow, KernelNameAggRow,
 };
@@ -33,7 +34,6 @@ pub use layer_level::{
     a6_latency_by_type, a7_allocation_by_type, convolution_latency_percent, LayerInfoRow,
     TypeAggRow,
 };
-pub use host_level::{ax2_host_dispatch, HostDispatchRow};
 pub use library_level::{
     ax1_library_calls, library_span_count, library_span_layers, LibraryCallRow,
 };
@@ -46,21 +46,69 @@ pub fn capability_matrix() -> Vec<(&'static str, &'static str, [bool; 4])> {
     // (analysis, levels required, [end-to-end benchmarking, framework
     // profilers, NVIDIA profilers, XSP])
     vec![
-        ("A1  Model information table", "M", [true, false, false, true]),
-        ("A2  Layer information table", "L", [false, true, false, true]),
+        (
+            "A1  Model information table",
+            "M",
+            [true, false, false, true],
+        ),
+        (
+            "A2  Layer information table",
+            "L",
+            [false, true, false, true],
+        ),
         ("A3  Layer latency", "L", [false, true, false, true]),
-        ("A4  Layer memory allocation", "L", [false, true, false, true]),
-        ("A5  Layer type distribution", "L", [false, true, false, true]),
-        ("A6  Layer latency aggregated by type", "L", [false, true, false, true]),
-        ("A7  Layer memory allocation aggregated by type", "L", [false, true, false, true]),
-        ("A8  GPU kernel information table", "G", [false, false, true, true]),
+        (
+            "A4  Layer memory allocation",
+            "L",
+            [false, true, false, true],
+        ),
+        (
+            "A5  Layer type distribution",
+            "L",
+            [false, true, false, true],
+        ),
+        (
+            "A6  Layer latency aggregated by type",
+            "L",
+            [false, true, false, true],
+        ),
+        (
+            "A7  Layer memory allocation aggregated by type",
+            "L",
+            [false, true, false, true],
+        ),
+        (
+            "A8  GPU kernel information table",
+            "G",
+            [false, false, true, true],
+        ),
         ("A9  GPU kernel roofline", "G", [false, false, true, true]),
-        ("A10 GPU kernel information aggregated by name", "G", [false, false, true, true]),
-        ("A11 GPU kernel information aggregated by layer", "L/G", [false, false, false, true]),
-        ("A12 GPU metrics aggregated by layer", "L/G", [false, false, false, true]),
-        ("A13 GPU vs Non-GPU latency", "L/G", [false, false, false, true]),
+        (
+            "A10 GPU kernel information aggregated by name",
+            "G",
+            [false, false, true, true],
+        ),
+        (
+            "A11 GPU kernel information aggregated by layer",
+            "L/G",
+            [false, false, false, true],
+        ),
+        (
+            "A12 GPU metrics aggregated by layer",
+            "L/G",
+            [false, false, false, true],
+        ),
+        (
+            "A13 GPU vs Non-GPU latency",
+            "L/G",
+            [false, false, false, true],
+        ),
         ("A14 Layer roofline", "L/G", [false, false, false, true]),
-        ("A15 GPU kernel information aggregated by model", "M/G", [false, false, true, true]),
+        (
+            "A15 GPU kernel information aggregated by model",
+            "M/G",
+            [false, false, true, true],
+        ),
     ]
 }
 

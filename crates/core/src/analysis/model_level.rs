@@ -62,9 +62,8 @@ mod tests {
 
     #[test]
     fn table_from_real_sweep() {
-        let xsp = Xsp::new(
-            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1),
-        );
+        let xsp =
+            Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1));
         let entry = zoo::by_name("MobileNet_v1_0.25_128").unwrap();
         let sweep = xsp.batch_sweep(|b| entry.graph(b), &[1, 2, 4, 8, 16, 32, 64]);
         let table = a1_model_info(&sweep);

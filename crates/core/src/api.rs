@@ -109,7 +109,10 @@ mod tests {
         }
         let trace = server.drain();
         assert_eq!(trace.len(), 1);
-        assert_eq!(trace.spans()[0].tag("batch_size").unwrap().as_u64(), Some(8));
+        assert_eq!(
+            trace.spans()[0].tag("batch_size").unwrap().as_u64(),
+            Some(8)
+        );
     }
 
     #[test]

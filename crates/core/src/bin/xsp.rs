@@ -94,7 +94,9 @@ fn list_models() -> ExitCode {
             m.id.to_string(),
             m.name.to_owned(),
             m.task.code().to_owned(),
-            m.accuracy.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
+            m.accuracy
+                .map(|a| format!("{a:.2}"))
+                .unwrap_or_else(|| "-".into()),
             format!("{:.1}", m.graph_size_mb),
         ]);
     }
@@ -123,10 +125,17 @@ fn list_systems() -> ExitCode {
 }
 
 fn build_xsp(flags: &HashMap<String, String>) -> Result<(Xsp, xsp_gpu::System), String> {
-    let system_name = flags.get("system").map(|s| s.as_str()).unwrap_or("Tesla_V100");
+    let system_name = flags
+        .get("system")
+        .map(|s| s.as_str())
+        .unwrap_or("Tesla_V100");
     let system = systems::by_name(system_name)
         .ok_or_else(|| format!("unknown system '{system_name}' (try: xsp list-systems)"))?;
-    let framework = match flags.get("framework").map(|s| s.as_str()).unwrap_or("tensorflow") {
+    let framework = match flags
+        .get("framework")
+        .map(|s| s.as_str())
+        .unwrap_or("tensorflow")
+    {
         "tensorflow" | "tf" => FrameworkKind::TensorFlow,
         "mxnet" | "mx" => FrameworkKind::MXNet,
         other => return Err(format!("unknown framework '{other}'")),
@@ -184,7 +193,11 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
 
         let selected = flags
             .get("analyses")
-            .map(|s| s.split(',').map(|a| a.trim().to_lowercase()).collect::<Vec<_>>())
+            .map(|s| {
+                s.split(',')
+                    .map(|a| a.trim().to_lowercase())
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_else(|| vec!["a2".into(), "a10".into(), "a15".into()]);
         for a in &selected {
             render_analysis(a, &p, &system)?;
@@ -225,7 +238,14 @@ fn render_analysis(
             rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
             let mut t = Table::new(
                 "A2 — top-10 layers",
-                &["Index", "Name", "Type", "Shape", "Latency (ms)", "Alloc (MB)"],
+                &[
+                    "Index",
+                    "Name",
+                    "Type",
+                    "Shape",
+                    "Latency (ms)",
+                    "Alloc (MB)",
+                ],
             );
             for r in rows.iter().take(10) {
                 t.row(vec![
@@ -245,8 +265,16 @@ fn render_analysis(
             } else {
                 analysis::a4_layer_allocation(p)
             };
-            let label = if which == "a3" { "latency (ms)" } else { "alloc (MB)" };
-            println!("{} — per layer ({} layers):", which.to_uppercase(), series.len());
+            let label = if which == "a3" {
+                "latency (ms)"
+            } else {
+                "alloc (MB)"
+            };
+            println!(
+                "{} — per layer ({} layers):",
+                which.to_uppercase(),
+                series.len()
+            );
             for (i, v) in series.iter().step_by((series.len() / 20).max(1)) {
                 println!("  {i:>5} {v:>12.3} {label}");
             }
@@ -276,7 +304,15 @@ fn render_analysis(
             rows.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
             let mut t = Table::new(
                 "A8/A9 — top-10 kernels",
-                &["Kernel", "Layer", "Latency (ms)", "Gflops", "AI", "Tflop/s", "Mem-bound"],
+                &[
+                    "Kernel",
+                    "Layer",
+                    "Latency (ms)",
+                    "Gflops",
+                    "AI",
+                    "Tflop/s",
+                    "Mem-bound",
+                ],
             );
             for r in rows.iter().take(10) {
                 t.row(vec![
@@ -295,7 +331,14 @@ fn render_analysis(
             let rows = analysis::a10_kernel_info_by_name(p, system);
             let mut t = Table::new(
                 "A10 — kernels by name",
-                &["Kernel", "Count", "Latency (ms)", "%", "Occ (%)", "Mem-bound"],
+                &[
+                    "Kernel",
+                    "Count",
+                    "Latency (ms)",
+                    "%",
+                    "Occ (%)",
+                    "Mem-bound",
+                ],
             );
             for r in rows.iter().take(10) {
                 t.row(vec![
@@ -311,10 +354,21 @@ fn render_analysis(
         }
         "a11" | "a12" | "a13" | "a14" => {
             let mut rows = analysis::a11_kernel_info_by_layer(p, system);
-            rows.sort_by(|a, b| b.kernel_latency_ms.partial_cmp(&a.kernel_latency_ms).unwrap());
+            rows.sort_by(|a, b| {
+                b.kernel_latency_ms
+                    .partial_cmp(&a.kernel_latency_ms)
+                    .unwrap()
+            });
             let mut t = Table::new(
                 "A11-A14 — per-layer kernel aggregation (top 10)",
-                &["Layer", "Layer (ms)", "Kernels (ms)", "Gflops", "AI", "Mem-bound"],
+                &[
+                    "Layer",
+                    "Layer (ms)",
+                    "Kernels (ms)",
+                    "Gflops",
+                    "AI",
+                    "Mem-bound",
+                ],
             );
             for r in rows.iter().take(10) {
                 t.row(vec![
@@ -340,7 +394,11 @@ fn render_analysis(
                 fmt_mb(a.dram_write_mb),
                 fmt_pct(a.occupancy_pct),
                 a.arithmetic_intensity,
-                if a.memory_bound { "memory-bound" } else { "compute-bound" }
+                if a.memory_bound {
+                    "memory-bound"
+                } else {
+                    "compute-bound"
+                }
             );
         }
         "ax1" => {

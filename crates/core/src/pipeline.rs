@@ -17,8 +17,7 @@ use xsp_framework::{LayerGraph, RunOptions, Session};
 use xsp_gpu::{CudaContext, CudaContextConfig, Dim3};
 use xsp_trace::span::tag_keys;
 use xsp_trace::{
-    reconstruct_parents, CorrelatedTrace, SpanBuilder, SpanId, StackLevel, TraceId,
-    TracingServer,
+    reconstruct_parents, CorrelatedTrace, SpanBuilder, SpanId, StackLevel, TraceId, TracingServer,
 };
 
 /// Host-side cost of decoding/normalizing one input image, ns.
@@ -145,7 +144,11 @@ pub fn run_once_with_metrics(
             .jitter(cfg.jitter),
     ));
     let cupti = if level.includes_gpu() {
-        let metrics = if with_metrics { cfg.metrics.clone() } else { Vec::new() };
+        let metrics = if with_metrics {
+            cfg.metrics.clone()
+        } else {
+            Vec::new()
+        };
         let cupti = Arc::new(Cupti::new(
             CuptiConfig::default().metrics(metrics),
             cfg.system.gpu.clone(),

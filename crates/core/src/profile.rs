@@ -33,7 +33,10 @@ pub enum ProfilingLevel {
 impl ProfilingLevel {
     /// Whether the framework layer profiler is on.
     pub fn includes_layers(self) -> bool {
-        matches!(self, ProfilingLevel::ModelLayer | ProfilingLevel::ModelLayerGpu)
+        matches!(
+            self,
+            ProfilingLevel::ModelLayer | ProfilingLevel::ModelLayerGpu
+        )
     }
 
     /// Whether CUPTI-level profiling is on.
@@ -474,9 +477,7 @@ mod tests {
     use xsp_models::zoo;
 
     fn xsp() -> Xsp {
-        Xsp::new(
-            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(2),
-        )
+        Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(2))
     }
 
     fn tiny(batch: usize) -> LayerGraph {

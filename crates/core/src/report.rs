@@ -113,7 +113,11 @@ pub fn fmt_mb(v: f64) -> String {
 
 /// Formats a boolean as the paper's check/cross.
 pub fn fmt_bound(memory_bound: bool) -> String {
-    if memory_bound { "yes".into() } else { "no".into() }
+    if memory_bound {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +140,12 @@ mod tests {
 
     #[test]
     fn series_renders_rows() {
-        let s = render_series("Figure 3", "batch", "inputs/s", &[(1.0, 160.0), (2.0, 300.0)]);
+        let s = render_series(
+            "Figure 3",
+            "batch",
+            "inputs/s",
+            &[(1.0, 160.0), (2.0, 300.0)],
+        );
         assert!(s.contains("Figure 3"));
         assert!(s.contains("160.000"));
         assert_eq!(s.lines().count(), 4);

@@ -83,8 +83,8 @@ pub fn replay_passes_for(metrics: &[MetricKind], gpu: &GpuSpec) -> u32 {
     }
     let sm_counters: u32 = metrics.iter().map(|m| m.sm_counters()).sum();
     let sm_passes = sm_counters.div_ceil(gpu.hw_counters_per_pass);
-    let mem_passes = metrics.iter().filter(|m| m.is_memory_metric()).count() as u32
-        * DRAM_PARTITION_PASSES;
+    let mem_passes =
+        metrics.iter().filter(|m| m.is_memory_metric()).count() as u32 * DRAM_PARTITION_PASSES;
     (sm_passes + mem_passes).max(1)
 }
 

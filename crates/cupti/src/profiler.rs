@@ -128,9 +128,7 @@ impl Cupti {
                         .tag(tag_keys::STREAM, k.stream.0 as u64);
                     for m in &self.cfg.metrics {
                         b = match m {
-                            MetricKind::FlopCountSp => {
-                                b.tag(tag_keys::FLOP_COUNT_SP, k.desc.flops)
-                            }
+                            MetricKind::FlopCountSp => b.tag(tag_keys::FLOP_COUNT_SP, k.desc.flops),
                             MetricKind::DramReadBytes => {
                                 b.tag(tag_keys::DRAM_READ_BYTES, k.desc.dram_read)
                             }
@@ -179,8 +177,7 @@ impl GpuHook for Cupti {
         if !self.cfg.capture_runtime_api {
             return;
         }
-        let Some((entered_call, start)) = self.inflight_api.lock().remove(&correlation_id)
-        else {
+        let Some((entered_call, start)) = self.inflight_api.lock().remove(&correlation_id) else {
             return;
         };
         let kernel_name = match &entered_call {
@@ -382,7 +379,11 @@ mod tests {
     #[test]
     fn memcpy_records_flow_through() {
         let (ctx, cupti) = ctx_with_cupti(CuptiConfig::default());
-        ctx.memcpy(xsp_gpu::MemcpyKind::HostToDevice, 1_000_000, StreamId::DEFAULT);
+        ctx.memcpy(
+            xsp_gpu::MemcpyKind::HostToDevice,
+            1_000_000,
+            StreamId::DEFAULT,
+        );
         let server = TracingServer::new();
         let tracer = server.tracer("cupti");
         cupti.flush_to_tracer(&tracer, TraceId(1));

@@ -8,11 +8,7 @@ use xsp_gpu::{systems, CudaContext, CudaContextConfig, Dim3, KernelDesc, StreamI
 use xsp_trace::{TraceId, TracingServer};
 
 fn arb_metrics() -> impl Strategy<Value = Vec<MetricKind>> {
-    prop::collection::vec(
-        prop::sample::select(MetricKind::ALL.to_vec()),
-        0..4,
-    )
-    .prop_map(|mut v| {
+    prop::collection::vec(prop::sample::select(MetricKind::ALL.to_vec()), 0..4).prop_map(|mut v| {
         v.dedup();
         v
     })

@@ -203,14 +203,10 @@ pub fn conv2d_kernels(p: &ConvParams, arch: GpuArchitecture) -> (ConvAlgo, Vec<K
             .fixed_overhead(3_000),
         );
         kernels.push(
-            KernelDesc::new(
-                "cudnn::detail::OffsetComp",
-                Dim3::x(8),
-                Dim3::x(128),
-            )
-            .dram(0, 65_536)
-            .efficiency(0.1, 0.3, 0.25)
-            .fixed_overhead(2_500),
+            KernelDesc::new("cudnn::detail::OffsetComp", Dim3::x(8), Dim3::x(128))
+                .dram(0, 65_536)
+                .efficiency(0.1, 0.3, 0.25)
+                .fixed_overhead(2_500),
         );
     }
 
@@ -229,15 +225,11 @@ pub fn conv2d_kernels(p: &ConvParams, arch: GpuArchitecture) -> (ConvAlgo, Vec<K
             let split_k = (2048 / natural_warps.max(1)).clamp(1, 32) as u32;
             grid.z = split_k;
             kernels.push(
-                KernelDesc::new(
-                    "cudnn::detail::implicit_convolve_sgemm",
-                    grid,
-                    Dim3::x(128),
-                )
-                .flops(flops)
-                .dram(reads, writes)
-                .efficiency(0.52, 0.70, 0.35)
-                .fixed_overhead(4_000),
+                KernelDesc::new("cudnn::detail::implicit_convolve_sgemm", grid, Dim3::x(128))
+                    .flops(flops)
+                    .dram(reads, writes)
+                    .efficiency(0.52, 0.70, 0.35)
+                    .fixed_overhead(4_000),
             );
         }
         ConvAlgo::ImplicitPrecompGemm => {
@@ -246,7 +238,11 @@ pub fn conv2d_kernels(p: &ConvParams, arch: GpuArchitecture) -> (ConvAlgo, Vec<K
             let reads = (p.input_bytes() as f64 * f * 0.55) as u64 + p.weight_bytes();
             let writes = (p.output_bytes() as f64 * f * 0.62) as u64;
             let name = format!("{prefix}_scudnn_{tm}x{tn}_relu_interior_nn_v1");
-            let (ceff, occ) = if tn == 128 { (0.86, 0.16) } else { (0.82, 0.25) };
+            let (ceff, occ) = if tn == 128 {
+                (0.86, 0.16)
+            } else {
+                (0.82, 0.25)
+            };
             kernels.push(
                 KernelDesc::new(name, conv_grid(p, tm, tn), Dim3::x(256))
                     .flops(flops)
@@ -306,15 +302,15 @@ pub fn conv2d_kernels(p: &ConvParams, arch: GpuArchitecture) -> (ConvAlgo, Vec<K
 /// architecture.
 pub fn depthwise_conv2d_kernels(p: &ConvParams, _arch: GpuArchitecture) -> Vec<KernelDesc> {
     // Depthwise flops: 2·N·C·H'·W'·R·S (no cross-channel reduction).
-    let flops = 2 * p.batch as u64
+    let flops = 2
+        * p.batch as u64
         * p.in_c as u64
         * p.out_h() as u64
         * p.out_w() as u64
         * p.kernel_h as u64
         * p.kernel_w as u64;
     let reads = p.input_bytes() + p.in_c as u64 * (p.kernel_h * p.kernel_w) as u64 * F32;
-    let writes =
-        p.batch as u64 * p.in_c as u64 * p.out_h() as u64 * p.out_w() as u64 * F32;
+    let writes = p.batch as u64 * p.in_c as u64 * p.out_h() as u64 * p.out_w() as u64 * F32;
     let elements = writes / F32;
     vec![KernelDesc::new(
         "cudnn::detail::depthwise_fprop_direct",
@@ -483,9 +479,15 @@ mod tests {
         let f32_ = precomp_traffic_factor(32);
         let f64_ = precomp_traffic_factor(64);
         let f256 = precomp_traffic_factor(256);
-        assert!(f16 > f32_ && f32_ > f64_ && f64_ > f256, "{f16} {f32_} {f64_} {f256}");
+        assert!(
+            f16 > f32_ && f32_ > f64_ && f64_ > f256,
+            "{f16} {f32_} {f64_} {f256}"
+        );
         // batch 16 and 32 sit on the high plateau; the cliff is before 64
-        assert!(f32_ > 3.0, "batch-32 must stay in the re-fetch regime: {f32_}");
+        assert!(
+            f32_ > 3.0,
+            "batch-32 must stay in the re-fetch regime: {f32_}"
+        );
         assert!(f64_ < 1.5, "batch-64 must be past the cliff: {f64_}");
         // the batch-16 point re-fetches >3x more per byte than batch 256 —
         // this drives Figure 10's memory-bound dip

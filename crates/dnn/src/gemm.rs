@@ -33,8 +33,7 @@ pub fn gemm_kernels(m: u64, n: u64, k: u64, arch: GpuArchitecture) -> Vec<Kernel
     let c_bytes = m * n * F32;
     let col_waves = (n.div_ceil(tn) as f64).sqrt().max(1.0);
     let row_waves = (m.div_ceil(tm) as f64).sqrt().max(1.0);
-    let reads = (a_bytes as f64 * col_waves.min(4.0) + b_bytes as f64 * row_waves.min(4.0))
-        as u64;
+    let reads = (a_bytes as f64 * col_waves.min(4.0) + b_bytes as f64 * row_waves.min(4.0)) as u64;
     let writes = c_bytes;
     let grid = Dim3::new(
         n.div_ceil(tn).min(u32::MAX as u64) as u32,
@@ -62,9 +61,17 @@ mod tests {
     #[test]
     fn names_follow_architecture_and_tile() {
         let v = gemm_kernels(2048, 256, 1024, GpuArchitecture::Volta);
-        assert!(v[0].name.starts_with("volta_sgemm_128x128"), "{}", v[0].name);
+        assert!(
+            v[0].name.starts_with("volta_sgemm_128x128"),
+            "{}",
+            v[0].name
+        );
         let p = gemm_kernels(2048, 16, 1024, GpuArchitecture::Maxwell);
-        assert!(p[0].name.starts_with("maxwell_sgemm_128x64"), "{}", p[0].name);
+        assert!(
+            p[0].name.starts_with("maxwell_sgemm_128x64"),
+            "{}",
+            p[0].name
+        );
         let tiny = gemm_kernels(64, 8, 64, GpuArchitecture::Volta);
         assert!(tiny[0].name.contains("64x64"));
     }

@@ -6,7 +6,11 @@ use crate::F32;
 use xsp_gpu::{Dim3, GpuArchitecture, KernelDesc};
 
 fn grid_for(elements: u64, per_thread: u64) -> Dim3 {
-    Dim3::x(elements.div_ceil(256 * per_thread).clamp(1, u32::MAX as u64) as u32)
+    Dim3::x(
+        elements
+            .div_ceil(256 * per_thread)
+            .clamp(1, u32::MAX as u64) as u32,
+    )
 }
 
 /// Max/avg pooling forward kernel over `in_elements`, producing
@@ -66,7 +70,10 @@ pub fn resize_bilinear_kernel(in_elements: u64, out_elements: u64) -> KernelDesc
         Dim3::x(256),
     )
     .flops(out_elements * 8)
-    .dram(in_elements * F32 / 2 + out_elements * 4 * F32, out_elements * F32)
+    .dram(
+        in_elements * F32 / 2 + out_elements * 4 * F32,
+        out_elements * F32,
+    )
     .efficiency(0.08, 0.60, 0.5)
     .fixed_overhead(3_000)
 }
@@ -98,11 +105,15 @@ pub fn reduce_kernel(in_elements: u64, out_elements: u64) -> KernelDesc {
 
 /// Local response normalization (AlexNet/GoogLeNet era).
 pub fn lrn_kernel(elements: u64) -> KernelDesc {
-    KernelDesc::new("cudnn::detail::lrn_fw_kernel", grid_for(elements, 2), Dim3::x(128))
-        .flops(elements * 12)
-        .dram(elements * F32 * 2, elements * F32)
-        .efficiency(0.10, 0.55, 0.5)
-        .fixed_overhead(3_000)
+    KernelDesc::new(
+        "cudnn::detail::lrn_fw_kernel",
+        grid_for(elements, 2),
+        Dim3::x(128),
+    )
+    .flops(elements * 12)
+    .dram(elements * F32 * 2, elements * F32)
+    .efficiency(0.10, 0.55, 0.5)
+    .fixed_overhead(3_000)
 }
 
 /// Architecture-independent check helper used by callers in tests.

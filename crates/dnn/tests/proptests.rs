@@ -10,10 +10,10 @@ use xsp_gpu::GpuArchitecture;
 
 fn arb_conv() -> impl Strategy<Value = ConvParams> {
     (
-        1usize..=256,   // batch
-        1usize..=512,   // in_c
-        7usize..=112,   // spatial
-        1usize..=512,   // out_c
+        1usize..=256, // batch
+        1usize..=512, // in_c
+        7usize..=112, // spatial
+        1usize..=512, // out_c
         prop::sample::select(vec![1usize, 3, 5, 7]),
         prop::sample::select(vec![1usize, 2]),
     )

@@ -337,11 +337,7 @@ mod tests {
                 LayerOp::FusedBatchNorm,
                 TensorShape::nchw(batch, 16, 32, 32),
             ),
-            Layer::new(
-                "relu1",
-                LayerOp::Relu,
-                TensorShape::nchw(batch, 16, 32, 32),
-            ),
+            Layer::new("relu1", LayerOp::Relu, TensorShape::nchw(batch, 16, 32, 32)),
             Layer::new(
                 "fc/MatMul",
                 LayerOp::MatMul {

@@ -166,10 +166,7 @@ impl LayerOp {
     /// Whether this op is a convolution for the paper's "convolution
     /// percentage" metric (Conv2D + DepthwiseConv2dNative; §IV-A).
     pub fn is_convolution(&self) -> bool {
-        matches!(
-            self,
-            LayerOp::Conv2D(_) | LayerOp::DepthwiseConv2dNative(_)
-        )
+        matches!(self, LayerOp::Conv2D(_) | LayerOp::DepthwiseConv2dNative(_))
     }
 
     /// Whether the op executes entirely on the host (no GPU kernels).
@@ -202,15 +199,13 @@ impl Layer {
         }
     }
 
-    /// Bytes of trained parameters the layer carries (f32 weights + biases
-    /// + BN statistics). Summed over a graph this approximates the frozen
+    /// Bytes of trained parameters the layer carries (f32 weights, biases
+    /// and BN statistics). Summed over a graph this approximates the frozen
     /// graph size Table VIII reports.
     pub fn weight_bytes(&self) -> u64 {
         let c = self.out_shape.0.get(1).copied().unwrap_or(1) as u64;
         match &self.op {
-            LayerOp::Conv2D(p) => {
-                (p.out_c * p.in_c * p.kernel_h * p.kernel_w + p.out_c) as u64 * 4
-            }
+            LayerOp::Conv2D(p) => (p.out_c * p.in_c * p.kernel_h * p.kernel_w + p.out_c) as u64 * 4,
             LayerOp::DepthwiseConv2dNative(p) => {
                 (p.in_c * p.kernel_h * p.kernel_w + p.in_c) as u64 * 4
             }

@@ -19,9 +19,7 @@ use xsp_gpu::{GpuArchitecture, KernelDesc};
 pub fn library_call(layer: &Layer, backend: ElementwiseBackend) -> Option<&'static str> {
     let _ = backend;
     match &layer.op {
-        LayerOp::Conv2D(_) | LayerOp::DepthwiseConv2dNative(_) => {
-            Some("cudnnConvolutionForward")
-        }
+        LayerOp::Conv2D(_) | LayerOp::DepthwiseConv2dNative(_) => Some("cudnnConvolutionForward"),
         LayerOp::FusedBatchNorm => Some("cudnnBatchNormalizationForwardInference"),
         LayerOp::MaxPool { .. } | LayerOp::AvgPool { .. } => Some("cudnnPoolingForward"),
         LayerOp::Softmax => Some("cudnnSoftmaxForward"),
@@ -48,15 +46,30 @@ pub fn layer_kernels(
             let channels = layer.out_shape.0.get(1).copied().unwrap_or(1) as u64;
             vec![ops::batchnorm_kernel(elements, channels)]
         }
-        LayerOp::Mul => vec![elementwise_kernel(ElementwiseOp::Mul, elements, backend, arch)],
-        LayerOp::Add => vec![elementwise_kernel(ElementwiseOp::Add, elements, backend, arch)],
+        LayerOp::Mul => vec![elementwise_kernel(
+            ElementwiseOp::Mul,
+            elements,
+            backend,
+            arch,
+        )],
+        LayerOp::Add => vec![elementwise_kernel(
+            ElementwiseOp::Add,
+            elements,
+            backend,
+            arch,
+        )],
         LayerOp::AddN(n) => vec![elementwise_kernel(
             ElementwiseOp::AddN(*n),
             elements,
             backend,
             arch,
         )],
-        LayerOp::Relu => vec![elementwise_kernel(ElementwiseOp::Relu, elements, backend, arch)],
+        LayerOp::Relu => vec![elementwise_kernel(
+            ElementwiseOp::Relu,
+            elements,
+            backend,
+            arch,
+        )],
         LayerOp::Relu6 => vec![elementwise_kernel(
             ElementwiseOp::Relu6,
             elements,
@@ -104,10 +117,7 @@ pub fn layer_kernels(
         }
         LayerOp::Concat => vec![ops::copy_kernel("ConcatKernel", layer.out_shape.bytes())],
         LayerOp::Pad => vec![ops::copy_kernel("PadKernel", layer.out_shape.bytes())],
-        LayerOp::Transpose => vec![ops::copy_kernel(
-            "TransposeKernel",
-            layer.out_shape.bytes(),
-        )],
+        LayerOp::Transpose => vec![ops::copy_kernel("TransposeKernel", layer.out_shape.bytes())],
         LayerOp::Where => vec![ops::where_kernel(elements)],
         LayerOp::CropAndResize => vec![ops::resize_bilinear_kernel(elements * 4, elements)],
         LayerOp::ResizeBilinear => vec![ops::resize_bilinear_kernel(elements / 4, elements)],
@@ -210,8 +220,14 @@ mod tests {
             LayerOp::Sigmoid,
             LayerOp::Tanh,
             LayerOp::BiasAdd,
-            LayerOp::MaxPool { window: 2, stride: 2 },
-            LayerOp::AvgPool { window: 2, stride: 2 },
+            LayerOp::MaxPool {
+                window: 2,
+                stride: 2,
+            },
+            LayerOp::AvgPool {
+                window: 2,
+                stride: 2,
+            },
             LayerOp::Mean,
             LayerOp::MatMul {
                 in_features: 16,

@@ -224,7 +224,8 @@ mod tests {
     fn mxnet_dispatch_costs_more_per_op() {
         let op = LayerOp::Relu;
         assert!(
-            FrameworkKind::MXNet.dispatch_ns(&op, 1) > FrameworkKind::TensorFlow.dispatch_ns(&op, 1)
+            FrameworkKind::MXNet.dispatch_ns(&op, 1)
+                > FrameworkKind::TensorFlow.dispatch_ns(&op, 1)
         );
     }
 }

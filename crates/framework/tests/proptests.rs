@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use xsp_dnn::ConvParams;
-use xsp_framework::{
-    FrameworkKind, Layer, LayerGraph, LayerOp, RunOptions, Session, TensorShape,
-};
+use xsp_framework::{FrameworkKind, Layer, LayerGraph, LayerOp, RunOptions, Session, TensorShape};
 use xsp_gpu::{systems, CudaContext, CudaContextConfig};
 use xsp_trace::{TraceId, TracingServer};
 
@@ -80,7 +78,10 @@ fn arb_graph() -> impl Strategy<Value = LayerGraph> {
                     }
                     layers.push(Layer::new(
                         format!("pool{i}"),
-                        LayerOp::MaxPool { window: 2, stride: 2 },
+                        LayerOp::MaxPool {
+                            window: 2,
+                            stride: 2,
+                        },
                         TensorShape::nchw(batch, c, hw, hw),
                     ));
                 }

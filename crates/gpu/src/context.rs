@@ -178,9 +178,12 @@ impl CudaContext {
 
         // Metric collection replays the kernel; the stream is busy for every
         // pass but the *reported* activity covers one canonical execution.
-        let replay: u32 = hooks.iter().map(|h| h.replay_passes(&desc)).max().unwrap_or(1);
-        let busy = duration * replay as u64
-            + REPLAY_SETUP_NS * (replay.saturating_sub(1)) as u64;
+        let replay: u32 = hooks
+            .iter()
+            .map(|h| h.replay_passes(&desc))
+            .max()
+            .unwrap_or(1);
+        let busy = duration * replay as u64 + REPLAY_SETUP_NS * (replay.saturating_sub(1)) as u64;
 
         let ready = api_exit + self.cfg.system.gpu.launch_gpu_ns;
         let (start, busy_end) = self.streams.lock().enqueue(stream, ready, busy);
@@ -433,7 +436,9 @@ mod tests {
         assert_eq!(ks[0].correlation_id, a);
         assert_eq!(ks[1].correlation_id, b);
         let api = rec.api.lock();
-        assert!(api.iter().any(|(n, cid, _)| n == "cudaLaunchKernel" && *cid == a));
+        assert!(api
+            .iter()
+            .any(|(n, cid, _)| n == "cudaLaunchKernel" && *cid == a));
     }
 
     #[test]

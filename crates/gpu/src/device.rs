@@ -244,7 +244,15 @@ pub mod systems {
                 name: "Intel Xeon E5-2686 v4 @ 2.30GHz".to_owned(),
                 base_ghz: 2.3,
             },
-            gpu: gpu("Tesla M60", GpuArchitecture::Maxwell, 4.8, 160.0, 8.0, 16, 64),
+            gpu: gpu(
+                "Tesla M60",
+                GpuArchitecture::Maxwell,
+                4.8,
+                160.0,
+                8.0,
+                16,
+                64,
+            ),
         }
     }
 
@@ -294,8 +302,7 @@ mod tests {
 
     #[test]
     fn five_systems_cover_four_architectures() {
-        let archs: Vec<GpuArchitecture> =
-            systems::all().iter().map(|s| s.gpu.arch).collect();
+        let archs: Vec<GpuArchitecture> = systems::all().iter().map(|s| s.gpu.arch).collect();
         assert_eq!(archs.len(), 5);
         assert!(archs.contains(&GpuArchitecture::Turing));
         assert!(archs.contains(&GpuArchitecture::Volta));

@@ -171,7 +171,10 @@ mod tests {
             .api_name(),
             "cudaLaunchKernel"
         );
-        assert_eq!(ApiCall::DeviceSynchronize.api_name(), "cudaDeviceSynchronize");
+        assert_eq!(
+            ApiCall::DeviceSynchronize.api_name(),
+            "cudaDeviceSynchronize"
+        );
         assert_eq!(
             ApiCall::Memcpy {
                 kind: MemcpyKind::HostToDevice,

@@ -74,12 +74,7 @@ impl MemTracker {
 
     /// Cumulative bytes allocated under `scope`.
     pub fn scope_total(&self, scope: &str) -> u64 {
-        self.inner
-            .lock()
-            .per_scope
-            .get(scope)
-            .copied()
-            .unwrap_or(0)
+        self.inner.lock().per_scope.get(scope).copied().unwrap_or(0)
     }
 
     /// Snapshot of all per-scope totals.
@@ -138,7 +133,11 @@ mod tests {
         let t = MemTracker::new();
         let a = t.alloc(64, "layer");
         t.free(a);
-        assert_eq!(t.scope_total("layer"), 64, "A4 reports allocations, not residency");
+        assert_eq!(
+            t.scope_total("layer"),
+            64,
+            "A4 reports allocations, not residency"
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ mod tests {
             &kernel_with(one_wave_warps + one_wave_warps / 2, 32, 0.5),
             &gpu,
         );
-        assert!((occ.achieved - 0.5 * 1.5 / 2.0).abs() < 1e-6, "got {}", occ.achieved);
+        assert!(
+            (occ.achieved - 0.5 * 1.5 / 2.0).abs() < 1e-6,
+            "got {}",
+            occ.achieved
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ mod tests {
         // builder's pooling uses ceil shape rules, giving 7×7×256 rather
         // than Caffe's 6×6×256 — flop-equivalent within 36 %.)
         let g = alexnet(1);
-        if let LayerOp::MatMul { in_features, out_features } = g
+        if let LayerOp::MatMul {
+            in_features,
+            out_features,
+        } = g
             .layers
             .iter()
             .find(|l| matches!(l.op, LayerOp::MatMul { .. }))

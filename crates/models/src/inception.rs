@@ -9,7 +9,11 @@ use crate::builder::GraphBuilder;
 use xsp_framework::LayerGraph;
 
 /// Runs `f` as a branch from the current module input shape.
-fn with_branch(b: &mut GraphBuilder, input: (usize, usize, usize), f: impl FnOnce(&mut GraphBuilder)) {
+fn with_branch(
+    b: &mut GraphBuilder,
+    input: (usize, usize, usize),
+    f: impl FnOnce(&mut GraphBuilder),
+) {
     b.set_shape(input.0, input.1, input.2);
     f(b);
 }
@@ -102,7 +106,13 @@ pub fn inception_v2_backbone(b: &mut GraphBuilder) {
     b.conv_bn_relu(64, 1, 1, 0);
     b.conv_bn_relu(192, 3, 1, 1);
     b.maxpool(3, 2);
-    let module = |b: &mut GraphBuilder, c1: usize, c3r: usize, c3: usize, c5r: usize, c5: usize, cp: usize| {
+    let module = |b: &mut GraphBuilder,
+                  c1: usize,
+                  c3r: usize,
+                  c3: usize,
+                  c5r: usize,
+                  c5: usize,
+                  cp: usize| {
         let input = module_input(b);
         with_branch(b, input, |b| {
             b.conv_bn_relu(c1, 1, 1, 0);

@@ -44,7 +44,11 @@ fn bottleneck(
     let (h, w) = b.spatial();
     match version {
         ResNetVersion::V1 { stride_on_3x3 } => {
-            let (s1, s3) = if stride_on_3x3 { (1, stride) } else { (stride, 1) };
+            let (s1, s3) = if stride_on_3x3 {
+                (1, stride)
+            } else {
+                (stride, 1)
+            };
             if downsample {
                 b.conv(out_c, 1, stride, 0).bn();
                 b.set_shape(in_c, h, w);
@@ -129,7 +133,14 @@ pub fn resnet(batch: usize, depth: usize, version: ResNetVersion, classes: usize
 
 /// MLPerf_ResNet50_v1.5: the reference model of the paper's walkthroughs.
 pub fn mlperf_resnet50_v15(batch: usize) -> LayerGraph {
-    resnet(batch, 50, ResNetVersion::V1 { stride_on_3x3: true }, 1001)
+    resnet(
+        batch,
+        50,
+        ResNetVersion::V1 {
+            stride_on_3x3: true,
+        },
+        1001,
+    )
 }
 
 /// ResNet v1 at `depth` ∈ {50, 101, 152}.

@@ -189,14 +189,11 @@ mod tests {
             mask_rcnn_inception_v2(1),
         ] {
             assert!(g.len() > 100);
-            assert!(g
-                .layers
-                .iter()
-                .any(|l| matches!(l.op, LayerOp::Where)));
-            assert!(g
-                .layers
-                .iter()
-                .any(|l| matches!(l.op, LayerOp::Sigmoid)), "mask head present");
+            assert!(g.layers.iter().any(|l| matches!(l.op, LayerOp::Where)));
+            assert!(
+                g.layers.iter().any(|l| matches!(l.op, LayerOp::Sigmoid)),
+                "mask head present"
+            );
         }
     }
 

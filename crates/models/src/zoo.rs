@@ -70,61 +70,185 @@ impl std::fmt::Debug for ModelEntry {
 }
 
 // Individual builder fns (monomorphic fn pointers for the registry).
-fn m01(b: usize) -> LayerGraph { inception::inception_resnet_v2(b) }
-fn m02(b: usize) -> LayerGraph { inception::inception_v4(b) }
-fn m03(b: usize) -> LayerGraph { inception::inception_v3(b) }
-fn m04(b: usize) -> LayerGraph { resnet::resnet_v2(b, 152) }
-fn m05(b: usize) -> LayerGraph { resnet::resnet_v2(b, 101) }
-fn m06(b: usize) -> LayerGraph { resnet::resnet_v1(b, 152) }
-fn m07(b: usize) -> LayerGraph { resnet::mlperf_resnet50_v15(b) }
-fn m08(b: usize) -> LayerGraph { resnet::resnet_v1(b, 101) }
-fn m09(b: usize) -> LayerGraph { resnet::resnet(b, 152, ResNetVersion::V1 { stride_on_3x3: false }, 1000) }
-fn m10(b: usize) -> LayerGraph { resnet::resnet_v2(b, 50) }
-fn m11(b: usize) -> LayerGraph { resnet::resnet_v1(b, 50) }
-fn m12(b: usize) -> LayerGraph { resnet::resnet(b, 50, ResNetVersion::V1 { stride_on_3x3: false }, 1000) }
-fn m13(b: usize) -> LayerGraph { inception::inception_v2(b) }
-fn m14(b: usize) -> LayerGraph { densenet::densenet121(b) }
-fn m15(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 1.0, 224) }
-fn m16(b: usize) -> LayerGraph { vgg::vgg(b, 16) }
-fn m17(b: usize) -> LayerGraph { vgg::vgg(b, 19) }
-fn m18(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 1.0, 224) }
-fn m19(b: usize) -> LayerGraph { inception::inception_v1(b, true, 1000) }
-fn m20(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 1.0, 192) }
-fn m21(b: usize) -> LayerGraph { inception::inception_v1(b, true, 1000) }
-fn m22(b: usize) -> LayerGraph { inception::inception_v1(b, false, 1000) }
-fn m23(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.75, 224) }
-fn m24(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 1.0, 160) }
-fn m25(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.75, 192) }
-fn m26(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.75, 160) }
-fn m27(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 1.0, 128) }
-fn m28(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.5, 224) }
-fn m29(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.75, 128) }
-fn m30(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.5, 192) }
-fn m31(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.5, 160) }
-fn m32(b: usize) -> LayerGraph { alexnet::alexnet(b) }
-fn m33(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.5, 128) }
-fn m34(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.25, 224) }
-fn m35(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.25, 192) }
-fn m36(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.25, 160) }
-fn m37(b: usize) -> LayerGraph { mobilenet::mobilenet_v1(b, 0.25, 128) }
-fn m38(b: usize) -> LayerGraph { detection::faster_rcnn_nas(b) }
-fn m39(b: usize) -> LayerGraph { detection::faster_rcnn_resnet101(b) }
-fn m40(b: usize) -> LayerGraph { detection::ssd_mobilenet_v1_fpn(b) }
-fn m41(b: usize) -> LayerGraph { detection::faster_rcnn_resnet50(b) }
-fn m42(b: usize) -> LayerGraph { detection::faster_rcnn_inception_v2(b) }
-fn m43(b: usize) -> LayerGraph { detection::ssd_inception_v2(b) }
-fn m44(b: usize) -> LayerGraph { detection::ssd_mobilenet_v1(b, 115) }
-fn m45(b: usize) -> LayerGraph { detection::ssd_mobilenet_v2(b) }
-fn m46(b: usize) -> LayerGraph { detection::ssd_resnet34(b) }
-fn m47(b: usize) -> LayerGraph { detection::ssd_mobilenet_v1_ppn(b) }
-fn m48(b: usize) -> LayerGraph { segmentation::mask_rcnn_inception_resnet_v2(b) }
-fn m49(b: usize) -> LayerGraph { segmentation::mask_rcnn_resnet101_v2(b) }
-fn m50(b: usize) -> LayerGraph { segmentation::mask_rcnn_resnet50_v2(b) }
-fn m51(b: usize) -> LayerGraph { segmentation::mask_rcnn_inception_v2(b) }
-fn m52(b: usize) -> LayerGraph { segmentation::deeplabv3_xception65(b) }
-fn m53(b: usize) -> LayerGraph { segmentation::deeplabv3_mobilenet_v2(b, 1.0) }
-fn m54(b: usize) -> LayerGraph { segmentation::deeplabv3_mobilenet_v2(b, 0.5) }
-fn m55(b: usize) -> LayerGraph { srgan::srgan(b) }
+fn m01(b: usize) -> LayerGraph {
+    inception::inception_resnet_v2(b)
+}
+fn m02(b: usize) -> LayerGraph {
+    inception::inception_v4(b)
+}
+fn m03(b: usize) -> LayerGraph {
+    inception::inception_v3(b)
+}
+fn m04(b: usize) -> LayerGraph {
+    resnet::resnet_v2(b, 152)
+}
+fn m05(b: usize) -> LayerGraph {
+    resnet::resnet_v2(b, 101)
+}
+fn m06(b: usize) -> LayerGraph {
+    resnet::resnet_v1(b, 152)
+}
+fn m07(b: usize) -> LayerGraph {
+    resnet::mlperf_resnet50_v15(b)
+}
+fn m08(b: usize) -> LayerGraph {
+    resnet::resnet_v1(b, 101)
+}
+fn m09(b: usize) -> LayerGraph {
+    resnet::resnet(
+        b,
+        152,
+        ResNetVersion::V1 {
+            stride_on_3x3: false,
+        },
+        1000,
+    )
+}
+fn m10(b: usize) -> LayerGraph {
+    resnet::resnet_v2(b, 50)
+}
+fn m11(b: usize) -> LayerGraph {
+    resnet::resnet_v1(b, 50)
+}
+fn m12(b: usize) -> LayerGraph {
+    resnet::resnet(
+        b,
+        50,
+        ResNetVersion::V1 {
+            stride_on_3x3: false,
+        },
+        1000,
+    )
+}
+fn m13(b: usize) -> LayerGraph {
+    inception::inception_v2(b)
+}
+fn m14(b: usize) -> LayerGraph {
+    densenet::densenet121(b)
+}
+fn m15(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 1.0, 224)
+}
+fn m16(b: usize) -> LayerGraph {
+    vgg::vgg(b, 16)
+}
+fn m17(b: usize) -> LayerGraph {
+    vgg::vgg(b, 19)
+}
+fn m18(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 1.0, 224)
+}
+fn m19(b: usize) -> LayerGraph {
+    inception::inception_v1(b, true, 1000)
+}
+fn m20(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 1.0, 192)
+}
+fn m21(b: usize) -> LayerGraph {
+    inception::inception_v1(b, true, 1000)
+}
+fn m22(b: usize) -> LayerGraph {
+    inception::inception_v1(b, false, 1000)
+}
+fn m23(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.75, 224)
+}
+fn m24(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 1.0, 160)
+}
+fn m25(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.75, 192)
+}
+fn m26(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.75, 160)
+}
+fn m27(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 1.0, 128)
+}
+fn m28(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.5, 224)
+}
+fn m29(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.75, 128)
+}
+fn m30(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.5, 192)
+}
+fn m31(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.5, 160)
+}
+fn m32(b: usize) -> LayerGraph {
+    alexnet::alexnet(b)
+}
+fn m33(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.5, 128)
+}
+fn m34(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.25, 224)
+}
+fn m35(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.25, 192)
+}
+fn m36(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.25, 160)
+}
+fn m37(b: usize) -> LayerGraph {
+    mobilenet::mobilenet_v1(b, 0.25, 128)
+}
+fn m38(b: usize) -> LayerGraph {
+    detection::faster_rcnn_nas(b)
+}
+fn m39(b: usize) -> LayerGraph {
+    detection::faster_rcnn_resnet101(b)
+}
+fn m40(b: usize) -> LayerGraph {
+    detection::ssd_mobilenet_v1_fpn(b)
+}
+fn m41(b: usize) -> LayerGraph {
+    detection::faster_rcnn_resnet50(b)
+}
+fn m42(b: usize) -> LayerGraph {
+    detection::faster_rcnn_inception_v2(b)
+}
+fn m43(b: usize) -> LayerGraph {
+    detection::ssd_inception_v2(b)
+}
+fn m44(b: usize) -> LayerGraph {
+    detection::ssd_mobilenet_v1(b, 115)
+}
+fn m45(b: usize) -> LayerGraph {
+    detection::ssd_mobilenet_v2(b)
+}
+fn m46(b: usize) -> LayerGraph {
+    detection::ssd_resnet34(b)
+}
+fn m47(b: usize) -> LayerGraph {
+    detection::ssd_mobilenet_v1_ppn(b)
+}
+fn m48(b: usize) -> LayerGraph {
+    segmentation::mask_rcnn_inception_resnet_v2(b)
+}
+fn m49(b: usize) -> LayerGraph {
+    segmentation::mask_rcnn_resnet101_v2(b)
+}
+fn m50(b: usize) -> LayerGraph {
+    segmentation::mask_rcnn_resnet50_v2(b)
+}
+fn m51(b: usize) -> LayerGraph {
+    segmentation::mask_rcnn_inception_v2(b)
+}
+fn m52(b: usize) -> LayerGraph {
+    segmentation::deeplabv3_xception65(b)
+}
+fn m53(b: usize) -> LayerGraph {
+    segmentation::deeplabv3_mobilenet_v2(b, 1.0)
+}
+fn m54(b: usize) -> LayerGraph {
+    segmentation::deeplabv3_mobilenet_v2(b, 0.5)
+}
+fn m55(b: usize) -> LayerGraph {
+    srgan::srgan(b)
+}
 
 /// The 55 TensorFlow models of Table VIII, in table order.
 pub fn tensorflow_models() -> Vec<ModelEntry> {
@@ -143,60 +267,424 @@ pub fn tensorflow_models() -> Vec<ModelEntry> {
         build,
     };
     vec![
-        e(1, "Inception_ResNet_v2", ImageClassification, Some(80.40), 214.0, m01),
-        e(2, "Inception_v4", ImageClassification, Some(80.20), 163.0, m02),
-        e(3, "Inception_v3", ImageClassification, Some(78.00), 91.0, m03),
-        e(4, "ResNet_v2_152", ImageClassification, Some(77.80), 231.0, m04),
-        e(5, "ResNet_v2_101", ImageClassification, Some(77.00), 170.0, m05),
-        e(6, "ResNet_v1_152", ImageClassification, Some(76.80), 230.0, m06),
-        e(7, "MLPerf_ResNet50_v1.5", ImageClassification, Some(76.46), 103.0, m07),
-        e(8, "ResNet_v1_101", ImageClassification, Some(76.40), 170.0, m08),
-        e(9, "AI_Matrix_ResNet152", ImageClassification, Some(75.93), 230.0, m09),
-        e(10, "ResNet_v2_50", ImageClassification, Some(75.60), 98.0, m10),
-        e(11, "ResNet_v1_50", ImageClassification, Some(75.20), 98.0, m11),
-        e(12, "AI_Matrix_ResNet50", ImageClassification, Some(74.38), 98.0, m12),
-        e(13, "Inception_v2", ImageClassification, Some(73.90), 43.0, m13),
-        e(14, "AI_Matrix_DenseNet121", ImageClassification, Some(73.29), 31.0, m14),
-        e(15, "MLPerf_MobileNet_v1", ImageClassification, Some(71.68), 17.0, m15),
+        e(
+            1,
+            "Inception_ResNet_v2",
+            ImageClassification,
+            Some(80.40),
+            214.0,
+            m01,
+        ),
+        e(
+            2,
+            "Inception_v4",
+            ImageClassification,
+            Some(80.20),
+            163.0,
+            m02,
+        ),
+        e(
+            3,
+            "Inception_v3",
+            ImageClassification,
+            Some(78.00),
+            91.0,
+            m03,
+        ),
+        e(
+            4,
+            "ResNet_v2_152",
+            ImageClassification,
+            Some(77.80),
+            231.0,
+            m04,
+        ),
+        e(
+            5,
+            "ResNet_v2_101",
+            ImageClassification,
+            Some(77.00),
+            170.0,
+            m05,
+        ),
+        e(
+            6,
+            "ResNet_v1_152",
+            ImageClassification,
+            Some(76.80),
+            230.0,
+            m06,
+        ),
+        e(
+            7,
+            "MLPerf_ResNet50_v1.5",
+            ImageClassification,
+            Some(76.46),
+            103.0,
+            m07,
+        ),
+        e(
+            8,
+            "ResNet_v1_101",
+            ImageClassification,
+            Some(76.40),
+            170.0,
+            m08,
+        ),
+        e(
+            9,
+            "AI_Matrix_ResNet152",
+            ImageClassification,
+            Some(75.93),
+            230.0,
+            m09,
+        ),
+        e(
+            10,
+            "ResNet_v2_50",
+            ImageClassification,
+            Some(75.60),
+            98.0,
+            m10,
+        ),
+        e(
+            11,
+            "ResNet_v1_50",
+            ImageClassification,
+            Some(75.20),
+            98.0,
+            m11,
+        ),
+        e(
+            12,
+            "AI_Matrix_ResNet50",
+            ImageClassification,
+            Some(74.38),
+            98.0,
+            m12,
+        ),
+        e(
+            13,
+            "Inception_v2",
+            ImageClassification,
+            Some(73.90),
+            43.0,
+            m13,
+        ),
+        e(
+            14,
+            "AI_Matrix_DenseNet121",
+            ImageClassification,
+            Some(73.29),
+            31.0,
+            m14,
+        ),
+        e(
+            15,
+            "MLPerf_MobileNet_v1",
+            ImageClassification,
+            Some(71.68),
+            17.0,
+            m15,
+        ),
         e(16, "VGG16", ImageClassification, Some(71.50), 528.0, m16),
         e(17, "VGG19", ImageClassification, Some(71.10), 548.0, m17),
-        e(18, "MobileNet_v1_1.0_224", ImageClassification, Some(70.90), 16.0, m18),
-        e(19, "AI_Matrix_GoogleNet", ImageClassification, Some(70.01), 27.0, m19),
-        e(20, "MobileNet_v1_1.0_192", ImageClassification, Some(70.00), 16.0, m20),
-        e(21, "Inception_v1", ImageClassification, Some(69.80), 26.0, m21),
-        e(22, "BVLC_GoogLeNet_Caffe", ImageClassification, Some(68.70), 27.0, m22),
-        e(23, "MobileNet_v1_0.75_224", ImageClassification, Some(68.40), 10.0, m23),
-        e(24, "MobileNet_v1_1.0_160", ImageClassification, Some(68.00), 16.0, m24),
-        e(25, "MobileNet_v1_0.75_192", ImageClassification, Some(67.20), 10.0, m25),
-        e(26, "MobileNet_v1_0.75_160", ImageClassification, Some(65.30), 10.0, m26),
-        e(27, "MobileNet_v1_1.0_128", ImageClassification, Some(65.20), 16.0, m27),
-        e(28, "MobileNet_v1_0.5_224", ImageClassification, Some(63.30), 5.2, m28),
-        e(29, "MobileNet_v1_0.75_128", ImageClassification, Some(62.10), 10.0, m29),
-        e(30, "MobileNet_v1_0.5_192", ImageClassification, Some(61.70), 5.2, m30),
-        e(31, "MobileNet_v1_0.5_160", ImageClassification, Some(59.10), 5.2, m31),
-        e(32, "BVLC_AlexNet_Caffe", ImageClassification, Some(57.10), 233.0, m32),
-        e(33, "MobileNet_v1_0.5_128", ImageClassification, Some(56.30), 5.2, m33),
-        e(34, "MobileNet_v1_0.25_224", ImageClassification, Some(49.80), 1.9, m34),
-        e(35, "MobileNet_v1_0.25_192", ImageClassification, Some(47.70), 1.9, m35),
-        e(36, "MobileNet_v1_0.25_160", ImageClassification, Some(45.50), 1.9, m36),
-        e(37, "MobileNet_v1_0.25_128", ImageClassification, Some(41.50), 1.9, m37),
-        e(38, "Faster_RCNN_NAS", ObjectDetection, Some(43.0), 405.0, m38),
-        e(39, "Faster_RCNN_ResNet101", ObjectDetection, Some(32.0), 187.0, m39),
-        e(40, "SSD_MobileNet_v1_FPN", ObjectDetection, Some(32.0), 49.0, m40),
-        e(41, "Faster_RCNN_ResNet50", ObjectDetection, Some(30.0), 115.0, m41),
-        e(42, "Faster_RCNN_Inception_v2", ObjectDetection, Some(28.0), 54.0, m42),
-        e(43, "SSD_Inception_v2", ObjectDetection, Some(24.0), 97.0, m43),
-        e(44, "MLPerf_SSD_MobileNet_v1_300x300", ObjectDetection, Some(23.0), 28.0, m44),
-        e(45, "SSD_MobileNet_v2", ObjectDetection, Some(22.0), 66.0, m45),
-        e(46, "MLPerf_SSD_ResNet34_1200x1200", ObjectDetection, Some(20.0), 81.0, m46),
-        e(47, "SSD_MobileNet_v1_PPN", ObjectDetection, Some(20.0), 10.0, m47),
-        e(48, "Mask_RCNN_Inception_ResNet_v2", InstanceSegmentation, Some(36.0), 254.0, m48),
-        e(49, "Mask_RCNN_ResNet101_v2", InstanceSegmentation, Some(33.0), 212.0, m49),
-        e(50, "Mask_RCNN_ResNet50_v2", InstanceSegmentation, Some(29.0), 138.0, m50),
-        e(51, "Mask_RCNN_Inception_v2", InstanceSegmentation, Some(25.0), 64.0, m51),
-        e(52, "DeepLabv3_Xception_65", SemanticSegmentation, Some(87.8), 439.0, m52),
-        e(53, "DeepLabv3_MobileNet_v2", SemanticSegmentation, Some(80.25), 8.8, m53),
-        e(54, "DeepLabv3_MobileNet_v2_DM0.5", SemanticSegmentation, Some(71.83), 7.6, m54),
+        e(
+            18,
+            "MobileNet_v1_1.0_224",
+            ImageClassification,
+            Some(70.90),
+            16.0,
+            m18,
+        ),
+        e(
+            19,
+            "AI_Matrix_GoogleNet",
+            ImageClassification,
+            Some(70.01),
+            27.0,
+            m19,
+        ),
+        e(
+            20,
+            "MobileNet_v1_1.0_192",
+            ImageClassification,
+            Some(70.00),
+            16.0,
+            m20,
+        ),
+        e(
+            21,
+            "Inception_v1",
+            ImageClassification,
+            Some(69.80),
+            26.0,
+            m21,
+        ),
+        e(
+            22,
+            "BVLC_GoogLeNet_Caffe",
+            ImageClassification,
+            Some(68.70),
+            27.0,
+            m22,
+        ),
+        e(
+            23,
+            "MobileNet_v1_0.75_224",
+            ImageClassification,
+            Some(68.40),
+            10.0,
+            m23,
+        ),
+        e(
+            24,
+            "MobileNet_v1_1.0_160",
+            ImageClassification,
+            Some(68.00),
+            16.0,
+            m24,
+        ),
+        e(
+            25,
+            "MobileNet_v1_0.75_192",
+            ImageClassification,
+            Some(67.20),
+            10.0,
+            m25,
+        ),
+        e(
+            26,
+            "MobileNet_v1_0.75_160",
+            ImageClassification,
+            Some(65.30),
+            10.0,
+            m26,
+        ),
+        e(
+            27,
+            "MobileNet_v1_1.0_128",
+            ImageClassification,
+            Some(65.20),
+            16.0,
+            m27,
+        ),
+        e(
+            28,
+            "MobileNet_v1_0.5_224",
+            ImageClassification,
+            Some(63.30),
+            5.2,
+            m28,
+        ),
+        e(
+            29,
+            "MobileNet_v1_0.75_128",
+            ImageClassification,
+            Some(62.10),
+            10.0,
+            m29,
+        ),
+        e(
+            30,
+            "MobileNet_v1_0.5_192",
+            ImageClassification,
+            Some(61.70),
+            5.2,
+            m30,
+        ),
+        e(
+            31,
+            "MobileNet_v1_0.5_160",
+            ImageClassification,
+            Some(59.10),
+            5.2,
+            m31,
+        ),
+        e(
+            32,
+            "BVLC_AlexNet_Caffe",
+            ImageClassification,
+            Some(57.10),
+            233.0,
+            m32,
+        ),
+        e(
+            33,
+            "MobileNet_v1_0.5_128",
+            ImageClassification,
+            Some(56.30),
+            5.2,
+            m33,
+        ),
+        e(
+            34,
+            "MobileNet_v1_0.25_224",
+            ImageClassification,
+            Some(49.80),
+            1.9,
+            m34,
+        ),
+        e(
+            35,
+            "MobileNet_v1_0.25_192",
+            ImageClassification,
+            Some(47.70),
+            1.9,
+            m35,
+        ),
+        e(
+            36,
+            "MobileNet_v1_0.25_160",
+            ImageClassification,
+            Some(45.50),
+            1.9,
+            m36,
+        ),
+        e(
+            37,
+            "MobileNet_v1_0.25_128",
+            ImageClassification,
+            Some(41.50),
+            1.9,
+            m37,
+        ),
+        e(
+            38,
+            "Faster_RCNN_NAS",
+            ObjectDetection,
+            Some(43.0),
+            405.0,
+            m38,
+        ),
+        e(
+            39,
+            "Faster_RCNN_ResNet101",
+            ObjectDetection,
+            Some(32.0),
+            187.0,
+            m39,
+        ),
+        e(
+            40,
+            "SSD_MobileNet_v1_FPN",
+            ObjectDetection,
+            Some(32.0),
+            49.0,
+            m40,
+        ),
+        e(
+            41,
+            "Faster_RCNN_ResNet50",
+            ObjectDetection,
+            Some(30.0),
+            115.0,
+            m41,
+        ),
+        e(
+            42,
+            "Faster_RCNN_Inception_v2",
+            ObjectDetection,
+            Some(28.0),
+            54.0,
+            m42,
+        ),
+        e(
+            43,
+            "SSD_Inception_v2",
+            ObjectDetection,
+            Some(24.0),
+            97.0,
+            m43,
+        ),
+        e(
+            44,
+            "MLPerf_SSD_MobileNet_v1_300x300",
+            ObjectDetection,
+            Some(23.0),
+            28.0,
+            m44,
+        ),
+        e(
+            45,
+            "SSD_MobileNet_v2",
+            ObjectDetection,
+            Some(22.0),
+            66.0,
+            m45,
+        ),
+        e(
+            46,
+            "MLPerf_SSD_ResNet34_1200x1200",
+            ObjectDetection,
+            Some(20.0),
+            81.0,
+            m46,
+        ),
+        e(
+            47,
+            "SSD_MobileNet_v1_PPN",
+            ObjectDetection,
+            Some(20.0),
+            10.0,
+            m47,
+        ),
+        e(
+            48,
+            "Mask_RCNN_Inception_ResNet_v2",
+            InstanceSegmentation,
+            Some(36.0),
+            254.0,
+            m48,
+        ),
+        e(
+            49,
+            "Mask_RCNN_ResNet101_v2",
+            InstanceSegmentation,
+            Some(33.0),
+            212.0,
+            m49,
+        ),
+        e(
+            50,
+            "Mask_RCNN_ResNet50_v2",
+            InstanceSegmentation,
+            Some(29.0),
+            138.0,
+            m50,
+        ),
+        e(
+            51,
+            "Mask_RCNN_Inception_v2",
+            InstanceSegmentation,
+            Some(25.0),
+            64.0,
+            m51,
+        ),
+        e(
+            52,
+            "DeepLabv3_Xception_65",
+            SemanticSegmentation,
+            Some(87.8),
+            439.0,
+            m52,
+        ),
+        e(
+            53,
+            "DeepLabv3_MobileNet_v2",
+            SemanticSegmentation,
+            Some(80.25),
+            8.8,
+            m53,
+        ),
+        e(
+            54,
+            "DeepLabv3_MobileNet_v2_DM0.5",
+            SemanticSegmentation,
+            Some(71.83),
+            7.6,
+            m54,
+        ),
         e(55, "SRGAN", SuperResolution, None, 5.9, m55),
     ]
 }

@@ -96,7 +96,10 @@ fn mobilenet_grid_scales_quadratically_in_alpha_and_resolution() {
     // alpha 0.5 ~ 4x fewer flops in the depthwise trunk (quadratic in width)
     let half_alpha = f("MobileNet_v1_0.5_224");
     let ratio = full / half_alpha;
-    assert!((2.5..=5.0).contains(&ratio), "alpha 1.0 vs 0.5 ratio {ratio}");
+    assert!(
+        (2.5..=5.0).contains(&ratio),
+        "alpha 1.0 vs 0.5 ratio {ratio}"
+    );
 }
 
 #[test]

@@ -19,8 +19,8 @@
 //!    with serialized execution (`CUDA_LAUNCH_BLOCKING=1`).
 
 use crate::interval::{Interval, IntervalTree};
-use crate::span::{tag_keys, Span, SpanId, StackLevel, TagValue};
 use crate::server::Trace;
+use crate::span::{tag_keys, Span, SpanId, StackLevel, TagValue};
 use std::collections::HashMap;
 
 /// A span with its resolved parent and, for async operations, the launch
@@ -287,15 +287,10 @@ fn reconstruct_single_run(spans: &[Span]) -> CorrelatedTrace {
                 // Best effort: tightest containing interval.
                 let best = *candidates
                     .iter()
-                    .min_by_key(|&&c| {
-                        correlated[c].span.end_ns - correlated[c].span.start_ns
-                    })
+                    .min_by_key(|&&c| correlated[c].span.end_ns - correlated[c].span.start_ns)
                     .expect("nonempty");
-                let all: Vec<SpanId> =
-                    candidates.iter().map(|&c| correlated[c].span.id).collect();
-                ambiguities
-                    .ambiguous
-                    .push((correlated[i].span.id, all));
+                let all: Vec<SpanId> = candidates.iter().map(|&c| correlated[c].span.id).collect();
+                ambiguities.ambiguous.push((correlated[i].span.id, all));
                 let pid = correlated[best].span.id;
                 correlated[i].parent = Some(pid);
                 correlated[i].span.parent = Some(pid);
@@ -330,8 +325,10 @@ pub fn gpu_metrics(span: &Span) -> (Option<u64>, Option<u64>, Option<u64>, Optio
     (
         span.tag(tag_keys::FLOP_COUNT_SP).and_then(|v| v.as_u64()),
         span.tag(tag_keys::DRAM_READ_BYTES).and_then(|v| v.as_u64()),
-        span.tag(tag_keys::DRAM_WRITE_BYTES).and_then(|v| v.as_u64()),
-        span.tag(tag_keys::ACHIEVED_OCCUPANCY).and_then(|v| v.as_f64()),
+        span.tag(tag_keys::DRAM_WRITE_BYTES)
+            .and_then(|v| v.as_u64()),
+        span.tag(tag_keys::ACHIEVED_OCCUPANCY)
+            .and_then(|v| v.as_f64()),
     )
 }
 
@@ -479,7 +476,11 @@ mod tests {
         let trace = Trace::from_spans(vec![model, layer, copy]);
         let c = reconstruct_parents(&trace);
         assert!(c.ambiguities.is_clean(), "{:?}", c.ambiguities);
-        let m = c.spans.iter().find(|s| s.span.name == "cudaMemcpyH2D").unwrap();
+        let m = c
+            .spans
+            .iter()
+            .find(|s| s.span.name == "cudaMemcpyH2D")
+            .unwrap();
         assert_eq!(m.parent, Some(mid));
     }
 

@@ -1,8 +1,8 @@
 //! Trace export: Chrome trace-event JSON (loadable in `chrome://tracing` /
 //! Perfetto) and raw span JSON for offline analysis pipelines.
 
-use crate::span::{Span, TagValue};
 use crate::server::Trace;
+use crate::span::{Span, TagValue};
 use serde::Serialize;
 
 /// One event in Chrome trace-event format ("X" complete events).

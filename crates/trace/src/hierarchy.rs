@@ -26,9 +26,7 @@ impl SpanTree {
         }
         for (i, c) in trace.spans.iter().enumerate() {
             match c.parent {
-                Some(p) if index_of.contains_key(&p) => {
-                    children.entry(p).or_default().push(i)
-                }
+                Some(p) if index_of.contains_key(&p) => children.entry(p).or_default().push(i),
                 _ => roots.push(i),
             }
         }

@@ -228,9 +228,7 @@ impl IntervalTree {
         fn go(tree: &IntervalTree, node: Option<usize>) -> usize {
             match node {
                 None => 0,
-                Some(i) => {
-                    1 + go(tree, tree.nodes[i].left).max(go(tree, tree.nodes[i].right))
-                }
+                Some(i) => 1 + go(tree, tree.nodes[i].left).max(go(tree, tree.nodes[i].right)),
             }
         }
         go(self, self.root)
@@ -312,7 +310,11 @@ mod tests {
             .collect();
         let t = IntervalTree::build(intervals);
         assert_eq!(t.len(), 1024);
-        assert!(t.depth() <= 11, "depth {} too deep for 1024 nodes", t.depth());
+        assert!(
+            t.depth() <= 11,
+            "depth {} too deep for 1024 nodes",
+            t.depth()
+        );
     }
 
     #[test]
@@ -337,7 +339,9 @@ mod tests {
         // simple LCG so the test needs no external randomness
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 1000
         };
         let intervals: Vec<Interval> = (0..300)

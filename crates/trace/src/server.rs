@@ -184,7 +184,10 @@ mod tests {
         t2.report(span(id, "conv", StackLevel::Layer, 10, 60));
         let trace = server.drain();
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace.levels_present(), vec![StackLevel::Model, StackLevel::Layer]);
+        assert_eq!(
+            trace.levels_present(),
+            vec![StackLevel::Model, StackLevel::Layer]
+        );
         // second drain is empty
         assert!(server.drain().is_empty());
     }
@@ -258,13 +261,9 @@ mod tests {
                 std::thread::spawn(move || {
                     for j in 0..100u64 {
                         tracer.report(
-                            SpanBuilder::new(
-                                format!("k{i}_{j}"),
-                                StackLevel::Kernel,
-                                id,
-                            )
-                            .start(j)
-                            .finish(j + 1),
+                            SpanBuilder::new(format!("k{i}_{j}"), StackLevel::Kernel, id)
+                                .start(j)
+                                .finish(j + 1),
                         );
                     }
                 })

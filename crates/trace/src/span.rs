@@ -48,9 +48,7 @@ impl fmt::Display for TraceId {
 /// The paper numbers levels from 1 (model) downwards; `Application` (level 0)
 /// and `Library` (between layer and kernel) exist for the extensibility story
 /// of §III-E — e.g. profiling whole applications or cuDNN API calls.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum StackLevel {
     /// Whole-application events (distributed pipelines, multi-model apps).
     Application,

@@ -56,7 +56,10 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
-    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} outside [0, 100]"
+    );
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;

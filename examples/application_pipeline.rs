@@ -39,11 +39,17 @@ fn main() {
     // Stage 1: detector.
     let detector = Session::new(
         FrameworkKind::TensorFlow,
-        &zoo::by_name("MLPerf_SSD_MobileNet_v1_300x300").unwrap().graph(1),
+        &zoo::by_name("MLPerf_SSD_MobileNet_v1_300x300")
+            .unwrap()
+            .graph(1),
         ctx.clone(),
     );
     let det_span = start_span_at_level(
-        &model_tracer, &clock, trace_id, "detector_prediction", StackLevel::Model,
+        &model_tracer,
+        &clock,
+        trace_id,
+        "detector_prediction",
+        StackLevel::Model,
     );
     detector.predict(&RunOptions::with_layer_profiling(&layer_tracer, trace_id));
     det_span.finish();
@@ -55,7 +61,11 @@ fn main() {
         ctx.clone(),
     );
     let cls_span = start_span_at_level(
-        &model_tracer, &clock, trace_id, "classifier_prediction", StackLevel::Model,
+        &model_tracer,
+        &clock,
+        trace_id,
+        "classifier_prediction",
+        StackLevel::Model,
     );
     classifier.predict(&RunOptions::with_layer_profiling(&layer_tracer, trace_id));
     cls_span.finish();
@@ -70,7 +80,11 @@ fn main() {
     let roots = tree.roots();
     assert_eq!(roots.len(), 1, "one application root");
     let models = tree.children(roots[0].id);
-    println!("application: {} ({:.2} ms)", roots[0].name, roots[0].duration_ms());
+    println!(
+        "application: {} ({:.2} ms)",
+        roots[0].name,
+        roots[0].duration_ms()
+    );
     for m in &models {
         let layers = tree.children(m.id);
         println!(

@@ -18,7 +18,14 @@ fn main() {
 
     let mut t = Table::new(
         "TensorFlow vs MXNet on Tesla_V100 (cf. Table X)",
-        &["Model", "Framework", "Online (ms)", "Max Throughput (in/s)", "Kernel (ms @opt)", "DRAM r+w (GB @opt)"],
+        &[
+            "Model",
+            "Framework",
+            "Online (ms)",
+            "Max Throughput (in/s)",
+            "Kernel (ms @opt)",
+            "DRAM r+w (GB @opt)",
+        ],
     );
     for name in ["ResNet_v1_50", "MobileNet_v1_1.0_224"] {
         let m = zoo::by_name(name).unwrap();

@@ -18,7 +18,10 @@ fn main() {
 
     let o = profile.overhead_report();
     println!("Leveled experimentation for {} (batch 8):", model.name);
-    println!("  M      : {} ms   <- the accurate model latency", fmt_ms(o.model_ms));
+    println!(
+        "  M      : {} ms   <- the accurate model latency",
+        fmt_ms(o.model_ms)
+    );
     println!(
         "  M/L    : {} ms   (+{} ms layer-profiler overhead)",
         fmt_ms(o.model_layer_ms),
@@ -50,5 +53,9 @@ fn main() {
     let json = xsp_trace::export::to_chrome_trace(&xsp_trace::Trace::from_spans(spans));
     let path = std::env::temp_dir().join("xsp_trace.json");
     std::fs::write(&path, &json).expect("write trace");
-    println!("\nChrome trace written to {} ({} bytes)", path.display(), json.len());
+    println!(
+        "\nChrome trace written to {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
 }

@@ -49,7 +49,14 @@ fn main() {
     layers.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
     let mut t = Table::new(
         "Top-5 most time-consuming layers (A2, cf. Table II)",
-        &["Index", "Name", "Type", "Shape", "Latency (ms)", "Alloc (MB)"],
+        &[
+            "Index",
+            "Name",
+            "Type",
+            "Shape",
+            "Latency (ms)",
+            "Alloc (MB)",
+        ],
     );
     for l in layers.iter().take(5) {
         t.row(vec![
@@ -67,7 +74,15 @@ fn main() {
     let a10 = analysis::a10_kernel_info_by_name(&profile, &system);
     let mut t = Table::new(
         "Top-5 kernels aggregated by name (A10, cf. Table IV)",
-        &["Kernel", "Count", "Latency (ms)", "%", "Gflops", "Occ (%)", "Mem-bound"],
+        &[
+            "Kernel",
+            "Count",
+            "Latency (ms)",
+            "%",
+            "Gflops",
+            "Occ (%)",
+            "Mem-bound",
+        ],
     );
     for k in a10.iter().take(5) {
         t.row(vec![

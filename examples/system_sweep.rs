@@ -14,7 +14,14 @@ fn main() {
     let model = zoo::by_name("MLPerf_ResNet50_v1.5").unwrap();
     let mut t = Table::new(
         "MLPerf_ResNet50_v1.5 across systems, batch 64",
-        &["System", "Arch", "Ideal AI", "Latency (ms)", "Throughput (in/s)", "Top conv kernel"],
+        &[
+            "System",
+            "Arch",
+            "Ideal AI",
+            "Latency (ms)",
+            "Throughput (in/s)",
+            "Top conv kernel",
+        ],
     );
     for system in systems::all() {
         let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(2));

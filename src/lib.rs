@@ -1,0 +1,28 @@
+//! # xsp — across-stack profiling of ML models on (simulated) GPUs
+//!
+//! Facade over the workspace crates reproducing XSP (Li & Dakkak et al.,
+//! "XSP: Across-Stack Profiling and Analysis of Machine Learning Models on
+//! GPUs", IPDPS 2020). Depend on the individual `xsp-*` crates for library
+//! use; this package exists so the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) have a home, and so
+//! `cargo doc` produces one entry point linking the whole stack:
+//!
+//! * [`trace`] — distributed-tracing substrate (spans, correlation, export)
+//! * [`gpu`] — deterministic virtual-clock GPU simulator
+//! * [`cupti`] — CUPTI-like callback/activity/metric profiling interface
+//! * [`dnn`] — cuDNN/cuBLAS/Eigen analogues emitting kernel descriptors
+//! * [`framework`] — layer-graph executor with TF/MXNet personalities
+//! * [`models`] — the 65-model zoo
+//! * [`core`] — XSP itself: pipeline, leveled experimentation, 15 analyses
+//! * [`bench`](mod@bench) — the table/figure reproduction harness helpers
+
+#![warn(missing_docs)]
+
+pub use xsp_bench as bench;
+pub use xsp_core as core;
+pub use xsp_cupti as cupti;
+pub use xsp_dnn as dnn;
+pub use xsp_framework as framework;
+pub use xsp_gpu as gpu;
+pub use xsp_models as models;
+pub use xsp_trace as trace;

@@ -110,7 +110,8 @@ fn a1_optimal_batch_consistent_with_throughputs() {
     let system = systems::tesla_v100();
     let xsp = Xsp::new(XspConfig::new(system, FrameworkKind::TensorFlow).runs(1));
     let m = zoo::by_name("ResNet_v2_50").unwrap();
-    let sweep: Vec<BatchProfile> = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+    let sweep: Vec<BatchProfile> =
+        xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
     let table = a1_model_info(&sweep);
     // doubling past the optimum gains <= 5%
     let opt_tp = table

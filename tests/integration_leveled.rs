@@ -7,9 +7,7 @@ use xsp_gpu::systems;
 use xsp_models::zoo;
 
 fn leveled(batch: usize) -> xsp_core::LeveledProfile {
-    let xsp = Xsp::new(
-        XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(3),
-    );
+    let xsp = Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(3));
     xsp.leveled(&zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(batch))
 }
 
@@ -66,9 +64,7 @@ fn layer_latencies_accurate_at_both_levels() {
 fn layer_overhead_scales_with_layer_count() {
     // The layer profiler costs per executed layer, so a deeper model pays
     // proportionally more (Figure 2's 157ms for 234 layers).
-    let xsp = Xsp::new(
-        XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1),
-    );
+    let xsp = Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1));
     let shallow = xsp.leveled(&zoo::by_name("BVLC_AlexNet_Caffe").unwrap().graph(8));
     let deep = xsp.leveled(&zoo::by_name("ResNet_v1_152").unwrap().graph(8));
     let so = shallow.overhead_report().layer_overhead_ms;
@@ -118,9 +114,7 @@ fn kernel_latencies_identical_with_and_without_metrics() {
 
 #[test]
 fn levels_expose_expected_data() {
-    let xsp = Xsp::new(
-        XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1),
-    );
+    let xsp = Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1));
     let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
     use xsp_core::pipeline::run_once;
     let m = run_once(xsp.config(), &graph, ProfilingLevel::Model, 0);

@@ -106,7 +106,11 @@ fn profile_is_deterministic() {
     let run = || {
         let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(1));
         let p = xsp.leveled(&graph);
-        (p.model_latency_ms(), p.kernel_latency_ms(), p.layers().len())
+        (
+            p.model_latency_ms(),
+            p.kernel_latency_ms(),
+            p.layers().len(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -186,5 +190,8 @@ fn folded_stack_export_covers_model_time() {
         "folded weight {total_us} vs roots {root_us}"
     );
     // stacks reach kernel depth
-    assert!(folded.lines().any(|l| l.matches(';').count() >= 2), "3-deep stacks");
+    assert!(
+        folded.lines().any(|l| l.matches(';').count() >= 2),
+        "3-deep stacks"
+    );
 }

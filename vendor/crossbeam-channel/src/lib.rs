@@ -1,0 +1,134 @@
+//! Offline vendored subset of the `crossbeam-channel` API.
+//!
+//! The build environment has no access to crates.io, so the unbounded MPMC
+//! channel the workspace uses is provided here over `std::sync::mpsc` (whose
+//! modern implementation is itself crossbeam-derived). The receiver is
+//! wrapped in an `Arc<Mutex<..>>` so it is cloneable and `Sync`, matching
+//! crossbeam's multi-consumer semantics for the operations used here.
+
+#![warn(missing_docs)]
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// The sending half of an unbounded channel.
+#[derive(Debug, Clone)]
+pub struct Sender<T>(mpsc::Sender<T>);
+
+/// The receiving half of an unbounded channel. Cloneable: clones share the
+/// same queue (each message is delivered to exactly one receiver).
+#[derive(Debug, Clone)]
+pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+impl<T> Receiver<T> {
+    fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Blocks until a message arrives or all senders are dropped.
+    ///
+    /// Polls rather than parking inside the shared mutex: holding the guard
+    /// across a blocking `mpsc::recv` would make `try_recv`/`try_iter` on a
+    /// cloned receiver block too, which crossbeam's non-blocking API forbids.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            match self.guard().try_recv() {
+                Ok(value) => return Ok(value),
+                Err(TryRecvError::Disconnected) => return Err(RecvError),
+                Err(TryRecvError::Empty) => {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Returns a pending message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.guard().try_recv()
+    }
+
+    /// Drains every message currently in the channel without blocking.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Non-blocking draining iterator returned by [`Receiver::try_iter`].
+#[derive(Debug)]
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_try_iter() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn cloned_senders_share_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_recv_stays_nonblocking_while_a_clone_is_in_recv() {
+        let (tx, rx) = unbounded::<u32>();
+        let parked = rx.clone();
+        let handle = std::thread::spawn(move || parked.recv());
+        // Give the other thread time to enter recv() on the empty channel.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "try_recv blocked behind a parked recv()"
+        );
+        tx.send(7).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(7));
+    }
+}

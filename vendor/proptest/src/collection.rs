@@ -1,0 +1,98 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::{Range, RangeInclusive};
+
+/// A length distribution for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        Self {
+            lo: range.start,
+            hi: range.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        Self {
+            lo: *range.start(),
+            hi: *range.end() + 1,
+        }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        // Constructors guarantee hi > lo.
+        let len = self.size.lo + rng.gen_index(self.size.hi - self.size.lo);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_range() {
+        let strategy = vec(0u8..10, 2..5);
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|e| *e < 10));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let strategy = vec(0u8..10, 0..3);
+        let mut rng = TestRng::deterministic("vec0");
+        assert!((0..200).any(|_| strategy.sample(&mut rng).is_empty()));
+    }
+
+    #[test]
+    fn exact_size() {
+        let strategy = vec(0u8..10, 4usize);
+        let mut rng = TestRng::deterministic("vec4");
+        assert_eq!(strategy.sample(&mut rng).len(), 4);
+    }
+}

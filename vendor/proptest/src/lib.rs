@@ -1,0 +1,157 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so property tests run
+//! on this reimplementation of the proptest surface the workspace uses:
+//! the [`proptest!`] macro, the [`Strategy`] trait with
+//! range/tuple/[`Just`]/`prop_map` strategies, [`collection::vec`](fn@collection::vec),
+//! [`sample::select`], [`prop_oneof!`] and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, chosen for determinism and small size:
+//! inputs are generated from a PRNG seeded by the test's module path and
+//! name (every run explores the same cases — no persistence files), there
+//! is **no shrinking** (the failing inputs are printed in full instead),
+//! and the default case count is 64 (overridable per block with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies for a configured number
+/// of cases and runs the body against each sample.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_item! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_item! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_item {
+    (config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::rng::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $( let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut rng); )+
+                let inputs = format!("{:#?}", ( $( &$arg, )+ ));
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest case {case} of {total} failed: {message}\ninputs: {inputs}",
+                        case = case,
+                        total = config.cases,
+                        message = message,
+                        inputs = inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_item! { config = $config; $($rest)* }
+    };
+}
+
+/// Fails the current proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current proptest case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), left, right
+            ));
+        }
+    }};
+}
+
+/// Fails the current proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err(format!(
+                "{}\n  both: {:?}", format!($($fmt)+), left
+            ));
+        }
+    }};
+}
+
+/// Builds a strategy choosing uniformly between the given strategies (all
+/// must produce the same value type). Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strategy:expr),+ $(,)? ) => {
+        $crate::strategy::OneOf::new(vec![ $( $crate::strategy::boxed($strategy) ),+ ])
+    };
+}

@@ -1,0 +1,105 @@
+//! The deterministic PRNG behind the vendored strategies.
+
+/// A small xoshiro256++ generator seeded from a test's name, so each test
+/// explores the same inputs on every run and machine.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
+        Self {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Builds a generator seeded from a label (FNV-1a hashed), typically
+    /// the test's `module_path!()::name`.
+    pub fn deterministic(label: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::from_seed(hash)
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, len)`; panics when `len` is zero.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.next_u64() % len as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)` over a common `i128` domain.
+    pub fn gen_int_range(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty integer range");
+        let width = (hi - lo) as u128;
+        let draw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % width;
+        lo + draw as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_range_covers_bounds() {
+        let mut rng = TestRng::from_seed(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.gen_int_range(-2, 3);
+            assert!((-2..3).contains(&v));
+            seen_lo |= v == -2;
+            seen_hi |= v == 2;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+}

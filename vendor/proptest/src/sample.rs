@@ -1,0 +1,39 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Generates values by picking uniformly from `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_index(self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_every_option_eventually() {
+        let strategy = select(vec!['a', 'b', 'c']);
+        let mut rng = TestRng::deterministic("select");
+        let drawn: Vec<char> = (0..100).map(|_| strategy.sample(&mut rng)).collect();
+        for expected in ['a', 'b', 'c'] {
+            assert!(drawn.contains(&expected));
+        }
+    }
+}

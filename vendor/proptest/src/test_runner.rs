@@ -1,0 +1,23 @@
+//! Run configuration for [`proptest!`](crate::proptest) blocks.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 to keep the offline
+    /// suite fast; raise per block where more coverage is worth it.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so serialization is
+//! provided here as a *value-tree* design rather than serde's
+//! visitor/`Serializer` design: [`Serialize`] converts a value into a
+//! [`value::Value`] tree and [`Deserialize`] converts back. The derive
+//! macros (`#[derive(Serialize, Deserialize)]`, re-exported from the
+//! companion `serde_derive` crate) generate those conversions with serde's
+//! standard data model: structs become JSON objects, newtype structs are
+//! transparent, enums are externally tagged.
+//!
+//! `serde_json` (also vendored) builds its JSON reader/writer on the same
+//! [`value::Value`] tree.
+
+#![warn(missing_docs)]
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+use std::fmt;
+
+/// A value that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A value that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeserializeError>;
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a deserializable value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, DeserializeError> {
+    T::from_value(value)
+}
+
+/// Error produced when a [`Value`] tree does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeserializeError {
+    message: String,
+}
+
+impl DeserializeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Returns a copy of this error annotated with the field or variant it
+    /// occurred in.
+    pub fn in_context(&self, context: &str) -> Self {
+        Self::new(format!("{context}: {}", self.message))
+    }
+}
+
+impl fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeserializeError {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Map<String, Value> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and containers
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeserializeError::new(format!("expected bool, got {value:?}")))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeserializeError::new(format!("expected string, got {value:?}")))
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    DeserializeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), value
+                    ))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeserializeError::new(format!(
+                        concat!("value {} out of range for ", stringify!($t)), raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    DeserializeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), value
+                    ))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeserializeError::new(format!(
+                        concat!("value {} out of range for ", stringify!($t)), raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeserializeError::new(format!("expected number, got {value:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| DeserializeError::new(format!("expected array, got {value:?}")))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal : $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+                let arr = value.as_array().ok_or_else(|| {
+                    DeserializeError::new(format!("expected tuple array, got {value:?}"))
+                })?;
+                if arr.len() != $len {
+                    return Err(DeserializeError::new(format!(
+                        "expected tuple of {}, got array of {}", $len, arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1: A.0)
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+}
+
+impl Deserialize for Map<String, Value> {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_object()
+            .cloned()
+            .ok_or_else(|| DeserializeError::new(format!("expected object, got {value:?}")))
+    }
+}

@@ -1,0 +1,489 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` crate.
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed directly
+//! from the `proc_macro` token stream and the generated impls are emitted as
+//! source text. Supported shapes are exactly what serde's standard
+//! (externally-tagged) data model prescribes and what this workspace uses:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs → transparent;
+//! * tuple structs → arrays;
+//! * enums with unit / tuple / struct variants → `"Variant"` strings or
+//!   single-key `{"Variant": ...}` objects.
+//!
+//! Serde field/container attributes (`#[serde(...)]`) are not supported and
+//! are rejected so a silent behavior difference cannot creep in.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Generics verbatim, e.g. `<'a>`; empty when the item is not generic.
+    generics: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility, find `struct`/`enum`.
+    let is_enum = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                check_not_serde_attr(tokens.next());
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(other) => panic!("serde derive: unexpected token `{other}` before item keyword"),
+            None => panic!("serde derive: no struct or enum found"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+
+    // Optional generics: collect `<...>` verbatim with angle-depth tracking.
+    let mut generics = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            push_token(&mut generics, &tt);
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+
+    let shape = if is_enum {
+        let body = expect_brace_group(tokens.next());
+        Shape::Enum(parse_variants(body))
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Appends a token's text, without a space after lifetimes' `'` so the
+/// emitted source re-lexes correctly.
+fn push_token(out: &mut String, tt: &TokenTree) {
+    match tt {
+        TokenTree::Punct(p) if p.as_char() == '\'' => out.push('\''),
+        other => {
+            out.push_str(&other.to_string());
+            out.push(' ');
+        }
+    }
+}
+
+fn check_not_serde_attr(tt: Option<TokenTree>) {
+    match tt {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+            if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                assert!(
+                    id.to_string() != "serde",
+                    "serde derive (vendored): #[serde(...)] attributes are not supported"
+                );
+            }
+        }
+        other => panic!("serde derive: malformed attribute {other:?}"),
+    }
+}
+
+fn expect_brace_group(tt: Option<TokenTree>) -> TokenStream {
+    match tt {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: expected braced body, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning field names in order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    check_not_serde_attr(tokens.next());
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                None => return fields,
+                other => panic!("serde derive: unexpected token in fields: {other:?}"),
+            }
+        };
+        fields.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Counts fields of a tuple struct/variant body (`Type, Type, ...`).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    check_not_serde_attr(tokens.next());
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                None => return variants,
+                other => panic!("serde derive: unexpected token in variants: {other:?}"),
+            }
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant, then the separating comma.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => return variants,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text)
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    format!(
+        "impl {g} ::serde::{t} for {n} {g}",
+        g = item.generics,
+        t = trait_name,
+        n = item.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("let mut object = ::serde::value::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "object.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str("::serde::value::Value::Object(object)");
+            b
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("field{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(field0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({binds}) => {{\n\
+                             let mut object = ::serde::value::Map::new();\n\
+                             object.insert(\"{vn}\".to_string(), {inner});\n\
+                             ::serde::value::Value::Object(object)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner =
+                            String::from("let mut inner = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {fields} }} => {{\n{inner}\
+                             let mut object = ::serde::value::Map::new();\n\
+                             object.insert(\"{vn}\".to_string(), ::serde::value::Value::Object(inner));\n\
+                             ::serde::value::Value::Object(object)\n}}\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    assert!(
+        item.generics.is_empty(),
+        "serde derive (vendored): Deserialize for generic types is not supported"
+    );
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = format!(
+                "let object = value.as_object().ok_or_else(|| \
+                 ::serde::DeserializeError::new(format!(\"expected object for {name}, got {{value:?}}\")))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     object.get(\"{f}\").unwrap_or(&::serde::value::Value::Null))\
+                     .map_err(|e| e.in_context(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::TupleStruct(1) => format!(
+            "Ok({name}(::serde::Deserialize::from_value(value)\
+             .map_err(|e| e.in_context(\"{name}\"))?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut b = format!(
+                "let array = value.as_array().ok_or_else(|| \
+                 ::serde::DeserializeError::new(format!(\"expected array for {name}, got {{value:?}}\")))?;\n\
+                 if array.len() != {n} {{ return Err(::serde::DeserializeError::new(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", array.len()))); }}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "::serde::Deserialize::from_value(&array[{i}])\
+                     .map_err(|e| e.in_context(\"{name}.{i}\"))?,\n"
+                ));
+            }
+            b.push_str("))");
+            b
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok(Self::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok(Self::{vn}(\
+                         ::serde::Deserialize::from_value(inner)\
+                         .map_err(|e| e.in_context(\"{name}::{vn}\"))?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{\n\
+                             let array = inner.as_array().ok_or_else(|| \
+                             ::serde::DeserializeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                             if array.len() != {arity} {{ return Err(::serde::DeserializeError::new(\
+                             format!(\"expected {arity} elements for {name}::{vn}, got {{}}\", array.len()))); }}\n\
+                             return Ok(Self::{vn}(\n"
+                        );
+                        for i in 0..*arity {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::from_value(&array[{i}])\
+                                 .map_err(|e| e.in_context(\"{name}::{vn}.{i}\"))?,\n"
+                            ));
+                        }
+                        arm.push_str("));\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{\n\
+                             let object = inner.as_object().ok_or_else(|| \
+                             ::serde::DeserializeError::new(\"expected object for {name}::{vn}\"))?;\n\
+                             return Ok(Self::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 object.get(\"{f}\").unwrap_or(&::serde::value::Value::Null))\
+                                 .map_err(|e| e.in_context(\"{name}::{vn}.{f}\"))?,\n"
+                            ));
+                        }
+                        arm.push_str("});\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "if let Some(tag) = value.as_str() {{\n\
+                 match tag {{\n{unit_arms}\
+                 _ => return Err(::serde::DeserializeError::new(\
+                 format!(\"unknown unit variant {{tag:?}} for {name}\"))),\n}}\n}}\n\
+                 if let Some(object) = value.as_object() {{\n\
+                 if object.len() == 1 {{\n\
+                 let (tag, inner) = object.iter().next().expect(\"len checked\");\n\
+                 let _ = &inner;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 _ => return Err(::serde::DeserializeError::new(\
+                 format!(\"unknown variant {{tag:?}} for {name}\"))),\n}}\n}}\n}}\n\
+                 Err(::serde::DeserializeError::new(\
+                 format!(\"expected {name} variant, got {{value:?}}\")))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn from_value(value: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::DeserializeError> {{\n\
+         let _ = &value;\n{body}\n}}\n}}\n",
+        header = impl_header(item, "Deserialize")
+    )
+}

@@ -1,0 +1,207 @@
+//! Offline vendored subset of the `serde_json` API.
+//!
+//! JSON reading/writing over the vendored `serde` crate's [`Value`] tree:
+//! [`to_string`] serializes anything implementing the vendored
+//! `serde::Serialize`, [`from_str`] parses JSON and reconstructs any
+//! `serde::Deserialize`, and [`json!`] builds values inline. Numbers
+//! preserve their integer/float distinction across a round-trip (floats are
+//! always written with a decimal point or exponent).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::value::{Map, Number, Value};
+
+mod read;
+
+pub use read::parse_value;
+
+/// Error produced by [`from_str`]: either malformed JSON or a value tree
+/// that does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input is not syntactically valid JSON. Carries a message and the
+    /// byte offset the parser failed at.
+    Syntax {
+        /// Human-readable description of the problem.
+        message: String,
+        /// Byte offset in the input where parsing failed.
+        offset: usize,
+    },
+    /// The JSON parsed, but its shape does not match the requested type.
+    Data(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax { message, offset } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            Error::Data(message) => write!(f, "JSON data error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeserializeError> for Error {
+    fn from(e: serde::DeserializeError) -> Self {
+        Error::Data(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    serde::to_value(value)
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// Mirrors `serde_json::to_string`'s `Result` signature; with the vendored
+/// value-tree design serialization itself cannot fail (non-finite floats are
+/// written as `null`, as real `serde_json` does for `Value` trees).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Parses JSON text and reconstructs a `T`.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_value(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] inline: `json!(null)`, `json!(expr)`,
+/// `json!([a, b])`, `json!({ "key": value })`. Object keys are string
+/// literals. Unlike real `serde_json`, values nested inside `{...}`/`[...]`
+/// must be single tokens (a literal, an identifier, or a parenthesized
+/// expression) so that the `null` keyword stays recognizable.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $( object.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(object)
+    }};
+    ([ $($val:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($val) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let v: Value = from_str(&to_string(&1000.0f64).unwrap()).unwrap();
+        assert!(!v.is_u64());
+        assert_eq!(v.as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn ints_stay_ints() {
+        let v: Value = from_str("1000").unwrap();
+        assert!(v.is_u64());
+        assert_eq!(v.as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1u64, "b": [true, null] });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][0], true);
+        assert!(v["b"][1].is_null());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "line\nquote\" backslash\\ tab\t unicode⟨n⟩";
+        let v: String = from_str(&to_string(s).unwrap()).unwrap();
+        assert_eq!(v, s);
+    }
+
+    #[test]
+    fn malformed_input_is_syntax_error() {
+        assert!(matches!(
+            from_str::<Value>("not json"),
+            Err(Error::Syntax { .. })
+        ));
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn vec_of_pairs_round_trips() {
+        let pairs: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let json = to_string(&pairs).unwrap();
+        let back: Vec<(String, u64)> = from_str(&json).unwrap();
+        assert_eq!(back, pairs);
+    }
+}
