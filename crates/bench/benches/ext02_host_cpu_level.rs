@@ -1,7 +1,7 @@
 //! Extension experiment (§III-E): host/CPU tracer co-existing with the GPU
 //! tracers in one timeline, plus the AX2 per-op-type dispatch aggregation.
 
-use xsp_bench::{banner, timed};
+use xsp_bench::{banner, par_points, timed};
 use xsp_core::analysis::ax2_host_dispatch;
 use xsp_core::profile::XspConfig;
 use xsp_core::report::{fmt_ms, Table};
@@ -20,8 +20,11 @@ fn main() {
             .runs(1)
             .host_level(true);
         let xsp = Xsp::new(cfg);
-        for name in ["MLPerf_ResNet50_v1.5", "MLPerf_SSD_MobileNet_v1_300x300"] {
-            let profile = xsp.leveled(&zoo::by_name(name).unwrap().graph(4));
+        let profiles = par_points(
+            vec!["MLPerf_ResNet50_v1.5", "MLPerf_SSD_MobileNet_v1_300x300"],
+            |name| (name, xsp.leveled(&zoo::by_name(name).unwrap().graph(4))),
+        );
+        for (name, profile) in profiles {
             let rows = ax2_host_dispatch(&profile);
             let mut t = Table::new(
                 format!("AX2 — host dispatch by op type: {name} (batch 4)"),

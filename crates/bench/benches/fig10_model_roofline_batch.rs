@@ -1,7 +1,7 @@
 //! Figure 10: the whole-model roofline across batch sizes (A15) — the
 //! paper's cuDNN-algorithm-switch story: memory-bound at batch 16/32 only.
 
-use xsp_bench::{banner, resnet50, timed, xsp_on, BATCHES};
+use xsp_bench::{banner, par_points, resnet50, timed, xsp_on, BATCHES};
 use xsp_core::analysis::a15_model_aggregate;
 use xsp_core::roofline::attainable_tflops;
 use xsp_framework::FrameworkKind;
@@ -20,10 +20,12 @@ fn main() {
             "{:>6} {:>10} {:>10} {:>10} {:>9}",
             "batch", "AI (f/B)", "Tflop/s", "roof", "bound"
         );
-        let mut bound_at = Vec::new();
-        for batch in BATCHES {
+        let points = par_points(BATCHES.to_vec(), |batch| {
             let p = xsp.with_gpu(&model.graph(batch));
-            let a = a15_model_aggregate(&p, &system);
+            (batch, a15_model_aggregate(&p, &system))
+        });
+        let mut bound_at = Vec::new();
+        for (batch, a) in points {
             println!(
                 "{:>6} {:>10.2} {:>10.2} {:>10.2} {:>9}",
                 batch,

@@ -2,10 +2,13 @@
 //! five systems and batch sizes, plus the per-architecture kernel-selection
 //! check of §IV-C.
 
-use xsp_bench::{banner, resnet50, timed, xsp_on, BATCHES};
+use xsp_bench::{banner, par_points, resnet50, timed, xsp_on, BATCHES};
 use xsp_core::analysis::a10_kernel_info_by_name;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
+
+/// One system's sweep: `(batch, throughput, kernel latency ms)` per point.
+type SystemSweep = (xsp_gpu::System, Vec<(usize, f64, f64)>);
 
 fn main() {
     timed("fig11", || {
@@ -20,19 +23,22 @@ fn main() {
         }
         println!();
         let mut tp_at_256 = Vec::new();
-        let mut sweeps = Vec::new();
-        for s in systems::all() {
-            let xsp = xsp_on(s.clone(), FrameworkKind::TensorFlow, 1);
-            let sweep: Vec<(usize, f64, f64)> = BATCHES
-                .iter()
-                .map(|&b| {
-                    let p = xsp.with_gpu(&resnet50().graph(b));
-                    let kernel_ms = p.kernel_latency_ms();
-                    (b, p.throughput(), kernel_ms)
-                })
-                .collect();
-            sweeps.push((s, sweep));
-        }
+        // (system, batch) points are all independent: flatten the grid and
+        // fan it out to the evaluation engine, then regroup per system.
+        let grid: Vec<(xsp_gpu::System, usize)> = systems::all()
+            .into_iter()
+            .flat_map(|s| BATCHES.iter().map(move |&b| (s.clone(), b)))
+            .collect();
+        let points = par_points(grid, |(s, b)| {
+            let xsp = xsp_on(s, FrameworkKind::TensorFlow, 1);
+            let p = xsp.with_gpu(&resnet50().graph(b));
+            (b, p.throughput(), p.kernel_latency_ms())
+        });
+        let sweeps: Vec<SystemSweep> = systems::all()
+            .into_iter()
+            .zip(points.chunks(BATCHES.len()))
+            .map(|(s, chunk)| (s, chunk.to_vec()))
+            .collect();
         for (i, &batch) in BATCHES.iter().enumerate() {
             print!("{batch:>6}");
             for (_, sweep) in &sweeps {
@@ -63,16 +69,19 @@ fn main() {
 
         // §IV-C: kernel catalogs differ per architecture.
         println!("\nkernel selection per system (batch 256):");
-        for s in systems::all() {
+        let selections = par_points(systems::all(), |s| {
             let xsp = xsp_on(s.clone(), FrameworkKind::TensorFlow, 1);
             let p = xsp.with_gpu(&resnet50().graph(256));
             let rows = a10_kernel_info_by_name(&p, &s);
             let conv = rows.iter().find(|r| r.name.contains("scudnn")).unwrap();
-            println!("  {:>11}: {} x{}", s.name, conv.name, conv.count);
+            (s, conv.name.clone(), conv.count)
+        });
+        for (s, name, count) in selections {
+            println!("  {:>11}: {name} x{count}", s.name);
             if s.gpu.arch.has_volta_optimized_kernels() {
-                assert!(conv.name.starts_with("volta"), "{}", s.name);
+                assert!(name.starts_with("volta"), "{}", s.name);
             } else {
-                assert!(conv.name.starts_with("maxwell"), "{}", s.name);
+                assert!(name.starts_with("maxwell"), "{}", s.name);
             }
         }
         println!("\nshape check passed: system ordering and kernel catalogs match §IV-C");

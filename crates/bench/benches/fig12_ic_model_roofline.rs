@@ -1,7 +1,7 @@
 //! Figure 12: roofline of all 37 image-classification models at their
 //! optimal batch sizes on Tesla_V100.
 
-use xsp_bench::{banner, timed, xsp_on};
+use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::a15_model_aggregate;
 use xsp_core::profile::Xsp;
 use xsp_framework::FrameworkKind;
@@ -23,11 +23,14 @@ fn main() {
         let mut memory_bound = 0usize;
         let mut mobilenet_small_bound = 0usize;
         let mut mobilenet_small_total = 0usize;
-        for m in zoo::image_classification_models() {
+        // one engine point per model: optimal-batch search + roofline profile
+        let points = par_points(zoo::image_classification_models(), |m| {
             let sweep = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
             let optimal = Xsp::optimal_batch(&sweep);
             let p = xsp.with_gpu(&m.graph(optimal));
-            let a = a15_model_aggregate(&p, &system);
+            (m, optimal, a15_model_aggregate(&p, &system))
+        });
+        for (m, optimal, a) in points {
             if a.memory_bound {
                 memory_bound += 1;
             }

@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xsp_core::pipeline::run_once;
-use xsp_core::profile::{ProfilingLevel, XspConfig};
+use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::scheduler::{parmap, Parallelism};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo;
@@ -68,6 +69,40 @@ fn bench_profiling_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_evaluation_engine(c: &mut Criterion) {
+    // The engine speedup on one leveled experiment: 4×runs independent
+    // points fanned out to workers vs executed inline. Same seeds, same
+    // output (byte-identical) — only the wall time differs.
+    let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(4);
+    let mut g = c.benchmark_group("evaluation_engine");
+    g.sample_size(10);
+    for (label, par) in [
+        ("serial", Parallelism::Serial),
+        ("fixed4", Parallelism::Fixed(4)),
+        ("auto", Parallelism::Auto),
+    ] {
+        let xsp = Xsp::new(
+            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+                .runs(2)
+                .parallelism(par),
+        );
+        g.bench_function(format!("leveled_{label}"), |b| {
+            b.iter(|| black_box(xsp.leveled(&graph)))
+        });
+    }
+    // dispatch overhead of the pool itself on trivial work
+    g.bench_function("parmap_dispatch_64_points", |b| {
+        b.iter(|| {
+            black_box(parmap(
+                Parallelism::Fixed(4),
+                (0..64u64).collect::<Vec<_>>(),
+                |i, x| x.wrapping_mul(i as u64),
+            ))
+        })
+    });
+    g.finish();
+}
+
 fn bench_stats(c: &mut Criterion) {
     let samples: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
     c.bench_function("trimmed_mean_1000", |b| {
@@ -85,6 +120,7 @@ criterion_group!(
     benches,
     bench_interval_tree,
     bench_profiling_pipeline,
+    bench_evaluation_engine,
     bench_stats,
     bench_graph_build
 );

@@ -2,7 +2,7 @@
 //! the memory-bound rows at batch 16 and 32 and occupancy rising toward the
 //! optimal batch size.
 
-use xsp_bench::{banner, resnet50, timed, xsp_on, BATCHES};
+use xsp_bench::{banner, par_points, resnet50, timed, xsp_on, BATCHES};
 use xsp_core::analysis::a15_model_aggregate;
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
 use xsp_framework::FrameworkKind;
@@ -32,9 +32,11 @@ fn main() {
         );
         let mut bounds = Vec::new();
         let mut occs = Vec::new();
-        for batch in BATCHES {
+        let points = par_points(BATCHES.to_vec(), |batch| {
             let p = xsp.with_gpu(&model.graph(batch));
-            let a = a15_model_aggregate(&p, &system);
+            (batch, a15_model_aggregate(&p, &system))
+        });
+        for (batch, a) in points {
             bounds.push((batch, a.memory_bound));
             occs.push(a.occupancy_pct);
             t.row(vec![

@@ -2,7 +2,7 @@
 //! latency, max throughput, optimal batch size, and convolution latency
 //! percentage, all on Tesla_V100.
 
-use xsp_bench::{banner, timed, xsp_on};
+use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::convolution_latency_percent;
 use xsp_core::profile::Xsp;
 use xsp_core::report::{fmt_ms, Table};
@@ -36,7 +36,9 @@ fn main() {
         let mut od_conv = Vec::new();
         let mut ic_optimal = Vec::new();
         let mut od_optimal = Vec::new();
-        for m in zoo::tensorflow_models() {
+        // 55 models, one independent engine point each — the largest
+        // fan-out in the harness.
+        let points = par_points(zoo::tensorflow_models(), |m| {
             // sweep with early stop; heavy OD/IS/SS models cap at batch 32
             let max_batch: usize = match m.task {
                 Task::ImageClassification => 256,
@@ -56,6 +58,9 @@ fn main() {
             // conv share needs layer-level profiling at the optimal batch
             let lp = xsp.leveled(&m.graph(optimal));
             let conv_pct = convolution_latency_percent(&lp);
+            (m, optimal, online, max_tp, conv_pct)
+        });
+        for (m, optimal, online, max_tp, conv_pct) in points {
             match m.task {
                 Task::ImageClassification => {
                     ic_conv.push(conv_pct);

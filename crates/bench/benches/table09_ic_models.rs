@@ -3,7 +3,7 @@
 //! percentage, flops, DRAM traffic, occupancy, roofline classification, and
 //! the dominant execution stage for latency/alloc/flops/memory.
 
-use xsp_bench::{banner, timed, xsp_on};
+use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::{
     a11_kernel_info_by_layer, a15_model_aggregate, a3_layer_latency, a4_layer_allocation,
     dominant_stage,
@@ -43,7 +43,9 @@ fn main() {
         );
         let mut memory_bound_count = 0usize;
         let mut max_tp_frac = 0.0f64;
-        for m in zoo::image_classification_models() {
+        // reduce each model to its table row inside the engine point so
+        // only scalars — not 37 full span traces — accumulate
+        let points = par_points(zoo::image_classification_models(), |m| {
             let sweep = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
             let optimal = Xsp::optimal_batch(&sweep);
             let p = xsp.leveled(&m.graph(optimal));
@@ -60,6 +62,9 @@ fn main() {
                 .collect();
             let flops_stage = dominant_stage(&flops_series, total_layers);
             let mem_stage = dominant_stage(&mem_series, total_layers);
+            (m, a15, lat, alloc, flops_stage, mem_stage)
+        });
+        for (m, a15, lat, alloc, flops_stage, mem_stage) in points {
             if a15.memory_bound {
                 memory_bound_count += 1;
             }

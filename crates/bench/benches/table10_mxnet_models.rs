@@ -3,7 +3,7 @@
 //! the optimal batch; memory-bound MobileNets beat TensorFlow because the
 //! native element-wise kernels avoid Eigen's DRAM excess.
 
-use xsp_bench::{banner, timed, xsp_on};
+use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::a15_model_aggregate;
 use xsp_core::profile::Xsp;
 use xsp_core::report::{fmt_bound, fmt_pct, Table};
@@ -37,7 +37,9 @@ fn main() {
         );
         let mut resnet_lat = Vec::new();
         let mut mobilenet_tp = Vec::new();
-        for m in zoo::mxnet_models() {
+        // each model needs a TF and an MXNet characterization — both inside
+        // one engine point so the pair stays together
+        let points = par_points(zoo::mxnet_models(), |m| {
             let tf_online = tf.model_only(&m.graph(1)).model_latency_ms();
             let mx_online = mx.model_only(&m.graph(1)).model_latency_ms();
             let tf_sweep = tf.batch_sweep(|b| m.graph(b), &batches);
@@ -46,7 +48,11 @@ fn main() {
             let tf_max = tf_sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
             let mx_max = mx_sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
             let p = mx.leveled(&m.graph(mx_optimal));
+            // reduce to the aggregate here so the full trace drops per point
             let a15 = a15_model_aggregate(&p, &system);
+            (m, tf_online, mx_online, mx_optimal, tf_max, mx_max, a15)
+        });
+        for (m, tf_online, mx_online, mx_optimal, tf_max, mx_max, a15) in points {
             let norm_lat = mx_online / tf_online;
             let norm_tp = mx_max / tf_max;
             if m.name.contains("ResNet") {

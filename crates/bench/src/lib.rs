@@ -5,12 +5,20 @@
 //! Each target prints the paper's reference values next to the measured
 //! ones; `EXPERIMENTS.md` records the comparison.
 //!
+//! Sweeps drive their independent experiment points — batch sizes, models,
+//! systems — through the parallel evaluation engine via [`par_points`];
+//! `XSP_THREADS=1` forces the whole harness serial (for debugging or
+//! apples-to-apples timing), `XSP_THREADS=N` pins the worker count, and the
+//! default is one worker per core. Engine output is byte-identical across
+//! all of these, so every printed table and shape check is unaffected.
+//!
 //! Run everything: `cargo bench --workspace`.
 //! Run one experiment: `cargo bench -p xsp-bench --bench fig10_model_roofline_batch`.
 
 #![warn(missing_docs)]
 
 use xsp_core::profile::{BatchProfile, LeveledProfile, Xsp, XspConfig};
+use xsp_core::scheduler::{parmap, Parallelism};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::{systems, System};
 use xsp_models::zoo::{self, ModelEntry};
@@ -43,17 +51,35 @@ pub fn resnet50_profile(batch: usize) -> (LeveledProfile, System) {
     (xsp.leveled(&resnet50().graph(batch)), system)
 }
 
+/// The engine parallelism the bench harness fans experiment points out
+/// with: the `XSP_THREADS` override when set, one worker per core
+/// otherwise.
+pub fn engine_parallelism() -> Parallelism {
+    Parallelism::from_env_or(Parallelism::Auto)
+}
+
+/// Fans independent experiment points (batch sizes, models, systems) out to
+/// the parallel evaluation engine and returns the results in submission
+/// order — so tables print identically for any worker count. Points that
+/// profile *inside* `f` degrade their own engine use to serial (nested
+/// parallelism is capped), keeping the machine at one pool.
+pub fn par_points<T, R>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    parmap(engine_parallelism(), items, move |_, item| f(item))
+}
+
 /// Model-level batch sweep of the reference model (no early stop, full
-/// range) — Figures 3/10/11 need every point.
+/// range) — Figures 3/10/11 need every point. Points run through the
+/// evaluation engine.
 pub fn resnet50_sweep(system: System, batches: &[usize]) -> Vec<BatchProfile> {
     let xsp = xsp_on(system, FrameworkKind::TensorFlow, 2);
-    batches
-        .iter()
-        .map(|&batch| {
-            let profile = xsp.model_only(&resnet50().graph(batch));
-            BatchProfile { batch, profile }
-        })
-        .collect()
+    par_points(batches.to_vec(), |batch| BatchProfile {
+        batch,
+        profile: xsp.model_only(&resnet50().graph(batch)),
+    })
 }
 
 /// Prints the standard experiment banner with the paper's claim for
@@ -92,5 +118,21 @@ mod tests {
     fn batch_lists() {
         assert_eq!(BATCHES.len(), 9);
         assert_eq!(*BATCHES_512.last().unwrap(), 512);
+    }
+
+    #[test]
+    fn par_points_preserves_submission_order() {
+        let out = par_points((0..16).collect::<Vec<usize>>(), |x| x * 3);
+        assert_eq!(out, (0..16).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn engine_sweep_matches_serial_sweep() {
+        let engine = resnet50_sweep(systems::tesla_v100(), &[1, 2, 4]);
+        let xsp = xsp_on(systems::tesla_v100(), FrameworkKind::TensorFlow, 2);
+        for p in engine.iter().zip([1usize, 2, 4]) {
+            let serial = xsp.model_only(&resnet50().graph(p.1));
+            assert_eq!(p.0.profile.to_span_json(), serial.to_span_json());
+        }
     }
 }

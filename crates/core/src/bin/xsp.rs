@@ -13,6 +13,7 @@ use std::process::ExitCode;
 use xsp_core::analysis;
 use xsp_core::profile::{Xsp, XspConfig};
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
+use xsp_core::scheduler::Parallelism;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo;
@@ -24,13 +25,19 @@ USAGE:
   xsp list-models
   xsp list-systems
   xsp profile --model <NAME> [--batch <N>] [--system <NAME>]
-              [--framework tensorflow|mxnet] [--runs <N>]
+              [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
               [--analyses a2,a6,a10,a15,...] [--library-level]
               [--chrome <out.json>] [--flamegraph <out.folded>]
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
+              [--threads <T>]
 
 ANALYSES: a1 (via sweep), a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
           a13, a14, a15, ax1 (library level; needs --library-level)
+
+THREADS:  worker count of the parallel evaluation engine: a number, `auto`
+          (one per core, the default), or `serial`/`1` (single-threaded, for
+          debugging). The XSP_THREADS environment variable sets the default;
+          --threads overrides it. Results are byte-identical either way.
 "
 }
 
@@ -148,6 +155,11 @@ fn build_xsp(flags: &HashMap<String, String>) -> Result<(Xsp, xsp_gpu::System), 
     let mut cfg = XspConfig::new(system.clone(), framework).runs(runs);
     if flags.contains_key("library-level") {
         cfg = cfg.library_level(true);
+    }
+    if let Some(raw) = flags.get("threads") {
+        let p = Parallelism::parse(raw)
+            .ok_or_else(|| format!("bad --threads '{raw}' (number, `auto`, or `serial`)"))?;
+        cfg = cfg.parallelism(p);
     }
     Ok((Xsp::new(cfg), system))
 }

@@ -20,6 +20,10 @@
 //! * [`profile`] — leveled experimentation (§III-C): orchestrates runs at
 //!   profiling levels M, M/L, M/L/G (+metrics), keeps the accurate
 //!   measurements from each level, and quantifies per-level overhead.
+//! * [`scheduler`] — the parallel evaluation engine: independent
+//!   `(run, level, batch)` points fan out to a scoped worker pool and merge
+//!   deterministically in submission order ([`scheduler::Parallelism`]
+//!   picks the worker count; `XSP_THREADS` overrides it).
 //! * [`analysis`] — the 15 automated analyses A1–A15 (§III-D).
 //! * [`report`] — fixed-width table/series rendering used by the bench
 //!   harness to print paper-style tables and figures.
@@ -48,7 +52,9 @@ pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod roofline;
+pub mod scheduler;
 
 pub use pipeline::{KernelProfile, LayerProfile, ModelPhases, RunProfile};
 pub use profile::{BatchProfile, LeveledProfile, ProfilingLevel, Xsp, XspConfig};
 pub use roofline::{classify, RooflinePoint};
+pub use scheduler::{parmap, Parallelism};

@@ -110,6 +110,14 @@ impl RunProfile {
 /// Runs the inference pipeline once at `level` and returns the extracted
 /// profile. `run_idx` seeds the jitter so repeated runs vary like real
 /// measurements.
+///
+/// One call is the unit of work of the parallel evaluation engine
+/// ([`crate::scheduler`]): it is self-contained (own tracing server and
+/// simulated context, spans published through per-run buffers) and
+/// deterministic in `(cfg, graph, level, run_idx)`, so any number of calls
+/// may execute concurrently. The [`crate::scheduler::Parallelism`] knob
+/// travels in `cfg` and governs how the orchestrators in
+/// [`crate::profile`] fan these calls out.
 pub fn run_once(
     cfg: &XspConfig,
     graph: &LayerGraph,
@@ -133,10 +141,14 @@ pub fn run_once_with_metrics(
 ) -> RunProfile {
     let server = TracingServer::new();
     let trace_id = server.fresh_trace_id();
-    let model_tracer = server.tracer("model_timer");
-    let layer_tracer = server.tracer("framework_profiler");
-    let library_tracer = server.tracer("library_interposer");
-    let kernel_tracer = server.tracer("cupti");
+    // Per-run span buffers (one per profiler): spans accumulate locally and
+    // reach the server as atomic batches, so a run stays safe and
+    // deterministic when the evaluation engine executes it on a worker
+    // thread next to other runs.
+    let model_tracer = server.buffer("model_timer");
+    let layer_tracer = server.buffer("framework_profiler");
+    let library_tracer = server.buffer("library_interposer");
+    let kernel_tracer = server.buffer("cupti");
 
     let ctx = Arc::new(CudaContext::new(
         CudaContextConfig::new(cfg.system.clone())
@@ -170,7 +182,7 @@ pub fn run_once_with_metrics(
 
     let mut predict = crate::api::start_span(&model_tracer, &clock, trace_id, "model_prediction");
     predict.tag(tag_keys::BATCH_SIZE, batch);
-    let host_tracer = server.tracer("host_profiler");
+    let host_tracer = server.buffer("host_profiler");
     let opts = if level.includes_layers() {
         let mut base = RunOptions::with_layer_profiling(&layer_tracer, trace_id);
         if cfg.library_level && level.includes_gpu() {
@@ -194,6 +206,17 @@ pub fn run_once_with_metrics(
         cupti.flush_to_tracer(&kernel_tracer, trace_id);
     }
 
+    // Flush every buffer (fixed order: top of the stack first) before
+    // assembling the run's trace.
+    for buffer in [
+        &model_tracer,
+        &layer_tracer,
+        &library_tracer,
+        &host_tracer,
+        &kernel_tracer,
+    ] {
+        buffer.flush();
+    }
     let trace = server.drain();
     let mut correlated = reconstruct_parents(&trace);
     let mut used_rerun = false;

@@ -12,12 +12,20 @@
 //! observes it: model latency from M runs, layer latencies from M/L runs,
 //! kernel latencies from M/L/G runs. The per-level overhead is what
 //! [`LeveledProfile::overhead_report`] quantifies (Figure 2).
+//!
+//! Every run of a leveled experiment is independent (own tracing server,
+//! own simulated context, seed-deterministic), so the orchestrators here
+//! fan runs out to the parallel evaluation engine ([`crate::scheduler`])
+//! and merge results in submission order — output is byte-identical for
+//! any [`Parallelism`] setting.
 
 use crate::pipeline::{run_once, run_once_with_metrics, KernelProfile, LayerProfile, RunProfile};
+use crate::scheduler::{parmap, Parallelism};
 use xsp_cupti::MetricKind;
 use xsp_framework::{FrameworkKind, LayerGraph};
 use xsp_gpu::System;
 use xsp_trace::stats::trimmed_mean;
+use xsp_trace::with_span_id_scope;
 
 /// Which profilers are enabled for a run (paper notation M, M/L, M/L/G).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,10 +88,16 @@ pub struct XspConfig {
     /// §III-E extension: capture host/CPU dispatch spans alongside the GPU
     /// activity in M/L/G runs.
     pub host_level: bool,
+    /// Worker count of the parallel evaluation engine: independent
+    /// `(run, level)` points of one experiment fan out to this many workers
+    /// (results are merged deterministically — see [`crate::scheduler`]).
+    pub parallelism: Parallelism,
 }
 
 impl XspConfig {
-    /// Default policy: 3 evaluations, 10 % trim, all four GPU metrics.
+    /// Default policy: 3 evaluations, 10 % trim, all four GPU metrics,
+    /// engine parallelism from `XSP_THREADS` (one worker per core when
+    /// unset).
     pub fn new(system: System, framework: FrameworkKind) -> Self {
         Self {
             system,
@@ -96,6 +110,7 @@ impl XspConfig {
             serialize_on_ambiguity: true,
             library_level: false,
             host_level: false,
+            parallelism: Parallelism::from_env_or(Parallelism::Auto),
         }
     }
 
@@ -127,6 +142,13 @@ impl XspConfig {
     /// Builder: jitter seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: evaluation-engine worker count (overrides the `XSP_THREADS`
+    /// default picked up by [`XspConfig::new`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -259,6 +281,30 @@ impl LeveledProfile {
     pub fn gpu_latency_percent(&self) -> f64 {
         100.0 * self.kernel_latency_ms() / self.model_latency_ms().max(f64::EPSILON)
     }
+
+    /// Every span of every run, in canonical order: M runs, then M/L, then
+    /// M/L/G, then metric runs; within a run, trace-assembly order.
+    pub fn all_spans(&self) -> Vec<xsp_trace::Span> {
+        [
+            &self.m_runs,
+            &self.ml_runs,
+            &self.mlg_runs,
+            &self.metric_runs,
+        ]
+        .into_iter()
+        .flatten()
+        .flat_map(|run| run.trace.spans.iter().map(|s| s.span.clone()))
+        .collect()
+    }
+
+    /// Serializes the whole profile ([`LeveledProfile::all_spans`]) to raw
+    /// span JSON. Because runs are seed-deterministic and span ids are
+    /// allocated from per-run scopes, this output is byte-identical
+    /// whatever [`Parallelism`] produced the profile — the determinism
+    /// contract the test suite enforces.
+    pub fn to_span_json(&self) -> String {
+        xsp_trace::export::to_span_json(&xsp_trace::Trace::from_spans(self.all_spans()))
+    }
 }
 
 fn merge_layers(runs: &[RunProfile], trim: f64) -> Vec<LayerProfile> {
@@ -339,6 +385,23 @@ pub struct Xsp {
     cfg: XspConfig,
 }
 
+/// One independent evaluation point submitted to the engine.
+#[derive(Debug, Clone, Copy)]
+struct RunSpec {
+    kind: RunKind,
+    /// Seed offset of the run; doubles as the span-id scope key, which is
+    /// what makes id allocation independent of worker scheduling.
+    run_idx: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RunKind {
+    /// Latency measurement at the given level.
+    Plain(ProfilingLevel),
+    /// M/L/G run with hardware-metric collection (kernel replay).
+    Metrics,
+}
+
 impl Xsp {
     /// Creates a profiler with the given configuration.
     pub fn new(cfg: XspConfig) -> Self {
@@ -350,43 +413,106 @@ impl Xsp {
         &self.cfg
     }
 
-    /// Runs the full leveled experimentation on one graph: `runs`
-    /// evaluations at each of M, M/L, M/L/G.
-    pub fn leveled(&self, graph: &LayerGraph) -> LeveledProfile {
-        let runs = self.cfg.runs;
-        let run_at = |level: ProfilingLevel, base: u64| -> Vec<RunProfile> {
-            (0..runs)
-                .map(|i| run_once(&self.cfg, graph, level, base + i as u64))
-                .collect()
-        };
-        let metric_runs = (0..runs)
-            .map(|i| {
-                run_once_with_metrics(
+    /// Executes a list of independent run specs through the parallel
+    /// evaluation engine and returns the profiles in submission order.
+    ///
+    /// Every run is wrapped in a span-id scope keyed by its seed offset, so
+    /// id allocation — and therefore the serialized trace — is independent
+    /// of which worker executes the run and in what order runs complete.
+    fn run_specs(&self, graph: &LayerGraph, specs: Vec<RunSpec>) -> Vec<RunProfile> {
+        parmap(self.cfg.parallelism, specs, |_, spec| {
+            with_span_id_scope(spec.run_idx, || match spec.kind {
+                RunKind::Plain(level) => run_once(&self.cfg, graph, level, spec.run_idx),
+                RunKind::Metrics => run_once_with_metrics(
                     &self.cfg,
                     graph,
                     ProfilingLevel::ModelLayerGpu,
-                    3000 + i as u64,
+                    spec.run_idx,
                     true,
-                )
+                ),
             })
-            .collect();
+        })
+    }
+
+    /// Runs the full leveled experimentation on one graph: `runs`
+    /// evaluations at each of M, M/L, M/L/G, plus the metric-collection
+    /// runs. All `4 × runs` points are independent and fan out to the
+    /// evaluation engine per [`XspConfig::parallelism`]; the result does not
+    /// depend on the worker count.
+    ///
+    /// ```
+    /// use xsp_core::profile::{Xsp, XspConfig};
+    /// use xsp_core::scheduler::Parallelism;
+    /// use xsp_framework::FrameworkKind;
+    /// use xsp_gpu::systems;
+    ///
+    /// let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+    ///     .runs(2)
+    ///     .parallelism(Parallelism::Fixed(4));
+    /// let graph = xsp_models::zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
+    /// let profile = Xsp::new(cfg).leveled(&graph);
+    /// assert_eq!(profile.m_runs.len(), 2);
+    /// assert!(profile.model_latency_ms() > 0.0);
+    /// assert!(!profile.kernels().is_empty());
+    /// ```
+    pub fn leveled(&self, graph: &LayerGraph) -> LeveledProfile {
+        let runs = self.cfg.runs;
+        let mut specs = Vec::with_capacity(4 * runs);
+        for (kind, base) in [
+            (RunKind::Plain(ProfilingLevel::Model), 0),
+            (RunKind::Plain(ProfilingLevel::ModelLayer), 1000),
+            (RunKind::Plain(ProfilingLevel::ModelLayerGpu), 2000),
+            (RunKind::Metrics, 3000),
+        ] {
+            specs.extend((0..runs).map(|i| RunSpec {
+                kind,
+                run_idx: base + i as u64,
+            }));
+        }
+        let mut profiles = self.run_specs(graph, specs).into_iter();
+        let mut take = |n: usize| profiles.by_ref().take(n).collect::<Vec<_>>();
         LeveledProfile {
-            m_runs: run_at(ProfilingLevel::Model, 0),
-            ml_runs: run_at(ProfilingLevel::ModelLayer, 1000),
-            mlg_runs: run_at(ProfilingLevel::ModelLayerGpu, 2000),
-            metric_runs,
+            m_runs: take(runs),
+            ml_runs: take(runs),
+            mlg_runs: take(runs),
+            metric_runs: take(runs),
             trim: self.cfg.trim,
             batch: graph.batch(),
         }
     }
 
-    /// Model-level only (cheap; used by batch sweeps).
+    /// Model-level only (cheap; used by batch sweeps). The `runs`
+    /// evaluations fan out to the engine like [`Xsp::leveled`]'s.
+    ///
+    /// ```
+    /// use xsp_core::profile::{Xsp, XspConfig};
+    /// use xsp_core::scheduler::Parallelism;
+    /// use xsp_framework::FrameworkKind;
+    /// use xsp_gpu::systems;
+    ///
+    /// let xsp = |p| {
+    ///     Xsp::new(
+    ///         XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+    ///             .runs(2)
+    ///             .parallelism(p),
+    ///     )
+    /// };
+    /// let graph = xsp_models::zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
+    /// let parallel = xsp(Parallelism::Fixed(2)).model_only(&graph);
+    /// let serial = xsp(Parallelism::Serial).model_only(&graph);
+    /// // the determinism contract: worker count never changes the result
+    /// assert_eq!(parallel.to_span_json(), serial.to_span_json());
+    /// ```
     pub fn model_only(&self, graph: &LayerGraph) -> LeveledProfile {
         let runs = self.cfg.runs;
+        let specs = (0..runs)
+            .map(|i| RunSpec {
+                kind: RunKind::Plain(ProfilingLevel::Model),
+                run_idx: i as u64,
+            })
+            .collect();
         LeveledProfile {
-            m_runs: (0..runs)
-                .map(|i| run_once(&self.cfg, graph, ProfilingLevel::Model, i as u64))
-                .collect(),
+            m_runs: self.run_specs(graph, specs),
             ml_runs: Vec::new(),
             mlg_runs: Vec::new(),
             metric_runs: Vec::new(),
@@ -399,23 +525,23 @@ impl Xsp {
     /// but not layers).
     pub fn with_gpu(&self, graph: &LayerGraph) -> LeveledProfile {
         let runs = self.cfg.runs;
+        let mut specs: Vec<RunSpec> = (0..runs)
+            .map(|i| RunSpec {
+                kind: RunKind::Plain(ProfilingLevel::Model),
+                run_idx: i as u64,
+            })
+            .collect();
+        specs.extend((0..runs).map(|i| RunSpec {
+            kind: RunKind::Metrics,
+            run_idx: 3000 + i as u64,
+        }));
+        let mut profiles = self.run_specs(graph, specs).into_iter();
+        let m_runs = profiles.by_ref().take(runs).collect();
         LeveledProfile {
-            m_runs: (0..runs)
-                .map(|i| run_once(&self.cfg, graph, ProfilingLevel::Model, i as u64))
-                .collect(),
+            m_runs,
             ml_runs: Vec::new(),
             mlg_runs: Vec::new(),
-            metric_runs: (0..runs)
-                .map(|i| {
-                    run_once_with_metrics(
-                        &self.cfg,
-                        graph,
-                        ProfilingLevel::ModelLayerGpu,
-                        3000 + i as u64,
-                        true,
-                    )
-                })
-                .collect(),
+            metric_runs: profiles.collect(),
             trim: self.cfg.trim,
             batch: graph.batch(),
         }
@@ -423,6 +549,11 @@ impl Xsp {
 
     /// Sweeps batch sizes (model-level profiling only), stopping early once
     /// throughput stops improving for two consecutive doublings.
+    ///
+    /// The sweep itself is sequential — each point decides whether the next
+    /// one runs — but the evaluations *within* each point fan out to the
+    /// engine. Full-range sweeps with no early stop (the figure benches)
+    /// parallelize across batch points instead via [`crate::scheduler::parmap`].
     pub fn batch_sweep(
         &self,
         build: impl Fn(usize) -> LayerGraph,
@@ -549,6 +680,23 @@ mod tests {
         for p in &sweep {
             assert!(p.throughput() > 0.0);
         }
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_serial() {
+        let cfg = |p| {
+            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+                .runs(2)
+                .parallelism(p)
+        };
+        let serial = Xsp::new(cfg(Parallelism::Serial)).leveled(&tiny(2));
+        let parallel = Xsp::new(cfg(Parallelism::Fixed(4))).leveled(&tiny(2));
+        assert_eq!(
+            serial.to_span_json(),
+            parallel.to_span_json(),
+            "worker count must not change the trace"
+        );
+        assert_eq!(serial.model_latency_ms(), parallel.model_latency_ms());
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use correlate::{correlate_async_spans, reconstruct_parents, AmbiguityReport,
 pub use hierarchy::SpanTree;
 pub use interval::IntervalTree;
 pub use server::{Trace, TracingServer};
-pub use span::{Span, SpanBuilder, SpanId, StackLevel, TagValue, TraceId};
+pub use span::{with_span_id_scope, Span, SpanBuilder, SpanId, StackLevel, TagValue, TraceId};
 pub use stats::{trimmed_mean, Summary};
-pub use tracer::{ChannelTracer, NoopTracer, Tracer};
+pub use tracer::{ChannelTracer, NoopTracer, SpanBuffer, Tracer};

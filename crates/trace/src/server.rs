@@ -4,7 +4,7 @@
 //! different tracers into one application timeline trace").
 
 use crate::span::{Span, SpanId, StackLevel, TraceId};
-use crate::tracer::ChannelTracer;
+use crate::tracer::{ChannelTracer, SpanBuffer};
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -107,9 +107,19 @@ impl Trace {
 /// published so far into a [`Trace`], and [`TracingServer::fresh_trace_id`]
 /// allocates per-run trace ids so a multi-run experiment can be demultiplexed
 /// later.
+///
+/// # Concurrent producers
+///
+/// The channel carries atomic span batches, and [`TracingServer::drain`]
+/// orders the result by trace id (stable within a trace). As long as each
+/// evaluation run (= trace id) is produced by a single worker — the model
+/// of the parallel evaluation engine, which gives each worker a
+/// [`SpanBuffer`] flushed once per run — the assembled trace is therefore
+/// *independent of cross-thread arrival order*: workers finishing in any
+/// order yield byte-identical traces.
 pub struct TracingServer {
-    tx: Sender<Span>,
-    rx: Receiver<Span>,
+    tx: Sender<Vec<Span>>,
+    rx: Receiver<Vec<Span>>,
     registered: Mutex<HashMap<&'static str, ChannelTracer>>,
     next_trace_id: AtomicU64,
 }
@@ -151,16 +161,31 @@ impl TracingServer {
         names
     }
 
+    /// Creates a [`SpanBuffer`] over the tracer named `name`: spans reported
+    /// through it accumulate locally and reach this server as one atomic
+    /// batch on flush. This is the per-worker publication endpoint of the
+    /// parallel evaluation engine.
+    pub fn buffer(&self, name: &'static str) -> SpanBuffer {
+        SpanBuffer::new(self.tracer(name))
+    }
+
     /// Allocates a fresh per-run trace id.
     pub fn fresh_trace_id(&self) -> TraceId {
         TraceId(self.next_trace_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Collects every span published since the previous drain.
+    ///
+    /// Spans are returned grouped by ascending trace id; within one trace id
+    /// the per-producer publication order is preserved (the sort is stable
+    /// and the channel is FIFO per sender). The historical contract — "spans
+    /// in publication order" — held only while every producer shared one
+    /// thread; grouping by trace id restores a deterministic order when
+    /// producers of *different* runs race on the channel.
     pub fn drain(&self) -> Trace {
-        Trace {
-            spans: self.rx.try_iter().collect(),
-        }
+        let mut spans: Vec<Span> = self.rx.try_iter().flatten().collect();
+        spans.sort_by_key(|s| s.trace_id);
+        Trace { spans }
     }
 }
 
@@ -249,6 +274,47 @@ mod tests {
         let b = Trace::from_spans(vec![span(TraceId(2), "y", StackLevel::Layer, 2, 3)]);
         a.merge(b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn drain_is_independent_of_producer_arrival_order() {
+        // Regression test for the latent ordering assumption: the old drain
+        // returned raw arrival order, which was deterministic only because
+        // all producers shared one thread. Simulate two workers finishing
+        // out of submission order: the run-2 buffer flushes before run 1.
+        let build = |server: &TracingServer, run: TraceId, names: [&str; 2]| {
+            let buffer = server.buffer("worker");
+            buffer.report(span(run, names[0], StackLevel::Model, 0, 100));
+            buffer.report(span(run, names[1], StackLevel::Layer, 10, 60));
+            buffer
+        };
+
+        let in_order = TracingServer::new();
+        let b1 = build(&in_order, TraceId(1), ["p1", "l1"]);
+        let b2 = build(&in_order, TraceId(2), ["p2", "l2"]);
+        b1.flush();
+        b2.flush();
+        let expected: Vec<String> = in_order
+            .drain()
+            .into_spans()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+
+        let out_of_order = TracingServer::new();
+        let b1 = build(&out_of_order, TraceId(1), ["p1", "l1"]);
+        let b2 = build(&out_of_order, TraceId(2), ["p2", "l2"]);
+        b2.flush(); // run 2 arrives first
+        b1.flush();
+        let got: Vec<String> = out_of_order
+            .drain()
+            .into_spans()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+
+        assert_eq!(got, expected, "drain must group by trace id, not arrival");
+        assert_eq!(got, vec!["p1", "l1", "p2", "l2"]);
     }
 
     #[test]

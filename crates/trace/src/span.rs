@@ -9,10 +9,17 @@
 //! [`crate::correlate`]).
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Globally unique span identifier.
+/// Unique span identifier.
+///
+/// Ids are unique within their allocation scope: by default a process-global
+/// counter, or — inside [`with_span_id_scope`] — a deterministic per-scope
+/// sequence that makes id assignment independent of what other threads are
+/// doing. The latter is what lets a parallel evaluation engine produce
+/// byte-identical traces regardless of worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SpanId(pub u64);
 
@@ -23,10 +30,66 @@ pub struct TraceId(pub u64);
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
+thread_local! {
+    /// Stack of `(scope key, next local counter)` pushed by
+    /// [`with_span_id_scope`]; the innermost scope wins.
+    static ID_SCOPES: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Scope keys occupy the high id bits (offset by 1 so scoped ids never
+/// collide with the low process-global range); counters the low 32 bits.
+const SCOPE_KEY_BITS: u64 = 31;
+const SCOPE_COUNTER_BITS: u64 = 32;
+
+/// Runs `f` with span ids drawn from a deterministic sequence private to
+/// `scope` instead of the process-global counter.
+///
+/// Every execution of a region under the same scope key yields the same id
+/// sequence, no matter which thread runs it or what runs concurrently —
+/// the property that makes parallel evaluation byte-identical to serial
+/// evaluation. Scopes nest (the innermost wins) and are thread-local: the
+/// caller must pick scope keys that are unique among traces it intends to
+/// merge, since two identical keys replay the same id sequence. Scope keys
+/// are truncated to 31 bits and each scope can allocate 2³² ids.
+///
+/// ```
+/// use xsp_trace::span::{with_span_id_scope, SpanId};
+/// let a = with_span_id_scope(7, || (SpanId::next(), SpanId::next()));
+/// let b = with_span_id_scope(7, || (SpanId::next(), SpanId::next()));
+/// assert_eq!(a, b, "same scope key replays the same id sequence");
+/// assert_ne!(a.0, with_span_id_scope(8, SpanId::next));
+/// ```
+pub fn with_span_id_scope<R>(scope: u64, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ID_SCOPES.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    ID_SCOPES.with(|s| s.borrow_mut().push((scope, 0)));
+    let _guard = Guard;
+    f()
+}
+
 impl SpanId {
-    /// Allocates a fresh process-unique span id.
+    /// Allocates a fresh span id: scope-deterministic inside
+    /// [`with_span_id_scope`], process-unique (global counter) otherwise.
     pub fn next() -> Self {
-        SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed))
+        let scoped = ID_SCOPES.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.last_mut().map(|(scope, counter)| {
+                let key = (*scope & ((1 << SCOPE_KEY_BITS) - 1)) + 1;
+                let id = (key << SCOPE_COUNTER_BITS) | (*counter & ((1 << SCOPE_COUNTER_BITS) - 1));
+                *counter += 1;
+                id
+            })
+        });
+        match scoped {
+            Some(id) => SpanId(id),
+            None => SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)),
+        }
     }
 }
 
@@ -388,6 +451,40 @@ mod tests {
         let a = mk("a", StackLevel::Model, 0, 1);
         let b = mk("b", StackLevel::Model, 0, 1);
         assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn scoped_ids_are_deterministic_across_threads() {
+        let on_main = with_span_id_scope(42, || vec![SpanId::next(), SpanId::next()]);
+        let on_thread =
+            std::thread::spawn(|| with_span_id_scope(42, || vec![SpanId::next(), SpanId::next()]))
+                .join()
+                .unwrap();
+        assert_eq!(on_main, on_thread);
+    }
+
+    #[test]
+    fn scoped_ids_do_not_collide_with_global_ids() {
+        let global = SpanId::next();
+        let scoped = with_span_id_scope(0, SpanId::next);
+        assert!(
+            scoped.0 >= 1 << 32,
+            "scoped ids live above the global range"
+        );
+        assert!(global.0 < 1 << 32);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        with_span_id_scope(1, || {
+            let outer_first = SpanId::next();
+            let inner = with_span_id_scope(2, SpanId::next);
+            let outer_second = SpanId::next();
+            assert_eq!(outer_second.0, outer_first.0 + 1, "outer counter resumes");
+            assert_ne!(inner.0 >> 32, outer_first.0 >> 32, "inner scope differs");
+        });
+        // after the scope exits, allocation falls back to the global counter
+        assert!(SpanId::next().0 < 1 << 32);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! The determinism contract of the parallel evaluation engine: profiles
+//! produced with any worker count serialize byte-identically to serial
+//! profiles, across seeds, models, run counts, and profiling depths.
+
+use proptest::prelude::*;
+use proptest::sample::select;
+use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::scheduler::Parallelism;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+fn xsp_with(seed: u64, runs: usize, parallelism: Parallelism) -> Xsp {
+    Xsp::new(
+        XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+            .runs(runs)
+            .seed(seed)
+            .parallelism(parallelism),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: `leveled` with `Fixed(4)` produces a
+    /// `LeveledProfile` whose `to_span_json` serialization is byte-identical
+    /// to `Serial`, whatever the seed, model, batch, or run count.
+    #[test]
+    fn leveled_fixed4_matches_serial_bytes(
+        seed in 0u64..u64::MAX,
+        runs in 1usize..3,
+        batch in 1usize..3,
+        model in select(vec!["MobileNet_v1_0.25_128", "MobileNet_v1_0.5_160"]),
+    ) {
+        let graph = zoo::by_name(model).unwrap().graph(batch);
+        let serial = xsp_with(seed, runs, Parallelism::Serial).leveled(&graph);
+        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).leveled(&graph);
+        prop_assert_eq!(serial.to_span_json(), parallel.to_span_json());
+    }
+
+    /// Same property for the cheap model-level path used by batch sweeps,
+    /// with a worker count that exceeds the point count.
+    #[test]
+    fn model_only_fixed4_matches_serial_bytes(
+        seed in 0u64..u64::MAX,
+        runs in 1usize..4,
+    ) {
+        let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
+        let serial = xsp_with(seed, runs, Parallelism::Serial).model_only(&graph);
+        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).model_only(&graph);
+        prop_assert_eq!(serial.to_span_json(), parallel.to_span_json());
+    }
+}
+
+/// Worker counts beyond 4 (and `Auto`) obey the same contract, and derived
+/// summary statistics agree exactly — not just the serialized spans.
+#[test]
+fn every_parallelism_setting_agrees() {
+    let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
+    let reference = xsp_with(7, 2, Parallelism::Serial).leveled(&graph);
+    for p in [
+        Parallelism::Fixed(2),
+        Parallelism::Fixed(3),
+        Parallelism::Fixed(8),
+        Parallelism::Auto,
+    ] {
+        let profile = xsp_with(7, 2, p).leveled(&graph);
+        assert_eq!(
+            reference.to_span_json(),
+            profile.to_span_json(),
+            "span bytes under {p:?}"
+        );
+        assert_eq!(reference.model_latency_ms(), profile.model_latency_ms());
+        assert_eq!(reference.kernel_latency_ms(), profile.kernel_latency_ms());
+        assert_eq!(
+            reference.overhead_report(),
+            profile.overhead_report(),
+            "overhead report under {p:?}"
+        );
+    }
+}
+
+/// GPU-level profiles (metric runs included) are engine-deterministic too.
+#[test]
+fn with_gpu_is_engine_deterministic() {
+    let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
+    let serial = xsp_with(11, 2, Parallelism::Serial).with_gpu(&graph);
+    let parallel = xsp_with(11, 2, Parallelism::Fixed(4)).with_gpu(&graph);
+    assert_eq!(serial.to_span_json(), parallel.to_span_json());
+    let k_serial: Vec<_> = serial.kernels().iter().map(|k| k.name.clone()).collect();
+    let k_parallel: Vec<_> = parallel.kernels().iter().map(|k| k.name.clone()).collect();
+    assert_eq!(k_serial, k_parallel);
+}

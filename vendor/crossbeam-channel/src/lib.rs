@@ -14,13 +14,28 @@ use std::sync::{Arc, Mutex};
 pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
 /// The sending half of an unbounded channel.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Sender<T>(mpsc::Sender<T>);
+
+// Manual impls: like real crossbeam, the endpoints are cloneable for every
+// `T` (a derive would demand `T: Clone`, which e.g. worker-pool results
+// need not satisfy).
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
 
 /// The receiving half of an unbounded channel. Cloneable: clones share the
 /// same queue (each message is delivered to exactly one receiver).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver(self.0.clone())
+    }
+}
 
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
