@@ -1,0 +1,145 @@
+//! Extension experiment: the GEMM-bound transformer tier on Tesla_V100 —
+//! per-model compute regime, attention-GEMM rooflines across sequence
+//! lengths, and the contrast against a conv-bound CNN baseline.
+//!
+//! Not in the paper (its zoo is CNN-only); this target opens the second
+//! roofline regime the ROADMAP calls for. Every `(model, seq)` point is an
+//! independent engine point and fans out through `par_points`, so the
+//! printed tables are byte-identical for any `XSP_THREADS`.
+//!
+//! `--quick` (or `XSP_BENCH_QUICK=1`) runs a single-iteration smoke pass —
+//! one batch, the two short sequence lengths, 1 run/level — which is what
+//! CI executes under both `XSP_THREADS=1` and `XSP_THREADS=4`.
+
+use xsp_bench::{banner, par_points, timed, xsp_on};
+use xsp_core::analysis::{
+    ax3_family_shares, ax3_gemm_roofline, convolution_latency_percent, gemm_percent_of, regime_of,
+    ComputeRegime,
+};
+use xsp_core::report::{fmt_ms, fmt_pct, Table};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::{transformer, zoo};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("XSP_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    timed("ext_transformer_roofline", || {
+        banner(
+            "EXT — transformer tier: GEMM-bound rooflines on Tesla_V100",
+            "expectation: LM models >50% GEMM kernel latency (GemmBound regime) vs conv-dominated CNNs; batched attention GEMMs cross the V100 ridge (AI 17.44) as seq grows; CNN baseline stays ConvBound",
+        );
+        let system = systems::tesla_v100();
+        let runs = if quick { 1 } else { 2 };
+        let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, runs);
+
+        // (model, seq) grid: the zoo entries pin seq 384/256; the grid
+        // varies seq to sweep the batched GEMMs across the ridge point.
+        let seqs: &[usize] = if quick {
+            &[64, 128]
+        } else {
+            &[64, 128, 256, 384]
+        };
+        type BuildFn = fn(usize, usize) -> xsp_framework::LayerGraph;
+        let families: &[(&str, BuildFn)] = &[
+            ("BERT-Base", transformer::bert_base as BuildFn),
+            ("BERT-Large", transformer::bert_large as BuildFn),
+            ("GPT2-Small", transformer::gpt2_small as BuildFn),
+        ];
+        let grid: Vec<(&str, BuildFn, usize)> = families
+            .iter()
+            .flat_map(|&(name, build)| seqs.iter().map(move |&s| (name, build, s)))
+            .collect();
+
+        let mut t = Table::new(
+            "transformer tier @ batch 1",
+            &[
+                "Model",
+                "Seq",
+                "Latency (ms)",
+                "GEMM %",
+                "Regime",
+                "Attn GEMMs",
+                "Mem-bound attn",
+            ],
+        );
+        // one independent engine point per (model, seq) pair
+        let points = par_points(grid, |(name, build, seq)| {
+            let profile = xsp.leveled(&build(1, seq));
+            // aggregate the kernel families once, derive both answers
+            let shares = ax3_family_shares(&profile);
+            let gemm_pct = gemm_percent_of(&shares);
+            let regime = regime_of(&shares);
+            let attn: Vec<_> = ax3_gemm_roofline(&profile, &system)
+                .into_iter()
+                .filter(|p| p.name.contains("batched"))
+                .collect();
+            let mem_bound = attn.iter().filter(|p| p.memory_bound).count();
+            let latency = profile.model_latency_ms();
+            (name, seq, latency, gemm_pct, regime, attn.len(), mem_bound)
+        });
+        let mut short_seq_membound = 0usize;
+        let mut long_seq_membound = 0usize;
+        for (name, seq, latency, gemm_pct, regime, attn_count, mem_bound) in points {
+            assert_eq!(
+                regime,
+                ComputeRegime::GemmBound,
+                "{name}@{seq} must be GEMM-bound"
+            );
+            assert!(
+                gemm_pct > 50.0,
+                "{name}@{seq}: GEMM share {gemm_pct:.1}% too low"
+            );
+            assert!(attn_count > 0, "{name}@{seq}: no batched attention GEMMs");
+            if seq <= 128 {
+                short_seq_membound += mem_bound;
+            } else {
+                long_seq_membound += mem_bound;
+            }
+            t.row(vec![
+                name.to_owned(),
+                seq.to_string(),
+                fmt_ms(latency),
+                fmt_pct(gemm_pct),
+                format!("{regime:?}"),
+                attn_count.to_string(),
+                format!("{mem_bound}/{attn_count}"),
+            ]);
+        }
+        println!("{t}");
+        assert!(
+            short_seq_membound > 0,
+            "short sequences must pin some attention GEMMs under the ridge"
+        );
+        if !quick {
+            // at seq >= 256 the score products carry enough arithmetic per
+            // byte to cross into the compute-bound region: strictly fewer
+            // memory-bound attention GEMMs than at seq <= 128 (the grids
+            // contribute equal point counts per side, so equality would
+            // mean nothing migrated)
+            assert!(
+                long_seq_membound < short_seq_membound,
+                "attention GEMMs must migrate toward compute-bound as seq grows: \
+                 {long_seq_membound} long-seq vs {short_seq_membound} short-seq memory-bound"
+            );
+        }
+
+        // conv baseline through the identical pipeline: the regime, not
+        // just the numbers, must differ
+        let baseline = xsp.leveled(&zoo::by_name("ResNet_v1_50").unwrap().graph(1));
+        let conv_pct = convolution_latency_percent(&baseline);
+        let baseline_shares = ax3_family_shares(&baseline);
+        let baseline_gemm = gemm_percent_of(&baseline_shares);
+        let baseline_regime = regime_of(&baseline_shares);
+        println!(
+            "conv baseline (ResNet_v1_50 @ b1): {:?}, conv {}%, GEMM {}%",
+            baseline_regime,
+            fmt_pct(conv_pct),
+            fmt_pct(baseline_gemm)
+        );
+        assert_eq!(baseline_regime, ComputeRegime::ConvBound);
+        assert!(baseline_gemm < 20.0);
+    });
+}

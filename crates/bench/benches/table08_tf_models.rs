@@ -76,9 +76,7 @@ fn main() {
                 m.id.to_string(),
                 m.name.to_owned(),
                 m.task.code().to_owned(),
-                m.accuracy
-                    .map(|a| format!("{a:.2}"))
-                    .unwrap_or_else(|| "-".into()),
+                m.accuracy_cell(),
                 format!("{:.1}", m.graph_size_mb),
                 fmt_ms(online),
                 format!("{max_tp:.1}"),

@@ -20,6 +20,7 @@ mod layer_level;
 mod library_level;
 mod model_level;
 mod stage;
+mod workload;
 
 pub use cross_level::{
     a11_kernel_info_by_layer, a12_metrics_per_layer, a13_gpu_vs_nongpu, a14_layer_roofline,
@@ -39,6 +40,10 @@ pub use library_level::{
 };
 pub use model_level::{a1_model_info, ModelInfoRow, ModelInfoTable};
 pub use stage::{dominant_stage, stage_of_index, Stage, StageSummary};
+pub use workload::{
+    ax3_compute_regime, ax3_family_shares, ax3_gemm_roofline, gemm_latency_percent,
+    gemm_percent_of, kernel_family, regime_of, ComputeRegime, FamilyShareRow, KernelFamily,
+};
 
 /// Capability matrix of Table I: which analyses each tooling class can
 /// perform. Used by the `table01_analyses` bench to regenerate the table.

@@ -32,7 +32,8 @@ USAGE:
               [--threads <T>]
 
 ANALYSES: a1 (via sweep), a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
-          a13, a14, a15, ax1 (library level; needs --library-level)
+          a13, a14, a15, ax1 (library level; needs --library-level),
+          ax3 (kernel latency by family / compute regime)
 
 THREADS:  worker count of the parallel evaluation engine: a number, `auto`
           (one per core, the default), or `serial`/`1` (single-threaded, for
@@ -93,17 +94,15 @@ fn main() -> ExitCode {
 
 fn list_models() -> ExitCode {
     let mut t = Table::new(
-        "Model zoo (Table VIII ids)",
+        "Model zoo (Table VIII ids 1-55, transformer tier 56-58)",
         &["ID", "Name", "Task", "Accuracy", "Graph (MB)"],
     );
-    for m in zoo::tensorflow_models() {
+    for m in zoo::all_models() {
         t.row(vec![
             m.id.to_string(),
             m.name.to_owned(),
             m.task.code().to_owned(),
-            m.accuracy
-                .map(|a| format!("{a:.2}"))
-                .unwrap_or_else(|| "-".into()),
+            m.accuracy_cell(),
             format!("{:.1}", m.graph_size_mb),
         ]);
     }
@@ -411,6 +410,27 @@ fn render_analysis(
                 } else {
                     "compute-bound"
                 }
+            );
+        }
+        "ax3" => {
+            let shares = analysis::ax3_family_shares(p);
+            let mut t = Table::new(
+                "AX3 — kernel latency by family",
+                &["Family", "Count", "Latency (ms)", "%"],
+            );
+            for r in &shares {
+                t.row(vec![
+                    r.family.label().to_owned(),
+                    r.count.to_string(),
+                    fmt_ms(r.latency_ms),
+                    fmt_pct(r.latency_percent),
+                ]);
+            }
+            println!("{t}");
+            println!(
+                "compute regime: {:?} | GEMM share {}%",
+                analysis::regime_of(&shares),
+                fmt_pct(analysis::gemm_percent_of(&shares))
             );
         }
         "ax1" => {

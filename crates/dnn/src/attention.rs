@@ -1,0 +1,264 @@
+//! Multi-head attention kernels: the cuBLAS/fused-kernel sequences a
+//! 2019-era framework launches for BERT-style transformer layers.
+//!
+//! The execution model is the *unfused* (pre-FlashAttention) path the
+//! paper's TensorFlow/MXNet containers actually ran: the `seq × seq`
+//! attention-score matrix is materialized in DRAM between kernels, so the
+//! scaled-dot-product chain is
+//!
+//! ```text
+//! QKV projection   cublasSgemm              (3·d_model, tokens, d_model)
+//! scores = Q·Kᵀ    cublasSgemmStridedBatched (seq, seq, head_dim) × B·H
+//! softmax(scores)  fused scaled-masked softmax over B·H·seq rows
+//! ctx = scores·V   cublasSgemmStridedBatched (head_dim, seq, seq) × B·H
+//! output proj      cublasSgemm              (d_model, tokens, d_model)
+//! ```
+//!
+//! That materialization is what makes the attention GEMMs a *different
+//! roofline regime* from convolutions: the batched slices are small
+//! (`seq × head_dim`), stream their operands once, and land near
+//! `seq/2` flops/byte — bandwidth-bound at short sequence lengths on a
+//! V100, while cuDNN's implicit-GEMM convolutions sit far into the
+//! compute-bound region. The projection and feed-forward GEMMs, by
+//! contrast, are large single GEMMs and are compute-bound like any
+//! well-tiled `sgemm`.
+
+use crate::gemm::{batched_gemm_kernels, gemm_kernels};
+use crate::ops::copy_kernel;
+use crate::F32;
+use serde::{Deserialize, Serialize};
+use xsp_gpu::{Dim3, GpuArchitecture, KernelDesc};
+
+/// Geometry of one multi-head attention block in NLD (batch, seq, d_model)
+/// layout — the transformer counterpart of [`crate::ConvParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttentionParams {
+    /// Batch size.
+    pub batch: usize,
+    /// Sequence length (tokens per example).
+    pub seq: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Per-head feature dimension (`d_model / heads`).
+    pub head_dim: usize,
+}
+
+impl AttentionParams {
+    /// The model (hidden) dimension, `heads × head_dim`.
+    pub fn d_model(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// Tokens in flight: `batch × seq` — the `n` of every projection GEMM.
+    pub fn tokens(&self) -> u64 {
+        self.batch as u64 * self.seq as u64
+    }
+
+    /// GEMM slices of the batched score/context products: one per
+    /// `(example, head)` pair.
+    pub fn gemm_batches(&self) -> u64 {
+        self.batch as u64 * self.heads as u64
+    }
+
+    /// Elements of the materialized `seq × seq` score tensor.
+    pub fn score_elements(&self) -> u64 {
+        self.gemm_batches() * self.seq as u64 * self.seq as u64
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.batch > 0 && self.seq > 0 && self.heads > 0 && self.head_dim > 0,
+            "degenerate attention geometry {self:?}"
+        );
+    }
+}
+
+/// The fused QKV projection: one `cublasSgemm` computing all three of Q, K
+/// and V — `C[3·d_model × tokens] = W_qkv[3·d_model × d_model] · X`.
+pub fn qkv_projection_kernels(p: &AttentionParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let d = p.d_model() as u64;
+    gemm_kernels(3 * d, p.tokens(), d, arch)
+}
+
+/// The scaled `Q·Kᵀ` score product: a strided-batched GEMM of
+/// `(seq × seq × head_dim)` slices, one per `(example, head)`, with the
+/// `1/√head_dim` scale folded into the GEMM alpha (one extra multiply per
+/// output element).
+pub fn attention_scores_kernels(p: &AttentionParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let (s, hd) = (p.seq as u64, p.head_dim as u64);
+    let mut ks = batched_gemm_kernels(s, s, hd, p.gemm_batches(), arch);
+    for k in &mut ks {
+        k.flops += p.score_elements(); // alpha scale
+    }
+    ks
+}
+
+/// The fused scale-mask-softmax over the materialized score matrix:
+/// `batch × heads × seq` rows of `seq` logits, one warp per row.
+pub fn attention_softmax_kernel(p: &AttentionParams) -> KernelDesc {
+    p.validate();
+    let elements = p.score_elements();
+    KernelDesc::new(
+        "fused_scaled_masked_softmax_warp_fw",
+        Dim3::x(
+            (p.gemm_batches() * p.seq as u64)
+                .div_ceil(4)
+                .clamp(1, u32::MAX as u64) as u32,
+        ),
+        Dim3::x(128),
+    )
+    // mask-add + max + sub + exp + sum + div, warp-fused single pass
+    .flops(elements * 6)
+    .dram(elements * F32, elements * F32)
+    .efficiency(0.15, 0.72, 0.6)
+    .fixed_overhead(2_500)
+}
+
+/// The `softmax(scores)·V` context product: the second strided-batched GEMM,
+/// `(head_dim × seq × seq)` slices.
+pub fn attention_context_kernels(p: &AttentionParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let (s, hd) = (p.seq as u64, p.head_dim as u64);
+    batched_gemm_kernels(hd, s, s, p.gemm_batches(), arch)
+}
+
+/// The attention output projection: `cublasSgemm` of
+/// `(d_model × tokens × d_model)`, re-mixing the concatenated heads.
+pub fn attention_output_kernels(p: &AttentionParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let d = p.d_model() as u64;
+    gemm_kernels(d, p.tokens(), d, arch)
+}
+
+/// Fused layer-norm inference kernel over `elements` values normalized in
+/// groups of `features` (the trailing model dimension): two passes over the
+/// activations (statistics, then normalize-scale-shift) plus the per-feature
+/// gamma/beta parameters.
+pub fn layernorm_kernel(elements: u64, features: u64) -> KernelDesc {
+    assert!(
+        features > 0 && elements % features == 0,
+        "layer-norm features {features} must tile elements {elements}"
+    );
+    KernelDesc::new(
+        "layer_norm_fused_kernel<float>",
+        Dim3::x((elements / features).clamp(1, u32::MAX as u64) as u32),
+        Dim3::x(256),
+    )
+    // mean + variance accumulation, then (x-μ)·rstd·γ+β
+    .flops(elements * 8)
+    .dram(2 * elements * F32 + 2 * features * F32, elements * F32)
+    .efficiency(0.08, 0.74, 0.6)
+    .fixed_overhead(2_500)
+}
+
+/// GELU activation kernel (tanh approximation) over `elements`.
+pub fn gelu_kernel(elements: u64) -> KernelDesc {
+    KernelDesc::new(
+        "gelu_tanh_kernel<float>",
+        Dim3::x(elements.div_ceil(256 * 4).clamp(1, u32::MAX as u64) as u32),
+        Dim3::x(256),
+    )
+    .flops(elements * 12)
+    .dram(elements * F32, elements * F32)
+    .efficiency(0.12, 0.70, 0.6)
+    .fixed_overhead(2_500)
+}
+
+/// Embedding-table lookup for `tokens` token ids into `d_model`-wide rows:
+/// a pure gather (indices in, rows out) — data movement, no flops.
+pub fn embedding_gather_kernel(tokens: u64, d_model: u64) -> KernelDesc {
+    copy_kernel("embedding_gather_kernel", tokens * d_model * F32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert_base(batch: usize, seq: usize) -> AttentionParams {
+        AttentionParams {
+            batch,
+            seq,
+            heads: 12,
+            head_dim: 64,
+        }
+    }
+
+    #[test]
+    fn geometry_math() {
+        let p = bert_base(4, 384);
+        assert_eq!(p.d_model(), 768);
+        assert_eq!(p.tokens(), 4 * 384);
+        assert_eq!(p.gemm_batches(), 48);
+        assert_eq!(p.score_elements(), 48 * 384 * 384);
+    }
+
+    #[test]
+    fn qkv_is_one_compute_bound_sgemm() {
+        let ks = qkv_projection_kernels(&bert_base(1, 384), GpuArchitecture::Volta);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].flops, 2 * (3 * 768) * 384 * 768);
+        assert!(ks[0].name.contains("sgemm"), "{}", ks[0].name);
+        assert!(
+            ks[0].arithmetic_intensity().unwrap() > 17.44,
+            "projection GEMMs are compute-bound"
+        );
+    }
+
+    #[test]
+    fn score_chain_is_batched_and_bandwidth_lean() {
+        let p = bert_base(1, 128);
+        let scores = attention_scores_kernels(&p, GpuArchitecture::Volta);
+        assert_eq!(scores[0].grid.z, 12);
+        // 2·s·s·hd per slice plus the alpha scale
+        assert_eq!(scores[0].flops, (2 * 128 * 128 * 64 + 128 * 128) * 12u64);
+        let ai = scores[0].arithmetic_intensity().unwrap();
+        assert!(
+            ai < 17.44,
+            "seq-128 attention scores must sit under the V100 ridge: {ai}"
+        );
+        let ctx = attention_context_kernels(&p, GpuArchitecture::Volta);
+        assert!(ctx[0].name.ends_with("_batched"));
+        assert!(ctx[0].arithmetic_intensity().unwrap() < 17.44);
+    }
+
+    #[test]
+    fn softmax_and_layernorm_are_memory_bound() {
+        let p = bert_base(2, 256);
+        let sm = attention_softmax_kernel(&p);
+        assert_eq!(sm.flops, p.score_elements() * 6);
+        assert!(sm.arithmetic_intensity().unwrap() < 4.0);
+        let ln = layernorm_kernel(2 * 256 * 768, 768);
+        assert!(ln.arithmetic_intensity().unwrap() < 4.0);
+        let g = gelu_kernel(1 << 20);
+        assert!(g.arithmetic_intensity().unwrap() < 4.0);
+    }
+
+    #[test]
+    fn embedding_is_data_movement() {
+        let k = embedding_gather_kernel(384, 768);
+        assert_eq!(k.flops, 0);
+        assert_eq!(k.dram_write, 384 * 768 * F32);
+    }
+
+    #[test]
+    fn layernorm_features_must_tile() {
+        let r = std::panic::catch_unwind(|| layernorm_kernel(1000, 768));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate attention")]
+    fn zero_heads_rejected() {
+        qkv_projection_kernels(
+            &AttentionParams {
+                batch: 1,
+                seq: 8,
+                heads: 0,
+                head_dim: 64,
+            },
+            GpuArchitecture::Volta,
+        );
+    }
+}

@@ -47,6 +47,50 @@ pub fn gemm_kernels(m: u64, n: u64, k: u64, arch: GpuArchitecture) -> Vec<Kernel
         .fixed_overhead(4_000)]
 }
 
+/// Builds the kernel for a strided-batched single-precision GEMM
+/// (`cublasSgemmStridedBatched`): `batches` independent products
+/// `C_i[m×n] = A_i[m×k] · B_i[k×n]`, one CTA wave per batch slice in
+/// `grid.z`.
+///
+/// This is the attention workhorse (`Q·Kᵀ` and `scores·V` run one GEMM per
+/// `batch × head`). The per-slice matrices are small — `seq × head_dim` —
+/// so unlike the big single GEMMs of [`gemm_kernels`] there is no
+/// cross-tile operand reuse to model: every slice streams its operands from
+/// DRAM once and writes its output once, which is what pins the arithmetic
+/// intensity of the attention `MatMul` chain near `seq/2` flops/byte and
+/// makes it bandwidth-bound at short sequence lengths.
+pub fn batched_gemm_kernels(
+    m: u64,
+    n: u64,
+    k: u64,
+    batches: u64,
+    arch: GpuArchitecture,
+) -> Vec<KernelDesc> {
+    assert!(
+        m > 0 && n > 0 && k > 0 && batches > 0,
+        "degenerate batched GEMM {m}x{n}x{k}x{batches}"
+    );
+    let prefix = arch.cudnn_kernel_prefix();
+    let (tm, tn) = gemm_tile(m, n);
+    let name = format!("{prefix}_sgemm_{tm}x{tn}_nn_batched");
+    let flops = 2 * m * n * k * batches;
+    let reads = batches * (m * k + k * n) * F32;
+    let writes = batches * m * n * F32;
+    let grid = Dim3::new(
+        n.div_ceil(tn).min(u32::MAX as u64) as u32,
+        m.div_ceil(tm).min(u32::MAX as u64) as u32,
+        batches.min(u32::MAX as u64) as u32,
+    );
+    // Small per-slice tiles cannot keep the FMA pipes as busy as a large
+    // sgemm, but the many independent slices fill the machine: lower compute
+    // efficiency, higher occupancy than the 128x128 single-GEMM kernels.
+    vec![KernelDesc::new(name, grid, Dim3::x(256))
+        .flops(flops)
+        .dram(reads, writes)
+        .efficiency(0.65, 0.78, 0.5)
+        .fixed_overhead(4_000)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +140,38 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_dim_rejected() {
         gemm_kernels(0, 1, 1, GpuArchitecture::Volta);
+    }
+
+    #[test]
+    fn batched_gemm_covers_every_slice() {
+        // BERT-Base attention scores at batch 2: 2*12 slices of 384x384x64.
+        let ks = batched_gemm_kernels(384, 384, 64, 24, GpuArchitecture::Volta);
+        assert_eq!(ks.len(), 1);
+        let k = &ks[0];
+        assert!(k.name.starts_with("volta_sgemm_"), "{}", k.name);
+        assert!(k.name.ends_with("_batched"), "{}", k.name);
+        assert_eq!(k.grid.z, 24);
+        assert_eq!(k.flops, 2 * 384 * 384 * 64 * 24);
+        // every slice streams A, B once and writes C once
+        assert_eq!(k.dram_read, 24 * (384 * 64 + 64 * 384) * F32);
+        assert_eq!(k.dram_write, 24 * 384 * 384 * F32);
+    }
+
+    #[test]
+    fn short_sequence_batched_gemm_is_bandwidth_bound() {
+        // seq 64, head_dim 64: AI ≈ 9.8 flops/byte — well under V100's
+        // ridge point of 17.44. The GEMM-bound tier's distinguishing regime.
+        let ks = batched_gemm_kernels(64, 64, 64, 96, GpuArchitecture::Volta);
+        let ai = ks[0].arithmetic_intensity().unwrap();
+        assert!(ai < 17.0, "short-seq attention GEMM AI {ai}");
+        // while a square single GEMM of the same volume is compute-bound
+        let sq = gemm_kernels(1024, 1024, 1024, GpuArchitecture::Volta);
+        assert!(sq[0].arithmetic_intensity().unwrap() > 17.44);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_batch_rejected() {
+        batched_gemm_kernels(1, 1, 1, 0, GpuArchitecture::Volta);
     }
 }

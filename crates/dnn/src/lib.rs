@@ -24,14 +24,16 @@
 
 #![warn(missing_docs)]
 
+pub mod attention;
 pub mod conv;
 pub mod elementwise;
 pub mod gemm;
 pub mod ops;
 
+pub use attention::AttentionParams;
 pub use conv::{choose_conv_algo, conv2d_kernels, depthwise_conv2d_kernels, ConvAlgo, ConvParams};
 pub use elementwise::{elementwise_kernel, ElementwiseBackend, ElementwiseOp};
-pub use gemm::gemm_kernels;
+pub use gemm::{batched_gemm_kernels, gemm_kernels};
 
 /// Bytes per single-precision element.
 pub const F32: u64 = 4;

@@ -8,7 +8,7 @@
 //! executed form before running.
 
 use serde::{Deserialize, Serialize};
-use xsp_dnn::ConvParams;
+use xsp_dnn::{AttentionParams, ConvParams};
 
 /// Tensor shape, outermost dimension first (NCHW for image tensors).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -126,6 +126,32 @@ pub enum LayerOp {
     ResizeBilinear,
     /// Local response normalization (AlexNet-era).
     Lrn,
+    /// Token + position embedding lookup (transformer input): a gather into
+    /// the `vocab × d_model` table.
+    Embedding {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Model (hidden) dimension.
+        d_model: usize,
+    },
+    /// Fused Q/K/V projection of a multi-head attention block: one GEMM of
+    /// `(3·d_model, batch·seq, d_model)`.
+    QkvProjection(AttentionParams),
+    /// Scaled `Q·Kᵀ` attention-score product: a strided-batched GEMM of
+    /// `seq × seq × head_dim` slices, one per `(example, head)`.
+    AttentionScores(AttentionParams),
+    /// Softmax over the materialized attention-score rows (fused
+    /// scale-mask-softmax kernel).
+    AttentionSoftmax(AttentionParams),
+    /// `softmax(scores)·V` context product: the second strided-batched GEMM.
+    AttentionContext(AttentionParams),
+    /// Attention output projection: `(d_model, batch·seq, d_model)` GEMM
+    /// re-mixing the concatenated heads.
+    AttentionOutput(AttentionParams),
+    /// Layer normalization over the trailing (feature) dimension.
+    LayerNorm,
+    /// GELU activation (transformer feed-forward nonlinearity).
+    Gelu,
 }
 
 impl LayerOp {
@@ -160,6 +186,14 @@ impl LayerOp {
             LayerOp::CropAndResize => "CropAndResize",
             LayerOp::ResizeBilinear => "ResizeBilinear",
             LayerOp::Lrn => "LRN",
+            LayerOp::Embedding { .. } => "GatherV2",
+            LayerOp::QkvProjection(_) => "QkvMatMul",
+            LayerOp::AttentionScores(_) => "BatchMatMulQK",
+            LayerOp::AttentionSoftmax(_) => "AttentionSoftmax",
+            LayerOp::AttentionContext(_) => "BatchMatMulQKV",
+            LayerOp::AttentionOutput(_) => "AttentionOutputMatMul",
+            LayerOp::LayerNorm => "LayerNorm",
+            LayerOp::Gelu => "Gelu",
         }
     }
 
@@ -167,6 +201,33 @@ impl LayerOp {
     /// percentage" metric (Conv2D + DepthwiseConv2dNative; §IV-A).
     pub fn is_convolution(&self) -> bool {
         matches!(self, LayerOp::Conv2D(_) | LayerOp::DepthwiseConv2dNative(_))
+    }
+
+    /// Whether the op lowers to a (possibly batched) dense GEMM — the
+    /// transformer tier's counterpart of [`LayerOp::is_convolution`]; the
+    /// GEMM latency share is what classifies a model as GEMM-bound.
+    pub fn is_gemm(&self) -> bool {
+        matches!(
+            self,
+            LayerOp::MatMul { .. }
+                | LayerOp::QkvProjection(_)
+                | LayerOp::AttentionScores(_)
+                | LayerOp::AttentionContext(_)
+                | LayerOp::AttentionOutput(_)
+        )
+    }
+
+    /// Whether the op belongs to the scaled-dot-product attention chain
+    /// (QKV through output projection, softmax included).
+    pub fn is_attention(&self) -> bool {
+        matches!(
+            self,
+            LayerOp::QkvProjection(_)
+                | LayerOp::AttentionScores(_)
+                | LayerOp::AttentionSoftmax(_)
+                | LayerOp::AttentionContext(_)
+                | LayerOp::AttentionOutput(_)
+        )
     }
 
     /// Whether the op executes entirely on the host (no GPU kernels).
@@ -216,6 +277,21 @@ impl Layer {
             // scale, shift, mean, variance per channel
             LayerOp::FusedBatchNorm => 4 * c * 4,
             LayerOp::BiasAdd => c * 4,
+            // token table plus 512 learned positions and 2 segment rows
+            // (the BERT embedding layout)
+            LayerOp::Embedding { vocab, d_model } => {
+                (*vocab as u64 + 512 + 2) * *d_model as u64 * 4
+            }
+            LayerOp::QkvProjection(p) => {
+                let d = p.d_model() as u64;
+                (3 * d * d + 3 * d) * 4
+            }
+            LayerOp::AttentionOutput(p) => {
+                let d = p.d_model() as u64;
+                (d * d + d) * 4
+            }
+            // gamma and beta over the trailing feature dimension
+            LayerOp::LayerNorm => 2 * self.out_shape.0.last().copied().unwrap_or(1) as u64 * 4,
             _ => 0,
         }
     }
@@ -380,6 +456,74 @@ mod tests {
         assert!(LayerOp::NonMaxSuppression.is_cpu_only());
         assert!(!LayerOp::Where.is_cpu_only(), "Where has a gather kernel");
         assert!(!LayerOp::Relu.is_cpu_only());
+    }
+
+    #[test]
+    fn transformer_op_classification() {
+        let p = AttentionParams {
+            batch: 1,
+            seq: 64,
+            heads: 4,
+            head_dim: 16,
+        };
+        assert!(LayerOp::QkvProjection(p).is_gemm());
+        assert!(LayerOp::AttentionScores(p).is_gemm());
+        assert!(LayerOp::AttentionContext(p).is_gemm());
+        assert!(LayerOp::AttentionOutput(p).is_gemm());
+        assert!(LayerOp::MatMul {
+            in_features: 8,
+            out_features: 8
+        }
+        .is_gemm());
+        assert!(!LayerOp::AttentionSoftmax(p).is_gemm());
+        assert!(LayerOp::AttentionSoftmax(p).is_attention());
+        assert!(!LayerOp::LayerNorm.is_attention());
+        assert!(!LayerOp::QkvProjection(p).is_convolution());
+        assert!(!LayerOp::QkvProjection(p).is_cpu_only());
+    }
+
+    #[test]
+    fn transformer_weight_bytes() {
+        let p = AttentionParams {
+            batch: 1,
+            seq: 128,
+            heads: 12,
+            head_dim: 64,
+        };
+        let d = 768u64;
+        let qkv = Layer::new(
+            "qkv",
+            LayerOp::QkvProjection(p),
+            TensorShape(vec![1, 128, 3 * 768]),
+        );
+        assert_eq!(qkv.weight_bytes(), (3 * d * d + 3 * d) * 4);
+        let out = Layer::new(
+            "out",
+            LayerOp::AttentionOutput(p),
+            TensorShape(vec![1, 128, 768]),
+        );
+        assert_eq!(out.weight_bytes(), (d * d + d) * 4);
+        let ln = Layer::new("ln", LayerOp::LayerNorm, TensorShape(vec![1, 128, 768]));
+        assert_eq!(ln.weight_bytes(), 2 * d * 4);
+        let emb = Layer::new(
+            "emb",
+            LayerOp::Embedding {
+                vocab: 30522,
+                d_model: 768,
+            },
+            TensorShape(vec![1, 128, 768]),
+        );
+        assert_eq!(emb.weight_bytes(), (30522 + 512 + 2) * d * 4);
+        // the score/softmax/context chain carries no weights
+        for op in [
+            LayerOp::AttentionScores(p),
+            LayerOp::AttentionSoftmax(p),
+            LayerOp::AttentionContext(p),
+            LayerOp::Gelu,
+        ] {
+            let l = Layer::new("x", op, TensorShape(vec![1, 12, 128, 128]));
+            assert_eq!(l.weight_bytes(), 0);
+        }
     }
 
     #[test]

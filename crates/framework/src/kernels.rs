@@ -7,7 +7,7 @@
 
 use crate::graph::{Layer, LayerOp};
 use xsp_dnn::{
-    conv2d_kernels, depthwise_conv2d_kernels, elementwise_kernel, gemm_kernels, ops,
+    attention, conv2d_kernels, depthwise_conv2d_kernels, elementwise_kernel, gemm_kernels, ops,
     ElementwiseBackend, ElementwiseOp,
 };
 use xsp_gpu::{GpuArchitecture, KernelDesc};
@@ -26,6 +26,13 @@ pub fn library_call(layer: &Layer, backend: ElementwiseBackend) -> Option<&'stat
         LayerOp::MatMul { .. } => Some("cublasSgemm"),
         LayerOp::Lrn => Some("cudnnLRNCrossChannelForward"),
         LayerOp::Mean => Some("cudnnReduceTensor"),
+        LayerOp::QkvProjection(_) | LayerOp::AttentionOutput(_) => Some("cublasSgemm"),
+        LayerOp::AttentionScores(_) | LayerOp::AttentionContext(_) => {
+            Some("cublasSgemmStridedBatched")
+        }
+        LayerOp::AttentionSoftmax(_) => Some("cudnnSoftmaxForward"),
+        // LayerNorm/GELU/embedding-gather execute as framework-fused custom
+        // kernels — no vendor-library API call to interpose on.
         _ => None,
     }
 }
@@ -37,7 +44,6 @@ pub fn layer_kernels(
     arch: GpuArchitecture,
 ) -> Vec<KernelDesc> {
     let elements = layer.out_shape.elements();
-    let batch = layer.out_shape.batch() as u64;
     match &layer.op {
         LayerOp::Data | LayerOp::Reshape | LayerOp::NonMaxSuppression => Vec::new(),
         LayerOp::Conv2D(p) => conv2d_kernels(p, arch).1,
@@ -110,10 +116,20 @@ pub fn layer_kernels(
         LayerOp::MatMul {
             in_features,
             out_features,
-        } => gemm_kernels(*out_features as u64, batch, *in_features as u64, arch),
+        } => {
+            // The GEMM `n` is the row count of the input matrix: every
+            // leading dimension of the output except the trailing feature
+            // one — `batch` for flat (N, F) dense heads, `batch·seq` for
+            // token-sequence (N, S, F) feed-forward layers.
+            let rows = (elements / (*out_features as u64).max(1)).max(1);
+            gemm_kernels(*out_features as u64, rows, *in_features as u64, arch)
+        }
         LayerOp::Softmax => {
-            let classes = elements / batch.max(1);
-            vec![ops::softmax_kernel(batch, classes)]
+            // Softmax normalizes the trailing dimension; every leading
+            // dimension contributes rows (batch for classifiers,
+            // batch·seq for token-level heads).
+            let classes = layer.out_shape.0.last().copied().unwrap_or(1).max(1) as u64;
+            vec![ops::softmax_kernel(elements / classes, classes)]
         }
         LayerOp::Concat => vec![ops::copy_kernel("ConcatKernel", layer.out_shape.bytes())],
         LayerOp::Pad => vec![ops::copy_kernel("PadKernel", layer.out_shape.bytes())],
@@ -122,6 +138,20 @@ pub fn layer_kernels(
         LayerOp::CropAndResize => vec![ops::resize_bilinear_kernel(elements * 4, elements)],
         LayerOp::ResizeBilinear => vec![ops::resize_bilinear_kernel(elements / 4, elements)],
         LayerOp::Lrn => vec![ops::lrn_kernel(elements)],
+        LayerOp::Embedding { d_model, .. } => {
+            let tokens = elements / (*d_model as u64).max(1);
+            vec![attention::embedding_gather_kernel(tokens, *d_model as u64)]
+        }
+        LayerOp::QkvProjection(p) => attention::qkv_projection_kernels(p, arch),
+        LayerOp::AttentionScores(p) => attention::attention_scores_kernels(p, arch),
+        LayerOp::AttentionSoftmax(p) => vec![attention::attention_softmax_kernel(p)],
+        LayerOp::AttentionContext(p) => attention::attention_context_kernels(p, arch),
+        LayerOp::AttentionOutput(p) => attention::attention_output_kernels(p, arch),
+        LayerOp::LayerNorm => {
+            let features = layer.out_shape.0.last().copied().unwrap_or(1).max(1) as u64;
+            vec![attention::layernorm_kernel(elements, features)]
+        }
+        LayerOp::Gelu => vec![attention::gelu_kernel(elements)],
     }
 }
 
@@ -129,7 +159,7 @@ pub fn layer_kernels(
 mod tests {
     use super::*;
     use crate::graph::TensorShape;
-    use xsp_dnn::ConvParams;
+    use xsp_dnn::{AttentionParams, ConvParams};
 
     fn conv_layer(batch: usize) -> Layer {
         let p = ConvParams {
@@ -250,5 +280,105 @@ mod tests {
                 assert!(k.grid.count() > 0 && k.block.count() > 0);
             }
         }
+    }
+
+    #[test]
+    fn every_transformer_op_yields_kernels() {
+        let p = AttentionParams {
+            batch: 2,
+            seq: 16,
+            heads: 4,
+            head_dim: 8,
+        };
+        let d = p.d_model();
+        let cases: Vec<(LayerOp, TensorShape)> = vec![
+            (
+                LayerOp::Embedding {
+                    vocab: 1000,
+                    d_model: d,
+                },
+                TensorShape(vec![2, 16, d]),
+            ),
+            (LayerOp::QkvProjection(p), TensorShape(vec![2, 16, 3 * d])),
+            (LayerOp::AttentionScores(p), TensorShape(vec![2, 4, 16, 16])),
+            (
+                LayerOp::AttentionSoftmax(p),
+                TensorShape(vec![2, 4, 16, 16]),
+            ),
+            (LayerOp::AttentionContext(p), TensorShape(vec![2, 16, d])),
+            (LayerOp::AttentionOutput(p), TensorShape(vec![2, 16, d])),
+            (LayerOp::LayerNorm, TensorShape(vec![2, 16, d])),
+            (LayerOp::Gelu, TensorShape(vec![2, 16, 4 * d])),
+        ];
+        for (op, shape) in cases {
+            let l = Layer::new("t", op.clone(), shape);
+            let ks = layer_kernels(&l, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+            assert!(!ks.is_empty(), "{op:?} produced no kernels");
+            for k in &ks {
+                assert!(k.grid.count() > 0 && k.block.count() > 0, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_gemms_route_through_cublas() {
+        let p = AttentionParams {
+            batch: 1,
+            seq: 128,
+            heads: 12,
+            head_dim: 64,
+        };
+        let qkv = Layer::new(
+            "l0/attention/qkv",
+            LayerOp::QkvProjection(p),
+            TensorShape(vec![1, 128, 3 * 768]),
+        );
+        assert_eq!(
+            library_call(&qkv, ElementwiseBackend::Eigen),
+            Some("cublasSgemm")
+        );
+        let scores = Layer::new(
+            "l0/attention/scores",
+            LayerOp::AttentionScores(p),
+            TensorShape(vec![1, 12, 128, 128]),
+        );
+        assert_eq!(
+            library_call(&scores, ElementwiseBackend::Eigen),
+            Some("cublasSgemmStridedBatched")
+        );
+        let ks = layer_kernels(&scores, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+        assert!(ks[0].name.ends_with("_batched"), "{}", ks[0].name);
+        assert_eq!(ks[0].grid.z, 12);
+        // layer-norm is a framework-fused kernel, no vendor API call
+        let ln = Layer::new("ln", LayerOp::LayerNorm, TensorShape(vec![1, 128, 768]));
+        assert_eq!(library_call(&ln, ElementwiseBackend::Eigen), None);
+    }
+
+    #[test]
+    fn sequence_matmul_uses_token_rows_as_n() {
+        // A feed-forward GEMM over (batch=4, seq=128) tokens: the GEMM n
+        // must be 512 tokens, not batch 4.
+        let l = Layer::new(
+            "ffn/dense",
+            LayerOp::MatMul {
+                in_features: 768,
+                out_features: 3072,
+            },
+            TensorShape(vec![4, 128, 3072]),
+        );
+        let ks = layer_kernels(&l, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+        assert_eq!(ks[0].flops, 2 * 3072 * (4 * 128) * 768);
+    }
+
+    #[test]
+    fn token_level_softmax_normalizes_trailing_dim() {
+        // (batch=2, seq=8, vocab=100): 16 rows of 100 logits.
+        let l = Layer::new("lm_head/softmax", LayerOp::Softmax, {
+            TensorShape(vec![2, 8, 100])
+        });
+        let ks = layer_kernels(&l, ElementwiseBackend::Eigen, GpuArchitecture::Volta);
+        // softmax kernel flops are 6 per element; element count must cover
+        // all rows x classes regardless of rank
+        assert_eq!(ks[0].flops, 2 * 8 * 100 * 6);
     }
 }

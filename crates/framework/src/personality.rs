@@ -105,6 +105,16 @@ impl FrameworkKind {
             LayerOp::CropAndResize => 120_000 + 20_000 * batch as u64,
             LayerOp::ResizeBilinear => 18_000,
             LayerOp::Lrn => 15_000,
+            // Transformer ops: plain library dispatches — attention is
+            // GPU-bound, not host-bound, which is exactly why its optimal
+            // batch sizes look like image classification rather than
+            // detection.
+            LayerOp::Embedding { .. } => 12_000,
+            LayerOp::QkvProjection(_) | LayerOp::AttentionOutput(_) => 16_000,
+            LayerOp::AttentionScores(_) | LayerOp::AttentionContext(_) => 18_000,
+            LayerOp::AttentionSoftmax(_) => 12_000,
+            LayerOp::LayerNorm => 13_000,
+            LayerOp::Gelu => 10_000,
         };
         match self {
             FrameworkKind::TensorFlow => base,

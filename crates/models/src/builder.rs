@@ -1,6 +1,8 @@
-//! Shape-tracking graph builder shared by every architecture definition.
+//! Shape-tracking graph builders shared by every architecture definition:
+//! [`GraphBuilder`] for NCHW image models, [`SeqBuilder`] for
+//! (batch, seq, features) token-sequence models (transformers).
 
-use xsp_dnn::ConvParams;
+use xsp_dnn::{AttentionParams, ConvParams};
 use xsp_framework::{Layer, LayerGraph, LayerOp, TensorShape};
 
 /// Builds a [`LayerGraph`] while tracking the current NCHW tensor shape and
@@ -402,6 +404,194 @@ impl GraphBuilder {
     }
 }
 
+/// Builds a [`LayerGraph`] for token-sequence (transformer) models while
+/// tracking the current `(batch, seq, features)` shape and assigning
+/// TensorFlow-BERT-style scoped layer names
+/// (`layer_3/attention/self/qkv/MatMul`).
+#[derive(Debug)]
+pub struct SeqBuilder {
+    graph: LayerGraph,
+    batch: usize,
+    seq: usize,
+    features: usize,
+    scope: String,
+}
+
+impl SeqBuilder {
+    /// Starts a graph with a `Data` layer of token ids, shape
+    /// `(batch, seq)`.
+    pub fn new(batch: usize, seq: usize) -> Self {
+        let mut graph = LayerGraph::default();
+        graph.push(Layer::new(
+            "input_ids",
+            LayerOp::Data,
+            TensorShape(vec![batch, seq]),
+        ));
+        Self {
+            graph,
+            batch,
+            seq,
+            features: 1,
+            scope: String::new(),
+        }
+    }
+
+    /// The batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The sequence length.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Current trailing feature dimension.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Sets the name scope prepended to subsequent layer names
+    /// (`"layer_0/attention"` → `layer_0/attention/<name>`).
+    pub fn scoped(&mut self, scope: impl Into<String>) -> &mut Self {
+        self.scope = scope.into();
+        self
+    }
+
+    fn name(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}/{}", self.scope, name)
+        }
+    }
+
+    fn token_shape(&self) -> TensorShape {
+        TensorShape(vec![self.batch, self.seq, self.features])
+    }
+
+    /// Token + position embedding lookup into a `d_model`-wide table.
+    pub fn embed(&mut self, vocab: usize, d_model: usize) -> &mut Self {
+        self.features = d_model;
+        let shape = self.token_shape();
+        self.graph.push(Layer::new(
+            self.name("embeddings/GatherV2"),
+            LayerOp::Embedding { vocab, d_model },
+            shape,
+        ));
+        self
+    }
+
+    /// The full scaled-dot-product attention chain of one block: fused QKV
+    /// projection, `Q·Kᵀ` scores, softmax, `scores·V` context, and output
+    /// projection. Requires the current feature dim to split evenly over
+    /// `heads`.
+    pub fn attention(&mut self, heads: usize) -> &mut Self {
+        assert!(
+            heads > 0 && self.features % heads == 0,
+            "features {} not divisible into {heads} heads",
+            self.features
+        );
+        let p = AttentionParams {
+            batch: self.batch,
+            seq: self.seq,
+            heads,
+            head_dim: self.features / heads,
+        };
+        let d = self.features;
+        let (b, s) = (self.batch, self.seq);
+        self.graph.push(Layer::new(
+            self.name("attention/self/qkv/MatMul"),
+            LayerOp::QkvProjection(p),
+            TensorShape(vec![b, s, 3 * d]),
+        ));
+        self.graph.push(Layer::new(
+            self.name("attention/self/scores/BatchMatMul"),
+            LayerOp::AttentionScores(p),
+            TensorShape(vec![b, heads, s, s]),
+        ));
+        self.graph.push(Layer::new(
+            self.name("attention/self/Softmax"),
+            LayerOp::AttentionSoftmax(p),
+            TensorShape(vec![b, heads, s, s]),
+        ));
+        self.graph.push(Layer::new(
+            self.name("attention/self/context/BatchMatMul"),
+            LayerOp::AttentionContext(p),
+            TensorShape(vec![b, s, d]),
+        ));
+        self.graph.push(Layer::new(
+            self.name("attention/output/dense/MatMul"),
+            LayerOp::AttentionOutput(p),
+            TensorShape(vec![b, s, d]),
+        ));
+        self
+    }
+
+    /// Residual element-wise add.
+    pub fn residual_add(&mut self, name: &str) -> &mut Self {
+        let shape = self.token_shape();
+        self.graph
+            .push(Layer::new(self.name(name), LayerOp::AddN(2), shape));
+        self
+    }
+
+    /// Layer normalization over the feature dimension.
+    pub fn layer_norm(&mut self, name: &str) -> &mut Self {
+        let shape = self.token_shape();
+        self.graph
+            .push(Layer::new(self.name(name), LayerOp::LayerNorm, shape));
+        self
+    }
+
+    /// Token-wise dense layer: `(batch·seq, features) → out_features`.
+    pub fn linear(&mut self, name: &str, out_features: usize) -> &mut Self {
+        let in_features = self.features;
+        self.features = out_features;
+        let shape = self.token_shape();
+        self.graph.push(Layer::new(
+            self.name(name),
+            LayerOp::MatMul {
+                in_features,
+                out_features,
+            },
+            shape,
+        ));
+        self
+    }
+
+    /// GELU activation.
+    pub fn gelu(&mut self) -> &mut Self {
+        let shape = self.token_shape();
+        self.graph
+            .push(Layer::new(self.name("Gelu"), LayerOp::Gelu, shape));
+        self
+    }
+
+    /// Softmax over the trailing feature dimension (per token).
+    pub fn softmax(&mut self, name: &str) -> &mut Self {
+        let shape = self.token_shape();
+        self.graph
+            .push(Layer::new(self.name(name), LayerOp::Softmax, shape));
+        self
+    }
+
+    /// Finishes the graph.
+    pub fn finish(self) -> LayerGraph {
+        self.graph
+    }
+
+    /// Number of layers so far.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether only the data layer exists so far.
+    pub fn is_empty(&self) -> bool {
+        self.graph.len() <= 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +639,43 @@ mod tests {
         let mut b = GraphBuilder::new(1, 64, 28, 28);
         b.concat(256);
         assert_eq!(b.channels(), 256);
+    }
+
+    #[test]
+    fn seq_builder_tracks_tokens_and_scopes_names() {
+        let mut b = SeqBuilder::new(2, 64);
+        b.embed(1000, 128);
+        assert_eq!(b.features(), 128);
+        b.scoped("layer_0").attention(4);
+        b.scoped("layer_0/ffn")
+            .linear("dense/MatMul", 512)
+            .gelu()
+            .linear("dense_1/MatMul", 128)
+            .layer_norm("LayerNorm");
+        let g = b.finish();
+        assert_eq!(g.layers[0].op.type_name(), "Data");
+        assert_eq!(g.batch(), 2);
+        // attention chain emitted all five ops under the scope
+        let qkv = g
+            .layers
+            .iter()
+            .find(|l| l.name == "layer_0/attention/self/qkv/MatMul")
+            .unwrap();
+        assert_eq!(qkv.out_shape, TensorShape(vec![2, 64, 384]));
+        assert!(g.layers.iter().any(|l| l.op.type_name() == "BatchMatMulQK"));
+        // ffn restores the model dim
+        assert_eq!(
+            g.layers.last().unwrap().out_shape,
+            TensorShape(vec![2, 64, 128])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn seq_builder_rejects_ragged_heads() {
+        let mut b = SeqBuilder::new(1, 8);
+        b.embed(100, 130);
+        b.attention(4);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Layer-graph builders for the 65 models the paper evaluates: 55
 //! TensorFlow models drawn from MLPerf Inference, AI-Matrix and the
 //! TensorFlow Slim / Detection / DeepLab zoos (Table VIII), plus the 10
-//! MXNet Gluon counterparts (Table X).
+//! MXNet Gluon counterparts (Table X) — and an extension tier of
+//! GEMM-bound transformer models ([`transformer`]: BERT-Base/Large with
+//! MLPerf-style SQuAD heads, a GPT-2 small decoder) registered under
+//! [`zoo::Task::LanguageModeling`].
 //!
 //! Each builder is an architecture definition: given a batch size it emits
 //! the static [`xsp_framework::LayerGraph`] (shapes, channels, kernel
@@ -27,8 +30,11 @@ pub mod mobilenet;
 pub mod resnet;
 pub mod segmentation;
 pub mod srgan;
+pub mod transformer;
 pub mod vgg;
 pub mod zoo;
 
-pub use builder::GraphBuilder;
-pub use zoo::{mxnet_models, tensorflow_models, ModelEntry, Task};
+pub use builder::{GraphBuilder, SeqBuilder};
+pub use zoo::{
+    all_models, language_models, mxnet_models, tensorflow_models, AccuracyMetric, ModelEntry, Task,
+};

@@ -1,0 +1,221 @@
+//! Transformer models: BERT-Base/Large encoders (MLPerf Inference
+//! BERT-style, SQuAD span-prediction head) and a small GPT-2-style decoder.
+//!
+//! These open the GEMM-bound tier of the zoo: unlike the 65 CNN models,
+//! whose GPU time is dominated by cuDNN convolution kernels, a transformer's
+//! time goes to cuBLAS GEMMs — the large compute-bound QKV/output/FFN
+//! projections and the small bandwidth-lean batched `Q·Kᵀ`/`scores·V`
+//! products (see `xsp_dnn::attention` for the kernel-level regime
+//! argument). Graphs are parameterized by batch *and* sequence length; the
+//! zoo registry pins the sequence length per entry (384 for the SQuAD
+//! BERTs, 256 for the GPT-2 decoder) since zoo builders take batch only.
+//!
+//! Like the CNN builders, these are faithful at the level the analyses
+//! consume: op sequence, tensor shapes, head/layer counts, parameter
+//! footprint — not weight-level replicas.
+
+use crate::builder::SeqBuilder;
+use xsp_framework::LayerGraph;
+
+/// Architecture hyper-parameters of an encoder/decoder stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Encoder/decoder blocks.
+    pub layers: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Model (hidden) dimension.
+    pub d_model: usize,
+    /// Feed-forward inner dimension (4·d_model for the classic stacks).
+    pub d_ff: usize,
+    /// Vocabulary size of the embedding table.
+    pub vocab: usize,
+}
+
+impl TransformerConfig {
+    /// BERT-Base: 12 layers, 12 heads, 768 hidden, WordPiece-30522 vocab.
+    pub fn bert_base() -> Self {
+        Self {
+            layers: 12,
+            heads: 12,
+            d_model: 768,
+            d_ff: 3072,
+            vocab: 30522,
+        }
+    }
+
+    /// BERT-Large: 24 layers, 16 heads, 1024 hidden.
+    pub fn bert_large() -> Self {
+        Self {
+            layers: 24,
+            heads: 16,
+            d_model: 1024,
+            d_ff: 4096,
+            vocab: 30522,
+        }
+    }
+
+    /// GPT-2 small: 12 layers, 12 heads, 768 hidden, BPE-50257 vocab.
+    pub fn gpt2_small() -> Self {
+        Self {
+            layers: 12,
+            heads: 12,
+            d_model: 768,
+            d_ff: 3072,
+            vocab: 50257,
+        }
+    }
+}
+
+/// Emits one post-LN encoder/decoder block (the BERT/GPT-2 inference
+/// ordering at the op granularity the layer profiler sees): attention chain,
+/// residual + LayerNorm, feed-forward with GELU, residual + LayerNorm.
+fn block(b: &mut SeqBuilder, index: usize, cfg: &TransformerConfig) {
+    b.scoped(format!("layer_{index}"));
+    b.attention(cfg.heads);
+    b.residual_add("attention/output/add")
+        .layer_norm("attention/output/LayerNorm");
+    b.linear("intermediate/dense/MatMul", cfg.d_ff).gelu();
+    b.linear("output/dense/MatMul", cfg.d_model);
+    b.residual_add("output/add").layer_norm("output/LayerNorm");
+}
+
+/// Builds an encoder stack with a task head appended by `head`.
+fn stack(
+    batch: usize,
+    seq: usize,
+    cfg: TransformerConfig,
+    head: impl FnOnce(&mut SeqBuilder),
+) -> LayerGraph {
+    assert!(batch > 0 && seq > 0, "degenerate transformer shape");
+    let mut b = SeqBuilder::new(batch, seq);
+    b.embed(cfg.vocab, cfg.d_model);
+    b.layer_norm("embeddings/LayerNorm");
+    for i in 0..cfg.layers {
+        block(&mut b, i, &cfg);
+    }
+    b.scoped("");
+    head(&mut b);
+    b.finish()
+}
+
+/// BERT-Base with the SQuAD span-prediction head (start/end logits per
+/// token) at `(batch, seq)` — the MLPerf Inference BERT workload shape.
+pub fn bert_base(batch: usize, seq: usize) -> LayerGraph {
+    stack(batch, seq, TransformerConfig::bert_base(), |b| {
+        b.linear("squad/logits/MatMul", 2);
+    })
+}
+
+/// BERT-Large with the SQuAD span-prediction head.
+pub fn bert_large(batch: usize, seq: usize) -> LayerGraph {
+    stack(batch, seq, TransformerConfig::bert_large(), |b| {
+        b.linear("squad/logits/MatMul", 2);
+    })
+}
+
+/// GPT-2 small decoder with the full language-model head: the final
+/// `d_model → vocab` projection is the single largest GEMM in the zoo. The
+/// frozen-graph representation is untied (the LM head duplicates the
+/// embedding table, as a TF1 freeze of the shared variable does), which the
+/// registry's graph-size metadata reflects.
+pub fn gpt2_small(batch: usize, seq: usize) -> LayerGraph {
+    let cfg = TransformerConfig::gpt2_small();
+    let vocab = cfg.vocab;
+    stack(batch, seq, cfg, |b| {
+        b.linear("lm_head/MatMul", vocab);
+        b.softmax("lm_head/Softmax");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_framework::LayerOp;
+
+    fn count(g: &LayerGraph, pred: impl Fn(&LayerOp) -> bool) -> usize {
+        g.layers.iter().filter(|l| pred(&l.op)).count()
+    }
+
+    #[test]
+    fn bert_base_block_structure() {
+        let g = bert_base(1, 128);
+        // 12 blocks x one attention chain
+        assert_eq!(count(&g, |op| matches!(op, LayerOp::QkvProjection(_))), 12);
+        assert_eq!(
+            count(&g, |op| matches!(op, LayerOp::AttentionScores(_))),
+            12
+        );
+        // 2 LayerNorms per block + 1 embedding LayerNorm
+        assert_eq!(count(&g, |op| matches!(op, LayerOp::LayerNorm)), 25);
+        // 2 FFN MatMuls per block + SQuAD head
+        assert_eq!(count(&g, |op| matches!(op, LayerOp::MatMul { .. })), 25);
+        assert_eq!(count(&g, |op| matches!(op, LayerOp::Gelu)), 12);
+        assert_eq!(g.batch(), 1);
+        assert_eq!(g.layers[0].op.type_name(), "Data");
+    }
+
+    #[test]
+    fn bert_large_doubles_depth() {
+        let small = bert_base(1, 64);
+        let large = bert_large(1, 64);
+        assert_eq!(
+            count(&large, |op| matches!(op, LayerOp::QkvProjection(_))),
+            24
+        );
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn parameter_footprints_match_published_sizes() {
+        // fp32 frozen graphs: BERT-Base ≈ 436 MB (109M params), BERT-Large
+        // ≈ 1335 MB (334M), GPT-2 small untied ≈ 651 MB.
+        let mb = |g: &LayerGraph| g.weights_mb();
+        let base = mb(&bert_base(1, 384));
+        assert!((base - 436.0).abs() / 436.0 < 0.05, "BERT-Base {base} MB");
+        let large = mb(&bert_large(1, 384));
+        assert!(
+            (large - 1335.0).abs() / 1335.0 < 0.05,
+            "BERT-Large {large} MB"
+        );
+        let gpt = mb(&gpt2_small(1, 256));
+        assert!((gpt - 651.0).abs() / 651.0 < 0.05, "GPT-2 {gpt} MB");
+    }
+
+    #[test]
+    fn weights_are_seq_and_batch_invariant() {
+        // parameter footprint must not depend on the activation shape
+        assert_eq!(
+            bert_base(1, 128).weights_mb(),
+            bert_base(8, 384).weights_mb()
+        );
+    }
+
+    #[test]
+    fn gemm_flops_dominate() {
+        // The GEMM-bound signature at the graph level: attention + FFN
+        // GEMMs carry virtually all the flops.
+        let g = bert_base(1, 384);
+        let gemm_layers = count(&g, |op| op.is_gemm());
+        // 12 blocks x (qkv + scores + context + output + 2 ffn) + head
+        assert_eq!(gemm_layers, 12 * 6 + 1);
+    }
+
+    #[test]
+    fn gpt2_head_projects_to_vocab() {
+        let g = gpt2_small(2, 32);
+        let head = g
+            .layers
+            .iter()
+            .find(|l| l.name == "lm_head/MatMul")
+            .unwrap();
+        assert_eq!(head.out_shape.0, vec![2, 32, 50257]);
+        assert_eq!(g.layers.last().unwrap().op.type_name(), "Softmax");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate transformer")]
+    fn zero_seq_rejected() {
+        bert_base(1, 0);
+    }
+}

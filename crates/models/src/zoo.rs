@@ -1,12 +1,17 @@
 //! The model registry: Table VIII's 55 TensorFlow models and Table X's 10
-//! MXNet counterparts, with published accuracy and frozen-graph sizes.
+//! MXNet counterparts, with published accuracy and frozen-graph sizes —
+//! plus the GEMM-bound transformer extension tier
+//! ([`Task::LanguageModeling`], ids 56–58).
 
-use crate::{alexnet, densenet, detection, inception, mobilenet, resnet, segmentation, srgan, vgg};
+use crate::{
+    alexnet, densenet, detection, inception, mobilenet, resnet, segmentation, srgan, transformer,
+    vgg,
+};
 use resnet::ResNetVersion;
 use serde::{Deserialize, Serialize};
 use xsp_framework::LayerGraph;
 
-/// The task a model solves (Table VIII).
+/// The task a model solves (Table VIII, extended).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Task {
     /// Image classification.
@@ -19,6 +24,9 @@ pub enum Task {
     SemanticSegmentation,
     /// Super resolution.
     SuperResolution,
+    /// Language modeling / NLP inference (transformer tier; not in the
+    /// paper's tables).
+    LanguageModeling,
 }
 
 impl Task {
@@ -30,22 +38,79 @@ impl Task {
             Task::InstanceSegmentation => "IS",
             Task::SemanticSegmentation => "SS",
             Task::SuperResolution => "SR",
+            Task::LanguageModeling => "LM",
         }
+    }
+
+    /// The accuracy metric entries of this task report by default. Entries
+    /// can override it ([`ModelEntry::metric`]) — language models in
+    /// particular split between F1 (extractive QA) and perplexity
+    /// (generative LM).
+    pub fn default_metric(self) -> AccuracyMetric {
+        match self {
+            Task::ImageClassification => AccuracyMetric::Top1,
+            Task::ObjectDetection | Task::InstanceSegmentation => AccuracyMetric::MeanAp,
+            Task::SemanticSegmentation => AccuracyMetric::MeanIou,
+            Task::SuperResolution => AccuracyMetric::Psnr,
+            Task::LanguageModeling => AccuracyMetric::F1,
+        }
+    }
+}
+
+/// The kind of quality number a zoo entry's `accuracy` field holds. The
+/// paper's tables are vision-only and print bare numbers; making the metric
+/// explicit lets mixed-task tables (Table VIII + the LM tier) label each
+/// row correctly instead of implying everything is top-1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccuracyMetric {
+    /// ImageNet top-1 accuracy, percent.
+    Top1,
+    /// COCO mean average precision.
+    MeanAp,
+    /// Mean intersection-over-union, percent.
+    MeanIou,
+    /// Peak signal-to-noise ratio, dB.
+    Psnr,
+    /// SQuAD-style F1 score.
+    F1,
+    /// Language-model perplexity (lower is better).
+    Perplexity,
+}
+
+impl AccuracyMetric {
+    /// Short unit label for table cells ("" for top-1, matching the
+    /// paper's bare numbers).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            AccuracyMetric::Top1 => "",
+            AccuracyMetric::MeanAp => " mAP",
+            AccuracyMetric::MeanIou => " mIOU",
+            AccuracyMetric::Psnr => " dB",
+            AccuracyMetric::F1 => " F1",
+            AccuracyMetric::Perplexity => " ppl",
+        }
+    }
+
+    /// Whether lower values mean better quality (perplexity).
+    pub fn lower_is_better(self) -> bool {
+        matches!(self, AccuracyMetric::Perplexity)
     }
 }
 
 /// A zoo entry: metadata plus the graph builder.
 #[derive(Clone)]
 pub struct ModelEntry {
-    /// Table VIII / Table X row id.
+    /// Table VIII / Table X row id (56+ for the transformer tier).
     pub id: u32,
     /// Model name as the paper prints it.
     pub name: &'static str,
     /// Task.
     pub task: Task,
-    /// Published accuracy (top-1 % for IC, mAP for OD/IS, mIOU for SS;
-    /// `None` for SRGAN).
+    /// Published quality number, in the units of `metric`
+    /// (`None` for SRGAN).
     pub accuracy: Option<f64>,
+    /// What `accuracy` measures.
+    pub metric: AccuracyMetric,
     /// Frozen-graph size, MB (Table VIII).
     pub graph_size_mb: f64,
     /// Builds the static layer graph for a batch size.
@@ -56,6 +121,15 @@ impl ModelEntry {
     /// Builds the graph at `batch`.
     pub fn graph(&self, batch: usize) -> LayerGraph {
         (self.build)(batch)
+    }
+
+    /// Formats the accuracy for a table cell: bare number for top-1 (the
+    /// paper's style), metric-suffixed otherwise, `-` when unpublished.
+    pub fn accuracy_cell(&self) -> String {
+        match self.accuracy {
+            Some(a) => format!("{a:.2}{}", self.metric.suffix()),
+            None => "-".to_owned(),
+        }
     }
 }
 
@@ -249,6 +323,15 @@ fn m54(b: usize) -> LayerGraph {
 fn m55(b: usize) -> LayerGraph {
     srgan::srgan(b)
 }
+fn m56(b: usize) -> LayerGraph {
+    transformer::bert_base(b, 384)
+}
+fn m57(b: usize) -> LayerGraph {
+    transformer::bert_large(b, 384)
+}
+fn m58(b: usize) -> LayerGraph {
+    transformer::gpt2_small(b, 256)
+}
 
 /// The 55 TensorFlow models of Table VIII, in table order.
 pub fn tensorflow_models() -> Vec<ModelEntry> {
@@ -263,6 +346,7 @@ pub fn tensorflow_models() -> Vec<ModelEntry> {
         name,
         task,
         accuracy,
+        metric: task.default_metric(),
         graph_size_mb,
         build,
     };
@@ -689,6 +773,63 @@ pub fn tensorflow_models() -> Vec<ModelEntry> {
     ]
 }
 
+/// The transformer tier (not in the paper's tables): BERT-Base/Large with
+/// the MLPerf-style SQuAD v1.1 head at sequence length 384, and a GPT-2
+/// small decoder at sequence length 256. These are the zoo's GEMM-bound
+/// models; quality numbers are the published SQuAD F1 / WikiText-2
+/// perplexity figures.
+pub fn language_models() -> Vec<ModelEntry> {
+    use Task::LanguageModeling;
+    let e = |id: u32,
+             name: &'static str,
+             accuracy: f64,
+             metric: AccuracyMetric,
+             graph_size_mb: f64,
+             build: fn(usize) -> LayerGraph| ModelEntry {
+        id,
+        name,
+        task: LanguageModeling,
+        accuracy: Some(accuracy),
+        metric,
+        graph_size_mb,
+        build,
+    };
+    vec![
+        e(
+            56,
+            "BERT-Base_SQuAD_384",
+            88.50,
+            AccuracyMetric::F1,
+            436.0,
+            m56,
+        ),
+        e(
+            57,
+            "BERT-Large_SQuAD_384",
+            90.87,
+            AccuracyMetric::F1,
+            1335.0,
+            m57,
+        ),
+        e(
+            58,
+            "GPT2_Small_256",
+            29.41,
+            AccuracyMetric::Perplexity,
+            651.0,
+            m58,
+        ),
+    ]
+}
+
+/// Every registered model: the 55 TensorFlow CNNs plus the transformer
+/// tier, in id order.
+pub fn all_models() -> Vec<ModelEntry> {
+    let mut models = tensorflow_models();
+    models.extend(language_models());
+    models
+}
+
 /// The 10 MXNet Gluon models of Table X. Ids match the comparable
 /// TensorFlow model in Table VIII.
 pub fn mxnet_models() -> Vec<ModelEntry> {
@@ -698,14 +839,14 @@ pub fn mxnet_models() -> Vec<ModelEntry> {
         .collect()
 }
 
-/// Looks a TensorFlow model up by Table VIII id.
+/// Looks a model up by id (Table VIII ids 1–55, transformer tier 56–58).
 pub fn by_id(id: u32) -> Option<ModelEntry> {
-    tensorflow_models().into_iter().find(|m| m.id == id)
+    all_models().into_iter().find(|m| m.id == id)
 }
 
-/// Looks a TensorFlow model up by name.
+/// Looks a model up by name, across every tier.
 pub fn by_name(name: &str) -> Option<ModelEntry> {
-    tensorflow_models().into_iter().find(|m| m.name == name)
+    all_models().into_iter().find(|m| m.name == name)
 }
 
 /// The 37 image-classification models of Table IX.
@@ -762,11 +903,14 @@ mod tests {
         assert_eq!(m.id, 7);
         assert_eq!(by_id(7).unwrap().name, "MLPerf_ResNet50_v1.5");
         assert!(by_name("NotAModel").is_none());
+        // lookups cover the transformer tier too
+        assert_eq!(by_id(56).unwrap().name, "BERT-Base_SQuAD_384");
+        assert_eq!(by_name("GPT2_Small_256").unwrap().id, 58);
     }
 
     #[test]
     fn all_graphs_build_at_batch_1() {
-        for m in tensorflow_models() {
+        for m in all_models() {
             let g = m.graph(1);
             assert!(!g.is_empty(), "{} built empty", m.name);
             assert_eq!(g.batch(), 1, "{}", m.name);
@@ -783,10 +927,56 @@ mod tests {
         assert_eq!(count(Task::InstanceSegmentation), 4);
         assert_eq!(count(Task::SemanticSegmentation), 3);
         assert_eq!(count(Task::SuperResolution), 1);
+        // the paper's tables stay untouched by the extension tier
+        assert_eq!(count(Task::LanguageModeling), 0);
     }
 
     #[test]
     fn srgan_has_no_accuracy() {
         assert!(by_id(55).unwrap().accuracy.is_none());
+        assert_eq!(by_id(55).unwrap().accuracy_cell(), "-");
+    }
+
+    #[test]
+    fn language_model_tier_is_registered() {
+        let lm = language_models();
+        assert_eq!(lm.len(), 3);
+        let ids: Vec<u32> = lm.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![56, 57, 58]);
+        assert!(lm.iter().all(|m| m.task == Task::LanguageModeling));
+        assert_eq!(all_models().len(), 58);
+        // ids stay unique and ordered across the whole registry
+        for w in all_models().windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn accuracy_metrics_print_per_task() {
+        // vision rows keep the paper's bare top-1 style
+        assert_eq!(by_id(1).unwrap().accuracy_cell(), "80.40");
+        // detection/segmentation rows carry their unit
+        assert_eq!(by_id(38).unwrap().accuracy_cell(), "43.00 mAP");
+        assert_eq!(by_id(52).unwrap().accuracy_cell(), "87.80 mIOU");
+        // language models split between F1 and perplexity
+        assert_eq!(by_id(56).unwrap().accuracy_cell(), "88.50 F1");
+        let gpt = by_id(58).unwrap();
+        assert_eq!(gpt.accuracy_cell(), "29.41 ppl");
+        assert!(gpt.metric.lower_is_better());
+        assert!(!by_id(56).unwrap().metric.lower_is_better());
+    }
+
+    #[test]
+    fn language_model_graph_sizes_match_weights() {
+        for m in language_models() {
+            let weights = m.graph(1).weights_mb();
+            let relative = (weights - m.graph_size_mb).abs() / m.graph_size_mb;
+            assert!(
+                relative < 0.05,
+                "{}: weights {weights:.1} MB vs published {} MB",
+                m.name,
+                m.graph_size_mb
+            );
+        }
     }
 }

@@ -57,7 +57,10 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
@@ -65,7 +68,42 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = self.size.lo + rng.gen_index(self.size.hi - self.size.lo);
         (0..len).map(|_| self.element.sample(rng)).collect()
     }
+
+    /// Shrinks by removing chunks (a half from either end, then single
+    /// elements) while respecting the minimum length, then by shrinking
+    /// individual elements through the element strategy. Per-element work
+    /// is capped at the first `SHRINK_POSITION_CAP` (16) positions so
+    /// candidate lists stay small on long vectors.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        let removable = len.saturating_sub(self.size.lo);
+        if removable > 0 {
+            let half = (len / 2).min(removable);
+            if half > 1 {
+                out.push(value[..len - half].to_vec());
+                out.push(value[half..].to_vec());
+            }
+            for i in 0..len.min(SHRINK_POSITION_CAP) {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        for (i, element) in value.iter().enumerate().take(SHRINK_POSITION_CAP) {
+            for candidate in self.element.shrink(element) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
 }
+
+/// How many leading positions of a `Vec` the shrinker considers for
+/// single-element removal and element-wise shrinking.
+const SHRINK_POSITION_CAP: usize = 16;
 
 #[cfg(test)]
 mod tests {

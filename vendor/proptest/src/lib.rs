@@ -8,9 +8,12 @@
 //!
 //! Differences from real proptest, chosen for determinism and small size:
 //! inputs are generated from a PRNG seeded by the test's module path and
-//! name (every run explores the same cases — no persistence files), there
-//! is **no shrinking** (the failing inputs are printed in full instead),
-//! and the default case count is 64 (overridable per block with
+//! name (every run explores the same cases — no persistence files),
+//! shrinking is candidate-based rather than value-tree-based (integers
+//! binary-search toward zero, `Vec`s remove chunks then shrink elements,
+//! `select` moves toward earlier options; mapped values and `prop_oneof!`
+//! unions do not shrink — see [`shrink`]), and the default case count is 64
+//! (overridable per block with
 //! `#![proptest_config(ProptestConfig::with_cases(n))]`).
 
 #![warn(missing_docs)]
@@ -19,6 +22,7 @@ pub mod collection;
 pub mod prelude;
 pub mod rng;
 pub mod sample;
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 
@@ -61,18 +65,37 @@ macro_rules! __proptest_item {
             let mut rng = $crate::rng::TestRng::deterministic(concat!(
                 module_path!(), "::", stringify!($name)
             ));
+            // One tuple strategy over all arguments: sampling draws the
+            // components in declaration order (identical RNG stream to
+            // sampling each argument separately), and the tuple's `shrink`
+            // gives the failure driver per-argument candidates.
+            let strategies = ( $( $strategy, )+ );
+            let run = $crate::shrink::bind_runner(&strategies, |values| {
+                let ( $( $arg, )+ ) = values;
+                $( let $arg = (*$arg).clone(); )+
+                (move || { $body ::std::result::Result::Ok(()) })()
+            });
             for case in 0..config.cases {
-                $( let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut rng); )+
-                let inputs = format!("{:#?}", ( $( &$arg, )+ ));
-                let outcome: ::std::result::Result<(), ::std::string::String> =
-                    (move || { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(message) = outcome {
+                let values = $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                // run_guarded converts panics (plain assert!/unwrap in the
+                // body, as opposed to prop_assert*) into failures, so
+                // panicking inputs shrink and get reported like any other.
+                if let ::std::result::Result::Err(message) =
+                    $crate::shrink::run_guarded(&run, &values)
+                {
+                    let original = format!("{:#?}", values);
+                    let (minimal, message, shrink_runs) =
+                        $crate::shrink::shrink_failure(&strategies, values, message, &run);
                     panic!(
-                        "proptest case {case} of {total} failed: {message}\ninputs: {inputs}",
+                        "proptest case {case} of {total} failed: {message}\n\
+                         minimal failing input (after {shrink_runs} shrink runs): {minimal:#?}\n\
+                         original failing input: {original}",
                         case = case,
                         total = config.cases,
                         message = message,
-                        inputs = inputs,
+                        shrink_runs = shrink_runs,
+                        minimal = minimal,
+                        original = original,
                     );
                 }
             }

@@ -15,11 +15,30 @@ pub struct Select<T: Clone> {
     options: Vec<T>,
 }
 
-impl<T: Clone> Strategy for Select<T> {
+impl<T: Clone + PartialEq> Strategy for Select<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut TestRng) -> T {
         self.options[rng.gen_index(self.options.len())].clone()
+    }
+
+    /// Shrinks toward earlier options: the first option, the halfway
+    /// option, then the immediate predecessor (matching real proptest's
+    /// "earlier elements are simpler" convention).
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let Some(idx) = self.options.iter().position(|o| o == value) else {
+            return Vec::new();
+        };
+        let mut indices = Vec::new();
+        for candidate in [0, idx / 2, idx.saturating_sub(1)] {
+            if candidate < idx && !indices.contains(&candidate) {
+                indices.push(candidate);
+            }
+        }
+        indices
+            .into_iter()
+            .map(|i| self.options[i].clone())
+            .collect()
     }
 }
 

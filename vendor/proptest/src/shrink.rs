@@ -1,0 +1,164 @@
+//! The shrinking driver: descends from a failing input toward a minimal
+//! counterexample by re-running the property against shrink candidates.
+//!
+//! Real proptest shrinks through per-strategy value trees; this subset keeps
+//! the strategy-as-sampler design and instead asks each strategy for a short
+//! list of *candidate* smaller values ([`Strategy::shrink`]). The driver
+//! adopts the first candidate that still fails and restarts from it, which
+//! gives binary-search-like descent for integers (candidates lead with the
+//! range minimum, then the midpoint, then the predecessor) and
+//! remove-chunks descent for collections.
+
+use crate::strategy::Strategy;
+
+/// Cap on property re-executions spent shrinking one failure, so a slow
+/// property cannot turn a failing test into a hung test.
+pub const MAX_SHRINK_RUNS: usize = 1024;
+
+/// Runs the property against `value`, converting panics into ordinary
+/// failures (as real proptest does). Without this, a shrink candidate that
+/// trips a plain `assert!`/`unwrap` — rather than a `prop_assert*` — would
+/// abort the descent mid-shrink and mask the counterexample report
+/// entirely. Caught panics still echo through the default panic hook, so
+/// panicking candidates are noisy but harmless.
+pub fn run_guarded<V, F>(run: &F, value: &V) -> Result<(), String>
+where
+    F: Fn(&V) -> Result<(), String>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(value))) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .map(|m| format!("panicked: {m}"))
+            .unwrap_or_else(|| "panicked (non-string payload)".to_owned())),
+    }
+}
+
+/// Shrinks a failing input toward a minimal counterexample.
+///
+/// `run` re-executes the property; `Err` means the candidate still fails.
+/// Returns the smallest failing value found, the failure message produced by
+/// *that* value (so the reported assertion matches the reported input), and
+/// the number of property re-runs spent.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    run: F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    let mut runs = 0usize;
+    'descend: while runs < MAX_SHRINK_RUNS {
+        for candidate in strategy.shrink(&value) {
+            if runs >= MAX_SHRINK_RUNS {
+                break 'descend;
+            }
+            runs += 1;
+            if let Err(candidate_message) = run_guarded(&run, &candidate) {
+                value = candidate;
+                message = candidate_message;
+                continue 'descend;
+            }
+        }
+        // No candidate fails: `value` is a local minimum.
+        break;
+    }
+    (value, message, runs)
+}
+
+/// Ties a property-runner closure's argument type to a strategy's
+/// `Value` type, so the `proptest!` macro can define the runner before the
+/// first sampled value exists (closure parameter types cannot otherwise be
+/// inferred from later call sites across a generic boundary).
+pub fn bind_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String>,
+{
+    run
+}
+
+/// Shrink candidates for an integer drawn from `[lo, hi]` (inclusive),
+/// ordered most-aggressive first: the in-range value closest to zero, the
+/// midpoint toward it, then the single-step neighbor. The driver's
+/// adopt-and-restart loop turns this into a binary search toward zero.
+pub fn int_candidates(value: i128, lo: i128, hi: i128) -> Vec<i128> {
+    debug_assert!(lo <= hi && (lo..=hi).contains(&value));
+    let target = if lo <= 0 && hi >= 0 {
+        0
+    } else if lo > 0 {
+        lo
+    } else {
+        hi
+    };
+    if value == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let mid = value - (value - target) / 2;
+    if mid != target && mid != value {
+        out.push(mid);
+    }
+    let step = if value > target { value - 1 } else { value + 1 };
+    if step != target && !out.contains(&step) && step != value {
+        out.push(step);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_descent_finds_exact_boundary() {
+        // Property: fails iff x >= 7. The minimal counterexample is 7.
+        let strategy = 0i64..100_000;
+        let run = |x: &i64| {
+            if *x >= 7 {
+                Err(format!("{x} >= 7"))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, message, runs) = shrink_failure(&strategy, 99_123, "seed".into(), run);
+        assert_eq!(minimal, 7);
+        assert!(message.contains("7 >= 7"), "{message}");
+        assert!(runs < 100, "binary search should be cheap, took {runs}");
+    }
+
+    #[test]
+    fn candidates_respect_range_without_zero() {
+        // Range [10, 99]: zero is unreachable, shrink toward 10.
+        assert_eq!(int_candidates(10, 10, 99), Vec::<i128>::new());
+        let c = int_candidates(50, 10, 99);
+        assert_eq!(c[0], 10);
+        assert!(c.iter().all(|&v| (10..=99).contains(&v)));
+    }
+
+    #[test]
+    fn negative_ranges_shrink_toward_zero_side() {
+        // [-99, -10]: closest to zero is -10.
+        let c = int_candidates(-50, -99, -10);
+        assert_eq!(c[0], -10);
+        assert!(c.iter().all(|&v| (-99..=-10).contains(&v)));
+        // range straddling zero targets zero itself
+        assert_eq!(int_candidates(-5, -10, 10)[0], 0);
+    }
+
+    #[test]
+    fn run_budget_is_enforced() {
+        // A property that always fails with an always-shrinkable value
+        // would loop forever without the cap.
+        let strategy = 0i64..i64::MAX;
+        let run = |_: &i64| Err("always fails".to_owned());
+        let (minimal, _, runs) = shrink_failure(&strategy, i64::MAX - 1, "seed".into(), run);
+        assert_eq!(minimal, 0, "always-failing property shrinks to the floor");
+        assert!(runs <= MAX_SHRINK_RUNS);
+    }
+}

@@ -14,6 +14,16 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes candidate values "smaller" than `value`, ordered
+    /// most-aggressive first, for the shrinking driver
+    /// ([`crate::shrink::shrink_failure`]) to try. Strategies that cannot
+    /// shrink (mapped values, unions) return no candidates — the failing
+    /// input is then reported as-is.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `map_fn`.
     fn prop_map<O, F>(self, map_fn: F) -> Map<Self, F>
     where
@@ -33,6 +43,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<T> Strategy for Box<dyn Strategy<Value = T>> {
@@ -40,6 +54,10 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
 
     fn sample(&self, rng: &mut TestRng) -> T {
         (**self).sample(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
     }
 }
 
@@ -113,6 +131,17 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 rng.$via(self.start as i128, self.end as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                crate::shrink::int_candidates(
+                    *value as i128,
+                    self.start as i128,
+                    self.end as i128 - 1,
+                )
+                .into_iter()
+                .map(|v| v as $t)
+                .collect()
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -122,6 +151,17 @@ macro_rules! int_range_strategy {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
                 rng.$via(lo as i128, hi as i128 + 1) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                crate::shrink::int_candidates(
+                    *value as i128,
+                    *self.start() as i128,
+                    *self.end() as i128,
+                )
+                .into_iter()
+                .map(|v| v as $t)
+                .collect()
             }
         }
     )*};
@@ -182,11 +222,28 @@ impl Strategy for Range<f32> {
 
 macro_rules! tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+
+            /// Shrinks one component at a time, earlier components first —
+            /// the driver therefore minimizes arguments left to right.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};

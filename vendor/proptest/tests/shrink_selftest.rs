@@ -1,0 +1,108 @@
+//! Shrinker self-tests: deliberately-failing properties, run under
+//! `catch_unwind`, prove that the vendored proptest now reports minimal
+//! (or near-minimal) counterexamples instead of whatever the PRNG first
+//! stumbled on.
+
+use proptest::prelude::*;
+
+// No `#[test]` attribute on these: the macro emits plain functions that the
+// real tests below drive through `catch_unwind`.
+proptest! {
+    fn failing_integer_property(x in 0u64..100_000) {
+        // Fails for every x >= 7; the unique minimal counterexample is 7.
+        prop_assert!(x < 7, "x = {x} is not < 7");
+    }
+
+    fn failing_vec_property(v in prop::collection::vec(0u64..1000, 0..20)) {
+        // Fails for every vec of length >= 3; the minimal counterexample is
+        // three zeros (remove-chunks shrinks the length to exactly 3, then
+        // element shrinking zeroes the survivors).
+        prop_assert!(v.len() < 3, "len {} is not < 3", v.len());
+    }
+
+    fn failing_panic_property(x in 0u64..100_000) {
+        // A plain assert! (not prop_assert!): the body panics instead of
+        // returning Err. The runner must convert the panic into a failure
+        // so the input still shrinks to the boundary.
+        assert!(x < 7, "plain assert tripped at x = {x}");
+    }
+
+    fn failing_pair_property(a in 0i32..1000, b in 0i32..1000) {
+        // Fails iff both arguments reach 50. The failure region is a
+        // per-argument threshold, so shrinking each argument independently
+        // converges to the unique minimal counterexample (50, 50).
+        prop_assert!(a < 50 || b < 50, "a = {a} and b = {b} are both >= 50");
+    }
+}
+
+/// Runs a failing property with the default panic hook silenced and returns
+/// its panic message. The hook is process-global state and libtest runs
+/// these tests on parallel threads, so the swap/restore is serialized.
+fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = HOOK_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(f);
+    std::panic::set_hook(previous);
+    drop(guard);
+    let payload = result.expect_err("the property was supposed to fail");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        .expect("panic payload carries the failure message")
+}
+
+#[test]
+fn integer_counterexample_is_minimal() {
+    let message = panic_message(failing_integer_property);
+    assert!(
+        message.contains("minimal failing input"),
+        "shrink report missing:\n{message}"
+    );
+    let minimal = format!("{:#?}", (7u64,));
+    assert!(
+        message.contains(&minimal),
+        "expected the exact boundary 7 as minimal counterexample:\n{message}"
+    );
+    // The reported assertion text matches the minimal input, not the
+    // original sample.
+    assert!(message.contains("x = 7 is not < 7"), "{message}");
+}
+
+#[test]
+fn panicking_property_still_shrinks_to_minimal() {
+    let message = panic_message(failing_panic_property);
+    let minimal = format!("{:#?}", (7u64,));
+    assert!(
+        message.contains(&minimal),
+        "a panicking body must still shrink to the boundary 7:\n{message}"
+    );
+    assert!(
+        message.contains("plain assert tripped at x = 7"),
+        "the reported panic text must match the minimal input:\n{message}"
+    );
+}
+
+#[test]
+fn vec_counterexample_is_minimal() {
+    let message = panic_message(failing_vec_property);
+    let minimal = format!("{:#?}", (vec![0u64, 0, 0],));
+    assert!(
+        message.contains(&minimal),
+        "expected [0, 0, 0] as minimal counterexample:\n{message}"
+    );
+}
+
+#[test]
+fn multi_argument_counterexample_is_minimal() {
+    let message = panic_message(failing_pair_property);
+    let minimal = format!("{:#?}", (50i32, 50i32));
+    assert!(
+        message.contains(&minimal),
+        "expected (50, 50) as minimal counterexample:\n{message}"
+    );
+}
