@@ -10,7 +10,13 @@
 //! `--quick` (or `XSP_BENCH_QUICK=1`) runs a single-iteration smoke pass —
 //! one batch, the two short sequence lengths, 1 run/level — which is what
 //! CI executes under both `XSP_THREADS=1` and `XSP_THREADS=4`.
+//!
+//! `--json <path>` additionally writes a machine-readable summary (one
+//! entry per grid point plus the conv baseline) — CI uploads it as the
+//! `BENCH_ci.json` artifact so the perf trajectory is diffable across
+//! commits.
 
+use xsp_bench::summary::{json_flag_path, BenchSummary};
 use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::{
     ax3_family_shares, ax3_gemm_roofline, convolution_latency_percent, gemm_percent_of, regime_of,
@@ -26,6 +32,8 @@ fn main() {
         || std::env::var("XSP_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
+    let json_path = json_flag_path(std::env::args());
+    let mut summary = BenchSummary::start("ext_transformer_roofline", quick);
     timed("ext_transformer_roofline", || {
         banner(
             "EXT — transformer tier: GEMM-bound rooflines on Tesla_V100",
@@ -83,6 +91,15 @@ fn main() {
         let mut short_seq_membound = 0usize;
         let mut long_seq_membound = 0usize;
         for (name, seq, latency, gemm_pct, regime, attn_count, mem_bound) in points {
+            summary.point(
+                format!("{name}/seq{seq}"),
+                &[
+                    ("latency_ms", latency),
+                    ("gemm_pct", gemm_pct),
+                    ("attn_gemms", attn_count as f64),
+                    ("attn_mem_bound", mem_bound as f64),
+                ],
+            );
             assert_eq!(
                 regime,
                 ComputeRegime::GemmBound,
@@ -141,5 +158,16 @@ fn main() {
         );
         assert_eq!(baseline_regime, ComputeRegime::ConvBound);
         assert!(baseline_gemm < 20.0);
+        summary.point(
+            "ResNet_v1_50/baseline",
+            &[
+                ("latency_ms", baseline.model_latency_ms()),
+                ("conv_pct", conv_pct),
+                ("gemm_pct", baseline_gemm),
+            ],
+        );
     });
+    if let Some(path) = json_path {
+        summary.write(&path).expect("bench summary write");
+    }
 }

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod summary;
+
 use xsp_core::profile::{BatchProfile, LeveledProfile, Xsp, XspConfig};
 use xsp_core::scheduler::{parmap, Parallelism};
 use xsp_framework::FrameworkKind;

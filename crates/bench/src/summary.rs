@@ -1,0 +1,165 @@
+//! Machine-readable bench summaries.
+//!
+//! The harness benches print human-facing tables; CI additionally wants a
+//! stable, diffable artifact so the perf trajectory of the repository can
+//! be tracked across commits without scraping stdout. A bench opts in via
+//! `--json <path>` (see [`json_flag_path`]): it records one
+//! [`SummaryPoint`] per experiment point and writes a single JSON document
+//! at the end — `BENCH_ci.json` in the CI workflow, uploaded as a build
+//! artifact for every `XSP_THREADS` lane.
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// One experiment point: an identifier (model/seq/batch spelling chosen by
+/// the bench) plus named numeric metrics, order-preserving.
+#[derive(Debug, Clone, Serialize)]
+pub struct SummaryPoint {
+    /// Point identifier, e.g. `BERT-Base/seq64`.
+    pub id: String,
+    /// `(metric name, value)` pairs, e.g. `("latency_ms", 12.3)`.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A bench run's machine-readable summary; serialize with
+/// [`BenchSummary::write`].
+#[derive(Debug)]
+pub struct BenchSummary {
+    /// Bench target name.
+    pub bench: String,
+    /// Whether the `--quick` smoke mode was active.
+    pub quick: bool,
+    /// The engine parallelism the run used (`XSP_THREADS` spelling, or
+    /// `auto` when unset).
+    pub threads: String,
+    /// Wall-clock time of the whole bench body, ms.
+    pub wall_ms: f64,
+    /// Every recorded experiment point, in submission order.
+    pub points: Vec<SummaryPoint>,
+    started: Option<Instant>,
+}
+
+// Manual impl (not derive) because the wall-clock anchor must stay out of
+// the document and the vendored serde_derive has no `#[serde(skip)]`.
+impl Serialize for BenchSummary {
+    fn to_value(&self) -> serde_json::Value {
+        let mut doc = serde_json::Map::new();
+        doc.insert("bench".into(), serde_json::to_value(&self.bench));
+        doc.insert("quick".into(), serde_json::to_value(&self.quick));
+        doc.insert("threads".into(), serde_json::to_value(&self.threads));
+        doc.insert("wall_ms".into(), serde_json::to_value(&self.wall_ms));
+        doc.insert("points".into(), serde_json::to_value(&self.points));
+        serde_json::Value::Object(doc)
+    }
+}
+
+impl BenchSummary {
+    /// Starts a summary for `bench`; wall time counts from this call.
+    pub fn start(bench: &str, quick: bool) -> Self {
+        Self {
+            bench: bench.to_owned(),
+            quick,
+            threads: std::env::var("XSP_THREADS").unwrap_or_else(|_| "auto".to_owned()),
+            wall_ms: 0.0,
+            points: Vec::new(),
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// Records one experiment point.
+    pub fn point(&mut self, id: impl Into<String>, metrics: &[(&str, f64)]) {
+        self.points.push(SummaryPoint {
+            id: id.into(),
+            metrics: metrics.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        });
+    }
+
+    /// Stamps the wall time and writes the summary JSON to `path`.
+    pub fn write(mut self, path: &str) -> std::io::Result<()> {
+        if let Some(started) = self.started {
+            self.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        }
+        let json = serde_json::to_string(&self).expect("summary serialization cannot fail");
+        std::fs::write(path, json)?;
+        println!("[bench summary written to {path}]");
+        Ok(())
+    }
+}
+
+/// Extracts the `--json <path>` flag from the bench's argument list, if
+/// present (criterion-style benches receive everything after `--`).
+pub fn json_flag_path(args: impl Iterator<Item = String>) -> Option<String> {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+        if let Some(path) = a.strip_prefix("--json=") {
+            return Some(path.to_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_flag_parses_both_spellings() {
+        let argv = |v: &[&str]| {
+            v.iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        assert_eq!(
+            json_flag_path(argv(&["--quick", "--json", "out.json"])),
+            Some("out.json".to_owned())
+        );
+        assert_eq!(
+            json_flag_path(argv(&["--json=b.json"])),
+            Some("b.json".to_owned())
+        );
+        assert_eq!(json_flag_path(argv(&["--quick"])), None);
+        assert_eq!(json_flag_path(argv(&["--json"])), None, "missing value");
+    }
+
+    #[test]
+    fn summary_serializes_points_in_order() {
+        let mut s = BenchSummary::start("demo", true);
+        s.point("a/1", &[("latency_ms", 1.5), ("gemm_pct", 90.0)]);
+        s.point("b/2", &[("latency_ms", 2.5)]);
+        s.wall_ms = 12.0;
+        s.started = None;
+        let json = serde_json::to_string(&s).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["bench"], "demo");
+        assert_eq!(v["quick"], true);
+        assert_eq!(v["points"].as_array().unwrap().len(), 2);
+        assert_eq!(v["points"][0]["id"], "a/1");
+        assert_eq!(v["points"][0]["metrics"][0][0], "latency_ms");
+        assert_eq!(v["points"][0]["metrics"][0][1], 1.5);
+        assert!(json.contains("\"wall_ms\""));
+        assert!(!json.contains("started"), "skip attribute honored");
+    }
+
+    #[test]
+    fn write_emits_file_with_wall_time() {
+        let dir = std::env::temp_dir().join("xsp_bench_summary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let path = path.to_str().unwrap().to_owned();
+        let mut s = BenchSummary::start("demo", false);
+        s.point("only", &[("v", 1.0)]);
+        s.write(&path).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(v["wall_ms"].as_f64().unwrap() >= 0.0);
+        assert_eq!(
+            v["threads"],
+            std::env::var("XSP_THREADS").unwrap_or_else(|_| "auto".into())
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

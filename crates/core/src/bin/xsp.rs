@@ -9,9 +9,11 @@
 //! ```
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
 use xsp_core::analysis;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::export::{export_profile, ExportFormat};
+use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
 use xsp_core::scheduler::Parallelism;
 use xsp_framework::FrameworkKind;
@@ -28,8 +30,18 @@ USAGE:
               [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
               [--analyses a2,a6,a10,a15,...] [--library-level]
               [--chrome <out.json>] [--flamegraph <out.folded>]
+  xsp export  --model <NAME> [--format spans|chrome|folded] [--level 1|2|3]
+              [-o <PATH>] [--batch <N>] [--system <NAME>]
+              [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
               [--threads <T>]
+
+EXPORT:   streams the trace to -o (stdout by default) without ever holding
+          the serialized trace in memory. Formats: `spans` (span-JSON-lines,
+          the offline-analysis interchange), `chrome` (chrome://tracing /
+          Perfetto), `folded` (flamegraph.pl / speedscope). --level picks
+          the profiling depth: 1 = M, 2 = M/L, 3 = M/L/G + metrics (the
+          default). Output is byte-identical for every --threads setting.
 
 ANALYSES: a1 (via sweep), a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
           a13, a14, a15, ax1 (library level; needs --library-level),
@@ -39,6 +51,10 @@ THREADS:  worker count of the parallel evaluation engine: a number, `auto`
           (one per core, the default), or `serial`/`1` (single-threaded, for
           debugging). The XSP_THREADS environment variable sets the default;
           --threads overrides it. Results are byte-identical either way.
+
+MODELS:   --model accepts the exact zoo name (see `xsp list-models`) or any
+          case-insensitive unambiguous prefix (`-` and `_` interchangeable):
+          `bert-base` resolves to BERT-Base_SQuAD_384.
 "
 }
 
@@ -53,7 +69,11 @@ fn parse_args() -> Option<Args> {
     let mut flags = HashMap::new();
     let mut key: Option<String> = None;
     for a in argv {
-        if let Some(stripped) = a.strip_prefix("--") {
+        // `-o` is the conventional short spelling for the output path.
+        let stripped = a
+            .strip_prefix("--")
+            .or_else(|| if a == "-o" { Some("out") } else { None });
+        if let Some(stripped) = stripped {
             if let Some(k) = key.take() {
                 flags.insert(k, "true".to_owned()); // boolean flag
             }
@@ -80,6 +100,7 @@ fn main() -> ExitCode {
         "list-models" => list_models(),
         "list-systems" => list_systems(),
         "profile" => profile(&args.flags),
+        "export" => export(&args.flags),
         "sweep" => sweep(&args.flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
@@ -167,7 +188,38 @@ fn lookup_model(flags: &HashMap<String, String>) -> Result<zoo::ModelEntry, Stri
     let name = flags
         .get("model")
         .ok_or_else(|| "missing --model".to_owned())?;
-    zoo::by_name(name).ok_or_else(|| format!("unknown model '{name}' (try: xsp list-models)"))
+    if let Some(exact) = zoo::by_name(name) {
+        return Ok(exact);
+    }
+    // Forgiving lookup: case-insensitive, `-`/`_` interchangeable, unique
+    // prefix accepted (`bert-base` → BERT-Base_SQuAD_384). An exact
+    // normalized match wins outright, so a full name that happens to
+    // prefix another entry (DeepLabv3_MobileNet_v2 vs ..._DM0.5) is never
+    // reported ambiguous.
+    let normalize = |s: &str| s.to_ascii_lowercase().replace('-', "_");
+    let needle = normalize(name);
+    if let Some(exact) = zoo::all_models()
+        .into_iter()
+        .find(|m| normalize(m.name) == needle)
+    {
+        return Ok(exact);
+    }
+    let matches: Vec<zoo::ModelEntry> = zoo::all_models()
+        .into_iter()
+        .filter(|m| normalize(m.name).starts_with(&needle))
+        .collect();
+    match matches.len() {
+        0 => Err(format!("unknown model '{name}' (try: xsp list-models)")),
+        1 => Ok(matches.into_iter().next().expect("one match")),
+        _ => Err(format!(
+            "ambiguous model '{name}': matches {}",
+            matches
+                .iter()
+                .map(|m| m.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
 }
 
 fn profile(flags: &HashMap<String, String>) -> ExitCode {
@@ -227,6 +279,84 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
             std::fs::write(path, folded).map_err(|e| e.to_string())?;
             println!("folded stacks written to {path}");
         }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `xsp export`: profile a model and stream the trace to a file or stdout.
+///
+/// All human-facing status goes to stderr so stdout stays a clean pipe for
+/// the exported bytes (`xsp export --model bert-base | wc -c`).
+fn export(flags: &HashMap<String, String>) -> ExitCode {
+    let result = (|| -> Result<(), String> {
+        let (xsp, system) = build_xsp(flags)?;
+        let model = lookup_model(flags)?;
+        let batch: usize = flags
+            .get("batch")
+            .map(|s| s.parse().map_err(|_| format!("bad --batch '{s}'")))
+            .transpose()?
+            .unwrap_or(1);
+        let format = match flags.get("format") {
+            Some(raw) => ExportFormat::parse(raw)
+                .ok_or_else(|| format!("bad --format '{raw}' (spans, chrome, or folded)"))?,
+            None => ExportFormat::Spans,
+        };
+        let level = match flags.get("level") {
+            Some(raw) => ProfilingLevel::parse(raw)
+                .ok_or_else(|| format!("bad --level '{raw}' (1=M, 2=M/L, 3=M/L/G)"))?,
+            None => ProfilingLevel::ModelLayerGpu,
+        };
+        // `-o`/`--out` requires a value; a trailing flag parses as the
+        // boolean "true" and would silently create a file named `true`.
+        // Reject it before the (possibly long) profiling run starts.
+        if flags.get("out").is_some_and(|p| p == "true") {
+            return Err(
+                "missing value for -o/--out (to write a file literally named \
+                 'true', use ./true)"
+                    .to_owned(),
+            );
+        }
+        eprintln!(
+            "exporting {} @ batch {batch} on {} ({}, level {}, format {format})...",
+            model.name,
+            system.name,
+            xsp.config().framework.name(),
+            level.label()
+        );
+        let profile = xsp.up_to_level(&model.graph(batch), level);
+        let written = match flags.get("out") {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                let written = export_profile(&profile, format, std::io::BufWriter::new(file))
+                    .map_err(|e| format!("export to {path} failed: {e}"))?;
+                eprintln!("{format} export written to {path}");
+                written
+            }
+            None => {
+                let stdout = std::io::stdout();
+                let written = export_profile(&profile, format, stdout.lock())
+                    .map_err(|e| format!("export to stdout failed: {e}"))?;
+                std::io::stdout().flush().map_err(|e| e.to_string())?;
+                written
+            }
+        };
+        let unit = if format == ExportFormat::Folded {
+            "runs"
+        } else {
+            "spans"
+        };
+        eprintln!(
+            "exported {written} {unit} across {} runs",
+            profile.runs().count()
+        );
         Ok(())
     })();
     match result {

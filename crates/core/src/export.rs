@@ -1,0 +1,329 @@
+//! Profile export: streams a [`LeveledProfile`] out of the process in any
+//! supported trace format, and provides the always-on export sink that
+//! [`crate::profile::Xsp`] threads through sweeps.
+//!
+//! Everything here writes through the incremental writers of
+//! [`xsp_trace::export::stream`]: spans leave through an `io::Write` one at
+//! a time (one evaluation run at a time for folded stacks, which need the
+//! run's parent tree), so exporting never materializes the serialized
+//! trace. Because profiles are deterministic in `(config, graph)` and runs
+//! are merged in submission order, exported bytes are identical for every
+//! [`crate::scheduler::Parallelism`] setting — the CI export-determinism
+//! lane diffs serial against 4-worker output for all three formats.
+
+use crate::pipeline::RunProfile;
+use crate::profile::LeveledProfile;
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use xsp_trace::export::stream::{ChromeTraceWriter, FoldedStacksWriter, SpanJsonLinesWriter};
+
+/// The trace formats `xsp export` (and [`export_profile`]) can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Span-JSON-lines: one raw span object per line (the streaming
+    /// interchange format; read back with
+    /// [`xsp_trace::export::read_span_json_lines`]).
+    Spans,
+    /// Chrome trace-event JSON (`chrome://tracing`, Perfetto).
+    Chrome,
+    /// Brendan-Gregg folded stacks (`flamegraph.pl`, speedscope).
+    Folded,
+}
+
+impl ExportFormat {
+    /// Every format, in CLI listing order.
+    pub const ALL: [ExportFormat; 3] = [
+        ExportFormat::Spans,
+        ExportFormat::Chrome,
+        ExportFormat::Folded,
+    ];
+
+    /// Parses the `--format` spelling.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "spans" | "jsonl" | "span-json-lines" => Some(ExportFormat::Spans),
+            "chrome" | "chrome-trace" => Some(ExportFormat::Chrome),
+            "folded" | "flamegraph" => Some(ExportFormat::Folded),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExportFormat::Spans => "spans",
+            ExportFormat::Chrome => "chrome",
+            ExportFormat::Folded => "folded",
+        }
+    }
+}
+
+impl fmt::Display for ExportFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Streams every span of `profile` (canonical run order: M, M/L, M/L/G,
+/// metric runs) to `out` in the requested format. Returns the number of
+/// spans (events, for folded stacks: runs) written.
+pub fn export_profile<W: Write>(
+    profile: &LeveledProfile,
+    format: ExportFormat,
+    out: W,
+) -> io::Result<usize> {
+    match format {
+        ExportFormat::Spans => {
+            let mut writer = SpanJsonLinesWriter::new(out);
+            for span in profile.iter_spans() {
+                writer.write_span(span)?;
+            }
+            let written = writer.written();
+            writer.finish()?;
+            Ok(written)
+        }
+        ExportFormat::Chrome => {
+            let mut writer = ChromeTraceWriter::new(out)?;
+            for span in profile.iter_spans() {
+                writer.write_span(span)?;
+            }
+            let written = writer.written();
+            writer.finish()?;
+            Ok(written)
+        }
+        ExportFormat::Folded => {
+            let mut writer = FoldedStacksWriter::new(out);
+            let mut runs = 0;
+            for run in profile.runs() {
+                writer.write_run(&run.trace)?;
+                runs += 1;
+            }
+            writer.finish()?;
+            Ok(runs)
+        }
+    }
+}
+
+struct SinkState {
+    writer: SpanJsonLinesWriter<Box<dyn Write + Send>>,
+    /// First write failure; once set, further writes are dropped so a full
+    /// disk cannot panic a sweep mid-flight.
+    error: Option<io::Error>,
+}
+
+/// A shared span-JSON-lines sink threaded through [`crate::profile::XspConfig`]:
+/// every evaluation run the profiler completes is appended (in submission
+/// order, so bytes are worker-count-independent) as soon as its point
+/// finishes — a batch sweep exports incrementally instead of holding every
+/// profile until the end.
+///
+/// Clones share the underlying writer; a config clone therefore keeps
+/// appending to the same stream. I/O failures are latched instead of
+/// panicking: the first error stops further writes and is surfaced by
+/// [`ExportSink::take_error`] / [`ExportSink::flush`].
+#[derive(Clone)]
+pub struct ExportSink {
+    state: Arc<Mutex<SinkState>>,
+}
+
+impl ExportSink {
+    /// Creates a sink over any writer (file, socket, `Vec<u8>` in tests).
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(SinkState {
+                writer: SpanJsonLinesWriter::new(Box::new(out)),
+                error: None,
+            })),
+        }
+    }
+
+    /// Creates a sink appending to a buffered file at `path`.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(io::BufWriter::new(file)))
+    }
+
+    /// Appends every span of the given runs (used by the profiler after
+    /// each engine merge; runs arrive in submission order).
+    pub(crate) fn write_runs(&self, runs: &[RunProfile]) {
+        let mut state = self.state.lock().expect("sink lock");
+        if state.error.is_some() {
+            return;
+        }
+        for run in runs {
+            for span in run.trace.spans.iter().map(|s| &s.span) {
+                if let Err(e) = state.writer.write_span(span) {
+                    state.error = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Number of spans written so far.
+    pub fn spans_written(&self) -> usize {
+        self.state.lock().expect("sink lock").writer.written()
+    }
+
+    /// Flushes the underlying writer, surfacing any latched write error.
+    ///
+    /// The latch is *not* cleared: once a write has failed the sink stays
+    /// stopped (the stream may end in a torn partial line), and every
+    /// subsequent `flush` keeps reporting the failure. Use
+    /// [`ExportSink::take_error`] to claim the original error object.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("sink lock");
+        if let Some(e) = &state.error {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        match state.writer.flush() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let report = io::Error::new(e.kind(), e.to_string());
+                state.error = Some(e);
+                Err(report)
+            }
+        }
+    }
+
+    /// Takes the first write error, if any occurred.
+    pub fn take_error(&self) -> Option<io::Error> {
+        self.state.lock().expect("sink lock").error.take()
+    }
+}
+
+impl fmt::Debug for ExportSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExportSink")
+            .field("spans_written", &self.spans_written())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Xsp, XspConfig};
+    use xsp_framework::FrameworkKind;
+    use xsp_gpu::systems;
+    use xsp_models::zoo;
+
+    fn profile() -> LeveledProfile {
+        let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1);
+        Xsp::new(cfg).with_gpu(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1))
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(ExportFormat::parse("spans"), Some(ExportFormat::Spans));
+        assert_eq!(ExportFormat::parse("CHROME"), Some(ExportFormat::Chrome));
+        assert_eq!(
+            ExportFormat::parse("flamegraph"),
+            Some(ExportFormat::Folded)
+        );
+        assert_eq!(ExportFormat::parse("perfetto"), None);
+        for f in ExportFormat::ALL {
+            assert_eq!(ExportFormat::parse(f.label()), Some(f));
+        }
+    }
+
+    #[test]
+    fn spans_export_matches_wrapper_json() {
+        let p = profile();
+        let mut out = Vec::new();
+        let written = export_profile(&p, ExportFormat::Spans, &mut out).unwrap();
+        assert_eq!(written, p.iter_spans().count());
+        let trace = xsp_trace::export::read_span_json_lines(&out[..]).unwrap();
+        assert_eq!(
+            xsp_trace::export::to_span_json(&trace),
+            p.to_span_json(),
+            "JSONL round trip must reproduce the array exporter"
+        );
+    }
+
+    #[test]
+    fn chrome_export_parses_and_covers_every_span() {
+        let p = profile();
+        let mut out = Vec::new();
+        let written = export_profile(&p, ExportFormat::Chrome, &mut out).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(v["traceEvents"].as_array().unwrap().len(), written);
+        assert_eq!(written, p.iter_spans().count());
+    }
+
+    #[test]
+    fn folded_export_emits_all_runs() {
+        let p = profile();
+        let mut out = Vec::new();
+        let runs = export_profile(&p, ExportFormat::Folded, &mut out).unwrap();
+        assert_eq!(runs, p.runs().count());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().count() > 2);
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("`stack weight` shape");
+            assert!(weight.parse::<u64>().unwrap() >= 1, "{line}");
+            assert!(!stack.is_empty());
+        }
+    }
+
+    #[test]
+    fn sink_collects_runs_as_they_complete() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let sink = ExportSink::new(SharedBuf(bytes.clone()));
+        let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+            .runs(1)
+            .export_sink(sink.clone());
+        let xsp = Xsp::new(cfg);
+        let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
+        let p = xsp.model_only(&graph);
+        assert_eq!(sink.spans_written(), p.iter_spans().count());
+        let after_first = sink.spans_written();
+        let p2 = xsp.model_only(&graph);
+        assert_eq!(
+            sink.spans_written(),
+            after_first + p2.iter_spans().count(),
+            "sink appends across profiler calls"
+        );
+        sink.flush().unwrap();
+        let trace = xsp_trace::export::read_span_json_lines(&bytes.lock().unwrap()[..]).unwrap();
+        assert_eq!(trace.len(), sink.spans_written());
+    }
+
+    #[test]
+    fn sink_latches_write_errors_instead_of_panicking() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = ExportSink::new(FailingWriter);
+        let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+            .runs(1)
+            .export_sink(sink.clone());
+        // the profile itself must survive the broken sink
+        let p = Xsp::new(cfg).model_only(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1));
+        assert!(p.model_latency_ms() > 0.0);
+        assert!(sink.flush().is_err(), "error must surface on flush");
+        assert!(
+            sink.flush().is_err(),
+            "the latch must persist across flushes — the sink stays stopped"
+        );
+        assert!(sink.take_error().is_some());
+    }
+}

@@ -24,6 +24,9 @@
 //!   `(run, level, batch)` points fan out to a scoped worker pool and merge
 //!   deterministically in submission order ([`scheduler::Parallelism`]
 //!   picks the worker count; `XSP_THREADS` overrides it).
+//! * [`export`] — streaming profile export (`spans`/`chrome`/`folded`
+//!   over any `io::Write`, the `xsp export` subcommand's engine) and the
+//!   [`export::ExportSink`] that lets sweeps export as they run.
 //! * [`analysis`] — the 15 automated analyses A1–A15 (§III-D).
 //! * [`report`] — fixed-width table/series rendering used by the bench
 //!   harness to print paper-style tables and figures.
@@ -48,12 +51,14 @@
 
 pub mod analysis;
 pub mod api;
+pub mod export;
 pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod roofline;
 pub mod scheduler;
 
+pub use export::{export_profile, ExportFormat, ExportSink};
 pub use pipeline::{KernelProfile, LayerProfile, ModelPhases, RunProfile};
 pub use profile::{BatchProfile, LeveledProfile, ProfilingLevel, Xsp, XspConfig};
 pub use roofline::{classify, RooflinePoint};

@@ -19,6 +19,7 @@
 //! and merge results in submission order — output is byte-identical for
 //! any [`Parallelism`] setting.
 
+use crate::export::ExportSink;
 use crate::pipeline::{run_once, run_once_with_metrics, KernelProfile, LayerProfile, RunProfile};
 use crate::scheduler::{parmap, Parallelism};
 use xsp_cupti::MetricKind;
@@ -60,6 +61,17 @@ impl ProfilingLevel {
             ProfilingLevel::ModelLayerGpu => "M/L/G",
         }
     }
+
+    /// Parses the CLI `--level` spelling: `1`/`m` → M, `2`/`ml` → M/L,
+    /// `3`/`mlg`/`full` → M/L/G.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "m" | "model" => Some(ProfilingLevel::Model),
+            "2" | "ml" | "m/l" => Some(ProfilingLevel::ModelLayer),
+            "3" | "mlg" | "m/l/g" | "full" => Some(ProfilingLevel::ModelLayerGpu),
+            _ => None,
+        }
+    }
 }
 
 /// XSP configuration: target system, framework, and measurement policy.
@@ -92,6 +104,11 @@ pub struct XspConfig {
     /// `(run, level)` points of one experiment fan out to this many workers
     /// (results are merged deterministically — see [`crate::scheduler`]).
     pub parallelism: Parallelism,
+    /// Streaming export sink: when set, every completed run's spans are
+    /// appended (span-JSON-lines, submission order) as the experiment
+    /// progresses — sweeps export as they run instead of materializing
+    /// every profile first. See [`crate::export::ExportSink`].
+    pub export_sink: Option<ExportSink>,
 }
 
 impl XspConfig {
@@ -111,6 +128,7 @@ impl XspConfig {
             library_level: false,
             host_level: false,
             parallelism: Parallelism::from_env_or(Parallelism::Auto),
+            export_sink: None,
         }
     }
 
@@ -149,6 +167,13 @@ impl XspConfig {
     /// default picked up by [`XspConfig::new`]).
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Builder: streaming export sink — spans of every completed run are
+    /// appended to it as evaluation progresses.
+    pub fn export_sink(mut self, sink: ExportSink) -> Self {
+        self.export_sink = Some(sink);
         self
     }
 }
@@ -282,9 +307,10 @@ impl LeveledProfile {
         100.0 * self.kernel_latency_ms() / self.model_latency_ms().max(f64::EPSILON)
     }
 
-    /// Every span of every run, in canonical order: M runs, then M/L, then
-    /// M/L/G, then metric runs; within a run, trace-assembly order.
-    pub fn all_spans(&self) -> Vec<xsp_trace::Span> {
+    /// Every run of the profile, in canonical order: M runs, then M/L, then
+    /// M/L/G, then metric runs — the order every exporter and the streaming
+    /// sink use.
+    pub fn runs(&self) -> impl Iterator<Item = &RunProfile> {
         [
             &self.m_runs,
             &self.ml_runs,
@@ -293,17 +319,35 @@ impl LeveledProfile {
         ]
         .into_iter()
         .flatten()
-        .flat_map(|run| run.trace.spans.iter().map(|s| s.span.clone()))
-        .collect()
     }
 
-    /// Serializes the whole profile ([`LeveledProfile::all_spans`]) to raw
-    /// span JSON. Because runs are seed-deterministic and span ids are
-    /// allocated from per-run scopes, this output is byte-identical
-    /// whatever [`Parallelism`] produced the profile — the determinism
-    /// contract the test suite enforces.
+    /// Every span of every run ([`LeveledProfile::runs`] order; within a
+    /// run, trace-assembly order) — borrowed, so exporters can stream the
+    /// profile without cloning it.
+    pub fn iter_spans(&self) -> impl Iterator<Item = &xsp_trace::Span> {
+        self.runs()
+            .flat_map(|run| run.trace.spans.iter().map(|s| &s.span))
+    }
+
+    /// Every span, cloned, in [`LeveledProfile::iter_spans`] order.
+    pub fn all_spans(&self) -> Vec<xsp_trace::Span> {
+        self.iter_spans().cloned().collect()
+    }
+
+    /// Serializes the whole profile ([`LeveledProfile::iter_spans`]) to raw
+    /// span JSON, streamed through
+    /// [`xsp_trace::export::stream::SpanJsonWriter`]. Because runs are
+    /// seed-deterministic and span ids are allocated from per-run scopes,
+    /// this output is byte-identical whatever [`Parallelism`] produced the
+    /// profile — the determinism contract the test suite enforces.
     pub fn to_span_json(&self) -> String {
-        xsp_trace::export::to_span_json(&xsp_trace::Trace::from_spans(self.all_spans()))
+        let mut writer =
+            xsp_trace::export::SpanJsonWriter::new(Vec::new()).expect("Vec writes cannot fail");
+        for span in self.iter_spans() {
+            writer.write_span(span).expect("Vec writes cannot fail");
+        }
+        String::from_utf8(writer.finish().expect("Vec writes cannot fail"))
+            .expect("span JSON is UTF-8")
     }
 }
 
@@ -402,6 +446,22 @@ enum RunKind {
     Metrics,
 }
 
+impl RunKind {
+    /// Seed-offset base of the kind's runs. This is the *one* table of
+    /// span-id scope keys: every orchestrator entry point derives its run
+    /// indices from it, so e.g. an M/L run profiles (and serializes)
+    /// identically whether it was launched by [`Xsp::leveled`] or
+    /// `xsp export --level 2`.
+    fn base(self) -> u64 {
+        match self {
+            RunKind::Plain(ProfilingLevel::Model) => 0,
+            RunKind::Plain(ProfilingLevel::ModelLayer) => 1000,
+            RunKind::Plain(ProfilingLevel::ModelLayerGpu) => 2000,
+            RunKind::Metrics => 3000,
+        }
+    }
+}
+
 impl Xsp {
     /// Creates a profiler with the given configuration.
     pub fn new(cfg: XspConfig) -> Self {
@@ -420,7 +480,7 @@ impl Xsp {
     /// id allocation — and therefore the serialized trace — is independent
     /// of which worker executes the run and in what order runs complete.
     fn run_specs(&self, graph: &LayerGraph, specs: Vec<RunSpec>) -> Vec<RunProfile> {
-        parmap(self.cfg.parallelism, specs, |_, spec| {
+        let profiles = parmap(self.cfg.parallelism, specs, |_, spec| {
             with_span_id_scope(spec.run_idx, || match spec.kind {
                 RunKind::Plain(level) => run_once(&self.cfg, graph, level, spec.run_idx),
                 RunKind::Metrics => run_once_with_metrics(
@@ -431,7 +491,51 @@ impl Xsp {
                     true,
                 ),
             })
-        })
+        });
+        // Stream the finished runs to the export sink right here — after
+        // the deterministic submission-order merge, before the caller sees
+        // them — so sweeps export incrementally and the sink's bytes are
+        // identical for every worker count.
+        if let Some(sink) = &self.cfg.export_sink {
+            sink.write_runs(&profiles);
+        }
+        profiles
+    }
+
+    /// Runs `cfg.runs` evaluations of each listed kind (submission order =
+    /// list order) through the engine and slots each kind's runs into the
+    /// matching [`LeveledProfile`] field — the shared body of every
+    /// orchestrator entry point.
+    fn profile_of(&self, graph: &LayerGraph, kinds: &[RunKind]) -> LeveledProfile {
+        let runs = self.cfg.runs;
+        let specs = kinds
+            .iter()
+            .flat_map(|&kind| {
+                (0..runs).map(move |i| RunSpec {
+                    kind,
+                    run_idx: kind.base() + i as u64,
+                })
+            })
+            .collect();
+        let mut profiles = self.run_specs(graph, specs).into_iter();
+        let mut profile = LeveledProfile {
+            m_runs: Vec::new(),
+            ml_runs: Vec::new(),
+            mlg_runs: Vec::new(),
+            metric_runs: Vec::new(),
+            trim: self.cfg.trim,
+            batch: graph.batch(),
+        };
+        for &kind in kinds {
+            let group = profiles.by_ref().take(runs).collect();
+            match kind {
+                RunKind::Plain(ProfilingLevel::Model) => profile.m_runs = group,
+                RunKind::Plain(ProfilingLevel::ModelLayer) => profile.ml_runs = group,
+                RunKind::Plain(ProfilingLevel::ModelLayerGpu) => profile.mlg_runs = group,
+                RunKind::Metrics => profile.metric_runs = group,
+            }
+        }
+        profile
     }
 
     /// Runs the full leveled experimentation on one graph: `runs`
@@ -456,28 +560,33 @@ impl Xsp {
     /// assert!(!profile.kernels().is_empty());
     /// ```
     pub fn leveled(&self, graph: &LayerGraph) -> LeveledProfile {
-        let runs = self.cfg.runs;
-        let mut specs = Vec::with_capacity(4 * runs);
-        for (kind, base) in [
-            (RunKind::Plain(ProfilingLevel::Model), 0),
-            (RunKind::Plain(ProfilingLevel::ModelLayer), 1000),
-            (RunKind::Plain(ProfilingLevel::ModelLayerGpu), 2000),
-            (RunKind::Metrics, 3000),
-        ] {
-            specs.extend((0..runs).map(|i| RunSpec {
-                kind,
-                run_idx: base + i as u64,
-            }));
-        }
-        let mut profiles = self.run_specs(graph, specs).into_iter();
-        let mut take = |n: usize| profiles.by_ref().take(n).collect::<Vec<_>>();
-        LeveledProfile {
-            m_runs: take(runs),
-            ml_runs: take(runs),
-            mlg_runs: take(runs),
-            metric_runs: take(runs),
-            trim: self.cfg.trim,
-            batch: graph.batch(),
+        self.profile_of(
+            graph,
+            &[
+                RunKind::Plain(ProfilingLevel::Model),
+                RunKind::Plain(ProfilingLevel::ModelLayer),
+                RunKind::Plain(ProfilingLevel::ModelLayerGpu),
+                RunKind::Metrics,
+            ],
+        )
+    }
+
+    /// Leveled experimentation truncated at `level` — the CLI's
+    /// `xsp export --level` knob: `Model` runs M only (same as
+    /// [`Xsp::model_only`]), `ModelLayer` runs M and M/L, and
+    /// `ModelLayerGpu` is the full [`Xsp::leveled`] experiment including
+    /// metric-collection runs.
+    pub fn up_to_level(&self, graph: &LayerGraph, level: ProfilingLevel) -> LeveledProfile {
+        match level {
+            ProfilingLevel::Model => self.model_only(graph),
+            ProfilingLevel::ModelLayer => self.profile_of(
+                graph,
+                &[
+                    RunKind::Plain(ProfilingLevel::Model),
+                    RunKind::Plain(ProfilingLevel::ModelLayer),
+                ],
+            ),
+            ProfilingLevel::ModelLayerGpu => self.leveled(graph),
         }
     }
 
@@ -504,47 +613,16 @@ impl Xsp {
     /// assert_eq!(parallel.to_span_json(), serial.to_span_json());
     /// ```
     pub fn model_only(&self, graph: &LayerGraph) -> LeveledProfile {
-        let runs = self.cfg.runs;
-        let specs = (0..runs)
-            .map(|i| RunSpec {
-                kind: RunKind::Plain(ProfilingLevel::Model),
-                run_idx: i as u64,
-            })
-            .collect();
-        LeveledProfile {
-            m_runs: self.run_specs(graph, specs),
-            ml_runs: Vec::new(),
-            mlg_runs: Vec::new(),
-            metric_runs: Vec::new(),
-            trim: self.cfg.trim,
-            batch: graph.batch(),
-        }
+        self.profile_of(graph, &[RunKind::Plain(ProfilingLevel::Model)])
     }
 
     /// Model + GPU-level only profile (A15 across batch sizes needs kernels
     /// but not layers).
     pub fn with_gpu(&self, graph: &LayerGraph) -> LeveledProfile {
-        let runs = self.cfg.runs;
-        let mut specs: Vec<RunSpec> = (0..runs)
-            .map(|i| RunSpec {
-                kind: RunKind::Plain(ProfilingLevel::Model),
-                run_idx: i as u64,
-            })
-            .collect();
-        specs.extend((0..runs).map(|i| RunSpec {
-            kind: RunKind::Metrics,
-            run_idx: 3000 + i as u64,
-        }));
-        let mut profiles = self.run_specs(graph, specs).into_iter();
-        let m_runs = profiles.by_ref().take(runs).collect();
-        LeveledProfile {
-            m_runs,
-            ml_runs: Vec::new(),
-            mlg_runs: Vec::new(),
-            metric_runs: profiles.collect(),
-            trim: self.cfg.trim,
-            batch: graph.batch(),
-        }
+        self.profile_of(
+            graph,
+            &[RunKind::Plain(ProfilingLevel::Model), RunKind::Metrics],
+        )
     }
 
     /// Sweeps batch sizes (model-level profiling only), stopping early once

@@ -1,64 +1,32 @@
 //! Trace export: Chrome trace-event JSON (loadable in `chrome://tracing` /
-//! Perfetto) and raw span JSON for offline analysis pipelines.
+//! Perfetto), Brendan-Gregg folded stacks, and raw span JSON for offline
+//! analysis pipelines.
+//!
+//! The string-returning functions here are thin wrappers over the
+//! incremental writers in [`stream`]: they serialize through exactly the
+//! same code path into an in-memory buffer, so a streamed export to a file
+//! or socket is byte-identical to the materialized `String`. Sweep-scale
+//! traces should use the [`stream`] writers directly and never hold the
+//! full serialized trace in memory.
 
 use crate::server::Trace;
-use crate::span::{Span, TagValue};
-use serde::Serialize;
+use crate::span::Span;
 
-/// One event in Chrome trace-event format ("X" complete events).
-#[derive(Debug, Serialize)]
-struct ChromeEvent<'a> {
-    name: &'a str,
-    cat: String,
-    ph: &'static str,
-    /// Microseconds (Chrome's unit).
-    ts: f64,
-    dur: f64,
-    pid: u64,
-    tid: u64,
-    args: serde_json::Map<String, serde_json::Value>,
-}
+pub mod stream;
 
-fn tag_to_json(v: &TagValue) -> serde_json::Value {
-    match v {
-        TagValue::Str(s) => serde_json::Value::String(s.clone()),
-        TagValue::I64(i) => serde_json::json!(i),
-        TagValue::U64(u) => serde_json::json!(u),
-        TagValue::F64(f) => serde_json::json!(f),
-        TagValue::Bool(b) => serde_json::Value::Bool(*b),
-    }
-}
+pub use stream::{
+    read_span_json_lines, ChromeTraceWriter, FoldedStacksWriter, ReadError, SpanJsonLinesReader,
+    SpanJsonLinesWriter, SpanJsonWriter,
+};
 
 /// Serializes a trace to Chrome trace-event JSON. Each stack level maps to
 /// its own "thread" row so the across-stack timeline reads top-down like
 /// Figure 1 of the paper.
 pub fn to_chrome_trace(trace: &Trace) -> String {
-    let events: Vec<ChromeEvent<'_>> = trace
-        .spans()
-        .iter()
-        .map(|s| {
-            let mut args = serde_json::Map::new();
-            args.insert("span_id".into(), serde_json::json!(s.id.0));
-            if let Some(p) = s.parent {
-                args.insert("parent".into(), serde_json::json!(p.0));
-            }
-            for (k, v) in &s.tags {
-                args.insert(k.clone(), tag_to_json(v));
-            }
-            ChromeEvent {
-                name: &s.name,
-                cat: s.level.to_string(),
-                ph: "X",
-                ts: s.start_ns as f64 / 1e3,
-                dur: s.duration_ns() as f64 / 1e3,
-                pid: s.trace_id.0,
-                tid: s.level.rank() as u64,
-                args,
-            }
-        })
-        .collect();
-    serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
-        .expect("chrome trace serialization cannot fail")
+    let mut writer = stream::ChromeTraceWriter::new(Vec::new()).expect("Vec writes cannot fail");
+    writer.write_trace(trace).expect("Vec writes cannot fail");
+    String::from_utf8(writer.finish().expect("Vec writes cannot fail"))
+        .expect("chrome trace output is UTF-8")
 }
 
 /// Serializes a correlated trace to Brendan-Gregg folded-stack format, one
@@ -66,53 +34,18 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
 /// (weight = self time in microseconds). Feed to `flamegraph.pl` or
 /// speedscope.
 pub fn to_folded_stacks(trace: &crate::correlate::CorrelatedTrace) -> String {
-    use std::collections::HashMap;
-    let mut out = String::new();
-    use std::fmt::Write;
-    // index spans and children
-    let mut children: HashMap<crate::span::SpanId, Vec<usize>> = HashMap::new();
-    let mut roots = Vec::new();
-    for (i, s) in trace.spans.iter().enumerate() {
-        match s.parent {
-            Some(p) if trace.find(p).is_some() => children.entry(p).or_default().push(i),
-            _ => roots.push(i),
-        }
-    }
-    fn emit(
-        trace: &crate::correlate::CorrelatedTrace,
-        children: &HashMap<crate::span::SpanId, Vec<usize>>,
-        idx: usize,
-        stack: &mut Vec<String>,
-        out: &mut String,
-    ) {
-        let span = &trace.spans[idx].span;
-        stack.push(span.name.replace([';', ' '], "_"));
-        let kids = children.get(&span.id).cloned().unwrap_or_default();
-        let child_time: u64 = kids
-            .iter()
-            .map(|&k| trace.spans[k].span.duration_ns())
-            .sum();
-        let self_us = span.duration_ns().saturating_sub(child_time) / 1_000;
-        if self_us > 0 || kids.is_empty() {
-            use std::fmt::Write;
-            let _ = writeln!(out, "{} {}", stack.join(";"), self_us.max(1));
-        }
-        for k in kids {
-            emit(trace, children, k, stack, out);
-        }
-        stack.pop();
-    }
-    let mut stack = Vec::new();
-    for r in roots {
-        emit(trace, &children, r, &mut stack, &mut out);
-    }
-    let _ = write!(out, "");
-    out
+    let mut writer = stream::FoldedStacksWriter::new(Vec::new());
+    writer.write_run(trace).expect("Vec writes cannot fail");
+    String::from_utf8(writer.finish().expect("Vec writes cannot fail"))
+        .expect("folded stack output is UTF-8")
 }
 
 /// Serializes the raw spans to JSON (offline-analysis input format).
 pub fn to_span_json(trace: &Trace) -> String {
-    serde_json::to_string(trace.spans()).expect("span serialization cannot fail")
+    let mut writer = stream::SpanJsonWriter::new(Vec::new()).expect("Vec writes cannot fail");
+    writer.write_trace(trace).expect("Vec writes cannot fail");
+    String::from_utf8(writer.finish().expect("Vec writes cannot fail"))
+        .expect("span JSON output is UTF-8")
 }
 
 /// Deserializes spans previously written by [`to_span_json`]; this is the
@@ -169,6 +102,18 @@ mod tests {
             back.spans()[0].tag("batch_size").unwrap().as_u64(),
             Some(256)
         );
+    }
+
+    #[test]
+    fn span_json_wrapper_matches_direct_serialization() {
+        // The pre-streaming exporter was serde_json::to_string(spans);
+        // the wrapper must reproduce it byte-for-byte.
+        let trace = sample_trace();
+        assert_eq!(
+            to_span_json(&trace),
+            serde_json::to_string(trace.spans()).unwrap()
+        );
+        assert_eq!(to_span_json(&Trace::default()), "[]");
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! Streaming trace export: incremental writers over [`io::Write`].
+//!
+//! The string-returning exporters in [`crate::export`] materialize the whole
+//! serialized trace before anything leaves the process — fine for a unit
+//! test, hopeless for sweep-scale traces (a single BERT-Base run already
+//! serializes to ~200 KB; a model-fleet sweep is thousands of runs). Every
+//! writer here instead emits spans *as they arrive*: peak memory is one
+//! span's serialization (one evaluation run's spans for folded stacks,
+//! which need the run's parent tree), independent of total trace size.
+//!
+//! Three formats share one contract:
+//!
+//! * **span JSON** — [`SpanJsonWriter`] (the `[{span},...]` array the
+//!   offline-analysis pipeline reads) and [`SpanJsonLinesWriter`] (one span
+//!   object per line, the streaming interchange format; concatenable, and
+//!   readable back without loading the file via [`SpanJsonLinesReader`]).
+//! * **Chrome trace events** — [`ChromeTraceWriter`], loadable in
+//!   `chrome://tracing` / Perfetto.
+//! * **folded stacks** — [`FoldedStacksWriter`], Brendan-Gregg format for
+//!   `flamegraph.pl` / speedscope.
+//!
+//! The string exporters in [`crate::export`] are thin wrappers over these
+//! writers, so streamed bytes are *identical* to materialized bytes — the
+//! golden tests pin that equivalence, and the engine's determinism contract
+//! (serial output == parallel output) extends to every exported artifact.
+
+use crate::correlate::CorrelatedTrace;
+use crate::server::Trace;
+use crate::span::{Span, SpanId, TagValue};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error produced by the streaming readers: an I/O failure or a line that
+/// is not a valid span object.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line failed to parse as span JSON; carries the 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The parse error.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "I/O error while reading spans: {e}"),
+            ReadError::Parse { line, source } => {
+                write!(f, "line {line} is not a span object: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Serializes one span and writes it to `out` — the shared unit of work of
+/// every span-JSON framing. Only this one span's JSON is ever materialized.
+fn write_span(out: &mut impl Write, span: &Span) -> io::Result<()> {
+    let json = serde_json::to_string(span).expect("span serialization cannot fail");
+    out.write_all(json.as_bytes())
+}
+
+/// Incremental writer for the span-JSON *array* format — byte-compatible
+/// with [`crate::export::to_span_json`], which wraps it.
+///
+/// ```
+/// use xsp_trace::export::stream::SpanJsonWriter;
+/// use xsp_trace::{SpanBuilder, StackLevel, TraceId};
+/// let span = SpanBuilder::new("k", StackLevel::Kernel, TraceId(1)).start(0).finish(5);
+/// let mut w = SpanJsonWriter::new(Vec::new()).unwrap();
+/// w.write_span(&span).unwrap();
+/// let bytes = w.finish().unwrap();
+/// assert!(bytes.starts_with(b"[{") && bytes.ends_with(b"}]"));
+/// ```
+#[derive(Debug)]
+pub struct SpanJsonWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> SpanJsonWriter<W> {
+    /// Opens the array.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(b"[")?;
+        Ok(Self { out, written: 0 })
+    }
+
+    /// Appends one span.
+    pub fn write_span(&mut self, span: &Span) -> io::Result<()> {
+        if self.written > 0 {
+            self.out.write_all(b",")?;
+        }
+        write_span(&mut self.out, span)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Appends every span of `trace`.
+    pub fn write_trace(&mut self, trace: &Trace) -> io::Result<()> {
+        trace.spans().iter().try_for_each(|s| self.write_span(s))
+    }
+
+    /// Number of spans written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Closes the array, flushes, and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.write_all(b"]")?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Incremental writer for span-JSON-*lines*: one span object per line.
+///
+/// This is the streaming interchange format — outputs are concatenable
+/// (append two exports, get one valid trace), resumable after a crash up to
+/// the last complete line, and readable back incrementally by
+/// [`SpanJsonLinesReader`] without ever holding the file in memory.
+#[derive(Debug)]
+pub struct SpanJsonLinesWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> SpanJsonLinesWriter<W> {
+    /// Creates a writer over `out`.
+    pub fn new(out: W) -> Self {
+        Self { out, written: 0 }
+    }
+
+    /// Appends one span as a single line.
+    pub fn write_span(&mut self, span: &Span) -> io::Result<()> {
+        write_span(&mut self.out, span)?;
+        self.out.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Appends every span of `trace`, one line each.
+    pub fn write_trace(&mut self, trace: &Trace) -> io::Result<()> {
+        trace.spans().iter().try_for_each(|s| self.write_span(s))
+    }
+
+    /// Number of spans written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flushes without consuming the writer (for long-lived sinks that
+    /// outlive many sweep points).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming reader for span-JSON-lines: yields one [`Span`] per line,
+/// holding only the current line in memory. Blank lines are skipped, so
+/// concatenated or hand-edited exports stay readable.
+#[derive(Debug)]
+pub struct SpanJsonLinesReader<R: BufRead> {
+    input: R,
+    line: usize,
+    buf: String,
+}
+
+impl<R: BufRead> SpanJsonLinesReader<R> {
+    /// Creates a reader over `input`.
+    pub fn new(input: R) -> Self {
+        Self {
+            input,
+            line: 0,
+            buf: String::new(),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for SpanJsonLinesReader<R> {
+    type Item = Result<Span, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line += 1;
+            match self.input.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    let line = self.buf.trim_end_matches(['\n', '\r']);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    return Some(serde_json::from_str::<Span>(line).map_err(|source| {
+                        ReadError::Parse {
+                            line: self.line,
+                            source,
+                        }
+                    }));
+                }
+                Err(e) => return Some(Err(ReadError::Io(e))),
+            }
+        }
+    }
+}
+
+/// Reads a complete span-JSON-lines stream back into a [`Trace`] — the
+/// round-trip inverse of [`SpanJsonLinesWriter`].
+pub fn read_span_json_lines<R: BufRead>(input: R) -> Result<Trace, ReadError> {
+    let spans: Vec<Span> = SpanJsonLinesReader::new(input).collect::<Result<_, _>>()?;
+    Ok(Trace::from_spans(spans))
+}
+
+/// One event in Chrome trace-event format ("X" complete events).
+#[derive(Debug, serde::Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    cat: String,
+    ph: &'static str,
+    /// Microseconds (Chrome's unit).
+    ts: f64,
+    dur: f64,
+    pid: u64,
+    tid: u64,
+    args: serde_json::Map<String, serde_json::Value>,
+}
+
+fn tag_to_json(v: &TagValue) -> serde_json::Value {
+    match v {
+        TagValue::Str(s) => serde_json::Value::String(s.clone()),
+        TagValue::I64(i) => serde_json::json!(i),
+        TagValue::U64(u) => serde_json::json!(u),
+        TagValue::F64(f) => serde_json::json!(f),
+        TagValue::Bool(b) => serde_json::Value::Bool(*b),
+    }
+}
+
+/// Incremental writer for Chrome trace-event JSON — byte-compatible with
+/// [`crate::export::to_chrome_trace`], which wraps it. Each stack level maps
+/// to its own "thread" row so the across-stack timeline reads top-down like
+/// Figure 1 of the paper; each evaluation run becomes a "process" row.
+#[derive(Debug)]
+pub struct ChromeTraceWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> ChromeTraceWriter<W> {
+    /// Opens the `traceEvents` envelope.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(b"{\"traceEvents\":[")?;
+        Ok(Self { out, written: 0 })
+    }
+
+    /// Appends one span as an "X" (complete) event.
+    pub fn write_span(&mut self, span: &Span) -> io::Result<()> {
+        let mut args = serde_json::Map::new();
+        args.insert("span_id".into(), serde_json::json!(span.id.0));
+        if let Some(p) = span.parent {
+            args.insert("parent".into(), serde_json::json!(p.0));
+        }
+        for (k, v) in &span.tags {
+            args.insert(k.clone(), tag_to_json(v));
+        }
+        let event = ChromeEvent {
+            name: &span.name,
+            cat: span.level.to_string(),
+            ph: "X",
+            ts: span.start_ns as f64 / 1e3,
+            dur: span.duration_ns() as f64 / 1e3,
+            pid: span.trace_id.0,
+            tid: span.level.rank() as u64,
+            args,
+        };
+        if self.written > 0 {
+            self.out.write_all(b",")?;
+        }
+        let json = serde_json::to_string(&event).expect("chrome event serialization cannot fail");
+        self.out.write_all(json.as_bytes())?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Appends every span of `trace`.
+    pub fn write_trace(&mut self, trace: &Trace) -> io::Result<()> {
+        trace.spans().iter().try_for_each(|s| self.write_span(s))
+    }
+
+    /// Number of events written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Closes the envelope, flushes, and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.write_all(b"]}")?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Incremental writer for Brendan-Gregg folded-stack output — one line per
+/// span with self-time, `model_prediction;conv2d/Conv2D;volta_scudnn 1234`
+/// (weight = self time in microseconds).
+///
+/// Folded stacks need each span's children, so the streaming unit is one
+/// *correlated run* ([`write_run`](FoldedStacksWriter::write_run)): peak
+/// memory is the largest single run, not the whole export.
+/// [`crate::export::to_folded_stacks`] wraps this writer.
+#[derive(Debug)]
+pub struct FoldedStacksWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> FoldedStacksWriter<W> {
+    /// Creates a writer over `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Streams the folded stacks of one correlated trace (typically a
+    /// single evaluation run) to the output.
+    pub fn write_run(&mut self, trace: &CorrelatedTrace) -> io::Result<()> {
+        // index spans and children
+        let mut children: HashMap<SpanId, Vec<usize>> = HashMap::new();
+        let mut roots = Vec::new();
+        for (i, s) in trace.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) if trace.find(p).is_some() => children.entry(p).or_default().push(i),
+                _ => roots.push(i),
+            }
+        }
+        let mut stack = Vec::new();
+        for r in roots {
+            self.emit(trace, &children, r, &mut stack)?;
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &mut self,
+        trace: &CorrelatedTrace,
+        children: &HashMap<SpanId, Vec<usize>>,
+        idx: usize,
+        stack: &mut Vec<String>,
+    ) -> io::Result<()> {
+        let span = &trace.spans[idx].span;
+        stack.push(span.name.replace([';', ' '], "_"));
+        let kids = children.get(&span.id).cloned().unwrap_or_default();
+        let child_time: u64 = kids
+            .iter()
+            .map(|&k| trace.spans[k].span.duration_ns())
+            .sum();
+        let self_us = span.duration_ns().saturating_sub(child_time) / 1_000;
+        if self_us > 0 || kids.is_empty() {
+            writeln!(self.out, "{} {}", stack.join(";"), self_us.max(1))?;
+        }
+        for k in kids {
+            self.emit(trace, children, k, stack)?;
+        }
+        stack.pop();
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::reconstruct_parents;
+    use crate::span::{SpanBuilder, StackLevel, TraceId};
+
+    fn spans() -> Vec<Span> {
+        let model = SpanBuilder::new("predict", StackLevel::Model, TraceId(1))
+            .start(0)
+            .tag("batch_size", 4u64)
+            .finish(1_000_000);
+        let pid = model.id;
+        let layer = SpanBuilder::new("conv2d/Conv2D", StackLevel::Layer, TraceId(1))
+            .start(1_000)
+            .parent(pid)
+            .tag("occ", 0.25f64)
+            .finish(500_000);
+        vec![model, layer]
+    }
+
+    #[test]
+    fn array_writer_matches_materialized_exporter() {
+        let trace = Trace::from_spans(spans());
+        let mut w = SpanJsonWriter::new(Vec::new()).unwrap();
+        w.write_trace(&trace).unwrap();
+        assert_eq!(w.written(), 2);
+        let streamed = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(
+            streamed,
+            serde_json::to_string(trace.spans()).unwrap(),
+            "array framing must be byte-compatible with serde_json"
+        );
+    }
+
+    #[test]
+    fn empty_array_is_valid() {
+        let w = SpanJsonWriter::new(Vec::new()).unwrap();
+        assert_eq!(w.finish().unwrap(), b"[]");
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let trace = Trace::from_spans(spans());
+        let mut w = SpanJsonLinesWriter::new(Vec::new());
+        w.write_trace(&trace).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), 2);
+        let back = read_span_json_lines(&bytes[..]).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.spans()[0].name, "predict");
+        assert_eq!(back.spans()[1].parent, trace.spans()[1].parent);
+        assert_eq!(back.spans()[0].tag("batch_size").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn json_lines_skip_blank_lines() {
+        let trace = Trace::from_spans(spans());
+        let mut w = SpanJsonLinesWriter::new(Vec::new());
+        w.write_trace(&trace).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.extend_from_slice(b"\n\n");
+        let back = read_span_json_lines(&bytes[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn json_lines_report_bad_line_numbers() {
+        let trace = Trace::from_spans(spans());
+        let mut w = SpanJsonLinesWriter::new(Vec::new());
+        w.write_trace(&trace).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.extend_from_slice(b"not a span\n");
+        match read_span_json_lines(&bytes[..]) {
+            Err(ReadError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concatenated_streams_stay_readable() {
+        let mut w = SpanJsonLinesWriter::new(Vec::new());
+        w.write_trace(&Trace::from_spans(spans())).unwrap();
+        let mut bytes = w.finish().unwrap();
+        let mut w2 = SpanJsonLinesWriter::new(Vec::new());
+        w2.write_trace(&Trace::from_spans(spans())).unwrap();
+        bytes.extend_from_slice(&w2.finish().unwrap());
+        assert_eq!(read_span_json_lines(&bytes[..]).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn chrome_writer_emits_valid_envelope() {
+        let trace = Trace::from_spans(spans());
+        let mut w = ChromeTraceWriter::new(Vec::new()).unwrap();
+        w.write_trace(&trace).unwrap();
+        let json = String::from_utf8(w.finish().unwrap()).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[1]["tid"], 2);
+    }
+
+    #[test]
+    fn folded_writer_streams_runs() {
+        let c = reconstruct_parents(&Trace::from_spans(spans()));
+        let mut w = FoldedStacksWriter::new(Vec::new());
+        w.write_run(&c).unwrap();
+        let out = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert!(out.contains("predict;conv2d/Conv2D "), "{out}");
+    }
+}

@@ -18,7 +18,9 @@
 //!   linked by a correlation identifier (§III-A/§III-B-3).
 //! * Trimmed-mean statistics used by the automated analysis pipeline to
 //!   summarize values across evaluation runs (§III-D).
-//! * Export to Chrome trace-event JSON for visual inspection.
+//! * Export to Chrome trace-event JSON, folded stacks and span JSON —
+//!   either as materialized `String`s ([`export`]) or incrementally over
+//!   any `io::Write` with constant peak memory ([`export::stream`]).
 //!
 //! The crate is deliberately independent of what is being profiled: the GPU
 //! simulator, the framework substrate and XSP itself all publish plain

@@ -187,6 +187,15 @@ impl TracingServer {
         spans.sort_by_key(|s| s.trace_id);
         Trace { spans }
     }
+
+    /// Drains like [`TracingServer::drain`] (same buffer, same grouped-by-
+    /// trace-id order — it *is* a drain) but hands each span to `f` instead
+    /// of returning a [`Trace`]: spans can be fed straight into a
+    /// [`crate::export::stream`] writer so the serialized trace is never
+    /// materialized (see `examples/application_pipeline.rs`).
+    pub fn drain_each(&self, f: impl FnMut(Span)) {
+        self.drain().into_spans().into_iter().for_each(f);
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +324,37 @@ mod tests {
 
         assert_eq!(got, expected, "drain must group by trace id, not arrival");
         assert_eq!(got, vec!["p1", "l1", "p2", "l2"]);
+    }
+
+    #[test]
+    fn drain_each_streams_in_drain_order() {
+        let expected = {
+            let server = TracingServer::new();
+            let b2 = server.buffer("w");
+            b2.report(span(TraceId(2), "p2", StackLevel::Model, 0, 10));
+            let b1 = server.buffer("w");
+            b1.report(span(TraceId(1), "p1", StackLevel::Model, 0, 10));
+            b2.flush();
+            b1.flush();
+            server
+                .drain()
+                .into_spans()
+                .into_iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+        };
+        let server = TracingServer::new();
+        let b2 = server.buffer("w");
+        b2.report(span(TraceId(2), "p2", StackLevel::Model, 0, 10));
+        let b1 = server.buffer("w");
+        b1.report(span(TraceId(1), "p1", StackLevel::Model, 0, 10));
+        b2.flush();
+        b1.flush();
+        let mut streamed = Vec::new();
+        server.drain_each(|s| streamed.push(s.name));
+        assert_eq!(streamed, expected);
+        assert_eq!(streamed, vec!["p1", "p2"], "grouped by trace id");
+        assert!(server.drain().is_empty(), "drain_each consumes the buffer");
     }
 
     #[test]

@@ -150,4 +150,97 @@ proptest! {
         prop_assert!(s.std_dev >= 0.0);
         prop_assert_eq!(s.n, samples.len());
     }
+
+    /// Streaming export round trip: write → read → write is byte-identical
+    /// for arbitrary spans (names with JSON-hostile characters, every tag
+    /// type, parent chains, logs), in both the JSON-lines and the array
+    /// framing.
+    #[test]
+    fn span_json_lines_roundtrip_is_byte_identical(specs in arb_span_specs()) {
+        use xsp_trace::export::{read_span_json_lines, SpanJsonLinesWriter, SpanJsonWriter};
+        let spans = build_spans(specs);
+        let trace = Trace::from_spans(spans);
+
+        let mut writer = SpanJsonLinesWriter::new(Vec::new());
+        writer.write_trace(&trace).unwrap();
+        let first = writer.finish().unwrap();
+
+        let back = read_span_json_lines(&first[..]).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+
+        let mut writer = SpanJsonLinesWriter::new(Vec::new());
+        writer.write_trace(&back).unwrap();
+        let second = writer.finish().unwrap();
+        prop_assert_eq!(&first, &second, "write → read → write must be a fixpoint");
+
+        // the array framing must agree with the materializing exporter and
+        // survive its own round trip
+        let mut writer = SpanJsonWriter::new(Vec::new()).unwrap();
+        writer.write_trace(&trace).unwrap();
+        let array = String::from_utf8(writer.finish().unwrap()).unwrap();
+        prop_assert_eq!(&array, &xsp_trace::export::to_span_json(&trace));
+        let reparsed = xsp_trace::export::from_span_json(&array).unwrap();
+        prop_assert_eq!(xsp_trace::export::to_span_json(&reparsed), array);
+    }
+}
+
+/// Raw generator output for one span: `(name index, level index, start,
+/// len, parent back-reference, tag selector bits, log count)`.
+type SpanSpec = (usize, usize, u64, u64, usize, u8, usize);
+
+fn arb_span_specs() -> impl Strategy<Value = Vec<SpanSpec>> {
+    prop::collection::vec(
+        (
+            0usize..6,
+            0usize..5,
+            0u64..1_000_000_000,
+            0u64..1_000_000,
+            0usize..4,
+            0u8..32,
+            0usize..3,
+        ),
+        0..30,
+    )
+}
+
+fn build_spans(specs: Vec<SpanSpec>) -> Vec<xsp_trace::Span> {
+    // JSON-hostile names: separators, quotes, escapes, control chars,
+    // non-ASCII — the reader must get back exactly what the writer saw.
+    let names = [
+        "model_prediction",
+        "conv2d 1/Conv2D;fused",
+        "say \"hi\"",
+        "tab\tand\nnewline",
+        "uni⟨code⟩ kernel λ",
+        "back\\slash",
+    ];
+    let mut spans: Vec<xsp_trace::Span> = Vec::with_capacity(specs.len());
+    for (name_ix, level_ix, start, len, parent_back, tag_bits, logs) in specs {
+        let level = StackLevel::ALL[level_ix % StackLevel::ALL.len()];
+        let mut builder =
+            SpanBuilder::new(names[name_ix % names.len()], level, TraceId(1)).start(start);
+        if parent_back > 0 && !spans.is_empty() {
+            builder = builder.parent(spans[(parent_back - 1) % spans.len()].id);
+        }
+        if tag_bits & 1 != 0 {
+            builder = builder.tag("note", "string \"tag\"\n");
+        }
+        if tag_bits & 2 != 0 {
+            builder = builder.tag("signed", -42i64);
+        }
+        if tag_bits & 4 != 0 {
+            builder = builder.tag(tag_keys::FLOP_COUNT_SP, u64::MAX);
+        }
+        if tag_bits & 8 != 0 {
+            builder = builder.tag("occ", 0.1f64 + start as f64 * 1e-3);
+        }
+        if tag_bits & 16 != 0 {
+            builder = builder.tag("flag", (tag_bits & 1) == 0);
+        }
+        for l in 0..logs {
+            builder = builder.log(start + l as u64, format!("event {l}"));
+        }
+        spans.push(builder.finish(start + len));
+    }
+    spans
 }

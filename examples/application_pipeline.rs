@@ -4,7 +4,11 @@
 //! XSP as it uses distributed tracing."
 //!
 //! This example profiles a two-model cascade — a detector followed by a
-//! classifier on the detected regions — under one application span.
+//! classifier on the detected regions — under one application span, then
+//! streams the raw timeline off the tracing server to a span-JSON-lines
+//! file and correlates it *from the file* — the off-line conversion path of
+//! §III-A ("the conversion ... can be performed off-line by processing the
+//! output of the profiler").
 //!
 //! Run with: `cargo run --release --example application_pipeline`
 
@@ -13,6 +17,7 @@ use xsp_core::api::start_span_at_level;
 use xsp_framework::{FrameworkKind, RunOptions, Session};
 use xsp_gpu::{systems, CudaContext, CudaContextConfig};
 use xsp_models::zoo;
+use xsp_trace::export::{read_span_json_lines, SpanJsonLinesWriter};
 use xsp_trace::{reconstruct_parents, SpanTree, StackLevel, TracingServer};
 
 fn main() {
@@ -72,8 +77,26 @@ fn main() {
 
     app.finish();
 
-    // Correlate the whole application trace.
-    let trace = server.drain();
+    // Stream the timeline straight off the server into span-JSON-lines:
+    // each span is serialized and written as it is drained, so the
+    // serialized trace is never materialized in memory.
+    let path = std::env::temp_dir().join("application_pipeline_spans.jsonl");
+    let file = std::fs::File::create(&path).expect("create span stream");
+    let mut writer = SpanJsonLinesWriter::new(std::io::BufWriter::new(file));
+    server.drain_each(|span| writer.write_span(&span).expect("stream span"));
+    writer.finish().expect("flush span stream");
+
+    // Off-line conversion: read the exported stream back and correlate it,
+    // exactly as a separate analysis process would.
+    let trace = read_span_json_lines(std::io::BufReader::new(
+        std::fs::File::open(&path).expect("reopen span stream"),
+    ))
+    .expect("span stream parses");
+    println!(
+        "streamed {} spans through {}\n",
+        trace.len(),
+        path.display()
+    );
     let correlated = reconstruct_parents(&trace);
     assert!(correlated.ambiguities.is_clean());
     let tree = SpanTree::build(&correlated);

@@ -1,0 +1,116 @@
+//! Golden-export snapshot: the `xsp export --format chrome` byte stream,
+//! frozen, so drift in the Chrome trace-event schema (field names/order,
+//! category labels, tid mapping, tag→args conversion, ns→µs scaling) is
+//! caught in CI instead of by everyone's `chrome://tracing` imports — plus
+//! the determinism contract for all three export formats: streamed bytes
+//! must not depend on the evaluation engine's worker count.
+//!
+//! The snapshot profiles MobileNet_v1_0.25_128 (the smallest zoo entry) at
+//! batch 1 through the full leveled experiment with a single run per level
+//! — every span schema the pipeline emits (model phases, layers, kernel
+//! launch/execution pairs with metric tags) crosses the chrome exporter at
+//! a reviewable file size.
+//!
+//! To regenerate after an *intentional* schema change:
+//! `XSP_BLESS=1 cargo test --test golden_export` — then review the diff.
+
+use xsp_core::export::{export_profile, ExportFormat};
+use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::scheduler::Parallelism;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+
+const GOLDEN_PATH: &str = "tests/golden/mobilenet_025_128_b1_chrome.json";
+
+fn xsp(parallelism: Parallelism) -> Xsp {
+    // Mirrors `xsp export --model MobileNet_v1_0.25_128 --runs 1 --level 3`:
+    // same config defaults, same orchestrator entry point.
+    Xsp::new(
+        XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+            .runs(1)
+            .parallelism(parallelism),
+    )
+}
+
+fn export_bytes(parallelism: Parallelism, format: ExportFormat) -> Vec<u8> {
+    let profile = xsp(parallelism).up_to_level(
+        &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1),
+        ProfilingLevel::ModelLayerGpu,
+    );
+    let mut out = Vec::new();
+    export_profile(&profile, format, &mut out).expect("Vec export cannot fail");
+    out
+}
+
+#[test]
+fn chrome_export_matches_golden() {
+    let current = export_bytes(Parallelism::Serial, ExportFormat::Chrome);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var("XSP_BLESS").is_ok() {
+        std::fs::write(&path, &current).expect("write golden");
+        eprintln!("blessed {} ({} bytes)", path.display(), current.len());
+        return;
+    }
+    let golden =
+        std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert!(
+        golden == current,
+        "chrome export drifted from the frozen snapshot ({} vs {} bytes).\n\
+         If the schema change is intentional, regenerate with \
+         `XSP_BLESS=1 cargo test --test golden_export` and review the diff.",
+        golden.len(),
+        current.len()
+    );
+}
+
+#[test]
+fn golden_chrome_trace_still_parses() {
+    if std::env::var("XSP_BLESS").is_ok() {
+        eprintln!("skipping parse check during bless");
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let golden = std::fs::read_to_string(&path).expect("golden present");
+    let v: serde_json::Value = serde_json::from_str(&golden).expect("golden parses");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(
+        events.len() > 400,
+        "leveled trace has {} events",
+        events.len()
+    );
+    // schema anchors chrome://tracing relies on
+    for e in events {
+        assert_eq!(e["ph"], "X");
+        assert!(e["ts"].as_f64().is_some());
+        assert!(e["dur"].as_f64().is_some());
+        assert!(e["args"]["span_id"].is_u64());
+    }
+    // all stack levels present as tid rows, kernels with metric tags
+    let tids: Vec<u64> = events.iter().filter_map(|e| e["tid"].as_u64()).collect();
+    for tid in [1, 2, 4] {
+        assert!(tids.contains(&tid), "missing stack-level row {tid}");
+    }
+    assert!(events
+        .iter()
+        .any(|e| e["args"]["flop_count_sp"].is_u64() && e["cat"] == "kernel"));
+}
+
+/// The full determinism contract on exported artifacts: for every format,
+/// the bytes written by a 4-worker engine equal the serial bytes. (This is
+/// the in-process twin of the CI `export-determinism` lane, which diffs
+/// the `xsp export` binary's output across `XSP_THREADS` values.)
+#[test]
+fn exports_are_byte_identical_across_worker_counts() {
+    for format in ExportFormat::ALL {
+        let serial = export_bytes(Parallelism::Serial, format);
+        let parallel = export_bytes(Parallelism::Fixed(4), format);
+        assert!(
+            serial == parallel,
+            "{format} export differs between Serial and Fixed(4): {} vs {} bytes",
+            serial.len(),
+            parallel.len()
+        );
+        assert!(!serial.is_empty());
+    }
+}

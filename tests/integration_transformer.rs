@@ -195,3 +195,74 @@ fn latency_scales_with_seq_and_batch() {
     // stays flat): per-input cost must fall well below online latency
     assert!(b8 / 8.0 < b1 / 2.0, "batching must improve throughput");
 }
+
+/// Folded-stack export of a transformer trace: every attention kernel
+/// shows up as a leaf frame under its attention layer, weighted by
+/// self-time, and the per-run streamed output matches the whole-trace
+/// string exporter byte for byte.
+#[test]
+fn folded_stacks_expose_attention_kernels_with_self_time() {
+    use xsp_trace::export::{to_folded_stacks, FoldedStacksWriter};
+
+    let xsp = xsp_with(7, 1, Parallelism::Serial);
+    let profile = xsp.leveled(&transformer::bert_base(1, 64));
+    let run = &profile.mlg_runs[0];
+
+    let folded = to_folded_stacks(&run.trace);
+    let mut writer = FoldedStacksWriter::new(Vec::new());
+    writer.write_run(&run.trace).unwrap();
+    let streamed = String::from_utf8(writer.finish().unwrap()).unwrap();
+    assert_eq!(folded, streamed, "wrapper must match the streaming writer");
+
+    // Parse `stack;frames weight` lines.
+    let lines: Vec<(Vec<&str>, u64)> = folded
+        .lines()
+        .map(|l| {
+            let (stack, w) = l.rsplit_once(' ').expect("`stack weight` shape");
+            (stack.split(';').collect(), w.parse().expect("weight"))
+        })
+        .collect();
+    assert!(
+        lines.len() > 100,
+        "BERT trace folds to {} lines",
+        lines.len()
+    );
+
+    // Attention-score GEMM kernels appear as kernel frames whose parent
+    // frame is the attention layer that launched them.
+    let attn_kernel_lines: Vec<&(Vec<&str>, u64)> = lines
+        .iter()
+        .filter(|(stack, _)| {
+            let leaf = stack.last().unwrap();
+            leaf.contains("sgemm") && leaf.contains("batched")
+        })
+        .collect();
+    assert!(
+        !attn_kernel_lines.is_empty(),
+        "batched attention GEMMs must fold as frames"
+    );
+    for (stack, weight) in &attn_kernel_lines {
+        assert!(*weight >= 1, "leaf self-time is at least 1 µs");
+        assert!(
+            stack.len() >= 3,
+            "kernel frames sit below model and layer: {stack:?}"
+        );
+        let layer_frame = stack[stack.len() - 2];
+        assert!(
+            layer_frame.contains("attention"),
+            "attention kernel under non-attention frame {layer_frame}"
+        );
+    }
+
+    // Self-time accounting: every stack's weight is bounded by the root
+    // span's duration, and the model root itself folds with self-time.
+    let model_total_us = run.phases.predict_ms * 1e3
+        + run.phases.preprocess_ms * 1e3
+        + run.phases.postprocess_ms * 1e3;
+    let folded_total_us: u64 = lines.iter().map(|(_, w)| w).sum();
+    assert!(
+        (folded_total_us as f64) <= model_total_us * 1.05,
+        "folded self-times ({folded_total_us} µs) cannot exceed the run ({model_total_us} µs)"
+    );
+    assert!(lines.iter().any(|(s, _)| s == &vec!["model_prediction"]));
+}

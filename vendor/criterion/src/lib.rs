@@ -3,9 +3,10 @@
 //! The build environment has no access to crates.io, so `harness = false`
 //! bench targets written against criterion run on this minimal wall-clock
 //! harness instead: each benchmark is warmed up once, timed for a fixed
-//! number of samples, and its mean/min per-iteration time is printed. There
-//! is no statistical analysis, HTML report, or baseline comparison — the
-//! numbers are honest but raw.
+//! number of samples, and its mean/median/p95/min per-iteration times are
+//! printed (median and p95 make outlier-driven regressions readable; real
+//! criterion's full distribution analysis, HTML reports, and baseline
+//! comparisons are not implemented — the numbers are honest but raw).
 
 #![warn(missing_docs)]
 
@@ -180,6 +181,16 @@ impl Bencher {
     }
 }
 
+/// The `p`-th percentile (0–100) of a sorted, non-empty sample set, by the
+/// nearest-rank method (the value at rank `⌈p/100 · n⌉`): `p=50` is the
+/// `⌈n/2⌉`-th sample (the lower median for even `n`), `p=95` the sample
+/// below which 95 % of iterations fall.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 fn run_one(id: &str, sample_size: usize, body: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
@@ -192,9 +203,13 @@ fn run_one(id: &str, sample_size: usize, body: &mut dyn FnMut(&mut Bencher)) {
     }
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
-    let min = bencher.samples.iter().min().expect("nonempty");
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let median = percentile(&sorted, 50.0);
+    let p95 = percentile(&sorted, 95.0);
+    let min = sorted.first().expect("nonempty");
     println!(
-        "{id:<56} mean {mean:>12.3?}   min {min:>12.3?}   n={}",
+        "{id:<56} mean {mean:>12.3?}   median {median:>12.3?}   p95 {p95:>12.3?}   min {min:>12.3?}   n={}",
         bencher.samples.len()
     );
 }
@@ -231,6 +246,22 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms = Duration::from_millis;
+        let sorted: Vec<Duration> = (1..=20).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(10));
+        assert_eq!(percentile(&sorted, 95.0), ms(19));
+        assert_eq!(percentile(&sorted, 100.0), ms(20));
+        // one outlier dominates mean but not median/p95 of a small set
+        let skewed = vec![ms(1), ms(1), ms(1), ms(100)];
+        assert_eq!(percentile(&skewed, 50.0), ms(1));
+        assert_eq!(percentile(&skewed, 95.0), ms(100));
+        // singleton: every percentile is the value
+        assert_eq!(percentile(&[ms(7)], 50.0), ms(7));
+        assert_eq!(percentile(&[ms(7)], 95.0), ms(7));
+    }
 
     #[test]
     fn bench_function_runs_body() {

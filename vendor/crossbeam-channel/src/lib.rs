@@ -8,68 +8,157 @@
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
-/// The sending half of an unbounded channel.
+/// A `try_recv` over the queue slot: a taken (`None`) slot means every
+/// receiver has been dropped — report disconnect, like real crossbeam.
+fn try_recv_slot<T>(slot: &Option<mpsc::Receiver<T>>) -> Result<T, TryRecvError> {
+    match slot {
+        Some(queue) => queue.try_recv(),
+        None => Err(TryRecvError::Disconnected),
+    }
+}
+
+/// State shared by every endpoint clone: the queue behind a mutex (so
+/// receiver clones can race on it, multi-consumer style) and the condvar a
+/// blocked `recv` parks on until a send or sender-drop wakes it.
+///
+/// Senders hold this `Arc` too (for the condvar), so receiver-disconnect
+/// cannot ride on the `Arc` refcount: `receivers` counts live receiver
+/// clones, and the last one to drop takes the queue out of the mutex —
+/// which drops the `mpsc::Receiver` and makes subsequent sends fail, as
+/// real crossbeam's do.
 #[derive(Debug)]
-pub struct Sender<T>(mpsc::Sender<T>);
+struct Shared<T> {
+    queue: Mutex<Option<mpsc::Receiver<T>>>,
+    available: Condvar,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn guard(&self) -> MutexGuard<'_, Option<mpsc::Receiver<T>>> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Wakes parked receivers. Taking (and releasing) the queue lock first
+    /// is what prevents the lost-wakeup race: a receiver holds that lock
+    /// from its failed `try_recv` until it is parked in `wait`, so a
+    /// notifier that has acquired the lock afterwards cannot slip its
+    /// notification into that window unobserved.
+    fn notify(&self) {
+        drop(self.guard());
+        self.available.notify_all();
+    }
+}
+
+/// The sending half of an unbounded channel.
+///
+/// The inner sender lives in an `Option` solely so `Drop` can disconnect
+/// the queue *before* notifying: fields drop after `Drop::drop` returns,
+/// and a receiver woken ahead of the disconnect would observe `Empty` and
+/// park again — for good, if this was the last sender.
+#[derive(Debug)]
+pub struct Sender<T> {
+    tx: Option<mpsc::Sender<T>>,
+    shared: Arc<Shared<T>>,
+}
 
 // Manual impls: like real crossbeam, the endpoints are cloneable for every
 // `T` (a derive would demand `T: Clone`, which e.g. worker-pool results
 // need not satisfy).
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Sender(self.0.clone())
+        Sender {
+            tx: self.tx.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // Disconnect first, then wake parked receivers so they observe it.
+        // (Cheaper to notify on every drop than to count live senders.)
+        self.tx.take();
+        self.shared.notify();
     }
 }
 
 /// The receiving half of an unbounded channel. Cloneable: clones share the
 /// same queue (each message is delivered to exactly one receiver).
 #[derive(Debug)]
-pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+pub struct Receiver<T>(Arc<Shared<T>>);
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::Relaxed);
         Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.0.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver: drop the queue so senders observe disconnect.
+            self.0.guard().take();
+        }
     }
 }
 
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Some(rx)),
+        available: Condvar::new(),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            tx: Some(tx),
+            shared: shared.clone(),
+        },
+        Receiver(shared),
+    )
 }
 
 impl<T> Sender<T> {
     /// Sends `value`, failing only when every receiver has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.0.send(value)
+        self.tx
+            .as_ref()
+            .expect("sender present until drop")
+            .send(value)?;
+        self.shared.notify();
+        Ok(())
     }
 }
 
 impl<T> Receiver<T> {
-    fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
-        match self.0.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
     /// Blocks until a message arrives or all senders are dropped.
     ///
-    /// Polls rather than parking inside the shared mutex: holding the guard
-    /// across a blocking `mpsc::recv` would make `try_recv`/`try_iter` on a
-    /// cloned receiver block too, which crossbeam's non-blocking API forbids.
+    /// Parks on the shared condvar between attempts — no spin-sleeping.
+    /// `Condvar::wait` releases the queue lock while parked, so
+    /// `try_recv`/`try_iter` on a cloned receiver stay non-blocking while
+    /// another clone waits (crossbeam's non-blocking API requires this).
     pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.0.guard();
         loop {
-            match self.guard().try_recv() {
+            match try_recv_slot(&queue) {
                 Ok(value) => return Ok(value),
                 Err(TryRecvError::Disconnected) => return Err(RecvError),
                 Err(TryRecvError::Empty) => {
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    queue = match self.0.available.wait(queue) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
                 }
             }
         }
@@ -77,7 +166,7 @@ impl<T> Receiver<T> {
 
     /// Returns a pending message without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.guard().try_recv()
+        try_recv_slot(&self.0.guard())
     }
 
     /// Drains every message currently in the channel without blocking.
@@ -145,5 +234,54 @@ mod tests {
         );
         tx.send(7).unwrap();
         assert_eq!(handle.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn parked_recv_wakes_on_send() {
+        let (tx, rx) = unbounded::<u32>();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20)); // let it park
+        tx.send(42).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn parked_recv_wakes_on_last_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20)); // let it park
+        drop(tx);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        drop(tx2); // disconnect happens here; the parked recv must observe it
+        assert_eq!(handle.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn many_parked_receivers_all_drain_or_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.recv())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let mut got: Vec<Result<u32, RecvError>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_by_key(|r| r.unwrap_or(u32::MAX));
+        assert_eq!(got, vec![Ok(1), Ok(2), Err(RecvError), Err(RecvError)]);
+    }
+
+    #[test]
+    fn recv_returns_queued_message_sent_before_parking() {
+        // The lost-wakeup guard: a message enqueued just before recv starts
+        // must be returned without any further notification.
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv(), Ok(9));
     }
 }
