@@ -30,7 +30,7 @@ pub fn ax2_host_dispatch(profile: &LeveledProfile) -> Vec<HostDispatchRow> {
         return Vec::new();
     };
     let mut rows: Vec<HostDispatchRow> = Vec::new();
-    for s in &run.trace.spans {
+    for s in run.trace.spans() {
         if s.span.level != StackLevel::Kernel {
             continue;
         }

@@ -37,15 +37,17 @@ pub fn ax1_library_calls(profile: &LeveledProfile) -> Vec<LibraryCallRow> {
         return Vec::new();
     };
     let mut rows: Vec<LibraryCallRow> = Vec::new();
-    for s in &run.trace.spans {
+    for s in run.trace.spans() {
         if s.span.level != StackLevel::Library {
             continue;
         }
+        // Children come from the trace's built-once adjacency — the old
+        // per-API full-trace scan was quadratic in span count.
         let kernels = run
             .trace
-            .spans
+            .children_of(s.span.id)
             .iter()
-            .filter(|k| k.span.level == StackLevel::Kernel && k.parent == Some(s.span.id))
+            .filter(|k| k.span.level == StackLevel::Kernel)
             .count();
         match rows.iter_mut().find(|r| r.api == s.span.name) {
             Some(r) => {
@@ -80,13 +82,7 @@ pub fn library_span_count(profile: &LeveledProfile) -> usize {
     profile
         .mlg_runs
         .first()
-        .map(|r| {
-            r.trace
-                .spans
-                .iter()
-                .filter(|s| s.span.level == StackLevel::Library)
-                .count()
-        })
+        .map(|r| r.trace.at_level(StackLevel::Library).count())
         .unwrap_or(0)
 }
 
@@ -97,9 +93,7 @@ pub fn library_span_layers(profile: &LeveledProfile) -> Vec<(String, Option<u64>
         .first()
         .map(|r| {
             r.trace
-                .spans
-                .iter()
-                .filter(|s| s.span.level == StackLevel::Library)
+                .at_level(StackLevel::Library)
                 .map(|s| {
                     (
                         s.span.name.clone(),
@@ -152,20 +146,15 @@ mod tests {
         let p = profile(true);
         let run = &p.mlg_runs[0];
         let mut lib_with_kernels = 0usize;
-        for s in &run.trace.spans {
-            if s.span.level != StackLevel::Library {
-                continue;
-            }
-            for k in &run.trace.spans {
-                if k.parent == Some(s.span.id) {
-                    assert!(
-                        s.span.contains(&k.span),
-                        "kernel {} outside API span {}",
-                        k.span.name,
-                        s.span.name
-                    );
-                    lib_with_kernels += 1;
-                }
+        for s in run.trace.at_level(StackLevel::Library) {
+            for k in run.trace.children_of(s.span.id) {
+                assert!(
+                    s.span.contains(&k.span),
+                    "kernel {} outside API span {}",
+                    k.span.name,
+                    s.span.name
+                );
+                lib_with_kernels += 1;
             }
         }
         assert!(lib_with_kernels > 0, "some kernels parent to library spans");

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
 use xsp_core::analysis;
-use xsp_core::export::{export_profile, ExportFormat};
+use xsp_core::export::{export_profile, export_run_profile, ExportFormat};
 use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
 use xsp_core::scheduler::Parallelism;
@@ -33,6 +33,7 @@ USAGE:
   xsp export  --model <NAME> [--format spans|chrome|folded] [--level 1|2|3]
               [-o <PATH>] [--batch <N>] [--system <NAME>]
               [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
+  xsp export  --from <trace.jsonl> [--format spans|chrome|folded] [-o <PATH>]
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
               [--threads <T>]
 
@@ -42,6 +43,10 @@ EXPORT:   streams the trace to -o (stdout by default) without ever holding
           Perfetto), `folded` (flamegraph.pl / speedscope). --level picks
           the profiling depth: 1 = M, 2 = M/L, 3 = M/L/G + metrics (the
           default). Output is byte-identical for every --threads setting.
+          --from skips profiling entirely: it re-correlates a saved
+          span-JSON-lines capture offline (§III-A) and converts it to any
+          format — `xsp export --from trace.jsonl --format chrome` emits the
+          same bytes a live chrome export of that profile would.
 
 ANALYSES: a1 (via sweep), a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
           a13, a14, a15, ax1 (library level; needs --library-level),
@@ -268,9 +273,7 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
 
         if let Some(path) = flags.get("chrome") {
             let run = &p.mlg_runs[0];
-            let spans: Vec<xsp_trace::Span> =
-                run.trace.spans.iter().map(|s| s.span.clone()).collect();
-            let json = xsp_trace::export::to_chrome_trace(&xsp_trace::Trace::from_spans(spans));
+            let json = xsp_trace::export::to_chrome_trace_of(run.trace.iter_spans());
             std::fs::write(path, json).map_err(|e| e.to_string())?;
             println!("chrome trace written to {path}");
         }
@@ -296,13 +299,6 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
 /// the exported bytes (`xsp export --model bert-base | wc -c`).
 fn export(flags: &HashMap<String, String>) -> ExitCode {
     let result = (|| -> Result<(), String> {
-        let (xsp, system) = build_xsp(flags)?;
-        let model = lookup_model(flags)?;
-        let batch: usize = flags
-            .get("batch")
-            .map(|s| s.parse().map_err(|_| format!("bad --batch '{s}'")))
-            .transpose()?
-            .unwrap_or(1);
         let format = match flags.get("format") {
             Some(raw) => ExportFormat::parse(raw)
                 .ok_or_else(|| format!("bad --format '{raw}' (spans, chrome, or folded)"))?,
@@ -323,6 +319,16 @@ fn export(flags: &HashMap<String, String>) -> ExitCode {
                     .to_owned(),
             );
         }
+        if let Some(from) = flags.get("from") {
+            return export_offline(flags, from, format);
+        }
+        let (xsp, system) = build_xsp(flags)?;
+        let model = lookup_model(flags)?;
+        let batch: usize = flags
+            .get("batch")
+            .map(|s| s.parse().map_err(|_| format!("bad --batch '{s}'")))
+            .transpose()?
+            .unwrap_or(1);
         eprintln!(
             "exporting {} @ batch {batch} on {} ({}, level {}, format {format})...",
             model.name,
@@ -366,6 +372,75 @@ fn export(flags: &HashMap<String, String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `xsp export --from`: converts a saved span-JSON-lines capture offline
+/// (§III-A: the conversion "can be performed off-line by processing the
+/// output of the profiler") — the spans are re-correlated via
+/// `profile_from_trace` and streamed out; no model is re-profiled.
+fn export_offline(
+    flags: &HashMap<String, String>,
+    from: &str,
+    format: ExportFormat,
+) -> Result<(), String> {
+    // The capture already fixes the model, profiling depth and measurement
+    // policy; any profile-shaping flag here would be silently ignored, so
+    // reject them all up front.
+    for shaping in [
+        "model",
+        "level",
+        "batch",
+        "runs",
+        "threads",
+        "system",
+        "framework",
+        "library-level",
+    ] {
+        if flags.contains_key(shaping) {
+            return Err(format!(
+                "--from converts a saved capture as-is, without re-profiling; \
+                 --{shaping} has no effect — drop it (or drop --from to \
+                 profile live)"
+            ));
+        }
+    }
+    if from == "true" {
+        return Err("missing value for --from (path to a span-JSON-lines capture)".to_owned());
+    }
+    let file = std::fs::File::open(from).map_err(|e| format!("cannot open {from}: {e}"))?;
+    let trace = xsp_trace::export::read_span_json_lines(std::io::BufReader::new(file))
+        .map_err(|e| format!("{from}: {e}"))?;
+    eprintln!(
+        "converting {from} ({} spans, {} runs) to {format}...",
+        trace.len(),
+        trace.trace_ids().len()
+    );
+    // The level is metadata on RunProfile only; exports never read it.
+    let profile = xsp_core::pipeline::profile_from_trace(trace, ProfilingLevel::ModelLayerGpu);
+    let written = match flags.get("out") {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let written = export_run_profile(&profile, format, std::io::BufWriter::new(file))
+                .map_err(|e| format!("export to {path} failed: {e}"))?;
+            eprintln!("{format} export written to {path}");
+            written
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let written = export_run_profile(&profile, format, stdout.lock())
+                .map_err(|e| format!("export to stdout failed: {e}"))?;
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            written
+        }
+    };
+    let unit = if format == ExportFormat::Folded {
+        "trace traversals"
+    } else {
+        "spans"
+    };
+    eprintln!("exported {written} {unit} (offline, no re-profiling)");
+    Ok(())
 }
 
 fn render_analysis(

@@ -65,6 +65,38 @@ impl fmt::Display for ExportFormat {
     }
 }
 
+/// Streams a span sequence to `out` as span-JSON-lines or Chrome trace
+/// events — the shared per-span body of [`export_profile`] and
+/// [`export_run_profile`], so the live and offline paths cannot drift.
+/// Folded stacks need per-run parent trees and are handled by the callers.
+fn export_span_stream<'a, W: Write>(
+    spans: impl Iterator<Item = &'a xsp_trace::Span>,
+    format: ExportFormat,
+    out: W,
+) -> io::Result<usize> {
+    match format {
+        ExportFormat::Spans => {
+            let mut writer = SpanJsonLinesWriter::new(out);
+            for span in spans {
+                writer.write_span(span)?;
+            }
+            let written = writer.written();
+            writer.finish()?;
+            Ok(written)
+        }
+        ExportFormat::Chrome => {
+            let mut writer = ChromeTraceWriter::new(out)?;
+            for span in spans {
+                writer.write_span(span)?;
+            }
+            let written = writer.written();
+            writer.finish()?;
+            Ok(written)
+        }
+        ExportFormat::Folded => unreachable!("folded export streams per run, not per span"),
+    }
+}
+
 /// Streams every span of `profile` (canonical run order: M, M/L, M/L/G,
 /// metric runs) to `out` in the requested format. Returns the number of
 /// spans (events, for folded stacks: runs) written.
@@ -74,23 +106,8 @@ pub fn export_profile<W: Write>(
     out: W,
 ) -> io::Result<usize> {
     match format {
-        ExportFormat::Spans => {
-            let mut writer = SpanJsonLinesWriter::new(out);
-            for span in profile.iter_spans() {
-                writer.write_span(span)?;
-            }
-            let written = writer.written();
-            writer.finish()?;
-            Ok(written)
-        }
-        ExportFormat::Chrome => {
-            let mut writer = ChromeTraceWriter::new(out)?;
-            for span in profile.iter_spans() {
-                writer.write_span(span)?;
-            }
-            let written = writer.written();
-            writer.finish()?;
-            Ok(written)
+        ExportFormat::Spans | ExportFormat::Chrome => {
+            export_span_stream(profile.iter_spans(), format, out)
         }
         ExportFormat::Folded => {
             let mut writer = FoldedStacksWriter::new(out);
@@ -101,6 +118,39 @@ pub fn export_profile<W: Write>(
             }
             writer.finish()?;
             Ok(runs)
+        }
+    }
+}
+
+/// Streams an offline-reconstructed [`RunProfile`] — the
+/// `xsp export --from trace.jsonl` path, where the spans came from a saved
+/// span-JSON-lines capture via [`crate::pipeline::profile_from_trace`] — to
+/// `out` in the requested format. Returns the number of spans written (for
+/// folded stacks: the number of root-level traversals, i.e. 1 per call).
+///
+/// Because a saved capture already carries reconstructed parents and merged
+/// async pairs, re-correlation is a no-op on its spans, and the bytes this
+/// emits for a capture of `profile` equal the live
+/// [`export_profile`] bytes for the same profile — the offline round-trip
+/// test pins that equivalence against the frozen chrome golden.
+pub fn export_run_profile<W: Write>(
+    profile: &RunProfile,
+    format: ExportFormat,
+    out: W,
+) -> io::Result<usize> {
+    match format {
+        ExportFormat::Spans | ExportFormat::Chrome => {
+            export_span_stream(profile.trace.iter_spans(), format, out)
+        }
+        ExportFormat::Folded => {
+            // One traversal covers every run in the capture: the correlated
+            // trace's root set lists each run's model-level roots in
+            // publication order, which is exactly the per-run emission order
+            // of the live export.
+            let mut writer = FoldedStacksWriter::new(out);
+            writer.write_run(&profile.trace)?;
+            writer.finish()?;
+            Ok(1)
         }
     }
 }
@@ -152,7 +202,7 @@ impl ExportSink {
             return;
         }
         for run in runs {
-            for span in run.trace.spans.iter().map(|s| &s.span) {
+            for span in run.trace.iter_spans() {
                 if let Err(e) = state.writer.write_span(span) {
                     state.error = Some(e);
                     return;

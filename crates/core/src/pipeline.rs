@@ -5,9 +5,10 @@
 //! prediction → output post-processing, each wrapped in a model-level span
 //! via the [`crate::api`]. Layer spans come from the framework profiler,
 //! kernel spans from the CUPTI adapter; nothing sets the kernel→layer
-//! relation explicitly — [`xsp_trace::reconstruct_parents`] recovers it from
-//! the interval tree, with an optional serialized re-run
-//! (`CUDA_LAUNCH_BLOCKING=1` analogue) when parents are ambiguous (§III-A).
+//! relation explicitly — the [`xsp_trace::CorrelationEngine`] recovers it
+//! from lazily built per-level interval trees, with an optional serialized
+//! re-run (`CUDA_LAUNCH_BLOCKING=1` analogue) when parents are ambiguous
+//! (§III-A).
 
 use crate::profile::{ProfilingLevel, XspConfig};
 use std::collections::HashMap;
@@ -17,7 +18,7 @@ use xsp_framework::{LayerGraph, RunOptions, Session};
 use xsp_gpu::{CudaContext, CudaContextConfig, Dim3};
 use xsp_trace::span::tag_keys;
 use xsp_trace::{
-    reconstruct_parents, CorrelatedTrace, SpanBuilder, SpanId, StackLevel, TraceId, TracingServer,
+    CorrelatedTrace, CorrelationEngine, SpanBuilder, SpanId, StackLevel, TraceId, TracingServer,
 };
 
 /// Host-side cost of decoding/normalizing one input image, ns.
@@ -217,8 +218,10 @@ pub fn run_once_with_metrics(
     ] {
         buffer.flush();
     }
-    let trace = server.drain();
-    let mut correlated = reconstruct_parents(&trace);
+    // Correlate by consuming the drained trace: the engine moves every span
+    // into the indexed store (no clone) and builds the per-level interval
+    // trees lazily — see `xsp_trace::correlate`.
+    let mut correlated = CorrelationEngine::new().correlate(server.drain());
     let mut used_rerun = false;
 
     // Serialized re-run for ambiguous parents (§III-A). The repeated run
@@ -281,7 +284,7 @@ fn serialized_kernel_assignment(
     session.predict(&opts);
     span.finish();
     cupti.flush_to_tracer(&kernel_tracer, trace_id);
-    let correlated = reconstruct_parents(&server.drain());
+    let correlated = CorrelationEngine::new().correlate(server.drain());
     let layers = extract_layers(&correlated);
     let kernels = extract_kernels(&correlated, &layers);
     kernels.into_iter().map(|k| k.layer_index).collect()
@@ -292,7 +295,7 @@ fn serialized_kernel_assignment(
 fn apply_assignment(correlated: &mut CorrelatedTrace, assignment: &[Option<usize>]) {
     // layer index -> span id in this trace
     let mut layer_span: HashMap<usize, SpanId> = HashMap::new();
-    for s in &correlated.spans {
+    for s in correlated.spans() {
         if s.span.level == StackLevel::Layer {
             if let Some(idx) = s.span.tag(tag_keys::LAYER_INDEX).and_then(|v| v.as_u64()) {
                 layer_span.insert(idx as usize, s.span.id);
@@ -301,7 +304,7 @@ fn apply_assignment(correlated: &mut CorrelatedTrace, assignment: &[Option<usize
     }
     // kernels in launch (correlation-id) order
     let mut kernel_positions: Vec<usize> = correlated
-        .spans
+        .spans()
         .iter()
         .enumerate()
         .filter(|(_, s)| {
@@ -311,12 +314,13 @@ fn apply_assignment(correlated: &mut CorrelatedTrace, assignment: &[Option<usize
         })
         .map(|(i, _)| i)
         .collect();
-    kernel_positions.sort_by_key(|&i| correlated.spans[i].span.correlation_id().unwrap_or(0));
+    kernel_positions.sort_by_key(|&i| correlated.spans()[i].span.correlation_id().unwrap_or(0));
     for (order, &pos) in kernel_positions.iter().enumerate() {
         if let Some(Some(layer_idx)) = assignment.get(order) {
             if let Some(&sid) = layer_span.get(layer_idx) {
-                correlated.spans[pos].parent = Some(sid);
-                correlated.spans[pos].span.parent = Some(sid);
+                // `set_parent` keeps the trace's children/root indexes
+                // coherent with the grafted assignment.
+                correlated.set_parent(pos, sid);
             }
         }
     }
@@ -326,7 +330,7 @@ fn apply_assignment(correlated: &mut CorrelatedTrace, assignment: &[Option<usize
 fn extract_phases(trace: &CorrelatedTrace) -> ModelPhases {
     let ms = |name: &str| {
         trace
-            .spans
+            .spans()
             .iter()
             .find(|s| s.span.level == StackLevel::Model && s.span.name == name)
             .map(|s| s.span.duration_ms())
@@ -341,7 +345,7 @@ fn extract_phases(trace: &CorrelatedTrace) -> ModelPhases {
 
 fn extract_layers(trace: &CorrelatedTrace) -> Vec<LayerProfile> {
     let mut layers: Vec<LayerProfile> = trace
-        .spans
+        .spans()
         .iter()
         .filter(|s| s.span.level == StackLevel::Layer)
         .filter_map(|s| {
@@ -379,7 +383,8 @@ fn extract_kernels(trace: &CorrelatedTrace, layers: &[LayerProfile]) -> Vec<Kern
     let span_to_layer: HashMap<SpanId, usize> =
         layers.iter().map(|l| (l.span_id, l.index)).collect();
     // With the library level enabled, kernels parent to cuDNN API spans
-    // whose parents are the layer spans: resolve through one extra hop.
+    // whose parents are the layer spans: resolve through one extra hop
+    // (`find` is an O(1) lookup in the trace's built-once index).
     let resolve_layer = |mut parent: Option<SpanId>| -> Option<usize> {
         for _ in 0..3 {
             let p = parent?;
@@ -391,7 +396,7 @@ fn extract_kernels(trace: &CorrelatedTrace, layers: &[LayerProfile]) -> Vec<Kern
         None
     };
     let mut kernels: Vec<(u64, KernelProfile)> = trace
-        .spans
+        .spans()
         .iter()
         .filter(|s| {
             s.span.level == StackLevel::Kernel
@@ -452,13 +457,23 @@ fn extract_kernels(trace: &CorrelatedTrace, layers: &[LayerProfile]) -> Vec<Kern
 /// offline-analysis path of §III-A ("the conversion ... can be performed
 /// off-line by processing the output of the profiler"). The spans may come
 /// from [`xsp_trace::export::from_span_json`].
+///
+/// Caveat for multi-run captures: every live run allocates trace ids from
+/// its own server, so all runs of a saved capture share `TraceId(1)` and
+/// are re-correlated as one run. That is sound for captures this pipeline
+/// exported — async pairs are already merged (both-flags spans pass
+/// through untouched) and every non-root span carries its explicit parent,
+/// so re-correlation is a no-op — but hand-built JSONL containing
+/// *unpaired* async halves or parentless spans in several runs can pair or
+/// parent across run boundaries. Splitting on a per-run tag instead is
+/// tracked in the ROADMAP (it would change the capture format).
 pub fn profile_from_trace(trace: xsp_trace::Trace, level: ProfilingLevel) -> RunProfile {
     let trace_id = trace
         .trace_ids()
         .first()
         .copied()
         .unwrap_or(xsp_trace::TraceId(0));
-    let correlated = reconstruct_parents(&trace);
+    let correlated = CorrelationEngine::new().correlate(trace);
     let phases = extract_phases(&correlated);
     let layers = extract_layers(&correlated);
     let kernels = extract_kernels(&correlated, &layers);

@@ -325,8 +325,7 @@ impl LeveledProfile {
     /// run, trace-assembly order) — borrowed, so exporters can stream the
     /// profile without cloning it.
     pub fn iter_spans(&self) -> impl Iterator<Item = &xsp_trace::Span> {
-        self.runs()
-            .flat_map(|run| run.trace.spans.iter().map(|s| &s.span))
+        self.runs().flat_map(|run| run.trace.iter_spans())
     }
 
     /// Every span, cloned, in [`LeveledProfile::iter_spans`] order.

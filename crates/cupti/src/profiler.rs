@@ -333,7 +333,7 @@ mod tests {
         let trace = server.drain();
         let correlated = reconstruct_parents(&trace);
         let kernels: Vec<_> = correlated
-            .spans
+            .spans()
             .iter()
             .filter(|s| s.span.name == "volta_sgemm_128x64_nn")
             .collect();

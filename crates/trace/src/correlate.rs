@@ -12,16 +12,28 @@
 //!
 //! 2. **Parent reconstruction** — profilers at different stack levels cannot
 //!    see each other, so e.g. kernel spans arrive without a layer parent.
-//!    [`reconstruct_parents`] builds an [`IntervalTree`] per stack level and
-//!    assigns each orphan span the unique span one level up (among levels
-//!    present) whose interval contains it. Ambiguities (several containing
-//!    candidates, i.e. parallel events) are reported so the caller can re-run
-//!    with serialized execution (`CUDA_LAUNCH_BLOCKING=1`).
+//!    The [`CorrelationEngine`] builds an [`IntervalTree`] per stack level
+//!    and assigns each orphan span the unique span one level up (among
+//!    levels present) whose interval contains it. Ambiguities (several
+//!    containing candidates, i.e. parallel events) are reported so the
+//!    caller can re-run with serialized execution
+//!    (`CUDA_LAUNCH_BLOCKING=1`).
+//!
+//! The engine follows the repository-wide "index once, borrow everywhere"
+//! rule: it consumes the drained [`Trace`] (no span is cloned on the hot
+//! path), walks each evaluation run exactly once to merge async pairs and
+//! bucket span indices per stack level, and builds interval trees *lazily* —
+//! a level's tree is constructed on the first probe against it and cached
+//! for every later probe in the run. Levels that are never probed (most
+//! notably the kernel level, which holds the overwhelming majority of
+//! spans but can never be anyone's parent) never pay for tree
+//! construction. [`reconstruct_parents`] remains as the thin borrowing
+//! wrapper the offline paths and tests use.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interval::{Interval, IntervalTree};
 use crate::server::Trace;
 use crate::span::{tag_keys, Span, SpanId, StackLevel, TagValue};
-use std::collections::HashMap;
 
 /// A span with its resolved parent and, for async operations, the launch
 /// interval used during parent matching.
@@ -44,6 +56,14 @@ impl CorrelatedSpan {
     pub fn anchor_interval(&self) -> (u64, u64) {
         self.launch_interval
             .unwrap_or((self.span.start_ns, self.span.end_ns))
+    }
+
+    fn passthrough(span: Span) -> Self {
+        CorrelatedSpan {
+            launch_interval: None,
+            parent: span.parent,
+            span,
+        }
     }
 }
 
@@ -78,33 +98,139 @@ impl AmbiguityReport {
     }
 }
 
-/// A fully correlated single-run trace: every span has a resolved parent
-/// (where one exists) and async pairs are merged.
+/// A fully correlated trace: every span has a resolved parent (where one
+/// exists) and async pairs are merged.
+///
+/// Like [`Trace`], this is an indexed store: the span table is built once by
+/// the [`CorrelationEngine`] together with a `SpanId → index` map, the
+/// resolved-parent adjacency, and the root set, so [`CorrelatedTrace::find`]
+/// and [`CorrelatedTrace::children_of`] are map lookups instead of linear
+/// scans and exporters/analyses borrow views instead of re-deriving them.
+/// The span table is private; the only mutation the pipeline needs —
+/// re-parenting a span after a serialized re-run — goes through
+/// [`CorrelatedTrace::set_parent`], which keeps every index coherent.
 #[derive(Debug, Clone, Default)]
 pub struct CorrelatedTrace {
     /// Correlated spans in publication order.
-    pub spans: Vec<CorrelatedSpan>,
+    spans: Vec<CorrelatedSpan>,
+    /// `SpanId → index` (first occurrence wins).
+    index_of: FxHashMap<SpanId, usize>,
+    /// Resolved parent → child indices, in appearance order.
+    children: FxHashMap<SpanId, Vec<usize>>,
+    /// Indices of spans with no parent *present in this trace*, ascending.
+    roots: Vec<usize>,
     /// Reconstruction diagnostics.
     pub ambiguities: AmbiguityReport,
 }
 
 impl CorrelatedTrace {
+    /// Builds the indexed store from correlated spans (used by the engine
+    /// and by tests/oracles that assemble traces by hand).
+    pub fn new(spans: Vec<CorrelatedSpan>, ambiguities: AmbiguityReport) -> Self {
+        let mut index_of = FxHashMap::default();
+        index_of.reserve(spans.len());
+        for (i, s) in spans.iter().enumerate() {
+            index_of.entry(s.span.id).or_insert(i);
+        }
+        let mut children: FxHashMap<SpanId, Vec<usize>> = FxHashMap::default();
+        let mut roots = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent {
+                Some(p) => {
+                    children.entry(p).or_default().push(i);
+                    if !index_of.contains_key(&p) {
+                        roots.push(i);
+                    }
+                }
+                None => roots.push(i),
+            }
+        }
+        Self {
+            spans,
+            index_of,
+            children,
+            roots,
+            ambiguities,
+        }
+    }
+
+    /// All correlated spans, in publication order.
+    pub fn spans(&self) -> &[CorrelatedSpan] {
+        &self.spans
+    }
+
+    /// Iterates the effective [`Span`]s in publication order (the view
+    /// exporters stream).
+    pub fn iter_spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter().map(|s| &s.span)
+    }
+
     /// Spans at the given level.
     pub fn at_level(&self, level: StackLevel) -> impl Iterator<Item = &CorrelatedSpan> {
         self.spans.iter().filter(move |s| s.span.level == level)
     }
 
-    /// Direct children of `parent`.
+    /// Direct children of `parent`, in appearance order.
     pub fn children_of(&self, parent: SpanId) -> Vec<&CorrelatedSpan> {
-        self.spans
+        self.child_indices(parent)
             .iter()
-            .filter(|s| s.parent == Some(parent))
+            .map(|&i| &self.spans[i])
             .collect()
     }
 
-    /// Finds a span by id.
+    /// Indices of the direct children of `parent`, in appearance order.
+    pub fn child_indices(&self, parent: SpanId) -> &[usize] {
+        self.children.get(&parent).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Indices of spans whose parent is unset or absent from this trace
+    /// (ascending) — the forest roots exporters traverse from.
+    pub fn root_indices(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Finds a span by id through the built-once index map.
     pub fn find(&self, id: SpanId) -> Option<&CorrelatedSpan> {
-        self.spans.iter().find(|s| s.span.id == id)
+        self.index_of.get(&id).map(|&i| &self.spans[i])
+    }
+
+    /// The index of a span id in the span table.
+    pub fn position(&self, id: SpanId) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// Re-parents the span at `idx`, keeping the span table, adjacency and
+    /// root set coherent — the pipeline uses this to graft the serialized
+    /// re-run's unambiguous kernel→layer assignment onto an async trace.
+    pub fn set_parent(&mut self, idx: usize, parent: SpanId) {
+        let old = self.spans[idx].parent;
+        self.spans[idx].parent = Some(parent);
+        self.spans[idx].span.parent = Some(parent);
+        if old == Some(parent) {
+            return;
+        }
+        if let Some(p) = old {
+            if let Some(v) = self.children.get_mut(&p) {
+                v.retain(|&i| i != idx);
+            }
+        }
+        let siblings = self.children.entry(parent).or_default();
+        let pos = siblings.partition_point(|&i| i < idx);
+        siblings.insert(pos, idx);
+        let was_root = match old {
+            None => true,
+            Some(p) => !self.index_of.contains_key(&p),
+        };
+        let is_root = !self.index_of.contains_key(&parent);
+        if was_root != is_root {
+            match self.roots.binary_search(&idx) {
+                Ok(pos) if !is_root => {
+                    self.roots.remove(pos);
+                }
+                Err(pos) if is_root => self.roots.insert(pos, idx),
+                _ => {}
+            }
+        }
     }
 
     /// Total number of spans.
@@ -118,33 +244,343 @@ impl CorrelatedTrace {
     }
 }
 
+/// A span's role in async correlation, derived from its tags once per
+/// engine pass.
+#[derive(Clone, Copy)]
+enum AsyncRole {
+    /// Launch half of an async pair (`async_launch` only), with its cid.
+    Launch(u64),
+    /// Execution half (`async_execution` only), with its cid.
+    Execution(u64),
+    /// No async tags, no cid, or both flags (an already-merged capture).
+    Plain,
+}
+
+/// Derives a span's async-correlation role — the single definition of the
+/// pairing semantics, shared by [`CorrelationEngine`] and
+/// [`correlate_async_spans`] so the two paths cannot drift. A span carrying
+/// *both* flags is an already-merged pair from a previous correlation
+/// (e.g. a re-imported span-JSON-lines capture, where the execution span
+/// absorbed the launch's tags); it takes part in no pairing, which makes
+/// re-correlation idempotent.
+fn async_role(s: &Span) -> AsyncRole {
+    match s.correlation_id() {
+        Some(cid) => match (s.is_async_launch(), s.is_async_execution()) {
+            (true, false) => AsyncRole::Launch(cid),
+            (false, true) => AsyncRole::Execution(cid),
+            // both flags (already merged) or neither: plain span
+            _ => AsyncRole::Plain,
+        },
+        None => AsyncRole::Plain,
+    }
+}
+
+/// The launch half of an async pair, captured once during the
+/// classification pass so merges borrow it instead of re-scanning.
+struct LaunchHalf {
+    parent: Option<SpanId>,
+    interval: (u64, u64),
+    tags: Vec<(String, TagValue)>,
+}
+
+/// Reusable correlation state: per-level index buckets and the lazy
+/// interval-tree cache.
+///
+/// One engine correlates one [`Trace`] at a time (any number of evaluation
+/// runs) and may be reused across traces — the scratch buffers keep their
+/// capacity. Within one run, a level's tree is built on the first probe
+/// against that level and cached for the rest of the run: every child level
+/// below shares it, so the layer tree is built once for all kernels and
+/// library calls, and levels nothing ever probes (the kernel level — the
+/// largest — can never be a parent candidate) are never built at all.
+/// [`CorrelationEngine::trees_built`] exposes the construction count so
+/// tests can pin the laziness.
+#[derive(Default)]
+pub struct CorrelationEngine {
+    /// Per-level span indices of the run being correlated, `StackLevel`
+    /// rank as the slot.
+    level_buckets: [Vec<usize>; StackLevel::ALL.len()],
+    /// Lazily built per-level trees for the run being correlated.
+    trees: [Option<IntervalTree>; StackLevel::ALL.len()],
+    /// Cumulative count of tree constructions per level (across runs and
+    /// traces) — observability for the laziness contract.
+    trees_built: [usize; StackLevel::ALL.len()],
+}
+
+impl CorrelationEngine {
+    /// Creates an engine with empty scratch state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interval trees built at `level` so far.
+    pub fn trees_built_at(&self, level: StackLevel) -> usize {
+        self.trees_built[level.rank() as usize]
+    }
+
+    /// Total number of interval trees built so far.
+    pub fn trees_built(&self) -> usize {
+        self.trees_built.iter().sum()
+    }
+
+    /// Correlates every evaluation run of `trace` — async-pair merge plus
+    /// parent reconstruction — consuming the trace so no span is cloned.
+    ///
+    /// Runs are processed independently in first-appearance order; the
+    /// resulting span order, parent assignments and ambiguity report are
+    /// identical to correlating each run's sub-trace on its own (the
+    /// byte-identity goldens pin this).
+    pub fn correlate(&mut self, trace: Trace) -> CorrelatedTrace {
+        let mut ambiguities = AmbiguityReport::default();
+        let mut out: Vec<CorrelatedSpan> = Vec::with_capacity(trace.len());
+        for run in Self::run_buckets(trace) {
+            self.correlate_run(run, &mut out, &mut ambiguities);
+        }
+        CorrelatedTrace::new(out, ambiguities)
+    }
+
+    /// Splits a consumed trace into per-run span vectors, first-appearance
+    /// order. Single-run traces (the pipeline hot path) move straight
+    /// through.
+    fn run_buckets(trace: Trace) -> Vec<Vec<Span>> {
+        if trace.is_empty() {
+            return Vec::new();
+        }
+        if trace.trace_ids().len() == 1 {
+            return vec![trace.into_spans()];
+        }
+        let (spans, runs) = trace.into_parts();
+        let mut slots: Vec<Option<Span>> = spans.into_iter().map(Some).collect();
+        runs.into_iter()
+            .map(|(_, idxs)| {
+                idxs.into_iter()
+                    .map(|i| slots[i].take().expect("each span moved once"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Correlates one run: a single pass merges async pairs and buckets the
+    /// surviving spans per stack level, then parent reconstruction probes
+    /// the lazily built level trees.
+    fn correlate_run(
+        &mut self,
+        spans: Vec<Span>,
+        out: &mut Vec<CorrelatedSpan>,
+        ambiguities: &mut AmbiguityReport,
+    ) {
+        for bucket in &mut self.level_buckets {
+            bucket.clear();
+        }
+        for tree in &mut self.trees {
+            *tree = None;
+        }
+        let base = out.len();
+
+        // Classification: which correlation ids have a launch half (kept
+        // aside for merging) and which have an execution half. The async
+        // role of each span is derived from its tags exactly once here —
+        // the tag lookups are linear key scans, so re-deriving the role in
+        // every later pass would triple the tag-scan cost.
+        let mut roles: Vec<AsyncRole> = Vec::with_capacity(spans.len());
+        let mut exec_cids: FxHashSet<u64> = FxHashSet::default();
+        for s in &spans {
+            let role = async_role(s);
+            if let AsyncRole::Execution(cid) = role {
+                exec_cids.insert(cid);
+            }
+            roles.push(role);
+        }
+        // Launch halves are copied aside only when an execution half exists
+        // to merge into (the tags copy is needed because one launch may
+        // serve several executions); unpaired launches move straight
+        // through below, clone-free. The walk is sequential over the span
+        // table (cache-friendly) and preserves last-wins cid semantics.
+        let mut launches: FxHashMap<u64, LaunchHalf> = FxHashMap::default();
+        for (i, s) in spans.iter().enumerate() {
+            if let AsyncRole::Launch(cid) = roles[i] {
+                if exec_cids.contains(&cid) {
+                    launches.insert(
+                        cid,
+                        LaunchHalf {
+                            parent: s.parent,
+                            interval: (s.start_ns, s.end_ns),
+                            tags: s.tags.clone(),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Merge pass: spans move into the output table; paired launch halves
+        // fold into their execution span (timing from the execution, parent
+        // and missing tags from the launch). The per-level index buckets
+        // fill as spans land.
+        for (i, s) in spans.into_iter().enumerate() {
+            let entry = match roles[i] {
+                AsyncRole::Execution(cid) => {
+                    if let Some(launch) = launches.get(&cid) {
+                        let mut merged = s;
+                        merged.parent = launch.parent;
+                        for (k, v) in &launch.tags {
+                            if merged.tag(k).is_none() {
+                                merged.tags.push((k.clone(), v.clone()));
+                            }
+                        }
+                        CorrelatedSpan {
+                            launch_interval: Some(launch.interval),
+                            parent: merged.parent,
+                            span: merged,
+                        }
+                    } else {
+                        CorrelatedSpan::passthrough(s)
+                    }
+                }
+                AsyncRole::Launch(cid) => {
+                    // Launch halves fold into their execution span; keep
+                    // only unpaired launches.
+                    if exec_cids.contains(&cid) {
+                        continue;
+                    }
+                    CorrelatedSpan::passthrough(s)
+                }
+                AsyncRole::Plain => CorrelatedSpan::passthrough(s),
+            };
+            self.level_buckets[entry.span.level.rank() as usize].push(out.len());
+            out.push(entry);
+        }
+
+        // Which levels exist in this run, ordered top-to-bottom.
+        let levels: Vec<StackLevel> = StackLevel::ALL
+            .iter()
+            .copied()
+            .filter(|l| !self.level_buckets[l.rank() as usize].is_empty())
+            .collect();
+
+        for i in base..out.len() {
+            if out[i].parent.is_some() {
+                continue; // explicit reference wins
+            }
+            let child_level = out[i].span.level;
+            let Some(pos) = levels.iter().position(|l| *l == child_level) else {
+                continue;
+            };
+            if pos == 0 {
+                continue; // top level present: no parent expected
+            }
+            // Candidate intervals, in preference order: the launch interval
+            // for async spans ("XSP uses the kernel launch span to associate
+            // it with the parent layer span"), then the span's own execution
+            // interval — needed when the parent profiler reports
+            // device-anchored intervals, as TensorFlow's device tracer does.
+            let mut probes: Vec<(u64, u64)> = vec![out[i].anchor_interval()];
+            let own = (out[i].span.start_ns, out[i].span.end_ns);
+            if probes[0] != own {
+                probes.push(own);
+            }
+            // Search the nearest level above first; when nothing there
+            // contains the span (e.g. a memcpy issued during model-level
+            // pre-processing, with no enclosing layer), walk further up the
+            // stack.
+            let mut candidates: Vec<usize> = Vec::new();
+            'search: for ancestor in (0..pos).rev() {
+                let tree = Self::tree_for(
+                    &mut self.trees,
+                    &mut self.trees_built,
+                    &self.level_buckets,
+                    levels[ancestor],
+                    out,
+                );
+                for &(lo, hi) in &probes {
+                    candidates = tree.containing(lo, hi).map(|iv| iv.key).collect();
+                    // A span never parents itself (possible only with equal
+                    // intervals at mixed levels, but be safe).
+                    candidates.retain(|&c| c != i);
+                    if !candidates.is_empty() {
+                        break 'search;
+                    }
+                }
+            }
+            match candidates.len() {
+                0 => {
+                    ambiguities.orphans.push(out[i].span.id);
+                }
+                1 => {
+                    let pid = out[candidates[0]].span.id;
+                    out[i].parent = Some(pid);
+                    out[i].span.parent = Some(pid);
+                }
+                _ => {
+                    // Best effort: tightest containing interval.
+                    let best = *candidates
+                        .iter()
+                        .min_by_key(|&&c| out[c].span.end_ns - out[c].span.start_ns)
+                        .expect("nonempty");
+                    let all: Vec<SpanId> = candidates.iter().map(|&c| out[c].span.id).collect();
+                    ambiguities.ambiguous.push((out[i].span.id, all));
+                    let pid = out[best].span.id;
+                    out[i].parent = Some(pid);
+                    out[i].span.parent = Some(pid);
+                }
+            }
+        }
+    }
+
+    /// Returns the interval tree for `level`, building it on first use from
+    /// the run's level bucket. A free function over the split-borrowed
+    /// fields so the caller can keep reading `out` while the tree is alive.
+    fn tree_for<'t>(
+        trees: &'t mut [Option<IntervalTree>; StackLevel::ALL.len()],
+        trees_built: &mut [usize; StackLevel::ALL.len()],
+        level_buckets: &[Vec<usize>; StackLevel::ALL.len()],
+        level: StackLevel,
+        out: &[CorrelatedSpan],
+    ) -> &'t IntervalTree {
+        let rank = level.rank() as usize;
+        if trees[rank].is_none() {
+            let intervals: Vec<Interval> = level_buckets[rank]
+                .iter()
+                .map(|&i| Interval::new(out[i].span.start_ns, out[i].span.end_ns, i))
+                .collect();
+            trees_built[rank] += 1;
+            trees[rank] = Some(IntervalTree::build(intervals));
+        }
+        trees[rank].as_ref().expect("just built")
+    }
+}
+
 /// Merges async launch/execution span pairs by correlation id.
 ///
 /// Returns correlated spans where each async pair became a single entry
 /// (execution timing + merged tags + launch parent/interval) plus all
 /// non-async spans unchanged. Unpaired halves are passed through unchanged —
 /// a launch whose kernel never ran, or an execution record whose callback was
-/// dropped, must stay visible to the analysis.
+/// dropped, must stay visible to the analysis. A span carrying *both* async
+/// flags is an already-merged pair (a re-imported capture) and passes
+/// through untouched, so correlation is idempotent.
+///
+/// This is the borrowing single-step API; the pipeline itself goes through
+/// [`CorrelationEngine::correlate`], which performs the same merge without
+/// cloning spans.
 pub fn correlate_async_spans(spans: &[Span]) -> Vec<CorrelatedSpan> {
-    let mut launches: HashMap<u64, &Span> = HashMap::new();
-    let mut executions: HashMap<u64, &Span> = HashMap::new();
+    let mut launches: FxHashMap<u64, &Span> = FxHashMap::default();
+    let mut exec_cids: FxHashSet<u64> = FxHashSet::default();
     for s in spans {
-        if let Some(cid) = s.correlation_id() {
-            if s.is_async_launch() {
+        match async_role(s) {
+            AsyncRole::Launch(cid) => {
                 launches.insert(cid, s);
-                continue;
-            } else if s.is_async_execution() {
-                executions.insert(cid, s);
-                continue;
             }
+            AsyncRole::Execution(cid) => {
+                exec_cids.insert(cid);
+            }
+            AsyncRole::Plain => {}
         }
     }
 
     let mut out = Vec::with_capacity(spans.len());
     for s in spans {
-        let cid = s.correlation_id();
-        match cid {
-            Some(cid) if s.is_async_execution() => {
+        match async_role(s) {
+            AsyncRole::Execution(cid) => {
                 if let Some(launch) = launches.get(&cid) {
                     // Merge: execution timing, union of tags, launch parent.
                     let mut merged = s.clone();
@@ -160,29 +596,17 @@ pub fn correlate_async_spans(spans: &[Span]) -> Vec<CorrelatedSpan> {
                         span: merged,
                     });
                 } else {
-                    out.push(CorrelatedSpan {
-                        span: s.clone(),
-                        launch_interval: None,
-                        parent: s.parent,
-                    });
+                    out.push(CorrelatedSpan::passthrough(s.clone()));
                 }
             }
-            Some(cid) if s.is_async_launch() => {
+            AsyncRole::Launch(cid) => {
                 // Launch halves are folded into their execution span; keep
                 // only unpaired launches.
-                if !executions.contains_key(&cid) {
-                    out.push(CorrelatedSpan {
-                        span: s.clone(),
-                        launch_interval: None,
-                        parent: s.parent,
-                    });
+                if !exec_cids.contains(&cid) {
+                    out.push(CorrelatedSpan::passthrough(s.clone()));
                 }
             }
-            _ => out.push(CorrelatedSpan {
-                span: s.clone(),
-                launch_interval: None,
-                parent: s.parent,
-            }),
+            AsyncRole::Plain => out.push(CorrelatedSpan::passthrough(s.clone())),
         }
     }
     out
@@ -197,111 +621,12 @@ pub fn correlate_async_spans(spans: &[Span]) -> Vec<CorrelatedSpan> {
 /// recorded in the [`AmbiguityReport`] (best-effort: tightest containing
 /// interval wins), mirroring the paper's requirement of a serialized re-run
 /// for parallel events.
+///
+/// This is the borrowing wrapper over [`CorrelationEngine::correlate`] (one
+/// clone of the span table); callers that own their [`Trace`] should feed
+/// the engine directly and pay no clone at all.
 pub fn reconstruct_parents(trace: &Trace) -> CorrelatedTrace {
-    let mut result = CorrelatedTrace::default();
-    for tid in trace.trace_ids() {
-        let run: Vec<Span> = trace
-            .spans()
-            .iter()
-            .filter(|s| s.trace_id == tid)
-            .cloned()
-            .collect();
-        let sub = reconstruct_single_run(&run);
-        result.spans.extend(sub.spans);
-        result.ambiguities.merge(sub.ambiguities);
-    }
-    result
-}
-
-fn reconstruct_single_run(spans: &[Span]) -> CorrelatedTrace {
-    let mut correlated = correlate_async_spans(spans);
-
-    // Which levels exist in this run, ordered top-to-bottom.
-    let levels: Vec<StackLevel> = StackLevel::ALL
-        .iter()
-        .copied()
-        .filter(|l| correlated.iter().any(|s| s.span.level == *l))
-        .collect();
-
-    // One interval tree per level, keyed by index into `correlated`.
-    let mut trees: HashMap<StackLevel, IntervalTree> = HashMap::new();
-    for &level in &levels {
-        let intervals: Vec<Interval> = correlated
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.span.level == level)
-            .map(|(i, s)| Interval::new(s.span.start_ns, s.span.end_ns, i))
-            .collect();
-        trees.insert(level, IntervalTree::build(intervals));
-    }
-
-    let mut ambiguities = AmbiguityReport::default();
-
-    for i in 0..correlated.len() {
-        if correlated[i].parent.is_some() {
-            continue; // explicit reference wins
-        }
-        let child_level = correlated[i].span.level;
-        let Some(pos) = levels.iter().position(|l| *l == child_level) else {
-            continue;
-        };
-        if pos == 0 {
-            continue; // top level present: no parent expected
-        }
-        // Candidate intervals, in preference order: the launch interval for
-        // async spans ("XSP uses the kernel launch span to associate it with
-        // the parent layer span"), then the span's own execution interval —
-        // needed when the parent profiler reports device-anchored intervals,
-        // as TensorFlow's device tracer does.
-        let mut probes: Vec<(u64, u64)> = vec![correlated[i].anchor_interval()];
-        let own = (correlated[i].span.start_ns, correlated[i].span.end_ns);
-        if probes[0] != own {
-            probes.push(own);
-        }
-        // Search the nearest level above first; when nothing there contains
-        // the span (e.g. a memcpy issued during model-level pre-processing,
-        // with no enclosing layer), walk further up the stack.
-        let mut candidates: Vec<usize> = Vec::new();
-        'search: for ancestor in (0..pos).rev() {
-            let tree = &trees[&levels[ancestor]];
-            for &(lo, hi) in &probes {
-                candidates = tree.containing(lo, hi).map(|iv| iv.key).collect();
-                // A span never parents itself (possible only with equal
-                // intervals at mixed levels, but be safe).
-                candidates.retain(|&c| c != i);
-                if !candidates.is_empty() {
-                    break 'search;
-                }
-            }
-        }
-        match candidates.len() {
-            0 => {
-                ambiguities.orphans.push(correlated[i].span.id);
-            }
-            1 => {
-                let pid = correlated[candidates[0]].span.id;
-                correlated[i].parent = Some(pid);
-                correlated[i].span.parent = Some(pid);
-            }
-            _ => {
-                // Best effort: tightest containing interval.
-                let best = *candidates
-                    .iter()
-                    .min_by_key(|&&c| correlated[c].span.end_ns - correlated[c].span.start_ns)
-                    .expect("nonempty");
-                let all: Vec<SpanId> = candidates.iter().map(|&c| correlated[c].span.id).collect();
-                ambiguities.ambiguous.push((correlated[i].span.id, all));
-                let pid = correlated[best].span.id;
-                correlated[i].parent = Some(pid);
-                correlated[i].span.parent = Some(pid);
-            }
-        }
-    }
-
-    CorrelatedTrace {
-        spans: correlated,
-        ambiguities,
-    }
+    CorrelationEngine::new().correlate(trace.clone_parts())
 }
 
 /// Convenience: attaches a numeric tag to a span (used by adapters when
@@ -399,7 +724,7 @@ mod tests {
         let c = reconstruct_parents(&trace);
         assert!(c.ambiguities.is_clean(), "{:?}", c.ambiguities);
         let kernel = c
-            .spans
+            .spans()
             .iter()
             .find(|s| s.span.name == "volta_scudnn")
             .unwrap();
@@ -418,7 +743,7 @@ mod tests {
         layer.parent = Some(mid);
         let trace = Trace::from_spans(vec![model, layer]);
         let c = reconstruct_parents(&trace);
-        let l = c.spans.iter().find(|s| s.span.name == "conv").unwrap();
+        let l = c.spans().iter().find(|s| s.span.name == "conv").unwrap();
         assert_eq!(l.parent, Some(mid));
     }
 
@@ -431,7 +756,7 @@ mod tests {
         let trace = Trace::from_spans(vec![model, k]);
         let c = reconstruct_parents(&trace);
         assert!(c.ambiguities.is_clean());
-        let kernel = c.spans.iter().find(|s| s.span.name == "kernel").unwrap();
+        let kernel = c.spans().iter().find(|s| s.span.name == "kernel").unwrap();
         assert_eq!(kernel.parent, Some(mid));
     }
 
@@ -451,7 +776,7 @@ mod tests {
         assert!(c.ambiguities.needs_serialized_rerun());
         assert_eq!(c.ambiguities.ambiguous.len(), 1);
         // best effort picked the tighter span (layerA)
-        let kernel = c.spans.iter().find(|s| s.span.name == "kernel").unwrap();
+        let kernel = c.spans().iter().find(|s| s.span.name == "kernel").unwrap();
         assert_eq!(kernel.parent, Some(a_id));
     }
 
@@ -477,7 +802,7 @@ mod tests {
         let c = reconstruct_parents(&trace);
         assert!(c.ambiguities.is_clean(), "{:?}", c.ambiguities);
         let m = c
-            .spans
+            .spans()
             .iter()
             .find(|s| s.span.name == "cudaMemcpyH2D")
             .unwrap();
@@ -501,12 +826,107 @@ mod tests {
         let c = reconstruct_parents(&trace);
         assert!(c.ambiguities.is_clean());
         let parents: Vec<Option<SpanId>> = c
-            .spans
+            .spans()
             .iter()
             .filter(|s| s.span.level == StackLevel::Kernel)
             .map(|s| s.parent)
             .collect();
         assert_eq!(parents, vec![Some(m1_id), Some(m2_id)]);
+    }
+
+    #[test]
+    fn kernel_level_tree_is_never_built() {
+        // The laziness contract behind the hot-path win: the kernel level
+        // holds the bulk of the spans but can never be a parent candidate,
+        // so its interval tree must never be constructed.
+        let model = span("predict", StackLevel::Model, 0, 100_000);
+        let mid = model.id;
+        let mut spans = vec![model];
+        for i in 0..50u64 {
+            let mut layer = span("conv", StackLevel::Layer, i * 1000, i * 1000 + 900);
+            layer.parent = Some(mid);
+            spans.push(layer);
+        }
+        for i in 0..500u64 {
+            let at = (i % 50) * 1000;
+            spans.push(launch("cudaLaunchKernel", i, at + 10, at + 20, None));
+            spans.push(exec("volta_kernel", i, at + 30, at + 800));
+        }
+        let mut engine = CorrelationEngine::new();
+        let c = engine.correlate(Trace::from_spans(spans));
+        assert!(c.ambiguities.is_clean(), "{:?}", c.ambiguities);
+        assert_eq!(
+            engine.trees_built_at(StackLevel::Kernel),
+            0,
+            "kernel tree must stay lazy"
+        );
+        assert_eq!(engine.trees_built_at(StackLevel::Layer), 1);
+        assert_eq!(
+            engine.trees_built_at(StackLevel::Model),
+            0,
+            "every kernel found a layer, so the model tree is never probed"
+        );
+    }
+
+    #[test]
+    fn engine_scratch_is_reusable_across_traces() {
+        let mk = || {
+            let model = span("predict", StackLevel::Model, 0, 1000);
+            let k = span("kernel", StackLevel::Kernel, 100, 200);
+            Trace::from_spans(vec![model, k])
+        };
+        let mut engine = CorrelationEngine::new();
+        let a = engine.correlate(mk());
+        let b = engine.correlate(mk());
+        assert_eq!(a.len(), b.len());
+        assert!(b.ambiguities.is_clean());
+        assert_eq!(engine.trees_built_at(StackLevel::Model), 2);
+    }
+
+    #[test]
+    fn indexed_lookups_match_linear_semantics() {
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let mut layer = span("conv", StackLevel::Layer, 10, 400);
+        layer.parent = Some(mid);
+        let lid = layer.id;
+        let k1 = span("k1", StackLevel::Kernel, 20, 100);
+        let k2 = span("k2", StackLevel::Kernel, 120, 300);
+        let trace = Trace::from_spans(vec![model, layer, k1, k2]);
+        let c = reconstruct_parents(&trace);
+        assert_eq!(c.find(lid).unwrap().span.name, "conv");
+        assert_eq!(c.position(lid), Some(1));
+        let kids = c.children_of(lid);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].span.name, "k1");
+        assert_eq!(kids[1].span.name, "k2");
+        assert_eq!(c.root_indices(), &[0], "only the model span is a root");
+    }
+
+    #[test]
+    fn set_parent_keeps_indexes_coherent() {
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let mut a = span("layerA", StackLevel::Layer, 0, 400);
+        a.parent = Some(mid);
+        let a_id = a.id;
+        let mut b = span("layerB", StackLevel::Layer, 500, 900);
+        b.parent = Some(mid);
+        let b_id = b.id;
+        let k = span("kernel", StackLevel::Kernel, 100, 200);
+        let trace = Trace::from_spans(vec![model, a, b, k]);
+        let mut c = reconstruct_parents(&trace);
+        let kidx = c.position(c.spans()[3].span.id).unwrap();
+        assert_eq!(c.spans()[kidx].parent, Some(a_id));
+        c.set_parent(kidx, b_id);
+        assert_eq!(c.spans()[kidx].parent, Some(b_id));
+        assert_eq!(c.spans()[kidx].span.parent, Some(b_id));
+        assert!(c.children_of(a_id).is_empty());
+        assert_eq!(c.children_of(b_id).len(), 1);
+        assert_eq!(c.root_indices(), &[0]);
+        // re-parenting to an absent span makes it a root
+        c.set_parent(kidx, SpanId(u64::MAX));
+        assert_eq!(c.root_indices(), &[0, kidx]);
     }
 
     #[test]

@@ -23,8 +23,17 @@ pub use stream::{
 /// its own "thread" row so the across-stack timeline reads top-down like
 /// Figure 1 of the paper.
 pub fn to_chrome_trace(trace: &Trace) -> String {
+    to_chrome_trace_of(trace.spans().iter())
+}
+
+/// The iterator twin of [`to_chrome_trace`]: serializes any borrowed span
+/// sequence (e.g. a [`crate::correlate::CorrelatedTrace`] view) to Chrome
+/// trace-event JSON without materializing an intermediate [`Trace`].
+pub fn to_chrome_trace_of<'a>(spans: impl Iterator<Item = &'a Span>) -> String {
     let mut writer = stream::ChromeTraceWriter::new(Vec::new()).expect("Vec writes cannot fail");
-    writer.write_trace(trace).expect("Vec writes cannot fail");
+    for span in spans {
+        writer.write_span(span).expect("Vec writes cannot fail");
+    }
     String::from_utf8(writer.finish().expect("Vec writes cannot fail"))
         .expect("chrome trace output is UTF-8")
 }

@@ -26,8 +26,7 @@
 
 use crate::correlate::CorrelatedTrace;
 use crate::server::Trace;
-use crate::span::{Span, SpanId, TagValue};
-use std::collections::HashMap;
+use crate::span::{Span, TagValue};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -337,20 +336,12 @@ impl<W: Write> FoldedStacksWriter<W> {
     }
 
     /// Streams the folded stacks of one correlated trace (typically a
-    /// single evaluation run) to the output.
+    /// single evaluation run) to the output, walking the trace's built-once
+    /// root/children indices — no per-export adjacency rebuild.
     pub fn write_run(&mut self, trace: &CorrelatedTrace) -> io::Result<()> {
-        // index spans and children
-        let mut children: HashMap<SpanId, Vec<usize>> = HashMap::new();
-        let mut roots = Vec::new();
-        for (i, s) in trace.spans.iter().enumerate() {
-            match s.parent {
-                Some(p) if trace.find(p).is_some() => children.entry(p).or_default().push(i),
-                _ => roots.push(i),
-            }
-        }
         let mut stack = Vec::new();
-        for r in roots {
-            self.emit(trace, &children, r, &mut stack)?;
+        for &r in trace.root_indices() {
+            self.emit(trace, r, &mut stack)?;
         }
         Ok(())
     }
@@ -358,23 +349,22 @@ impl<W: Write> FoldedStacksWriter<W> {
     fn emit(
         &mut self,
         trace: &CorrelatedTrace,
-        children: &HashMap<SpanId, Vec<usize>>,
         idx: usize,
         stack: &mut Vec<String>,
     ) -> io::Result<()> {
-        let span = &trace.spans[idx].span;
+        let span = &trace.spans()[idx].span;
         stack.push(span.name.replace([';', ' '], "_"));
-        let kids = children.get(&span.id).cloned().unwrap_or_default();
+        let kids = trace.child_indices(span.id);
         let child_time: u64 = kids
             .iter()
-            .map(|&k| trace.spans[k].span.duration_ns())
+            .map(|&k| trace.spans()[k].span.duration_ns())
             .sum();
         let self_us = span.duration_ns().saturating_sub(child_time) / 1_000;
         if self_us > 0 || kids.is_empty() {
             writeln!(self.out, "{} {}", stack.join(";"), self_us.max(1))?;
         }
-        for k in kids {
-            self.emit(trace, children, k, stack)?;
+        for &k in kids {
+            self.emit(trace, k, stack)?;
         }
         stack.pop();
         Ok(())

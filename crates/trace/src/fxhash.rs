@@ -1,0 +1,117 @@
+//! A minimal FxHash-style hasher for the trace-path index maps.
+//!
+//! The indexed trace store ([`crate::server::Trace`],
+//! [`crate::correlate::CorrelatedTrace`]) builds `SpanId → index` and
+//! `parent → children` maps once per trace. With `std`'s default SipHash
+//! those builds show up in the correlation hot path (tens of nanoseconds
+//! per insert, tens of microseconds per 10k-span drain); the keys are
+//! process-internal integers ([`crate::span::SpanId`],
+//! [`crate::span::TraceId`]), so DoS resistance buys nothing here. This is
+//! the multiply-fold hasher rustc and Firefox use (`fxhash`), reimplemented
+//! because the workspace vendors all dependencies.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`] — drop-in for `std::collections::HashMap`
+/// on trusted integer-like keys.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`] — drop-in for `std::collections::HashSet`
+/// on trusted integer-like keys.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The 64-bit multiplicative constant fxhash uses (derived from the golden
+/// ratio, as in Fibonacci hashing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiplicative hasher (fxhash). Not cryptographic, not
+/// collision-resistant against adversarial keys — only for internal ids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        // Smoke: sequential ids (the realistic key distribution) spread out.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on sequential ids");
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as usize * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.get(&1000), None);
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut a = FxHasher::default();
+        a.write(b"0123456789"); // 8-byte chunk + 2-byte remainder
+        let mut b = FxHasher::default();
+        b.write(b"0123456788");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

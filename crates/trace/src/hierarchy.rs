@@ -2,67 +2,74 @@
 //! (§I) materialized as a tree for step-through navigation.
 
 use crate::correlate::CorrelatedTrace;
+use crate::fxhash::FxHashMap;
 use crate::span::{Span, SpanId};
-use std::collections::HashMap;
 
 /// A parent/child tree over the spans of a correlated trace.
+///
+/// The tree is an index-based *view*: it borrows the trace's span table —
+/// no span is cloned — and reuses its root set, but derives its own child
+/// adjacency because the presentation needs differ from the trace's
+/// built-once map (present-parents only, children in chronological rather
+/// than appearance order).
 #[derive(Debug, Clone)]
-pub struct SpanTree {
-    spans: Vec<Span>,
-    children: HashMap<SpanId, Vec<usize>>,
+pub struct SpanTree<'a> {
+    trace: &'a CorrelatedTrace,
+    /// Children per parent, chronological (by start timestamp).
+    children: FxHashMap<SpanId, Vec<usize>>,
+    /// Root indices, chronological.
     roots: Vec<usize>,
-    index_of: HashMap<SpanId, usize>,
 }
 
-impl SpanTree {
-    /// Builds the tree from a correlated trace.
-    pub fn build(trace: &CorrelatedTrace) -> Self {
-        let spans: Vec<Span> = trace.spans.iter().map(|c| c.span.clone()).collect();
-        let mut children: HashMap<SpanId, Vec<usize>> = HashMap::new();
-        let mut roots = Vec::new();
-        let mut index_of = HashMap::with_capacity(spans.len());
-        for (i, s) in spans.iter().enumerate() {
-            index_of.insert(s.id, i);
-        }
-        for (i, c) in trace.spans.iter().enumerate() {
-            match c.parent {
-                Some(p) if index_of.contains_key(&p) => children.entry(p).or_default().push(i),
-                _ => roots.push(i),
+impl<'a> SpanTree<'a> {
+    /// Builds the tree view over a correlated trace.
+    pub fn build(trace: &'a CorrelatedTrace) -> Self {
+        let spans = trace.spans();
+        let mut children: FxHashMap<SpanId, Vec<usize>> = FxHashMap::default();
+        for (i, c) in spans.iter().enumerate() {
+            if let Some(p) = c.parent {
+                if trace.position(p).is_some() {
+                    children.entry(p).or_default().push(i);
+                }
             }
         }
         // Children in chronological order, the natural step-through order.
         for v in children.values_mut() {
-            v.sort_by_key(|&i| spans[i].start_ns);
+            v.sort_by_key(|&i| spans[i].span.start_ns);
         }
-        roots.sort_by_key(|&i| spans[i].start_ns);
+        let mut roots = trace.root_indices().to_vec();
+        roots.sort_by_key(|&i| spans[i].span.start_ns);
         Self {
-            spans,
+            trace,
             children,
             roots,
-            index_of,
         }
+    }
+
+    fn span(&self, idx: usize) -> &'a Span {
+        &self.trace.spans()[idx].span
     }
 
     /// The root spans (no parent), chronological.
-    pub fn roots(&self) -> Vec<&Span> {
-        self.roots.iter().map(|&i| &self.spans[i]).collect()
+    pub fn roots(&self) -> Vec<&'a Span> {
+        self.roots.iter().map(|&i| self.span(i)).collect()
     }
 
     /// Children of `id`, chronological.
-    pub fn children(&self, id: SpanId) -> Vec<&Span> {
+    pub fn children(&self, id: SpanId) -> Vec<&'a Span> {
         self.children
             .get(&id)
-            .map(|v| v.iter().map(|&i| &self.spans[i]).collect())
+            .map(|v| v.iter().map(|&i| self.span(i)).collect())
             .unwrap_or_default()
     }
 
     /// Looks up a span by id.
-    pub fn get(&self, id: SpanId) -> Option<&Span> {
-        self.index_of.get(&id).map(|&i| &self.spans[i])
+    pub fn get(&self, id: SpanId) -> Option<&'a Span> {
+        self.trace.find(id).map(|c| &c.span)
     }
 
     /// All descendants of `id` (pre-order).
-    pub fn descendants(&self, id: SpanId) -> Vec<&Span> {
+    pub fn descendants(&self, id: SpanId) -> Vec<&'a Span> {
         let mut out = Vec::new();
         let mut stack: Vec<SpanId> = self.children(id).iter().map(|s| s.id).collect();
         stack.reverse();
@@ -98,7 +105,7 @@ impl SpanTree {
     }
 
     fn render_node(&self, idx: usize, depth: usize, out: &mut String) {
-        let s = &self.spans[idx];
+        let s = self.span(idx);
         use std::fmt::Write;
         let _ = writeln!(
             out,
@@ -108,21 +115,21 @@ impl SpanTree {
             s.level,
             s.duration_ms()
         );
-        for child in self.children(s.id).iter().map(|c| c.id) {
-            if let Some(&i) = self.index_of.get(&child) {
-                self.render_node(i, depth + 1, out);
+        if let Some(kids) = self.children.get(&s.id) {
+            for &child in kids {
+                self.render_node(child, depth + 1, out);
             }
         }
     }
 
     /// Total number of spans.
     pub fn len(&self) -> usize {
-        self.spans.len()
+        self.trace.len()
     }
 
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty()
+        self.trace.is_empty()
     }
 }
 
@@ -157,7 +164,8 @@ mod tests {
 
     #[test]
     fn builds_three_level_tree() {
-        let tree = SpanTree::build(&make_trace());
+        let trace = make_trace();
+        let tree = SpanTree::build(&trace);
         assert_eq!(tree.len(), 5);
         let roots = tree.roots();
         assert_eq!(roots.len(), 1);
@@ -173,7 +181,8 @@ mod tests {
 
     #[test]
     fn descendants_are_preorder() {
-        let tree = SpanTree::build(&make_trace());
+        let trace = make_trace();
+        let tree = SpanTree::build(&trace);
         let root = tree.roots()[0].id;
         let names: Vec<&str> = tree
             .descendants(root)
@@ -185,7 +194,8 @@ mod tests {
 
     #[test]
     fn render_is_indented() {
-        let tree = SpanTree::build(&make_trace());
+        let trace = make_trace();
+        let tree = SpanTree::build(&trace);
         let text = tree.render();
         assert!(text.contains("predict [model]"));
         assert!(text.contains("  conv [layer]"));
@@ -194,7 +204,8 @@ mod tests {
 
     #[test]
     fn children_are_chronological() {
-        let tree = SpanTree::build(&make_trace());
+        let trace = make_trace();
+        let tree = SpanTree::build(&trace);
         let root = tree.roots()[0].id;
         let starts: Vec<u64> = tree.children(root).iter().map(|s| s.start_ns).collect();
         let mut sorted = starts.clone();

@@ -11,9 +11,10 @@
 //! * [`Tracer`]s — per-profiler span publishers; spans flow over a channel to
 //!   a [`TracingServer`] that aggregates them into a single timeline
 //!   [`Trace`] (§III-A).
-//! * An [`IntervalTree`] used to reconstruct missing parent-child relations
-//!   between spans produced by profilers that cannot see each other
-//!   (§III-A: "checking for interval set inclusion").
+//! * A [`CorrelationEngine`] that reconstructs missing parent-child
+//!   relations between spans produced by profilers that cannot see each
+//!   other (§III-A: "checking for interval set inclusion"), probing
+//!   lazily built per-level [`IntervalTree`]s over an indexed span store.
 //! * Async-operation correlation: a *launch* span and an *execution* span
 //!   linked by a correlation identifier (§III-A/§III-B-3).
 //! * Trimmed-mean statistics used by the automated analysis pipeline to
@@ -31,6 +32,7 @@
 pub mod clock;
 pub mod correlate;
 pub mod export;
+pub mod fxhash;
 pub mod hierarchy;
 pub mod interval;
 pub mod server;
@@ -39,7 +41,9 @@ pub mod stats;
 pub mod tracer;
 
 pub use clock::VirtualClock;
-pub use correlate::{correlate_async_spans, reconstruct_parents, AmbiguityReport, CorrelatedTrace};
+pub use correlate::{
+    correlate_async_spans, reconstruct_parents, AmbiguityReport, CorrelatedTrace, CorrelationEngine,
+};
 pub use hierarchy::SpanTree;
 pub use interval::IntervalTree;
 pub use server::{Trace, TracingServer};

@@ -3,25 +3,74 @@
 //! server ... the tracing server aggregates the spans published by the
 //! different tracers into one application timeline trace").
 
+use crate::fxhash::FxHashMap;
 use crate::span::{Span, SpanId, StackLevel, TraceId};
 use crate::tracer::{ChannelTracer, SpanBuffer};
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// An aggregated timeline trace: every span published during one (or more)
 /// evaluation runs, in publication order.
+///
+/// The trace is an *indexed* store, not a bare span list: construction
+/// buckets the spans per evaluation run once ([`Trace::trace_ids`] and
+/// [`Trace::run_indices`] are O(1) reads), and the `SpanId → index` and
+/// `parent → children` maps behind [`Trace::find`] / [`Trace::children_of`]
+/// are built on first use and reused for every later lookup. Spans are
+/// immutable once stored, so the indexes never go stale.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     spans: Vec<Span>,
+    /// Distinct evaluation runs in first-appearance order, each with the
+    /// indices of its spans (in appearance order). Built eagerly — the
+    /// correlation engine consumes it for every trace.
+    runs: Vec<(TraceId, Vec<usize>)>,
+    /// Lazily built `SpanId → index` map (first occurrence wins, matching
+    /// the historical linear-scan `find`).
+    index_of: OnceLock<FxHashMap<SpanId, usize>>,
+    /// Lazily built explicit-parent adjacency (indices in appearance order).
+    children: OnceLock<FxHashMap<SpanId, Vec<usize>>>,
 }
 
 impl Trace {
     /// Builds a trace directly from spans (used by offline conversion paths
-    /// and tests).
+    /// and tests). Span order is preserved; the per-run buckets are built
+    /// in this single pass.
     pub fn from_spans(spans: Vec<Span>) -> Self {
-        Self { spans }
+        let mut runs: Vec<(TraceId, Vec<usize>)> = Vec::new();
+        let mut run_of: FxHashMap<TraceId, usize> = FxHashMap::default();
+        for (i, s) in spans.iter().enumerate() {
+            // Drained traces arrive grouped by run, so the common case is
+            // "same bucket as the previous span" — check it before hashing.
+            let bucket = match runs.last() {
+                Some((tid, _)) if *tid == s.trace_id => runs.len() - 1,
+                _ => *run_of.entry(s.trace_id).or_insert_with(|| {
+                    runs.push((s.trace_id, Vec::new()));
+                    runs.len() - 1
+                }),
+            };
+            runs[bucket].1.push(i);
+        }
+        Self::from_parts(spans, runs)
+    }
+
+    /// Builds a trace from spans plus an already-known run index (the drain
+    /// path, which grouped the spans itself). Invariant: `runs` lists every
+    /// span index exactly once, grouped per distinct trace id.
+    fn from_parts(spans: Vec<Span>, runs: Vec<(TraceId, Vec<usize>)>) -> Self {
+        debug_assert_eq!(
+            runs.iter().map(|(_, v)| v.len()).sum::<usize>(),
+            spans.len()
+        );
+        Self {
+            spans,
+            runs,
+            index_of: OnceLock::new(),
+            children: OnceLock::new(),
+        }
     }
 
     /// All spans, in publication order.
@@ -58,45 +107,88 @@ impl Trace {
             .collect()
     }
 
-    /// Looks up a span by id (linear scan; traces are processed offline).
+    fn index(&self) -> &FxHashMap<SpanId, usize> {
+        self.index_of.get_or_init(|| {
+            let mut map = FxHashMap::default();
+            map.reserve(self.spans.len());
+            for (i, s) in self.spans.iter().enumerate() {
+                map.entry(s.id).or_insert(i);
+            }
+            map
+        })
+    }
+
+    /// Looks up a span by id through the built-once index map.
     pub fn find(&self, id: SpanId) -> Option<&Span> {
-        self.spans.iter().find(|s| s.id == id)
+        self.index().get(&id).map(|&i| &self.spans[i])
     }
 
     /// Spans restricted to a single evaluation run.
     pub fn for_trace_id(&self, trace_id: TraceId) -> Trace {
-        Trace {
-            spans: self
-                .spans
-                .iter()
-                .filter(|s| s.trace_id == trace_id)
-                .cloned()
-                .collect(),
-        }
-    }
-
-    /// The distinct evaluation runs present.
-    pub fn trace_ids(&self) -> Vec<TraceId> {
-        let mut ids: Vec<TraceId> = Vec::new();
-        for s in &self.spans {
-            if !ids.contains(&s.trace_id) {
-                ids.push(s.trace_id);
-            }
-        }
-        ids
-    }
-
-    /// Direct children of `parent` (explicit parent references only).
-    pub fn children_of(&self, parent: SpanId) -> Vec<&Span> {
-        self.spans
+        let spans = self
+            .runs
             .iter()
-            .filter(|s| s.parent == Some(parent))
-            .collect()
+            .find(|(tid, _)| *tid == trace_id)
+            .map(|(_, idxs)| idxs.iter().map(|&i| self.spans[i].clone()).collect())
+            .unwrap_or_default();
+        Trace::from_spans(spans)
     }
 
-    /// Appends all spans of `other`.
+    /// The distinct evaluation runs present, in first-appearance order.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        self.runs.iter().map(|(tid, _)| *tid).collect()
+    }
+
+    /// The span indices of one evaluation run, in appearance order (empty
+    /// when the run is absent). This is the borrow-everything entry point
+    /// the correlation engine uses instead of filtering per run.
+    pub fn run_indices(&self, trace_id: TraceId) -> &[usize] {
+        self.runs
+            .iter()
+            .find(|(tid, _)| *tid == trace_id)
+            .map(|(_, idxs)| idxs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Consumes the trace into its span table and per-run index
+    /// (first-appearance order) — the zero-copy decomposition the
+    /// correlation engine uses for multi-run traces.
+    pub(crate) fn into_parts(self) -> (Vec<Span>, Vec<(TraceId, Vec<usize>)>) {
+        (self.spans, self.runs)
+    }
+
+    /// Clones the span table and run index only, leaving the lazy lookup
+    /// maps unbuilt — for consumers (the borrowing `reconstruct_parents`
+    /// wrapper) that immediately decompose the clone and would throw any
+    /// copied maps away.
+    pub(crate) fn clone_parts(&self) -> Trace {
+        Trace::from_parts(self.spans.clone(), self.runs.clone())
+    }
+
+    /// Direct children of `parent` (explicit parent references only),
+    /// through the built-once adjacency map.
+    pub fn children_of(&self, parent: SpanId) -> Vec<&Span> {
+        self.children
+            .get_or_init(|| {
+                let mut map: FxHashMap<SpanId, Vec<usize>> = FxHashMap::default();
+                for (i, s) in self.spans.iter().enumerate() {
+                    if let Some(p) = s.parent {
+                        map.entry(p).or_default().push(i);
+                    }
+                }
+                map
+            })
+            .get(&parent)
+            .map(|v| v.iter().map(|&i| &self.spans[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Appends all spans of `other`, rebuilding the run buckets (the lazy
+    /// lookup maps reset and rebuild on next use).
     pub fn merge(&mut self, other: Trace) {
-        self.spans.extend(other.spans);
+        let mut spans = std::mem::take(&mut self.spans);
+        spans.extend(other.spans);
+        *self = Trace::from_spans(spans);
     }
 }
 
@@ -174,27 +266,53 @@ impl TracingServer {
         TraceId(self.next_trace_id.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Collects the per-trace-id buckets of every span published since the
+    /// previous drain — the shared O(n) body of [`TracingServer::drain`] and
+    /// [`TracingServer::drain_each`]. Buckets iterate in ascending trace-id
+    /// order; within one bucket the per-producer publication order is
+    /// preserved (the channel is FIFO per sender and appends keep arrival
+    /// order).
+    fn drain_buckets(&self) -> BTreeMap<TraceId, Vec<Span>> {
+        let mut buckets: BTreeMap<TraceId, Vec<Span>> = BTreeMap::new();
+        for batch in self.rx.try_iter() {
+            for span in batch {
+                buckets.entry(span.trace_id).or_default().push(span);
+            }
+        }
+        buckets
+    }
+
     /// Collects every span published since the previous drain.
     ///
-    /// Spans are returned grouped by ascending trace id; within one trace id
-    /// the per-producer publication order is preserved (the sort is stable
-    /// and the channel is FIFO per sender). The historical contract — "spans
-    /// in publication order" — held only while every producer shared one
-    /// thread; grouping by trace id restores a deterministic order when
-    /// producers of *different* runs race on the channel.
+    /// Spans are returned grouped by ascending trace id via per-run bucketed
+    /// accumulation — O(n) in the span count, no sort. The historical
+    /// contract — "spans in publication order" — held only while every
+    /// producer shared one thread; grouping by trace id keeps the order
+    /// deterministic when producers of *different* runs race on the channel
+    /// (within one run the per-producer publication order is preserved).
     pub fn drain(&self) -> Trace {
-        let mut spans: Vec<Span> = self.rx.try_iter().flatten().collect();
-        spans.sort_by_key(|s| s.trace_id);
-        Trace { spans }
+        let buckets = self.drain_buckets();
+        let mut spans = Vec::with_capacity(buckets.values().map(Vec::len).sum());
+        let mut runs = Vec::with_capacity(buckets.len());
+        for (tid, bucket) in buckets {
+            let start = spans.len();
+            spans.extend(bucket);
+            runs.push((tid, (start..spans.len()).collect()));
+        }
+        // The buckets *are* the run index — hand both to the trace directly
+        // instead of having `from_spans` re-derive them.
+        Trace::from_parts(spans, runs)
     }
 
     /// Drains like [`TracingServer::drain`] (same buffer, same grouped-by-
-    /// trace-id order — it *is* a drain) but hands each span to `f` instead
-    /// of returning a [`Trace`]: spans can be fed straight into a
-    /// [`crate::export::stream`] writer so the serialized trace is never
-    /// materialized (see `examples/application_pipeline.rs`).
+    /// trace-id order — it *is* a drain) but hands each span to `f` as the
+    /// buckets stream out, without assembling a [`Trace`] or its index maps:
+    /// spans can be fed straight into a [`crate::export::stream`] writer so
+    /// the serialized trace is never materialized (see
+    /// `examples/application_pipeline.rs`). Peak memory is the drained
+    /// buckets themselves; no span is cloned or re-sorted on the way out.
     pub fn drain_each(&self, f: impl FnMut(Span)) {
-        self.drain().into_spans().into_iter().for_each(f);
+        self.drain_buckets().into_values().flatten().for_each(f);
     }
 }
 
@@ -275,6 +393,40 @@ mod tests {
         let kids = trace.children_of(pid);
         assert_eq!(kids.len(), 1);
         assert_eq!(kids[0].name, "conv");
+    }
+
+    #[test]
+    fn trace_ids_index_many_distinct_runs() {
+        // Regression guard for the old accumulator, which did
+        // `ids.contains(&trace_id)` per span — quadratic in distinct runs.
+        // The bucketed store indexes runs at construction, so sweep-scale
+        // JSONL imports stay linear. Sized at 100k runs so a quadratic
+        // reintroduction (~5e9 id comparisons, tens of seconds even in a
+        // release build) genuinely trips the wall-clock bound instead of
+        // sliding under it, while the linear path stays far below.
+        const RUNS: u64 = 100_000;
+        let started = std::time::Instant::now();
+        let mut spans: Vec<Span> = (0..RUNS)
+            .map(|i| span(TraceId(i), "p", StackLevel::Model, i, i + 1))
+            .collect();
+        // Non-contiguous reappearance: early runs publish again at the end.
+        spans.push(span(TraceId(17), "late", StackLevel::Layer, 50, 60));
+        let trace = Trace::from_spans(spans);
+        let ids = trace.trace_ids();
+        assert_eq!(ids.len(), RUNS as usize, "reappearance adds no dup id");
+        assert_eq!(ids[0], TraceId(0));
+        assert_eq!(
+            ids[RUNS as usize - 1],
+            TraceId(RUNS - 1),
+            "first-appearance order kept"
+        );
+        assert_eq!(trace.run_indices(TraceId(17)), &[17, RUNS as usize]);
+        assert_eq!(trace.for_trace_id(TraceId(17)).len(), 2);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "{RUNS}-run indexing took {:?} — quadratic accumulation is back",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -2,10 +2,15 @@
 //! naive oracle, parent-reconstruction invariants, and statistics bounds.
 
 use proptest::prelude::*;
+use std::collections::HashMap;
+use xsp_trace::correlate::CorrelatedSpan;
 use xsp_trace::interval::{Interval, IntervalTree};
-use xsp_trace::span::tag_keys;
+use xsp_trace::span::{tag_keys, Span, SpanId};
 use xsp_trace::stats::{percentile, trimmed_mean, Summary};
-use xsp_trace::{reconstruct_parents, SpanBuilder, StackLevel, Trace, TraceId};
+use xsp_trace::{
+    correlate_async_spans, reconstruct_parents, AmbiguityReport, CorrelationEngine, SpanBuilder,
+    StackLevel, Trace, TraceId,
+};
 
 fn arb_intervals(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
     prop::collection::vec((0u64..1000, 0u64..100), 0..max_n).prop_map(|pairs| {
@@ -116,7 +121,7 @@ proptest! {
         }
         let correlated = reconstruct_parents(&Trace::from_spans(spans));
         prop_assert!(correlated.ambiguities.is_clean(), "{:?}", correlated.ambiguities);
-        for s in &correlated.spans {
+        for s in correlated.spans() {
             if s.span.level == StackLevel::Kernel {
                 let parent = s.parent.expect("kernel parented");
                 let p = correlated.find(parent).unwrap();
@@ -182,6 +187,248 @@ proptest! {
         let reparsed = xsp_trace::export::from_span_json(&array).unwrap();
         prop_assert_eq!(xsp_trace::export::to_span_json(&reparsed), array);
     }
+}
+
+proptest! {
+    /// The correlation-engine refactor contract: for arbitrary span forests
+    /// — overlapping layers (ambiguity), spans outside every candidate
+    /// (orphans), async launch/execution pairs, unpaired halves, library
+    /// spans, multiple runs — [`CorrelationEngine`] must produce exactly
+    /// the spans, parents, launch intervals and ambiguity report of the
+    /// naive oracle that rebuilds one interval tree per level per run.
+    #[test]
+    fn engine_matches_naive_per_level_rebuild_oracle(spans in arb_correlation_forest()) {
+        let trace = Trace::from_spans(spans);
+        let (oracle_spans, oracle_ambiguities) = oracle_reconstruct(&trace);
+        let got = CorrelationEngine::new().correlate(trace);
+
+        prop_assert_eq!(got.len(), oracle_spans.len(), "span count diverged");
+        for (g, o) in got.spans().iter().zip(&oracle_spans) {
+            prop_assert_eq!(
+                serde_json::to_string(&g.span).unwrap(),
+                serde_json::to_string(&o.span).unwrap(),
+                "span payload diverged"
+            );
+            prop_assert_eq!(g.parent, o.parent, "parent diverged for {}", g.span.name);
+            prop_assert_eq!(g.launch_interval, o.launch_interval);
+        }
+        prop_assert_eq!(&got.ambiguities.ambiguous, &oracle_ambiguities.ambiguous);
+        prop_assert_eq!(&got.ambiguities.orphans, &oracle_ambiguities.orphans);
+    }
+}
+
+/// One generated kernel-level participant:
+/// `(kind, launch_start, launch_len, exec_start, exec_len)`.
+type KernelSpec = (u8, u64, u64, u64, u64);
+
+/// Random span forests over 1–2 runs: a model root, overlapping layers,
+/// library spans, and kernels of every async flavor.
+fn arb_correlation_forest() -> impl Strategy<Value = Vec<Span>> {
+    (
+        prop::collection::vec((0u64..9_000, 50u64..2_500, 0u8..4), 0..8),
+        prop::collection::vec(
+            (0u8..6, 0u64..10_400, 1u64..400, 0u64..11_000, 1u64..600),
+            0..25,
+        ),
+        1usize..3,
+    )
+        .prop_map(|(layers, kernels, nruns)| {
+            let mut spans = Vec::new();
+            for run in 0..nruns as u64 {
+                build_run_spans(TraceId(run + 1), &layers, &kernels, &mut spans);
+            }
+            spans
+        })
+}
+
+fn build_run_spans(
+    trace_id: TraceId,
+    layers: &[(u64, u64, u8)],
+    kernels: &[KernelSpec],
+    out: &mut Vec<Span>,
+) {
+    // The model root covers [0, 10_000]; kernels may start beyond it so the
+    // orphan path is exercised.
+    let model = SpanBuilder::new("model", StackLevel::Model, trace_id)
+        .start(0)
+        .finish(10_000);
+    let model_id = model.id;
+    out.push(model);
+    for (i, &(start, len, flavor)) in layers.iter().enumerate() {
+        let mut b = SpanBuilder::new(format!("layer{i}"), StackLevel::Layer, trace_id).start(start);
+        // Most layers carry their explicit parent (the framework knows it);
+        // some do not, so layer→model reconstruction is exercised too.
+        if flavor != 0 {
+            b = b.parent(model_id);
+        }
+        out.push(b.finish(start + len));
+        if flavor == 3 {
+            // a library-level span nested in this layer
+            let lib = SpanBuilder::new(format!("cudnnApi{i}"), StackLevel::Library, trace_id)
+                .start(start + len / 4)
+                .finish(start + len / 2);
+            out.push(lib);
+        }
+    }
+    for (j, &(kind, lstart, llen, xstart, xlen)) in kernels.iter().enumerate() {
+        let cid = j as u64 + 1;
+        match kind {
+            // plain (synchronous) kernel span
+            0 => out.push(
+                SpanBuilder::new(format!("plain{j}"), StackLevel::Kernel, trace_id)
+                    .start(xstart)
+                    .finish(xstart + xlen),
+            ),
+            // async pair: launch + execution linked by correlation id
+            1 => {
+                out.push(
+                    SpanBuilder::new(format!("launch{j}"), StackLevel::Kernel, trace_id)
+                        .start(lstart)
+                        .tag(tag_keys::CORRELATION_ID, cid)
+                        .tag(tag_keys::ASYNC_LAUNCH, true)
+                        .finish(lstart + llen),
+                );
+                out.push(
+                    SpanBuilder::new(format!("exec{j}"), StackLevel::Kernel, trace_id)
+                        .start(xstart)
+                        .tag(tag_keys::CORRELATION_ID, cid)
+                        .tag(tag_keys::ASYNC_EXECUTION, true)
+                        .tag(tag_keys::FLOP_COUNT_SP, 1000u64)
+                        .finish(xstart + xlen),
+                );
+            }
+            // unpaired launch (kernel never ran)
+            2 => out.push(
+                SpanBuilder::new(format!("lost_launch{j}"), StackLevel::Kernel, trace_id)
+                    .start(lstart)
+                    .tag(tag_keys::CORRELATION_ID, cid)
+                    .tag(tag_keys::ASYNC_LAUNCH, true)
+                    .finish(lstart + llen),
+            ),
+            // unpaired execution (callback dropped)
+            3 => out.push(
+                SpanBuilder::new(format!("lost_exec{j}"), StackLevel::Kernel, trace_id)
+                    .start(xstart)
+                    .tag(tag_keys::CORRELATION_ID, cid)
+                    .tag(tag_keys::ASYNC_EXECUTION, true)
+                    .finish(xstart + xlen),
+            ),
+            // execution that arrives before its launch in publication order
+            4 => {
+                out.push(
+                    SpanBuilder::new(format!("exec_first{j}"), StackLevel::Kernel, trace_id)
+                        .start(xstart)
+                        .tag(tag_keys::CORRELATION_ID, cid)
+                        .tag(tag_keys::ASYNC_EXECUTION, true)
+                        .finish(xstart + xlen),
+                );
+                out.push(
+                    SpanBuilder::new(format!("late_launch{j}"), StackLevel::Kernel, trace_id)
+                        .start(lstart)
+                        .tag(tag_keys::CORRELATION_ID, cid)
+                        .tag(tag_keys::ASYNC_LAUNCH, true)
+                        .finish(lstart + llen),
+                );
+            }
+            // already-merged capture span: both flags, takes part in no
+            // pairing (idempotent re-correlation)
+            _ => out.push(
+                SpanBuilder::new(format!("premerged{j}"), StackLevel::Kernel, trace_id)
+                    .start(xstart)
+                    .tag(tag_keys::CORRELATION_ID, cid)
+                    .tag(tag_keys::ASYNC_LAUNCH, true)
+                    .tag(tag_keys::ASYNC_EXECUTION, true)
+                    .finish(xstart + xlen),
+            ),
+        }
+    }
+}
+
+/// The pre-engine implementation, kept verbatim as the oracle: one interval
+/// tree per level, rebuilt per run, spans cloned per run.
+fn oracle_reconstruct(trace: &Trace) -> (Vec<CorrelatedSpan>, AmbiguityReport) {
+    let mut spans = Vec::new();
+    let mut ambiguities = AmbiguityReport::default();
+    for tid in trace.trace_ids() {
+        let run: Vec<Span> = trace
+            .spans()
+            .iter()
+            .filter(|s| s.trace_id == tid)
+            .cloned()
+            .collect();
+        let (s, a) = oracle_single_run(&run);
+        spans.extend(s);
+        ambiguities.merge(a);
+    }
+    (spans, ambiguities)
+}
+
+fn oracle_single_run(spans: &[Span]) -> (Vec<CorrelatedSpan>, AmbiguityReport) {
+    let mut correlated = correlate_async_spans(spans);
+    let levels: Vec<StackLevel> = StackLevel::ALL
+        .iter()
+        .copied()
+        .filter(|l| correlated.iter().any(|s| s.span.level == *l))
+        .collect();
+    let mut trees: HashMap<StackLevel, IntervalTree> = HashMap::new();
+    for &level in &levels {
+        let intervals: Vec<Interval> = correlated
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.span.level == level)
+            .map(|(i, s)| Interval::new(s.span.start_ns, s.span.end_ns, i))
+            .collect();
+        trees.insert(level, IntervalTree::build(intervals));
+    }
+    let mut ambiguities = AmbiguityReport::default();
+    for i in 0..correlated.len() {
+        if correlated[i].parent.is_some() {
+            continue;
+        }
+        let child_level = correlated[i].span.level;
+        let Some(pos) = levels.iter().position(|l| *l == child_level) else {
+            continue;
+        };
+        if pos == 0 {
+            continue;
+        }
+        let mut probes: Vec<(u64, u64)> = vec![correlated[i].anchor_interval()];
+        let own = (correlated[i].span.start_ns, correlated[i].span.end_ns);
+        if probes[0] != own {
+            probes.push(own);
+        }
+        let mut candidates: Vec<usize> = Vec::new();
+        'search: for ancestor in (0..pos).rev() {
+            let tree = &trees[&levels[ancestor]];
+            for &(lo, hi) in &probes {
+                candidates = tree.containing(lo, hi).map(|iv| iv.key).collect();
+                candidates.retain(|&c| c != i);
+                if !candidates.is_empty() {
+                    break 'search;
+                }
+            }
+        }
+        match candidates.len() {
+            0 => ambiguities.orphans.push(correlated[i].span.id),
+            1 => {
+                let pid = correlated[candidates[0]].span.id;
+                correlated[i].parent = Some(pid);
+                correlated[i].span.parent = Some(pid);
+            }
+            _ => {
+                let best = *candidates
+                    .iter()
+                    .min_by_key(|&&c| correlated[c].span.end_ns - correlated[c].span.start_ns)
+                    .expect("nonempty");
+                let all: Vec<SpanId> = candidates.iter().map(|&c| correlated[c].span.id).collect();
+                ambiguities.ambiguous.push((correlated[i].span.id, all));
+                let pid = correlated[best].span.id;
+                correlated[i].parent = Some(pid);
+                correlated[i].span.parent = Some(pid);
+            }
+        }
+    }
+    (correlated, ambiguities)
 }
 
 /// Raw generator output for one span: `(name index, level index, start,

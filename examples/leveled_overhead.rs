@@ -48,9 +48,9 @@ fn main() {
     }
     println!("  ... ({} spans total)", tree.len());
 
-    // Chrome-trace export for chrome://tracing or Perfetto.
-    let spans: Vec<xsp_trace::Span> = run.trace.spans.iter().map(|s| s.span.clone()).collect();
-    let json = xsp_trace::export::to_chrome_trace(&xsp_trace::Trace::from_spans(spans));
+    // Chrome-trace export for chrome://tracing or Perfetto — serialized off
+    // the correlated trace's borrowed span view, no cloning.
+    let json = xsp_trace::export::to_chrome_trace_of(run.trace.iter_spans());
     let path = std::env::temp_dir().join("xsp_trace.json");
     std::fs::write(&path, &json).expect("write trace");
     println!(

@@ -68,7 +68,7 @@ fn without_layer_level_kernels_bind_to_model_span() {
     let p = run_once_with_metrics(&cfg(), &graph, ProfilingLevel::ModelLayerGpu, 0, true);
     // layer info still exists in M/L/G; emulate M/G by checking the trace:
     // every kernel's resolved parent is a layer (level check)
-    for s in &p.trace.spans {
+    for s in p.trace.spans() {
         if s.span.level == StackLevel::Kernel && s.span.is_async_execution() {
             let parent = s.parent.expect("kernel parented");
             let pspan = p.trace.find(parent).expect("parent exists");

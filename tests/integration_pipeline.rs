@@ -147,7 +147,7 @@ fn offline_analysis_roundtrip() {
     let live = run_once(&xsp_cfg, &graph, ProfilingLevel::ModelLayerGpu, 0);
 
     // export the raw (uncorrelated parents preserved) spans and reload
-    let spans: Vec<xsp_trace::Span> = live.trace.spans.iter().map(|s| s.span.clone()).collect();
+    let spans: Vec<xsp_trace::Span> = live.trace.iter_spans().cloned().collect();
     let json = xsp_trace::export::to_span_json(&xsp_trace::Trace::from_spans(spans));
     let reloaded = xsp_trace::export::from_span_json(&json).unwrap();
     let offline = profile_from_trace(reloaded, ProfilingLevel::ModelLayerGpu);
@@ -179,7 +179,7 @@ fn folded_stack_export_covers_model_time() {
         .sum();
     let root_us: u64 = run
         .trace
-        .spans
+        .spans()
         .iter()
         .filter(|s| s.parent.is_none())
         .map(|s| s.span.duration_ns() / 1_000)

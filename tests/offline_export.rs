@@ -1,0 +1,107 @@
+//! Offline conversion round trip: `xsp export --from trace.jsonl` must
+//! reproduce the live export byte-for-byte.
+//!
+//! A saved span-JSON-lines capture already carries merged async pairs and
+//! reconstructed parents, so re-correlating it is a no-op on the spans —
+//! converting the capture to chrome/folded offline therefore has to emit
+//! exactly the bytes the live exporter wrote (pinned here against the same
+//! frozen chrome golden `tests/golden_export.rs` uses).
+
+use xsp_core::export::{export_profile, export_run_profile, ExportFormat};
+use xsp_core::pipeline::profile_from_trace;
+use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::scheduler::Parallelism;
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+use xsp_trace::export::read_span_json_lines;
+
+/// The golden_export.rs profile: MobileNet_v1_0.25_128 @ b1, runs=1, M/L/G.
+fn live_profile() -> xsp_core::LeveledProfile {
+    Xsp::new(
+        XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+            .runs(1)
+            .parallelism(Parallelism::Serial),
+    )
+    .up_to_level(
+        &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1),
+        ProfilingLevel::ModelLayerGpu,
+    )
+}
+
+fn live_bytes(profile: &xsp_core::LeveledProfile, format: ExportFormat) -> Vec<u8> {
+    let mut out = Vec::new();
+    export_profile(profile, format, &mut out).expect("Vec export cannot fail");
+    out
+}
+
+#[test]
+fn offline_conversion_reproduces_live_exports() {
+    let profile = live_profile();
+    let jsonl = live_bytes(&profile, ExportFormat::Spans);
+
+    // --from path: read the capture back and re-profile offline.
+    let trace = read_span_json_lines(&jsonl[..]).expect("capture parses");
+    let offline = profile_from_trace(trace, ProfilingLevel::ModelLayerGpu);
+    assert!(
+        offline.trace.ambiguities.is_clean(),
+        "re-correlating a saved capture must be a no-op: {:?}",
+        offline.trace.ambiguities
+    );
+
+    for format in ExportFormat::ALL {
+        let live = live_bytes(&profile, format);
+        let mut converted = Vec::new();
+        export_run_profile(&offline, format, &mut converted).expect("Vec export cannot fail");
+        assert!(
+            converted == live,
+            "{format}: offline conversion diverged from the live export \
+             ({} vs {} bytes)",
+            converted.len(),
+            live.len()
+        );
+    }
+}
+
+#[test]
+fn offline_chrome_conversion_matches_frozen_golden() {
+    if std::env::var("XSP_BLESS").is_ok() {
+        eprintln!("skipping golden comparison during bless");
+        return;
+    }
+    let profile = live_profile();
+    let jsonl = live_bytes(&profile, ExportFormat::Spans);
+    let offline = profile_from_trace(
+        read_span_json_lines(&jsonl[..]).expect("capture parses"),
+        ProfilingLevel::ModelLayerGpu,
+    );
+    let mut converted = Vec::new();
+    export_run_profile(&offline, ExportFormat::Chrome, &mut converted)
+        .expect("Vec export cannot fail");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/mobilenet_025_128_b1_chrome.json");
+    let golden =
+        std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert!(
+        converted == golden,
+        "offline chrome conversion drifted from the frozen live-export \
+         golden ({} vs {} bytes)",
+        converted.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn offline_spans_conversion_is_a_fixpoint() {
+    // spans → profile_from_trace → spans must reproduce the capture exactly
+    // (the `--from x --format spans` identity).
+    let profile = live_profile();
+    let jsonl = live_bytes(&profile, ExportFormat::Spans);
+    let offline = profile_from_trace(
+        read_span_json_lines(&jsonl[..]).expect("capture parses"),
+        ProfilingLevel::ModelLayerGpu,
+    );
+    let mut again = Vec::new();
+    export_run_profile(&offline, ExportFormat::Spans, &mut again).expect("Vec export cannot fail");
+    assert!(again == jsonl, "spans conversion must be the identity");
+}
