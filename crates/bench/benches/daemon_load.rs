@@ -1,0 +1,111 @@
+//! Sustained-load bench of the `xspd` daemon: N concurrent sessions each
+//! streaming span batches as fast as the socket accepts them, measuring
+//! aggregate ingestion throughput (spans/sec) and the cost of live export
+//! from an in-flight session.
+//!
+//! `--quick` (or `XSP_BENCH_QUICK=1`) runs a reduced grid — the CI smoke
+//! lane, executed at `XSP_THREADS=1` and `4` by the daemon-integration
+//! job. `--json <path>` writes the machine-readable summary uploaded as
+//! the `BENCH_daemon_ci.json` artifact.
+
+use std::time::{Duration, Instant};
+use xsp_bench::summary::{json_flag_path, BenchSummary};
+use xsp_bench::{banner, timed};
+use xsp_core::export::ExportFormat;
+use xsp_daemon::{spawn, DaemonClient, DaemonConfig, OpenOptions};
+use xsp_trace::{Span, SpanBuilder, StackLevel, TraceId};
+
+/// A synthetic batch shaped like real ingestion traffic: model spans with
+/// increasing timestamps, one trace id per session.
+fn mk_batch(len: usize, offset: u64) -> Vec<Span> {
+    (0..len as u64)
+        .map(|i| {
+            SpanBuilder::new(format!("load{}", offset + i), StackLevel::Model, TraceId(1))
+                .start(offset + i)
+                .finish(offset + i + 1)
+        })
+        .collect()
+}
+
+/// Streams `batches` batches of `batch_len` spans through each of
+/// `sessions` concurrent sessions; returns (total spans, wall time).
+fn drive(
+    socket: &std::path::Path,
+    sessions: usize,
+    batches: usize,
+    batch_len: usize,
+) -> (u64, Duration) {
+    let begin = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|_| {
+            let socket = socket.to_owned();
+            std::thread::spawn(move || {
+                let mut c = DaemonClient::connect(&socket).expect("connect");
+                let session = c.open(&OpenOptions::default()).expect("open");
+                for b in 0..batches {
+                    let batch = mk_batch(batch_len, (b * batch_len) as u64);
+                    c.append_spans(session, &batch).expect("append");
+                }
+                // One live export mid-flight keeps the reader path honest.
+                let bytes = c.export(session, ExportFormat::Spans).expect("export");
+                assert!(!bytes.is_empty());
+                c.close(session).expect("close");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("load worker panicked");
+    }
+    let wall = begin.elapsed();
+    ((sessions * batches * batch_len) as u64, wall)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("XSP_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let json_path = json_flag_path(std::env::args());
+    let mut summary = BenchSummary::start("daemon_load", quick);
+    timed("daemon_load", || {
+        banner(
+            "xspd — sustained multi-session ingestion load",
+            "expectation: aggregate spans/sec grows with concurrent sessions (per-session lanes shard the ingest path); live export mid-stream must not stall producers",
+        );
+        let socket = std::env::temp_dir().join(format!("xspd-load-{}.sock", std::process::id()));
+        let mut config = DaemonConfig::new(&socket);
+        config.poll_interval = Duration::from_millis(5);
+        let handle = spawn(config).expect("daemon binds its socket");
+
+        let grid: &[(usize, usize, usize)] = if quick {
+            // (sessions, batches, batch_len): ~36k spans total in CI.
+            &[(1, 30, 200), (4, 30, 200)]
+        } else {
+            &[(1, 100, 500), (2, 100, 500), (4, 100, 500), (8, 100, 500)]
+        };
+        println!(
+            "{:<10} {:>12} {:>14} {:>12}",
+            "Sessions", "Spans", "Wall (ms)", "Spans/sec"
+        );
+        for &(sessions, batches, batch_len) in grid {
+            let (total, wall) = drive(handle.socket_path(), sessions, batches, batch_len);
+            let spans_per_sec = total as f64 / wall.as_secs_f64();
+            println!(
+                "{sessions:<10} {total:>12} {:>14.1} {spans_per_sec:>12.0}",
+                wall.as_secs_f64() * 1e3
+            );
+            summary.point(
+                format!("sessions{sessions}/batch{batch_len}"),
+                &[
+                    ("spans", total as f64),
+                    ("wall_ms", wall.as_secs_f64() * 1e3),
+                    ("spans_per_sec", spans_per_sec),
+                ],
+            );
+        }
+        handle.shutdown();
+    });
+    if let Some(path) = json_path {
+        summary.write(&path).expect("bench summary write");
+    }
+}

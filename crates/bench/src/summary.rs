@@ -75,15 +75,38 @@ impl BenchSummary {
     }
 
     /// Stamps the wall time and writes the summary JSON to `path`.
+    ///
+    /// Relative paths resolve against the *workspace root*, not the bench
+    /// binary's CWD: `cargo bench` runs each bench with CWD set to its own
+    /// crate directory, which used to scatter `BENCH_*.json` artifacts under
+    /// `crates/*/` depending on which lane produced them. Absolute paths
+    /// pass through untouched.
     pub fn write(mut self, path: &str) -> std::io::Result<()> {
         if let Some(started) = self.started {
             self.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         }
         let json = serde_json::to_string(&self).expect("summary serialization cannot fail");
-        std::fs::write(path, json)?;
-        println!("[bench summary written to {path}]");
+        let resolved = resolve_artifact_path(path);
+        std::fs::write(&resolved, json)?;
+        println!("[bench summary written to {}]", resolved.display());
         Ok(())
     }
+}
+
+/// Resolves a bench artifact path: absolute paths are kept, relative paths
+/// are anchored at the workspace root (two levels above this crate's
+/// manifest directory) so every bench lane drops its `BENCH_*.json` in the
+/// same place regardless of the CWD `cargo bench` chose for it.
+pub fn resolve_artifact_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_owned();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .join(p)
 }
 
 /// Extracts the `--json <path>` flag from the bench's argument list, if
@@ -142,6 +165,25 @@ mod tests {
         assert_eq!(v["points"][0]["metrics"][0][1], 1.5);
         assert!(json.contains("\"wall_ms\""));
         assert!(!json.contains("started"), "skip attribute honored");
+    }
+
+    #[test]
+    fn artifact_paths_anchor_at_workspace_root() {
+        let resolved = resolve_artifact_path("BENCH_x.json");
+        assert!(resolved.is_absolute());
+        assert!(
+            resolved.parent().unwrap().join("Cargo.toml").exists(),
+            "resolves next to the workspace manifest: {}",
+            resolved.display()
+        );
+        assert!(
+            !resolved.to_str().unwrap().contains("crates"),
+            "must not land inside a crate dir: {}",
+            resolved.display()
+        );
+        // Absolute paths pass through untouched.
+        let abs = std::env::temp_dir().join("BENCH_abs.json");
+        assert_eq!(resolve_artifact_path(abs.to_str().unwrap()), abs);
     }
 
     #[test]

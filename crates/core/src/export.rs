@@ -39,13 +39,24 @@ impl ExportFormat {
         ExportFormat::Folded,
     ];
 
-    /// Parses the `--format` spelling.
-    pub fn parse(raw: &str) -> Option<Self> {
+    /// The accepted `--format` spellings, grouped per format (used by
+    /// [`ParseFormatError`] to enumerate valid values).
+    pub const SPELLINGS: [(&'static str, ExportFormat); 3] = [
+        ("spans|jsonl|span-json-lines", ExportFormat::Spans),
+        ("chrome|chrome-trace", ExportFormat::Chrome),
+        ("folded|flamegraph", ExportFormat::Folded),
+    ];
+
+    /// Parses the `--format` spelling. Rejection carries the offending value
+    /// and enumerates every accepted spelling (see [`ParseFormatError`]).
+    pub fn parse(raw: &str) -> Result<Self, ParseFormatError> {
         match raw.trim().to_ascii_lowercase().as_str() {
-            "spans" | "jsonl" | "span-json-lines" => Some(ExportFormat::Spans),
-            "chrome" | "chrome-trace" => Some(ExportFormat::Chrome),
-            "folded" | "flamegraph" => Some(ExportFormat::Folded),
-            _ => None,
+            "spans" | "jsonl" | "span-json-lines" => Ok(ExportFormat::Spans),
+            "chrome" | "chrome-trace" => Ok(ExportFormat::Chrome),
+            "folded" | "flamegraph" => Ok(ExportFormat::Folded),
+            _ => Err(ParseFormatError {
+                value: raw.to_owned(),
+            }),
         }
     }
 
@@ -64,6 +75,28 @@ impl fmt::Display for ExportFormat {
         f.write_str(self.label())
     }
 }
+
+/// Rejection produced by [`ExportFormat::parse`]: carries the rejected
+/// spelling and renders every valid one, so CLI and daemon callers surface
+/// the same self-explanatory message instead of a bare "bad --format".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError {
+    /// The spelling that failed to parse, verbatim.
+    pub value: String,
+}
+
+impl fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown export format '{}'; valid values:", self.value)?;
+        for (i, (spellings, format)) in ExportFormat::SPELLINGS.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            write!(f, "{sep}{spellings} ({format})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
 
 /// Streams a span sequence to `out` as span-JSON-lines or Chrome trace
 /// events — the shared per-span body of [`export_profile`] and
@@ -197,16 +230,25 @@ impl ExportSink {
     /// Appends every span of the given runs (used by the profiler after
     /// each engine merge; runs arrive in submission order).
     pub(crate) fn write_runs(&self, runs: &[RunProfile]) {
+        self.write_spans(runs.iter().flat_map(|run| run.trace.iter_spans()));
+    }
+
+    /// Appends a batch of spans (span-JSON-lines, batch order). Like every
+    /// sink write this latches the first I/O failure instead of returning
+    /// it: once poisoned the sink drops all further writes, and the error
+    /// stays observable through [`ExportSink::flush`] /
+    /// [`ExportSink::error_message`] / [`ExportSink::take_error`]. This is
+    /// the spill path of the `xspd` daemon, which appends each session's
+    /// resident spans on quota pressure, teardown, and graceful shutdown.
+    pub fn write_spans<'a>(&self, spans: impl IntoIterator<Item = &'a xsp_trace::Span>) {
         let mut state = self.state.lock().expect("sink lock");
         if state.error.is_some() {
             return;
         }
-        for run in runs {
-            for span in run.trace.iter_spans() {
-                if let Err(e) = state.writer.write_span(span) {
-                    state.error = Some(e);
-                    return;
-                }
+        for span in spans {
+            if let Err(e) = state.writer.write_span(span) {
+                state.error = Some(e);
+                return;
             }
         }
     }
@@ -214,6 +256,18 @@ impl ExportSink {
     /// Number of spans written so far.
     pub fn spans_written(&self) -> usize {
         self.state.lock().expect("sink lock").writer.written()
+    }
+
+    /// Renders the latched write error without claiming it (unlike
+    /// [`ExportSink::take_error`]) — every observer keeps seeing the
+    /// poisoned state. The daemon reports this in session close frames.
+    pub fn error_message(&self) -> Option<String> {
+        self.state
+            .lock()
+            .expect("sink lock")
+            .error
+            .as_ref()
+            .map(|e| e.to_string())
     }
 
     /// Flushes the underlying writer, surfacing any latched write error.
@@ -266,16 +320,34 @@ mod tests {
 
     #[test]
     fn format_parsing() {
-        assert_eq!(ExportFormat::parse("spans"), Some(ExportFormat::Spans));
-        assert_eq!(ExportFormat::parse("CHROME"), Some(ExportFormat::Chrome));
-        assert_eq!(
-            ExportFormat::parse("flamegraph"),
-            Some(ExportFormat::Folded)
-        );
-        assert_eq!(ExportFormat::parse("perfetto"), None);
+        assert_eq!(ExportFormat::parse("spans"), Ok(ExportFormat::Spans));
+        assert_eq!(ExportFormat::parse("CHROME"), Ok(ExportFormat::Chrome));
+        assert_eq!(ExportFormat::parse("flamegraph"), Ok(ExportFormat::Folded));
         for f in ExportFormat::ALL {
-            assert_eq!(ExportFormat::parse(f.label()), Some(f));
+            assert_eq!(ExportFormat::parse(f.label()), Ok(f));
         }
+        for (spellings, f) in ExportFormat::SPELLINGS {
+            for s in spellings.split('|') {
+                assert_eq!(ExportFormat::parse(s), Ok(f));
+            }
+        }
+    }
+
+    #[test]
+    fn format_parse_rejection_lists_valid_values() {
+        let err = ExportFormat::parse("perfetto").unwrap_err();
+        assert_eq!(err.value, "perfetto");
+        let msg = err.to_string();
+        assert!(msg.contains("'perfetto'"), "names the bad value: {msg}");
+        for (spellings, _) in ExportFormat::SPELLINGS {
+            assert!(msg.contains(spellings), "lists {spellings}: {msg}");
+        }
+        // The raw value is preserved verbatim (no trimming/lowercasing) so
+        // the message shows exactly what the user typed.
+        assert_eq!(
+            ExportFormat::parse(" Perfetto ").unwrap_err().value,
+            " Perfetto "
+        );
     }
 
     #[test]
@@ -375,5 +447,64 @@ mod tests {
             "the latch must persist across flushes — the sink stays stopped"
         );
         assert!(sink.take_error().is_some());
+    }
+
+    #[test]
+    fn poisoned_sink_stops_writing_and_every_observer_sees_the_latch() {
+        // Fails the first write, then would happily accept bytes — proving
+        // that post-latch sweeps are dropped by the latch, not by luck.
+        struct FailOnce {
+            failed: bool,
+            writes_after_failure: Arc<Mutex<usize>>,
+        }
+        impl Write for FailOnce {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if !self.failed {
+                    self.failed = true;
+                    return Err(io::Error::other("first write exploded"));
+                }
+                *self.writes_after_failure.lock().unwrap() += 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let writes_after_failure = Arc::new(Mutex::new(0usize));
+        let sink = ExportSink::new(FailOnce {
+            failed: false,
+            writes_after_failure: writes_after_failure.clone(),
+        });
+        let spans: Vec<xsp_trace::Span> = (0..5)
+            .map(|i| {
+                xsp_trace::SpanBuilder::new(
+                    "s",
+                    xsp_trace::StackLevel::Model,
+                    xsp_trace::TraceId(1),
+                )
+                .start(i)
+                .finish(i + 1)
+            })
+            .collect();
+        sink.write_spans(&spans); // first sweep: poisons on span 0
+        assert_eq!(sink.spans_written(), 0);
+        sink.write_spans(&spans); // second sweep: dropped by the latch
+        sink.write_spans(&spans); // third sweep: still dropped
+        assert_eq!(
+            *writes_after_failure.lock().unwrap(),
+            0,
+            "no write reaches the underlying writer once the sink is poisoned"
+        );
+        // error_message is non-consuming: every observer (the daemon reads
+        // it once per flush ack and once for the close frame) keeps seeing
+        // the same latched failure.
+        let first = sink.error_message().expect("latched");
+        let second = sink.error_message().expect("still latched");
+        assert_eq!(first, second);
+        assert!(first.contains("first write exploded"));
+        assert!(sink.flush().is_err(), "flush reports the latched error too");
+        // take_error claims the error object itself.
+        assert!(sink.take_error().is_some());
+        assert!(sink.take_error().is_none(), "claimed exactly once");
     }
 }

@@ -58,8 +58,8 @@ pub mod report;
 pub mod roofline;
 pub mod scheduler;
 
-pub use export::{export_profile, ExportFormat, ExportSink};
+pub use export::{export_profile, ExportFormat, ExportSink, ParseFormatError};
 pub use pipeline::{KernelProfile, LayerProfile, ModelPhases, RunProfile};
-pub use profile::{BatchProfile, LeveledProfile, ProfilingLevel, Xsp, XspConfig};
+pub use profile::{BatchProfile, LeveledProfile, ParseLevelError, ProfilingLevel, Xsp, XspConfig};
 pub use roofline::{classify, RooflinePoint};
 pub use scheduler::{parmap, Parallelism};

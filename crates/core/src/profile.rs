@@ -22,6 +22,7 @@
 use crate::export::ExportSink;
 use crate::pipeline::{run_once, run_once_with_metrics, KernelProfile, LayerProfile, RunProfile};
 use crate::scheduler::{parmap, Parallelism};
+use std::fmt;
 use xsp_cupti::MetricKind;
 use xsp_framework::{FrameworkKind, LayerGraph};
 use xsp_gpu::System;
@@ -62,17 +63,50 @@ impl ProfilingLevel {
         }
     }
 
+    /// The accepted `--level` spellings, grouped per level (used by
+    /// [`ParseLevelError`] to enumerate valid values).
+    pub const SPELLINGS: [(&'static str, ProfilingLevel); 3] = [
+        ("1|m|model", ProfilingLevel::Model),
+        ("2|ml|m/l", ProfilingLevel::ModelLayer),
+        ("3|mlg|m/l/g|full", ProfilingLevel::ModelLayerGpu),
+    ];
+
     /// Parses the CLI `--level` spelling: `1`/`m` → M, `2`/`ml` → M/L,
-    /// `3`/`mlg`/`full` → M/L/G.
-    pub fn parse(raw: &str) -> Option<Self> {
+    /// `3`/`mlg`/`full` → M/L/G. Rejection carries the offending value and
+    /// enumerates every accepted spelling (see [`ParseLevelError`]).
+    pub fn parse(raw: &str) -> Result<Self, ParseLevelError> {
         match raw.trim().to_ascii_lowercase().as_str() {
-            "1" | "m" | "model" => Some(ProfilingLevel::Model),
-            "2" | "ml" | "m/l" => Some(ProfilingLevel::ModelLayer),
-            "3" | "mlg" | "m/l/g" | "full" => Some(ProfilingLevel::ModelLayerGpu),
-            _ => None,
+            "1" | "m" | "model" => Ok(ProfilingLevel::Model),
+            "2" | "ml" | "m/l" => Ok(ProfilingLevel::ModelLayer),
+            "3" | "mlg" | "m/l/g" | "full" => Ok(ProfilingLevel::ModelLayerGpu),
+            _ => Err(ParseLevelError {
+                value: raw.to_owned(),
+            }),
         }
     }
 }
+
+/// Rejection produced by [`ProfilingLevel::parse`]: carries the rejected
+/// spelling and renders every valid one, so CLI and daemon callers surface
+/// the same self-explanatory message instead of a bare "bad --level".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError {
+    /// The spelling that failed to parse, verbatim.
+    pub value: String,
+}
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown profiling level '{}'; valid values:", self.value)?;
+        for (i, (spellings, level)) in ProfilingLevel::SPELLINGS.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            write!(f, "{sep}{spellings} ({})", level.label())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
 
 /// XSP configuration: target system, framework, and measurement policy.
 #[derive(Debug, Clone)]
@@ -783,5 +817,36 @@ mod tests {
         assert_eq!(ProfilingLevel::ModelLayerGpu.label(), "M/L/G");
         assert!(!ProfilingLevel::Model.includes_layers());
         assert!(ProfilingLevel::ModelLayerGpu.includes_gpu());
+    }
+
+    #[test]
+    fn level_parse_accepts_every_spelling() {
+        for (spellings, level) in ProfilingLevel::SPELLINGS {
+            for s in spellings.split('|') {
+                assert_eq!(ProfilingLevel::parse(s), Ok(level), "{s}");
+                assert_eq!(ProfilingLevel::parse(&s.to_uppercase()), Ok(level));
+            }
+        }
+        assert_eq!(ProfilingLevel::parse(" 2 "), Ok(ProfilingLevel::ModelLayer));
+    }
+
+    #[test]
+    fn level_parse_rejection_lists_valid_values() {
+        let err = ProfilingLevel::parse("deep").unwrap_err();
+        assert_eq!(err.value, "deep");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown profiling level 'deep'"), "{msg}");
+        // The message must enumerate every accepted spelling with its label.
+        for (spellings, level) in ProfilingLevel::SPELLINGS {
+            assert!(msg.contains(spellings), "{msg} missing {spellings}");
+            assert!(
+                msg.contains(level.label()),
+                "{msg} missing {}",
+                level.label()
+            );
+        }
+        // The rejected value survives verbatim (no trim/lowercase) so the
+        // user recognizes their own input.
+        assert_eq!(ProfilingLevel::parse(" M/G ").unwrap_err().value, " M/G ");
     }
 }

@@ -1,0 +1,94 @@
+//! `xspd` — the resident profiling daemon.
+//!
+//! ```console
+//! $ xspd --socket /tmp/xspd.sock [--quota 1048576] [--idle-timeout 300]
+//! ```
+//!
+//! Serves the framed session protocol on the given Unix socket until
+//! SIGTERM/SIGINT (or a client `Shutdown` frame), then drains every live
+//! session to its sink before exiting. `xsp serve` is the same entry point
+//! reached through the main CLI.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use xsp_daemon::DaemonConfig;
+
+fn usage() -> &'static str {
+    "xspd — resident across-stack profiling daemon
+
+USAGE:
+  xspd --socket <PATH> [--quota <SPANS>] [--idle-timeout <SECS>]
+
+  --socket        Unix domain socket to listen on (required)
+  --quota         default per-session resident span quota [default: 1048576]
+  --idle-timeout  reap sessions idle longer than this, seconds [default: 300]
+
+Clients open sessions and stream span batches through the framed protocol
+(see ARCHITECTURE.md, \"The daemon\"); SIGTERM drains every session to its
+sink before the daemon exits."
+}
+
+fn parse(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut socket = None;
+    let mut config_quota = None;
+    let mut idle = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(it.next().ok_or("missing value for --socket")?.clone());
+            }
+            "--quota" => {
+                let raw = it.next().ok_or("missing value for --quota")?;
+                let q: usize = raw.parse().map_err(|_| format!("bad --quota '{raw}'"))?;
+                if q == 0 {
+                    return Err("--quota must be positive".to_owned());
+                }
+                config_quota = Some(q);
+            }
+            "--idle-timeout" => {
+                let raw = it.next().ok_or("missing value for --idle-timeout")?;
+                let secs: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad --idle-timeout '{raw}'"))?;
+                idle = Some(Duration::from_secs(secs));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let socket = socket.ok_or("--socket is required")?;
+    let mut config = DaemonConfig::new(socket);
+    if let Some(q) = config_quota {
+        config.default_quota = q;
+    }
+    if let Some(idle) = idle {
+        config.idle_timeout = idle;
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("xspd: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    match xsp_daemon::run_until_signal(config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xspd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

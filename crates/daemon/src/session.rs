@@ -1,0 +1,359 @@
+//! Per-client profiling sessions: one [`TracingServer`] lane each, a
+//! bounded resident span store, and an optional [`ExportSink`] the store
+//! spills to under quota pressure and persists to on close.
+//!
+//! Memory is bounded per session by a span quota. Appends route through
+//! the session's own tracing lane (the same batch-contiguity machinery the
+//! in-process profiler uses) and are drained into the resident store
+//! eagerly, so "resident" always means the store length. When an append
+//! would exceed the quota the session applies its backpressure policy:
+//! [`OnFull::Shed`] rejects the batch with an explicit error the daemon
+//! turns into an `Err` frame, [`OnFull::Block`] evicts the store to the
+//! sink first (the producer stalls for the duration of the sink write) and
+//! then accepts. Evicted spans are durable in the sink but no longer
+//! visible to live export — the `spilled` counter in every ack makes that
+//! trade visible to the client.
+
+use std::time::{Duration, Instant};
+use xsp_core::export::{export_run_profile, ExportFormat, ExportSink};
+use xsp_core::pipeline::profile_from_trace;
+use xsp_core::profile::ProfilingLevel;
+use xsp_trace::{ChannelTracer, Span, Trace, TracingServer};
+
+/// Default per-session span quota (resident spans) when the client's open
+/// request does not pick one.
+pub const DEFAULT_QUOTA: usize = 1 << 20;
+
+/// Backpressure policy when an append would push the session over quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnFull {
+    /// Reject the batch with an explicit error frame; nothing is dropped
+    /// silently — the producer decides whether to retry after a flush.
+    #[default]
+    Shed,
+    /// Evict the resident store to the session sink, then accept. Bounds
+    /// memory at the cost of stalling the producer during the sink write;
+    /// requires a sink (validated at open).
+    Block,
+}
+
+impl OnFull {
+    /// Parses the `on_full` spelling of an open request.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "shed" => Some(OnFull::Shed),
+            "block" => Some(OnFull::Block),
+            _ => None,
+        }
+    }
+}
+
+/// Point-in-time session counters, reported in every ack frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Spans currently resident (live-exportable).
+    pub resident: usize,
+    /// Spans accepted over the session lifetime.
+    pub total: u64,
+    /// Spans evicted to the sink under quota pressure.
+    pub spilled: u64,
+}
+
+/// Why an append was refused.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The batch alone exceeds the quota — it can never be accepted.
+    BatchOverQuota {
+        /// Spans in the refused batch.
+        batch: usize,
+        /// The session quota.
+        quota: usize,
+    },
+    /// Accepting the batch would exceed the quota and the policy is
+    /// [`OnFull::Shed`].
+    QuotaExceeded {
+        /// Spans currently resident.
+        resident: usize,
+        /// The session quota.
+        quota: usize,
+    },
+    /// The sink latched a write error while spilling.
+    SinkError(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::BatchOverQuota { batch, quota } => write!(
+                f,
+                "batch of {batch} spans exceeds the session quota of {quota}; split the batch"
+            ),
+            SessionError::QuotaExceeded { resident, quota } => write!(
+                f,
+                "session quota exhausted ({resident} of {quota} spans resident); \
+                 flush or close the session, or open with on_full=block"
+            ),
+            SessionError::SinkError(msg) => write!(f, "session sink failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One client session: a private tracing lane plus the resident store.
+pub struct Session {
+    id: u64,
+    server: TracingServer,
+    tracer: ChannelTracer,
+    store: Vec<Span>,
+    /// `store[..sunk]` has already been written to the sink (by a flush);
+    /// close and spill only append the suffix, so no span reaches the sink
+    /// twice.
+    sunk: usize,
+    quota: usize,
+    on_full: OnFull,
+    sink: Option<ExportSink>,
+    total: u64,
+    spilled: u64,
+    last_activity: Instant,
+}
+
+impl Session {
+    /// Creates a session. `OnFull::Block` without a sink is refused by the
+    /// daemon's open handler before this constructor runs.
+    pub fn new(id: u64, quota: usize, on_full: OnFull, sink: Option<ExportSink>) -> Self {
+        let server = TracingServer::new();
+        let tracer = server.tracer("xspd");
+        Self {
+            id,
+            server,
+            tracer,
+            store: Vec::new(),
+            sunk: 0,
+            quota,
+            on_full,
+            sink,
+            total: 0,
+            spilled: 0,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Stamps the session as active now (any frame touching it).
+    pub fn touch(&mut self) {
+        self.last_activity = Instant::now();
+    }
+
+    /// How long the session has been idle.
+    pub fn idle_for(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.last_activity)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            resident: self.store.len(),
+            total: self.total,
+            spilled: self.spilled,
+        }
+    }
+
+    /// Moves everything published on the lane into the resident store.
+    fn drain_lane(&mut self) {
+        let store = &mut self.store;
+        self.server.drain_each(|span| store.push(span));
+    }
+
+    /// Ingests one span batch through the session lane, applying the
+    /// backpressure policy. The batch is atomic: it is accepted whole or
+    /// refused whole.
+    pub fn append(&mut self, spans: Vec<Span>) -> Result<SessionStats, SessionError> {
+        self.touch();
+        let n = spans.len();
+        if n > self.quota {
+            return Err(SessionError::BatchOverQuota {
+                batch: n,
+                quota: self.quota,
+            });
+        }
+        self.drain_lane();
+        if self.store.len() + n > self.quota {
+            match self.on_full {
+                OnFull::Shed => {
+                    return Err(SessionError::QuotaExceeded {
+                        resident: self.store.len(),
+                        quota: self.quota,
+                    });
+                }
+                OnFull::Block => self.spill()?,
+            }
+        }
+        self.tracer.report_batch(spans);
+        self.drain_lane();
+        self.total += n as u64;
+        Ok(self.stats())
+    }
+
+    /// Evicts the entire resident store to the sink (the [`OnFull::Block`]
+    /// path). Spans a previous flush already persisted are not re-written.
+    fn spill(&mut self) -> Result<(), SessionError> {
+        let sink = self
+            .sink
+            .as_ref()
+            .expect("block policy without a sink is rejected at open");
+        sink.write_spans(&self.store[self.sunk..]);
+        if let Some(msg) = sink.error_message() {
+            return Err(SessionError::SinkError(msg));
+        }
+        self.spilled += self.store.len() as u64;
+        self.store.clear();
+        self.sunk = 0;
+        Ok(())
+    }
+
+    /// Drains the lane and persists the un-persisted store suffix to the
+    /// sink (which is also flushed). Resident spans stay resident — a
+    /// flush never changes what a later export sees. Returns the stats and
+    /// the sink's latched error, if any.
+    pub fn flush(&mut self) -> (SessionStats, Option<String>) {
+        self.touch();
+        self.drain_lane();
+        let sink_error = match &self.sink {
+            Some(sink) => {
+                sink.write_spans(&self.store[self.sunk..]);
+                self.sunk = self.store.len();
+                let _ = sink.flush();
+                sink.error_message()
+            }
+            None => None,
+        };
+        (self.stats(), sink_error)
+    }
+
+    /// Serializes the resident spans in `format`, exactly as the offline
+    /// `xsp export --from` path would: re-correlate the span store into a
+    /// run profile and stream it. Because both paths share
+    /// [`profile_from_trace`] and [`export_run_profile`], a capture
+    /// streamed through the daemon exports byte-identically to the same
+    /// workload exported one-shot.
+    pub fn export_bytes(&mut self, format: ExportFormat) -> Vec<u8> {
+        self.touch();
+        self.drain_lane();
+        if self.store.is_empty() {
+            return Vec::new();
+        }
+        let trace = Trace::from_spans(self.store.clone());
+        let profile = profile_from_trace(trace, ProfilingLevel::ModelLayerGpu);
+        let mut out = Vec::new();
+        export_run_profile(&profile, format, &mut out)
+            .expect("export to an in-memory buffer cannot fail");
+        out
+    }
+
+    /// Final teardown: like [`Session::flush`], used for client close,
+    /// disconnect teardown, and the daemon's shutdown drain — every path
+    /// out of a session persists its spans to the sink.
+    pub fn close(&mut self) -> (SessionStats, Option<String>) {
+        self.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsp_trace::{SpanBuilder, StackLevel, TraceId};
+
+    fn spans(n: usize) -> Vec<Span> {
+        (0..n)
+            .map(|i| {
+                SpanBuilder::new("s", StackLevel::Model, TraceId(1))
+                    .start(i as u64)
+                    .finish(i as u64 + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_routes_through_lane_into_store() {
+        let mut s = Session::new(1, 100, OnFull::Shed, None);
+        let stats = s.append(spans(3)).unwrap();
+        assert_eq!(stats.resident, 3);
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.spilled, 0);
+    }
+
+    #[test]
+    fn shed_rejects_over_quota_batch_atomically() {
+        let mut s = Session::new(1, 5, OnFull::Shed, None);
+        s.append(spans(4)).unwrap();
+        match s.append(spans(3)) {
+            Err(SessionError::QuotaExceeded {
+                resident: 4,
+                quota: 5,
+            }) => {}
+            other => panic!("expected quota exceeded, got {other:?}"),
+        }
+        // The refused batch left no partial residue.
+        assert_eq!(s.stats().resident, 4);
+        assert_eq!(s.stats().total, 4);
+        // Exactly at quota still fits.
+        assert_eq!(s.append(spans(1)).unwrap().resident, 5);
+    }
+
+    #[test]
+    fn batch_larger_than_quota_is_never_acceptable() {
+        let mut s = Session::new(1, 2, OnFull::Shed, None);
+        match s.append(spans(3)) {
+            Err(SessionError::BatchOverQuota { batch: 3, quota: 2 }) => {}
+            other => panic!("expected batch over quota, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_spills_to_sink_and_accepts() {
+        let sink = ExportSink::new(Vec::new());
+        let mut s = Session::new(1, 5, OnFull::Block, Some(sink.clone()));
+        s.append(spans(4)).unwrap();
+        let stats = s.append(spans(3)).unwrap();
+        assert_eq!(stats.spilled, 4, "store evicted to the sink");
+        assert_eq!(stats.resident, 3, "new batch resident after eviction");
+        assert_eq!(stats.total, 7);
+        assert_eq!(sink.spans_written(), 4);
+    }
+
+    #[test]
+    fn flush_persists_without_evicting_and_close_never_double_writes() {
+        let sink = ExportSink::new(Vec::new());
+        let mut s = Session::new(1, 100, OnFull::Shed, Some(sink.clone()));
+        s.append(spans(3)).unwrap();
+        let (stats, err) = s.flush();
+        assert!(err.is_none());
+        assert_eq!(stats.resident, 3, "flush keeps spans live-exportable");
+        assert_eq!(sink.spans_written(), 3);
+        s.append(spans(2)).unwrap();
+        let (_, err) = s.close();
+        assert!(err.is_none());
+        assert_eq!(sink.spans_written(), 5, "close writes only the suffix");
+    }
+
+    #[test]
+    fn idle_clock_resets_on_touch() {
+        let mut s = Session::new(1, 10, OnFull::Shed, None);
+        let later = Instant::now() + Duration::from_secs(60);
+        assert!(s.idle_for(later) >= Duration::from_secs(59));
+        s.touch();
+        assert!(s.idle_for(Instant::now()) < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn on_full_spellings() {
+        assert_eq!(OnFull::parse("shed"), Some(OnFull::Shed));
+        assert_eq!(OnFull::parse("block"), Some(OnFull::Block));
+        assert_eq!(OnFull::parse("drop"), None);
+    }
+}

@@ -36,6 +36,7 @@ USAGE:
   xsp export  --from <trace.jsonl> [--format spans|chrome|folded] [-o <PATH>]
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
               [--threads <T>]
+  xsp serve   --socket <PATH> [--quota <SPANS>] [--idle-timeout <SECS>]
 
 EXPORT:   streams the trace to -o (stdout by default) without ever holding
           the serialized trace in memory. Formats: `spans` (span-JSON-lines,
@@ -47,6 +48,12 @@ EXPORT:   streams the trace to -o (stdout by default) without ever holding
           span-JSON-lines capture offline (§III-A) and converts it to any
           format — `xsp export --from trace.jsonl --format chrome` emits the
           same bytes a live chrome export of that profile would.
+
+SERVE:    runs the resident profiling daemon (`xspd`) on a Unix socket:
+          clients open sessions and stream span batches through the framed
+          protocol, with per-session quotas bounding memory and live export
+          served from in-flight sessions (see ARCHITECTURE.md). SIGTERM
+          drains every session to its sink before exiting.
 
 ANALYSES: a1 (via sweep), a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
           a13, a14, a15, ax1 (library level; needs --library-level),
@@ -106,6 +113,7 @@ fn main() -> ExitCode {
         "list-systems" => list_systems(),
         "profile" => profile(&args.flags),
         "export" => export(&args.flags),
+        "serve" => serve(&args.flags),
         "sweep" => sweep(&args.flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
@@ -300,13 +308,11 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
 fn export(flags: &HashMap<String, String>) -> ExitCode {
     let result = (|| -> Result<(), String> {
         let format = match flags.get("format") {
-            Some(raw) => ExportFormat::parse(raw)
-                .ok_or_else(|| format!("bad --format '{raw}' (spans, chrome, or folded)"))?,
+            Some(raw) => ExportFormat::parse(raw).map_err(|e| e.to_string())?,
             None => ExportFormat::Spans,
         };
         let level = match flags.get("level") {
-            Some(raw) => ProfilingLevel::parse(raw)
-                .ok_or_else(|| format!("bad --level '{raw}' (1=M, 2=M/L, 3=M/L/G)"))?,
+            Some(raw) => ProfilingLevel::parse(raw).map_err(|e| e.to_string())?,
             None => ProfilingLevel::ModelLayerGpu,
         };
         // `-o`/`--out` requires a value; a trailing flag parses as the
@@ -441,6 +447,39 @@ fn export_offline(
     };
     eprintln!("exported {written} {unit} (offline, no re-profiling)");
     Ok(())
+}
+
+/// `xsp serve`: run the resident daemon until SIGTERM (same entry point as
+/// the standalone `xspd` binary).
+fn serve(flags: &HashMap<String, String>) -> ExitCode {
+    let result = (|| -> Result<(), String> {
+        let socket = match flags.get("socket") {
+            Some(path) if path != "true" => path.clone(),
+            _ => return Err("missing --socket <PATH> (the Unix socket to listen on)".to_owned()),
+        };
+        let mut config = xsp_daemon::DaemonConfig::new(socket);
+        if let Some(raw) = flags.get("quota") {
+            let quota: usize = raw.parse().map_err(|_| format!("bad --quota '{raw}'"))?;
+            if quota == 0 {
+                return Err("--quota must be positive".to_owned());
+            }
+            config.default_quota = quota;
+        }
+        if let Some(raw) = flags.get("idle-timeout") {
+            let secs: u64 = raw
+                .parse()
+                .map_err(|_| format!("bad --idle-timeout '{raw}'"))?;
+            config.idle_timeout = std::time::Duration::from_secs(secs);
+        }
+        xsp_daemon::run_until_signal(config).map_err(|e| e.to_string())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn render_analysis(

@@ -1,0 +1,141 @@
+//! The daemon's determinism contract, pinned end to end: a capture
+//! streamed through `xspd` in batches and exported live from the in-flight
+//! session must be byte-identical to the same workload exported by the
+//! one-shot `xsp export` path — for every format, whether the profile was
+//! produced serially or by the 4-worker evaluation engine, and with four
+//! sessions streaming concurrently.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use xsp_core::export::{export_profile, ExportFormat};
+use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::scheduler::Parallelism;
+use xsp_daemon::{spawn, DaemonClient, DaemonConfig, DaemonHandle, OpenOptions};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::zoo;
+use xsp_trace::export::read_span_json_lines;
+use xsp_trace::Span;
+
+static SOCKET_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn start_daemon() -> DaemonHandle {
+    let seq = SOCKET_SEQ.fetch_add(1, Ordering::SeqCst);
+    let mut config = DaemonConfig::new(
+        std::env::temp_dir().join(format!("xspd-exp-{}-{seq}.sock", std::process::id())),
+    );
+    config.poll_interval = Duration::from_millis(10);
+    spawn(config).expect("daemon binds its socket")
+}
+
+/// One-shot profile of `model` exactly as `xsp export` produces it.
+fn one_shot(model: &str, parallelism: Parallelism) -> xsp_core::LeveledProfile {
+    Xsp::new(
+        XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+            .runs(1)
+            .parallelism(parallelism),
+    )
+    .up_to_level(
+        &zoo::by_name(model).unwrap().graph(1),
+        ProfilingLevel::ModelLayerGpu,
+    )
+}
+
+fn one_shot_bytes(profile: &xsp_core::LeveledProfile, format: ExportFormat) -> Vec<u8> {
+    let mut out = Vec::new();
+    export_profile(profile, format, &mut out).expect("Vec export cannot fail");
+    out
+}
+
+/// The capture as span batches, exactly what a traced process would stream
+/// to the daemon (split into batches to exercise multi-append reassembly).
+fn capture_batches(profile: &xsp_core::LeveledProfile, batch: usize) -> Vec<Vec<Span>> {
+    let jsonl = one_shot_bytes(profile, ExportFormat::Spans);
+    let spans = read_span_json_lines(&jsonl[..])
+        .expect("capture parses")
+        .into_spans();
+    spans.chunks(batch).map(<[Span]>::to_vec).collect()
+}
+
+/// Streams a capture through a daemon session and exports it live in every
+/// format, asserting byte-identity with the one-shot export.
+fn assert_daemon_matches_one_shot(
+    handle: &DaemonHandle,
+    profile: &xsp_core::LeveledProfile,
+    label: &str,
+) {
+    let mut c = DaemonClient::connect(handle.socket_path()).expect("connect");
+    let session = c.open(&OpenOptions::default()).expect("open");
+    for batch in capture_batches(profile, 64) {
+        c.append_spans(session, &batch).expect("append");
+    }
+    for format in ExportFormat::ALL {
+        let live = c.export(session, format).expect("export");
+        let expected = one_shot_bytes(profile, format);
+        assert!(
+            live == expected,
+            "{label}/{format}: daemon live export diverged from one-shot \
+             ({} vs {} bytes)",
+            live.len(),
+            expected.len()
+        );
+    }
+    c.close(session).expect("close");
+}
+
+#[test]
+fn daemon_export_matches_one_shot_serial_and_parallel() {
+    let handle = start_daemon();
+    // The engine's worker count must not leak into the daemon's bytes —
+    // the same contract CI enforces on the CLI at XSP_THREADS=1 and 4.
+    let serial = one_shot("MobileNet_v1_0.25_128", Parallelism::Serial);
+    let parallel = one_shot("MobileNet_v1_0.25_128", Parallelism::Fixed(4));
+    assert_daemon_matches_one_shot(&handle, &serial, "serial");
+    assert_daemon_matches_one_shot(&handle, &parallel, "fixed4");
+    for format in ExportFormat::ALL {
+        assert!(
+            one_shot_bytes(&serial, format) == one_shot_bytes(&parallel, format),
+            "{format}: one-shot bytes differ between Serial and Fixed(4)"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn four_concurrent_sessions_export_independently_and_identically() {
+    let handle = start_daemon();
+    let models = [
+        "MobileNet_v1_0.25_128",
+        "MobileNet_v1_0.5_160",
+        "MobileNet_v1_0.75_192",
+        "MobileNet_v1_1.0_224",
+    ];
+    let workers: Vec<_> = models
+        .map(|model| {
+            let socket = handle.socket_path().to_owned();
+            std::thread::spawn(move || {
+                let profile = one_shot(model, Parallelism::Fixed(2));
+                let mut c = DaemonClient::connect(&socket).expect("connect");
+                let session = c.open(&OpenOptions::default()).expect("open");
+                for batch in capture_batches(&profile, 32) {
+                    c.append_spans(session, &batch).expect("append");
+                }
+                let live = c.export(session, ExportFormat::Spans).expect("export");
+                let expected = one_shot_bytes(&profile, ExportFormat::Spans);
+                assert!(
+                    live == expected,
+                    "{model}: concurrent session export diverged \
+                     ({} vs {} bytes)",
+                    live.len(),
+                    expected.len()
+                );
+                c.close(session).expect("close");
+            })
+        })
+        .into_iter()
+        .collect();
+    for worker in workers {
+        worker.join().expect("session worker panicked");
+    }
+    handle.shutdown();
+}
