@@ -17,6 +17,7 @@ use std::fmt;
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 use xsp_trace::export::stream::{ChromeTraceWriter, FoldedStacksWriter, SpanJsonLinesWriter};
+use xsp_trace::export::SpanBinaryWriter;
 
 /// The trace formats `xsp export` (and [`export_profile`]) can emit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +26,10 @@ pub enum ExportFormat {
     /// interchange format; read back with
     /// [`xsp_trace::export::read_span_json_lines`]).
     Spans,
+    /// `.xspb` span binary: length-prefixed records with interned names
+    /// (the compact interchange format; read back with
+    /// [`xsp_trace::export::read_span_binary`]).
+    Binary,
     /// Chrome trace-event JSON (`chrome://tracing`, Perfetto).
     Chrome,
     /// Brendan-Gregg folded stacks (`flamegraph.pl`, speedscope).
@@ -33,16 +38,18 @@ pub enum ExportFormat {
 
 impl ExportFormat {
     /// Every format, in CLI listing order.
-    pub const ALL: [ExportFormat; 3] = [
+    pub const ALL: [ExportFormat; 4] = [
         ExportFormat::Spans,
+        ExportFormat::Binary,
         ExportFormat::Chrome,
         ExportFormat::Folded,
     ];
 
     /// The accepted `--format` spellings, grouped per format (used by
     /// [`ParseFormatError`] to enumerate valid values).
-    pub const SPELLINGS: [(&'static str, ExportFormat); 3] = [
+    pub const SPELLINGS: [(&'static str, ExportFormat); 4] = [
         ("spans|jsonl|span-json-lines", ExportFormat::Spans),
+        ("xspb|binary|span-binary", ExportFormat::Binary),
         ("chrome|chrome-trace", ExportFormat::Chrome),
         ("folded|flamegraph", ExportFormat::Folded),
     ];
@@ -52,6 +59,7 @@ impl ExportFormat {
     pub fn parse(raw: &str) -> Result<Self, ParseFormatError> {
         match raw.trim().to_ascii_lowercase().as_str() {
             "spans" | "jsonl" | "span-json-lines" => Ok(ExportFormat::Spans),
+            "xspb" | "binary" | "span-binary" => Ok(ExportFormat::Binary),
             "chrome" | "chrome-trace" => Ok(ExportFormat::Chrome),
             "folded" | "flamegraph" => Ok(ExportFormat::Folded),
             _ => Err(ParseFormatError {
@@ -64,6 +72,7 @@ impl ExportFormat {
     pub fn label(self) -> &'static str {
         match self {
             ExportFormat::Spans => "spans",
+            ExportFormat::Binary => "xspb",
             ExportFormat::Chrome => "chrome",
             ExportFormat::Folded => "folded",
         }
@@ -117,6 +126,15 @@ fn export_span_stream<'a, W: Write>(
             writer.finish()?;
             Ok(written)
         }
+        ExportFormat::Binary => {
+            let mut writer = SpanBinaryWriter::new(out)?;
+            for span in spans {
+                writer.write_span(span)?;
+            }
+            let written = writer.written();
+            writer.finish()?;
+            Ok(written)
+        }
         ExportFormat::Chrome => {
             let mut writer = ChromeTraceWriter::new(out)?;
             for span in spans {
@@ -139,7 +157,7 @@ pub fn export_profile<W: Write>(
     out: W,
 ) -> io::Result<usize> {
     match format {
-        ExportFormat::Spans | ExportFormat::Chrome => {
+        ExportFormat::Spans | ExportFormat::Binary | ExportFormat::Chrome => {
             export_span_stream(profile.iter_spans(), format, out)
         }
         ExportFormat::Folded => {
@@ -172,7 +190,7 @@ pub fn export_run_profile<W: Write>(
     out: W,
 ) -> io::Result<usize> {
     match format {
-        ExportFormat::Spans | ExportFormat::Chrome => {
+        ExportFormat::Spans | ExportFormat::Binary | ExportFormat::Chrome => {
             export_span_stream(profile.trace.iter_spans(), format, out)
         }
         ExportFormat::Folded => {
@@ -188,8 +206,39 @@ pub fn export_run_profile<W: Write>(
     }
 }
 
+/// The sink's format-specific writer half: span-JSON-lines (the default
+/// interchange) or `.xspb` span binary. Both append one span at a time and
+/// track the span count, so the sink logic above them is format-blind.
+enum SinkWriter {
+    Jsonl(SpanJsonLinesWriter<Box<dyn Write + Send>>),
+    Binary(SpanBinaryWriter<Box<dyn Write + Send>>),
+}
+
+impl SinkWriter {
+    fn write_span(&mut self, span: &xsp_trace::Span) -> io::Result<()> {
+        match self {
+            SinkWriter::Jsonl(w) => w.write_span(span),
+            SinkWriter::Binary(w) => w.write_span(span),
+        }
+    }
+
+    fn written(&self) -> usize {
+        match self {
+            SinkWriter::Jsonl(w) => w.written(),
+            SinkWriter::Binary(w) => w.written(),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SinkWriter::Jsonl(w) => w.flush(),
+            SinkWriter::Binary(w) => w.flush(),
+        }
+    }
+}
+
 struct SinkState {
-    writer: SpanJsonLinesWriter<Box<dyn Write + Send>>,
+    writer: SinkWriter,
     /// First write failure; once set, further writes are dropped so a full
     /// disk cannot panic a sweep mid-flight.
     error: Option<io::Error>,
@@ -211,20 +260,41 @@ pub struct ExportSink {
 }
 
 impl ExportSink {
-    /// Creates a sink over any writer (file, socket, `Vec<u8>` in tests).
+    /// Creates a span-JSON-lines sink over any writer (file, socket,
+    /// `Vec<u8>` in tests).
     pub fn new(out: impl Write + Send + 'static) -> Self {
         Self {
             state: Arc::new(Mutex::new(SinkState {
-                writer: SpanJsonLinesWriter::new(Box::new(out)),
+                writer: SinkWriter::Jsonl(SpanJsonLinesWriter::new(Box::new(out))),
                 error: None,
             })),
         }
     }
 
-    /// Creates a sink appending to a buffered file at `path`.
+    /// Creates a `.xspb` span-binary sink over any writer. Fallible because
+    /// the stream header is written eagerly, so a dead writer surfaces here
+    /// instead of poisoning the first span.
+    pub fn new_binary(out: impl Write + Send + 'static) -> io::Result<Self> {
+        let writer: Box<dyn Write + Send> = Box::new(out);
+        Ok(Self {
+            state: Arc::new(Mutex::new(SinkState {
+                writer: SinkWriter::Binary(SpanBinaryWriter::new(writer)?),
+                error: None,
+            })),
+        })
+    }
+
+    /// Creates a sink appending to a buffered file at `path`. The format
+    /// follows the extension: `.xspb` selects span binary, everything else
+    /// span-JSON-lines.
     pub fn create(path: &std::path::Path) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(Self::new(io::BufWriter::new(file)))
+        let out = io::BufWriter::new(file);
+        if path.extension().is_some_and(|e| e == "xspb") {
+            Self::new_binary(out)
+        } else {
+            Ok(Self::new(out))
+        }
     }
 
     /// Appends every span of the given runs (used by the profiler after

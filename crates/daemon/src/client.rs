@@ -16,6 +16,7 @@ use std::io::{self, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use xsp_core::export::ExportFormat;
+pub use xsp_trace::export::spans_to_binary;
 use xsp_trace::export::SpanJsonLinesWriter;
 use xsp_trace::Span;
 
@@ -137,10 +138,26 @@ impl DaemonClient {
         self.expect_ack()
     }
 
-    /// Appends raw bytes as the JSONL body (fault-injection convenience).
-    pub fn append_raw(&mut self, session: u64, jsonl: &[u8]) -> Result<Ack, ClientError> {
+    /// Appends a span batch to `session` serialized as `.xspb` span binary
+    /// — the compact wire encoding; the daemon sniffs the magic bytes, so
+    /// binary and JSONL appends interleave freely on one session.
+    pub fn append_spans_binary(
+        &mut self,
+        session: u64,
+        spans: &[Span],
+    ) -> Result<Ack, ClientError> {
         let mut payload = session.to_be_bytes().to_vec();
-        payload.extend_from_slice(jsonl);
+        payload.extend_from_slice(&spans_to_binary(spans));
+        self.send_frame(FrameKind::Append, &payload)?;
+        self.expect_ack()
+    }
+
+    /// Appends raw bytes as the batch body (fault-injection convenience;
+    /// the daemon sniffs the encoding, so this covers corrupt binary as
+    /// well as corrupt JSONL).
+    pub fn append_raw(&mut self, session: u64, body: &[u8]) -> Result<Ack, ClientError> {
+        let mut payload = session.to_be_bytes().to_vec();
+        payload.extend_from_slice(body);
         self.send_frame(FrameKind::Append, &payload)?;
         self.expect_ack()
     }

@@ -440,10 +440,23 @@ fn handle_frame(
                     }
                 }
             };
-            let spans = match xsp_trace::export::read_span_json_lines(&frame.payload[8..]) {
-                Ok(trace) => trace.into_spans(),
-                Err(e) => {
-                    return conn.reply_err("bad_payload", &format!("span JSONL: {e}"));
+            // Batch encoding is sniffed per append: `.xspb` span binary
+            // (magic-prefixed) or span-JSON-lines, so one session can mix
+            // producers.
+            let body = &frame.payload[8..];
+            let spans = if xsp_trace::export::is_xspb_prefix(body) {
+                match xsp_trace::export::read_span_binary(body) {
+                    Ok(trace) => trace.into_spans(),
+                    Err(e) => {
+                        return conn.reply_err("bad_payload", &format!("span binary: {e}"));
+                    }
+                }
+            } else {
+                match xsp_trace::export::read_span_json_lines(body) {
+                    Ok(trace) => trace.into_spans(),
+                    Err(e) => {
+                        return conn.reply_err("bad_payload", &format!("span JSONL: {e}"));
+                    }
                 }
             };
             let appended = session.lock().append(spans);

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use xsp_core::export::{export_run_profile, ExportFormat, ExportSink};
 use xsp_core::pipeline::profile_from_trace;
 use xsp_core::profile::ProfilingLevel;
-use xsp_trace::{ChannelTracer, Span, Trace, TracingServer};
+use xsp_trace::{ChannelTracer, Span, SpanStore, TracingServer};
 
 /// Default per-session span quota (resident spans) when the client's open
 /// request does not pick one.
@@ -101,14 +101,20 @@ impl std::fmt::Display for SessionError {
 impl std::error::Error for SessionError {}
 
 /// One client session: a private tracing lane plus the resident store.
+///
+/// Residency is columnar: drained spans land in a [`SpanStore`] (interned
+/// names, struct-of-arrays columns, shared tag/log arenas), so a session
+/// holding its quota of spans costs one arena instead of a `Vec` of owned
+/// span objects. Spans are materialized back only at the boundaries that
+/// need the interchange type — sink spills and live export.
 pub struct Session {
     id: u64,
     server: TracingServer,
     tracer: ChannelTracer,
-    store: Vec<Span>,
-    /// `store[..sunk]` has already been written to the sink (by a flush);
-    /// close and spill only append the suffix, so no span reaches the sink
-    /// twice.
+    store: SpanStore,
+    /// The first `sunk` store entries have already been written to the
+    /// sink (by a flush); close and spill only append the suffix, so no
+    /// span reaches the sink twice.
     sunk: usize,
     quota: usize,
     on_full: OnFull,
@@ -128,7 +134,7 @@ impl Session {
             id,
             server,
             tracer,
-            store: Vec::new(),
+            store: SpanStore::new(),
             sunk: 0,
             quota,
             on_full,
@@ -166,7 +172,17 @@ impl Session {
     /// Moves everything published on the lane into the resident store.
     fn drain_lane(&mut self) {
         let store = &mut self.store;
-        self.server.drain_each(|span| store.push(span));
+        self.server.drain_each(|span| {
+            store.push_owned(span);
+        });
+    }
+
+    /// Materializes the store suffix past `sunk` into interchange spans
+    /// (the sink boundary) without touching already-persisted entries.
+    fn unsunk_spans(&self) -> Vec<Span> {
+        (self.sunk..self.store.len())
+            .map(|i| self.store.materialize(i as u32))
+            .collect()
     }
 
     /// Ingests one span batch through the session lane, applying the
@@ -202,11 +218,12 @@ impl Session {
     /// Evicts the entire resident store to the sink (the [`OnFull::Block`]
     /// path). Spans a previous flush already persisted are not re-written.
     fn spill(&mut self) -> Result<(), SessionError> {
+        let suffix = self.unsunk_spans();
         let sink = self
             .sink
             .as_ref()
             .expect("block policy without a sink is rejected at open");
-        sink.write_spans(&self.store[self.sunk..]);
+        sink.write_spans(&suffix);
         if let Some(msg) = sink.error_message() {
             return Err(SessionError::SinkError(msg));
         }
@@ -225,7 +242,8 @@ impl Session {
         self.drain_lane();
         let sink_error = match &self.sink {
             Some(sink) => {
-                sink.write_spans(&self.store[self.sunk..]);
+                let suffix = self.unsunk_spans();
+                sink.write_spans(&suffix);
                 self.sunk = self.store.len();
                 let _ = sink.flush();
                 sink.error_message()
@@ -247,7 +265,7 @@ impl Session {
         if self.store.is_empty() {
             return Vec::new();
         }
-        let trace = Trace::from_spans(self.store.clone());
+        let trace = self.store.to_trace();
         let profile = profile_from_trace(trace, ProfilingLevel::ModelLayerGpu);
         let mut out = Vec::new();
         export_run_profile(&profile, format, &mut out)

@@ -306,6 +306,69 @@ fn unknown_session_and_bad_payloads_get_structured_errors() {
 }
 
 #[test]
+fn corrupt_binary_appends_are_rejected_atomically() {
+    use xsp_daemon::client::spans_to_binary;
+    let handle = daemon(|_| {});
+    let mut c = client(&handle);
+    let session = c.open(&OpenOptions::default()).unwrap();
+
+    // A healthy binary append lands, interleaved with JSONL on the same
+    // session — the daemon sniffs each batch's encoding independently.
+    let ack = c.append_spans_binary(session, &mk_spans(3, 0)).unwrap();
+    assert_eq!(ack.stats.resident, 3);
+    let ack = c.append_spans(session, &mk_spans(2, 100)).unwrap();
+    assert_eq!(ack.stats.resident, 5);
+
+    // Truncated binary: magic sniffs as .xspb, the record tears mid-way.
+    let mut torn = spans_to_binary(&mk_spans(2, 200));
+    torn.truncate(torn.len() - 3);
+    let err = c.append_raw(session, &torn).unwrap_err();
+    assert_eq!(err.code(), Some("bad_payload"));
+    assert!(
+        err.to_string().contains("span binary"),
+        "names the encoding: {err}"
+    );
+
+    // A record announcing a payload beyond the cap dies without OOM.
+    let mut oversized = spans_to_binary(&[]);
+    oversized.push(0x02);
+    oversized.extend(u32::MAX.to_be_bytes());
+    let err = c.append_raw(session, &oversized).unwrap_err();
+    assert_eq!(err.code(), Some("bad_payload"));
+
+    // Nothing of any refused batch landed; the session still serves.
+    let ack = c.append_spans_binary(session, &mk_spans(1, 300)).unwrap();
+    assert_eq!(ack.stats.resident, 6);
+    assert_eq!(ack.stats.total, 6);
+    handle.shutdown();
+}
+
+#[test]
+fn binary_and_jsonl_appends_export_identically() {
+    use xsp_daemon::client::spans_to_binary;
+    let handle = daemon(|_| {});
+    let spans = mk_spans(10, 0);
+
+    let mut via_jsonl = client(&handle);
+    let s1 = via_jsonl.open(&OpenOptions::default()).unwrap();
+    via_jsonl.append_spans(s1, &spans).unwrap();
+
+    let mut via_binary = client(&handle);
+    let s2 = via_binary.open(&OpenOptions::default()).unwrap();
+    via_binary.append_spans_binary(s2, &spans).unwrap();
+
+    for format in ExportFormat::ALL {
+        let a = via_jsonl.export(s1, format).unwrap();
+        let b = via_binary.export(s2, format).unwrap();
+        assert_eq!(a, b, "{format:?} export depends on the append encoding");
+    }
+    // And the binary export round-trips to the spans that went in.
+    let bytes = via_binary.export(s2, ExportFormat::Binary).unwrap();
+    assert_eq!(bytes, spans_to_binary(&spans));
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_every_open_session() {
     let handle = daemon(|_| {});
     let sinks: Vec<PathBuf> = (0..3)

@@ -34,6 +34,7 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interval::{Interval, IntervalTree};
 use crate::server::Trace;
 use crate::span::{tag_keys, Span, SpanId, StackLevel, TagValue};
+use crate::store::{SpanStore, HAS_CID, IS_EXEC, IS_LAUNCH};
 
 /// A span with its resolved parent and, for async operations, the launch
 /// interval used during parent matching.
@@ -526,6 +527,219 @@ impl CorrelationEngine {
         }
     }
 
+    /// Correlates every run of `store` without materializing a single
+    /// owned [`Span`] — the columnar twin of
+    /// [`CorrelationEngine::correlate`], with identical merge, parent and
+    /// ambiguity semantics (the store-vs-span oracle test pins the
+    /// equivalence). Async roles come from the store's pre-computed
+    /// per-span columns, merged launch tags are arena *references* instead
+    /// of clones, and parents/intervals are column reads, so the pass
+    /// performs no per-span allocation at all.
+    pub fn correlate_store(&mut self, store: &SpanStore) -> StoreCorrelation {
+        let mut out = StoreCorrelation {
+            entries: Vec::with_capacity(store.len()),
+            extra_tags: Vec::new(),
+            ambiguities: AmbiguityReport::default(),
+        };
+        for run in 0..store.run_buckets().len() {
+            self.correlate_store_run(store, run, &mut out);
+        }
+        out
+    }
+
+    /// Store-native twin of [`CorrelationEngine::correlate_run`]; every
+    /// step mirrors the span-based pass index-for-index.
+    fn correlate_store_run(&mut self, store: &SpanStore, run: usize, out: &mut StoreCorrelation) {
+        for bucket in &mut self.level_buckets {
+            bucket.clear();
+        }
+        for tree in &mut self.trees {
+            *tree = None;
+        }
+        let base = out.entries.len();
+        let idxs: &[u32] = &store.run_buckets()[run].1;
+
+        // Classification from the pre-computed async columns — the same
+        // facts `async_role` derives from tags, without the tag walk.
+        let mut roles: Vec<AsyncRole> = Vec::with_capacity(idxs.len());
+        let mut exec_cids: FxHashSet<u64> = FxHashSet::default();
+        for &si in idxs {
+            let info = store.async_info(si);
+            let role = if info.flags & HAS_CID != 0 {
+                match (info.flags & IS_LAUNCH != 0, info.flags & IS_EXEC != 0) {
+                    (true, false) => AsyncRole::Launch(info.cid),
+                    (false, true) => AsyncRole::Execution(info.cid),
+                    _ => AsyncRole::Plain,
+                }
+            } else {
+                AsyncRole::Plain
+            };
+            if let AsyncRole::Execution(cid) = role {
+                exec_cids.insert(cid);
+            }
+            roles.push(role);
+        }
+        // Launch halves kept aside when paired — by store index, no tag
+        // clone (the merged tags stay arena references).
+        struct StoreLaunch {
+            parent: Option<SpanId>,
+            interval: (u64, u64),
+            span: u32,
+        }
+        let mut launches: FxHashMap<u64, StoreLaunch> = FxHashMap::default();
+        for (j, &si) in idxs.iter().enumerate() {
+            if let AsyncRole::Launch(cid) = roles[j] {
+                if exec_cids.contains(&cid) {
+                    launches.insert(
+                        cid,
+                        StoreLaunch {
+                            parent: store.parent_at(si),
+                            interval: store.interval_at(si),
+                            span: si,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Merge pass: paired launches fold into their execution entry
+        // (timing from the execution, parent and missing tags from the
+        // launch — "missing" judged against the execution's tags plus the
+        // extras appended so far, exactly like the growing `merged.tags`).
+        for (j, &si) in idxs.iter().enumerate() {
+            let entry = match roles[j] {
+                AsyncRole::Execution(cid) => {
+                    if let Some(launch) = launches.get(&cid) {
+                        let extras_start = out.extra_tags.len();
+                        let exec_tags = store.tag_range(si);
+                        for lt in store.tag_range(launch.span) {
+                            let key = store.tag_key_at(lt);
+                            let present = exec_tags.clone().any(|t| store.tag_key_at(t) == key)
+                                || out.extra_tags[extras_start..]
+                                    .iter()
+                                    .any(|&e| store.tag_key_at(e as usize) == key);
+                            if !present {
+                                out.extra_tags.push(lt as u32);
+                            }
+                        }
+                        StoreEntry {
+                            span: si,
+                            parent: launch.parent,
+                            launch_interval: Some(launch.interval),
+                            extras: (
+                                extras_start as u32,
+                                (out.extra_tags.len() - extras_start) as u32,
+                            ),
+                        }
+                    } else {
+                        StoreEntry::passthrough(store, si)
+                    }
+                }
+                AsyncRole::Launch(cid) => {
+                    if exec_cids.contains(&cid) {
+                        continue;
+                    }
+                    StoreEntry::passthrough(store, si)
+                }
+                AsyncRole::Plain => StoreEntry::passthrough(store, si),
+            };
+            self.level_buckets[store.level_at(si).rank() as usize].push(out.entries.len());
+            out.entries.push(entry);
+        }
+
+        let levels: Vec<StackLevel> = StackLevel::ALL
+            .iter()
+            .copied()
+            .filter(|l| !self.level_buckets[l.rank() as usize].is_empty())
+            .collect();
+
+        for i in base..out.entries.len() {
+            if out.entries[i].parent.is_some() {
+                continue;
+            }
+            let si = out.entries[i].span;
+            let child_level = store.level_at(si);
+            let Some(pos) = levels.iter().position(|l| *l == child_level) else {
+                continue;
+            };
+            if pos == 0 {
+                continue;
+            }
+            let own = store.interval_at(si);
+            let mut probes: Vec<(u64, u64)> = vec![out.entries[i].launch_interval.unwrap_or(own)];
+            if probes[0] != own {
+                probes.push(own);
+            }
+            let mut candidates: Vec<usize> = Vec::new();
+            'search: for ancestor in (0..pos).rev() {
+                let tree = Self::tree_for_store(
+                    &mut self.trees,
+                    &mut self.trees_built,
+                    &self.level_buckets,
+                    levels[ancestor],
+                    store,
+                    &out.entries,
+                );
+                for &(lo, hi) in &probes {
+                    candidates = tree.containing(lo, hi).map(|iv| iv.key).collect();
+                    candidates.retain(|&c| c != i);
+                    if !candidates.is_empty() {
+                        break 'search;
+                    }
+                }
+            }
+            match candidates.len() {
+                0 => {
+                    out.ambiguities.orphans.push(store.id_at(si));
+                }
+                1 => {
+                    out.entries[i].parent = Some(store.id_at(out.entries[candidates[0]].span));
+                }
+                _ => {
+                    let best = *candidates
+                        .iter()
+                        .min_by_key(|&&c| {
+                            let (s, e) = store.interval_at(out.entries[c].span);
+                            e - s
+                        })
+                        .expect("nonempty");
+                    let all: Vec<SpanId> = candidates
+                        .iter()
+                        .map(|&c| store.id_at(out.entries[c].span))
+                        .collect();
+                    out.ambiguities.ambiguous.push((store.id_at(si), all));
+                    out.entries[i].parent = Some(store.id_at(out.entries[best].span));
+                }
+            }
+        }
+    }
+
+    /// [`CorrelationEngine::tree_for`] over store entries: intervals come
+    /// from the store's timestamp columns (execution timing, matching the
+    /// span-based pass).
+    fn tree_for_store<'t>(
+        trees: &'t mut [Option<IntervalTree>; StackLevel::ALL.len()],
+        trees_built: &mut [usize; StackLevel::ALL.len()],
+        level_buckets: &[Vec<usize>; StackLevel::ALL.len()],
+        level: StackLevel,
+        store: &SpanStore,
+        entries: &[StoreEntry],
+    ) -> &'t IntervalTree {
+        let rank = level.rank() as usize;
+        if trees[rank].is_none() {
+            let intervals: Vec<Interval> = level_buckets[rank]
+                .iter()
+                .map(|&i| {
+                    let (s, e) = store.interval_at(entries[i].span);
+                    Interval::new(s, e, i)
+                })
+                .collect();
+            trees_built[rank] += 1;
+            trees[rank] = Some(IntervalTree::build(intervals));
+        }
+        trees[rank].as_ref().expect("just built")
+    }
+
     /// Returns the interval tree for `level`, building it on first use from
     /// the run's level bucket. A free function over the split-borrowed
     /// fields so the caller can keep reading `out` while the tree is alive.
@@ -546,6 +760,108 @@ impl CorrelationEngine {
             trees[rank] = Some(IntervalTree::build(intervals));
         }
         trees[rank].as_ref().expect("just built")
+    }
+}
+
+/// One correlated span in a [`StoreCorrelation`]: a store index plus the
+/// correlation results (resolved parent, launch interval of a merged async
+/// pair, and any launch tags folded in — kept as arena references, not
+/// clones).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEntry {
+    /// Index of the underlying span in the correlated [`SpanStore`].
+    pub span: u32,
+    /// Parent after correlation: the span's own explicit parent, the
+    /// merged launch's parent, or a reconstructed one.
+    pub parent: Option<SpanId>,
+    /// `(start_ns, end_ns)` of the merged launch half, when this entry is
+    /// a correlated async pair.
+    pub launch_interval: Option<(u64, u64)>,
+    /// `(start, len)` range into the correlation's extra-tag arena.
+    extras: (u32, u32),
+}
+
+impl StoreEntry {
+    /// An entry that passes the store span through unchanged.
+    fn passthrough(store: &SpanStore, si: u32) -> Self {
+        StoreEntry {
+            span: si,
+            parent: store.parent_at(si),
+            launch_interval: None,
+            extras: (0, 0),
+        }
+    }
+}
+
+/// The result of [`CorrelationEngine::correlate_store`]: correlation
+/// verdicts over a [`SpanStore`], without any owned [`Span`]s.
+///
+/// Entries reference spans by store index; merged launch tags are indices
+/// into the store's tag arena. [`StoreCorrelation::materialize`] converts
+/// the result into the owned [`CorrelatedTrace`] the analysis and export
+/// layers consume — the output is identical to running
+/// [`CorrelationEngine::correlate`] on the materialized spans (pinned by
+/// the oracle test), but the correlation pass itself touched only columns.
+#[derive(Debug, Default)]
+pub struct StoreCorrelation {
+    entries: Vec<StoreEntry>,
+    /// Arena indices (into the store's tag arena) of launch tags merged
+    /// into execution entries; sliced per entry via `StoreEntry::extras`.
+    extra_tags: Vec<u32>,
+    /// Parent reconstructions that failed or were ambiguous.
+    pub ambiguities: AmbiguityReport,
+}
+
+impl StoreCorrelation {
+    /// Number of correlated entries (merged async pairs count once).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no spans were correlated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The correlated entries, in the same order the span-based engine
+    /// would emit them.
+    pub fn entries(&self) -> &[StoreEntry] {
+        &self.entries
+    }
+
+    /// The launch tags merged into `entry`, as `(key, value)` pairs
+    /// resolved from the store's arena.
+    pub fn extra_tags_of<'s>(
+        &'s self,
+        entry: &StoreEntry,
+        store: &'s SpanStore,
+    ) -> impl Iterator<Item = (String, TagValue)> + 's {
+        let (start, len) = entry.extras;
+        self.extra_tags[start as usize..(start + len) as usize]
+            .iter()
+            .map(move |&arena| store.tag_pair_at(arena as usize))
+    }
+
+    /// Materializes the correlation into an owned [`CorrelatedTrace`],
+    /// byte-equivalent to the span-based engine's output: each entry's span
+    /// is rebuilt from the store with the correlated parent applied and any
+    /// merged launch tags appended in launch order.
+    pub fn materialize(&self, store: &SpanStore) -> CorrelatedTrace {
+        let spans: Vec<CorrelatedSpan> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let mut span = store.materialize(entry.span);
+                span.parent = entry.parent;
+                span.tags.extend(self.extra_tags_of(entry, store));
+                CorrelatedSpan {
+                    parent: entry.parent,
+                    launch_interval: entry.launch_interval,
+                    span,
+                }
+            })
+            .collect();
+        CorrelatedTrace::new(spans, self.ambiguities.clone())
     }
 }
 
@@ -948,5 +1264,136 @@ mod tests {
             .tag(tag_keys::ACHIEVED_OCCUPANCY, 0.25f64)
             .finish(1);
         assert_eq!(gpu_metrics(&s), (Some(10), Some(20), Some(30), Some(0.25)));
+    }
+
+    /// Asserts the store pass and the span pass produced identical results:
+    /// same spans (ids, parents, timing, tags in order), same launch
+    /// intervals, same ambiguity report.
+    fn assert_matches_span_engine(spans: Vec<Span>) {
+        let expected = CorrelationEngine::new().correlate(Trace::from_spans(spans.clone()));
+        let store = crate::store::SpanStore::from_spans(&spans);
+        let got = CorrelationEngine::new()
+            .correlate_store(&store)
+            .materialize(&store);
+        assert_eq!(got.len(), expected.len(), "entry counts diverge");
+        for (g, e) in got.spans().iter().zip(expected.spans()) {
+            assert_eq!(g.span, e.span, "materialized span diverges");
+            assert_eq!(g.parent, e.parent, "parent diverges for {:?}", e.span.name);
+            assert_eq!(
+                g.launch_interval, e.launch_interval,
+                "launch interval diverges for {:?}",
+                e.span.name
+            );
+        }
+        assert_eq!(
+            got.ambiguities.ambiguous, expected.ambiguities.ambiguous,
+            "ambiguous sets diverge"
+        );
+        assert_eq!(
+            got.ambiguities.orphans, expected.ambiguities.orphans,
+            "orphan sets diverge"
+        );
+    }
+
+    #[test]
+    fn store_pass_matches_span_engine_on_async_merge() {
+        // Launch carries tags the execution is missing (merged, in launch
+        // order), one it already has (skipped), and a duplicate key within
+        // the launch itself (first wins, second skipped via the growing
+        // extras check).
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let mut layer = span("conv", StackLevel::Layer, 10, 400);
+        layer.parent = Some(mid);
+        let l = SpanBuilder::new("cudaLaunchKernel", StackLevel::Kernel, TraceId(1))
+            .start(50)
+            .tag(tag_keys::CORRELATION_ID, 9u64)
+            .tag(tag_keys::ASYNC_LAUNCH, true)
+            .tag("grid", "128x1x1")
+            .tag(tag_keys::FLOP_COUNT_SP, 5u64) // exec already has it
+            .tag("grid", "shadowed") // duplicate key inside launch
+            .tag("stream", 3i64)
+            .finish(60);
+        let x = exec("volta_scudnn", 9, 500, 900);
+        assert_matches_span_engine(vec![model, layer, l, x]);
+    }
+
+    #[test]
+    fn store_pass_matches_span_engine_on_unpaired_and_both_flag_spans() {
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let lone_launch = launch("cudaLaunchKernel", 1, 10, 20, None);
+        let lone_exec = exec("kernel", 2, 30, 40);
+        // Both flags set: an already-merged pair, passes through untouched.
+        let premerged = SpanBuilder::new("merged", StackLevel::Kernel, TraceId(1))
+            .start(100)
+            .tag(tag_keys::CORRELATION_ID, 3u64)
+            .tag(tag_keys::ASYNC_LAUNCH, true)
+            .tag(tag_keys::ASYNC_EXECUTION, true)
+            .finish(200)
+            .clone();
+        assert_matches_span_engine(vec![model, lone_launch, lone_exec, premerged]);
+    }
+
+    #[test]
+    fn store_pass_matches_span_engine_on_ambiguity_and_orphans() {
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mid = model.id;
+        let mut a = span("layerA", StackLevel::Layer, 0, 500);
+        a.parent = Some(mid);
+        let mut b = span("layerB", StackLevel::Layer, 0, 600); // overlaps A
+        b.parent = Some(mid);
+        let k = span("kernel", StackLevel::Kernel, 100, 200); // ambiguous
+        let stray = span("stray", StackLevel::Kernel, 5000, 6000); // orphan
+        assert_matches_span_engine(vec![model, a, b, k, stray]);
+    }
+
+    #[test]
+    fn store_pass_matches_span_engine_across_runs() {
+        // Two interleaved runs plus an async pair per run; runs must stay
+        // independent in both passes.
+        let mut spans = Vec::new();
+        for tid in [1u64, 2] {
+            let mut m = span("predict", StackLevel::Model, 0, 1000);
+            m.trace_id = TraceId(tid);
+            let mid = m.id;
+            let mut layer = span("conv", StackLevel::Layer, 10, 400);
+            layer.trace_id = TraceId(tid);
+            layer.parent = Some(mid);
+            let mut l = launch("cudaLaunchKernel", 40 + tid, 50, 60, None);
+            l.trace_id = TraceId(tid);
+            let mut x = exec("volta", 40 + tid, 450, 900);
+            x.trace_id = TraceId(tid);
+            spans.extend([m, layer, l, x]);
+        }
+        // Interleave publication order across the two runs.
+        spans.swap(1, 5);
+        assert_matches_span_engine(spans);
+    }
+
+    #[test]
+    fn store_pass_is_allocation_shaped_like_the_span_pass() {
+        // Same lazy-tree contract as the span engine: the kernel-level tree
+        // is never built when every kernel resolves against layers.
+        let model = span("predict", StackLevel::Model, 0, 100_000);
+        let mid = model.id;
+        let mut spans = vec![model];
+        for i in 0..20u64 {
+            let mut layer = span("conv", StackLevel::Layer, i * 1000, i * 1000 + 900);
+            layer.parent = Some(mid);
+            spans.push(layer);
+        }
+        for i in 0..100u64 {
+            let at = (i % 20) * 1000;
+            spans.push(launch("cudaLaunchKernel", i, at + 10, at + 20, None));
+            spans.push(exec("volta_kernel", i, at + 30, at + 800));
+        }
+        let store = crate::store::SpanStore::from_spans(&spans);
+        let mut engine = CorrelationEngine::new();
+        let c = engine.correlate_store(&store);
+        assert!(c.ambiguities.is_clean(), "{:?}", c.ambiguities);
+        assert_eq!(c.len(), 1 + 20 + 100, "pairs merged");
+        assert_eq!(engine.trees_built_at(StackLevel::Kernel), 0);
+        assert_eq!(engine.trees_built_at(StackLevel::Layer), 1);
+        assert_eq!(engine.trees_built_at(StackLevel::Model), 0);
     }
 }

@@ -12,8 +12,13 @@
 use crate::server::Trace;
 use crate::span::Span;
 
+pub mod binary;
 pub mod stream;
 
+pub use binary::{
+    is_xspb_prefix, read_span_binary, spans_to_binary, BinaryReadError, SpanBinaryReader,
+    SpanBinaryWriter, MAX_RECORD_LEN, XSPB_MAGIC, XSPB_VERSION,
+};
 pub use stream::{
     read_span_json_lines, ChromeTraceWriter, FoldedStacksWriter, ReadError, SpanJsonLinesReader,
     SpanJsonLinesWriter, SpanJsonWriter,

@@ -34,19 +34,24 @@ pub mod correlate;
 pub mod export;
 pub mod fxhash;
 pub mod hierarchy;
+pub mod intern;
 pub mod interval;
 pub mod server;
 pub mod span;
 pub mod stats;
+pub mod store;
 pub mod tracer;
 
 pub use clock::VirtualClock;
 pub use correlate::{
-    correlate_async_spans, reconstruct_parents, AmbiguityReport, CorrelatedTrace, CorrelationEngine,
+    correlate_async_spans, reconstruct_parents, AmbiguityReport, CorrelatedTrace,
+    CorrelationEngine, StoreCorrelation,
 };
 pub use hierarchy::SpanTree;
+pub use intern::{NameTable, Symbol};
 pub use interval::IntervalTree;
 pub use server::{Trace, TracingServer};
 pub use span::{with_span_id_scope, Span, SpanBuilder, SpanId, StackLevel, TagValue, TraceId};
 pub use stats::{trimmed_mean, Summary};
+pub use store::{SpanStore, SpanView, TagRef};
 pub use tracer::{ChannelTracer, NoopTracer, SpanBuffer, Tracer};

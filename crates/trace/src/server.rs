@@ -60,7 +60,7 @@ impl Trace {
     /// Builds a trace from spans plus an already-known run index (the drain
     /// path, which grouped the spans itself). Invariant: `runs` lists every
     /// span index exactly once, grouped per distinct trace id.
-    fn from_parts(spans: Vec<Span>, runs: Vec<(TraceId, Vec<usize>)>) -> Self {
+    pub(crate) fn from_parts(spans: Vec<Span>, runs: Vec<(TraceId, Vec<usize>)>) -> Self {
         debug_assert_eq!(
             runs.iter().map(|(_, v)| v.len()).sum::<usize>(),
             spans.len()

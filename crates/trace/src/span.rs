@@ -284,7 +284,7 @@ pub mod tag_keys {
 }
 
 /// A timed operation captured by some profiler in the stack.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Span {
     /// Unique identifier (used as the span's reference).
     pub id: SpanId,

@@ -30,23 +30,26 @@ USAGE:
               [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
               [--analyses a2,a6,a10,a15,...] [--library-level]
               [--chrome <out.json>] [--flamegraph <out.folded>]
-  xsp export  --model <NAME> [--format spans|chrome|folded] [--level 1|2|3]
-              [-o <PATH>] [--batch <N>] [--system <NAME>]
+  xsp export  --model <NAME> [--format spans|xspb|chrome|folded]
+              [--level 1|2|3] [-o <PATH>] [--batch <N>] [--system <NAME>]
               [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
-  xsp export  --from <trace.jsonl> [--format spans|chrome|folded] [-o <PATH>]
+  xsp export  --from <trace.jsonl|trace.xspb> [--from-format spans|xspb]
+              [--format spans|xspb|chrome|folded] [-o <PATH>]
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
               [--threads <T>]
   xsp serve   --socket <PATH> [--quota <SPANS>] [--idle-timeout <SECS>]
 
 EXPORT:   streams the trace to -o (stdout by default) without ever holding
           the serialized trace in memory. Formats: `spans` (span-JSON-lines,
-          the offline-analysis interchange), `chrome` (chrome://tracing /
-          Perfetto), `folded` (flamegraph.pl / speedscope). --level picks
-          the profiling depth: 1 = M, 2 = M/L, 3 = M/L/G + metrics (the
+          the offline-analysis interchange), `xspb` (compact span binary,
+          same span sequence), `chrome` (chrome://tracing / Perfetto),
+          `folded` (flamegraph.pl / speedscope). --level picks the
+          profiling depth: 1 = M, 2 = M/L, 3 = M/L/G + metrics (the
           default). Output is byte-identical for every --threads setting.
-          --from skips profiling entirely: it re-correlates a saved
-          span-JSON-lines capture offline (§III-A) and converts it to any
-          format — `xsp export --from trace.jsonl --format chrome` emits the
+          --from skips profiling entirely: it re-correlates a saved capture
+          (span-JSON-lines or .xspb, auto-detected from the magic bytes;
+          --from-format overrides) offline (§III-A) and converts it to any
+          format — `xsp export --from trace.xspb --format chrome` emits the
           same bytes a live chrome export of that profile would.
 
 SERVE:    runs the resident profiling daemon (`xspd`) on a Unix socket:
@@ -380,10 +383,12 @@ fn export(flags: &HashMap<String, String>) -> ExitCode {
     }
 }
 
-/// `xsp export --from`: converts a saved span-JSON-lines capture offline
-/// (§III-A: the conversion "can be performed off-line by processing the
-/// output of the profiler") — the spans are re-correlated via
-/// `profile_from_trace` and streamed out; no model is re-profiled.
+/// `xsp export --from`: converts a saved capture offline (§III-A: the
+/// conversion "can be performed off-line by processing the output of the
+/// profiler") — the spans are re-correlated via `profile_from_trace` and
+/// streamed out; no model is re-profiled. The capture may be
+/// span-JSON-lines or `.xspb` span binary; the input format is sniffed
+/// from the magic bytes, with `--from-format` as the explicit override.
 fn export_offline(
     flags: &HashMap<String, String>,
     from: &str,
@@ -411,11 +416,23 @@ fn export_offline(
         }
     }
     if from == "true" {
-        return Err("missing value for --from (path to a span-JSON-lines capture)".to_owned());
+        return Err("missing value for --from (path to a saved capture)".to_owned());
     }
-    let file = std::fs::File::open(from).map_err(|e| format!("cannot open {from}: {e}"))?;
-    let trace = xsp_trace::export::read_span_json_lines(std::io::BufReader::new(file))
-        .map_err(|e| format!("{from}: {e}"))?;
+    let forced_binary = match flags.get("from-format") {
+        None => None,
+        Some(raw) => match ExportFormat::parse(raw).map_err(|e| e.to_string())? {
+            ExportFormat::Spans => Some(false),
+            ExportFormat::Binary => Some(true),
+            other => {
+                return Err(format!(
+                    "--from-format names the capture's own encoding, which is \
+                     always a span interchange format (spans|jsonl or \
+                     xspb|binary), not {other}"
+                ))
+            }
+        },
+    };
+    let trace = read_capture(from, forced_binary)?;
     eprintln!(
         "converting {from} ({} spans, {} runs) to {format}...",
         trace.len(),
@@ -447,6 +464,33 @@ fn export_offline(
     };
     eprintln!("exported {written} {unit} (offline, no re-profiling)");
     Ok(())
+}
+
+/// Opens a saved capture and parses it as span-JSON-lines or `.xspb` span
+/// binary. `forced_binary` carries the `--from-format` override; without it
+/// the first four bytes decide (the `XSPB` magic cannot begin a JSON line).
+fn read_capture(from: &str, forced_binary: Option<bool>) -> Result<xsp_trace::Trace, String> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(from).map_err(|e| format!("cannot open {from}: {e}"))?;
+    let mut prefix = [0u8; 4];
+    let mut have = 0;
+    while have < prefix.len() {
+        match file.read(&mut prefix[have..]) {
+            Ok(0) => break,
+            Ok(n) => have += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("cannot read {from}: {e}")),
+        }
+    }
+    let binary =
+        forced_binary.unwrap_or_else(|| xsp_trace::export::is_xspb_prefix(&prefix[..have]));
+    // Re-attach the sniffed prefix so both parsers see the whole stream.
+    let input = std::io::BufReader::new(std::io::Cursor::new(prefix[..have].to_vec()).chain(file));
+    if binary {
+        xsp_trace::export::read_span_binary(input).map_err(|e| format!("{from}: {e}"))
+    } else {
+        xsp_trace::export::read_span_json_lines(input).map_err(|e| format!("{from}: {e}"))
+    }
 }
 
 /// `xsp serve`: run the resident daemon until SIGTERM (same entry point as

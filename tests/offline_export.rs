@@ -14,7 +14,7 @@ use xsp_core::scheduler::Parallelism;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo;
-use xsp_trace::export::read_span_json_lines;
+use xsp_trace::export::{read_span_binary, read_span_json_lines};
 
 /// The golden_export.rs profile: MobileNet_v1_0.25_128 @ b1, runs=1, M/L/G.
 fn live_profile() -> xsp_core::LeveledProfile {
@@ -87,6 +87,64 @@ fn offline_chrome_conversion_matches_frozen_golden() {
         "offline chrome conversion drifted from the frozen live-export \
          golden ({} vs {} bytes)",
         converted.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn xspb_capture_converts_identically_to_jsonl_capture() {
+    // The cross-format contract: a `.xspb` capture and a `.jsonl` capture
+    // of the same profile are interchangeable `--from` inputs — every
+    // export format produces the same bytes from either, and the chrome
+    // bytes still match the frozen live-export golden.
+    let profile = live_profile();
+    let jsonl = live_bytes(&profile, ExportFormat::Spans);
+    let xspb = live_bytes(&profile, ExportFormat::Binary);
+
+    let via_jsonl = profile_from_trace(
+        read_span_json_lines(&jsonl[..]).expect("jsonl capture parses"),
+        ProfilingLevel::ModelLayerGpu,
+    );
+    let via_xspb = profile_from_trace(
+        read_span_binary(&xspb[..]).expect("xspb capture parses"),
+        ProfilingLevel::ModelLayerGpu,
+    );
+    assert!(
+        via_xspb.trace.ambiguities.is_clean(),
+        "re-correlating a binary capture must be a no-op: {:?}",
+        via_xspb.trace.ambiguities
+    );
+
+    for format in ExportFormat::ALL {
+        let mut from_jsonl = Vec::new();
+        export_run_profile(&via_jsonl, format, &mut from_jsonl).expect("Vec export cannot fail");
+        let mut from_xspb = Vec::new();
+        export_run_profile(&via_xspb, format, &mut from_xspb).expect("Vec export cannot fail");
+        assert!(
+            from_jsonl == from_xspb,
+            "{format}: conversion output depends on the capture encoding \
+             ({} vs {} bytes)",
+            from_jsonl.len(),
+            from_xspb.len()
+        );
+    }
+
+    if std::env::var("XSP_BLESS").is_ok() {
+        eprintln!("skipping golden comparison during bless");
+        return;
+    }
+    let mut chrome = Vec::new();
+    export_run_profile(&via_xspb, ExportFormat::Chrome, &mut chrome)
+        .expect("Vec export cannot fail");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/mobilenet_025_128_b1_chrome.json");
+    let golden =
+        std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert!(
+        chrome == golden,
+        "chrome conversion of a binary capture drifted from the frozen \
+         golden ({} vs {} bytes)",
+        chrome.len(),
         golden.len()
     );
 }
