@@ -206,12 +206,20 @@ pub fn export_run_profile<W: Write>(
     }
 }
 
-/// The sink's format-specific writer half: span-JSON-lines (the default
-/// interchange) or `.xspb` span binary. Both append one span at a time and
-/// track the span count, so the sink logic above them is format-blind.
+/// The sink's format-specific writer half. Span-JSON-lines (the default
+/// interchange), `.xspb` span binary, and Chrome trace events append one
+/// span at a time; folded stacks need each span's children and therefore
+/// finalize one correlated run at a time ([`SinkWriter::write_run`]) —
+/// per-span writes on a folded sink are a structured error, not silent
+/// misbehavior.
 enum SinkWriter {
     Jsonl(SpanJsonLinesWriter<Box<dyn Write + Send>>),
     Binary(SpanBinaryWriter<Box<dyn Write + Send>>),
+    Chrome(ChromeTraceWriter<Box<dyn Write + Send>>),
+    Folded {
+        writer: FoldedStacksWriter<Box<dyn Write + Send>>,
+        runs: usize,
+    },
 }
 
 impl SinkWriter {
@@ -219,13 +227,35 @@ impl SinkWriter {
         match self {
             SinkWriter::Jsonl(w) => w.write_span(span),
             SinkWriter::Binary(w) => w.write_span(span),
+            SinkWriter::Chrome(w) => w.write_span(span),
+            SinkWriter::Folded { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "folded sinks finalize per correlated run and cannot accept raw span \
+                 writes; use a spans, xspb, or json sink for span streams",
+            )),
         }
+    }
+
+    /// Appends one finalized run. Folded output emits the run's stacks in
+    /// one go; every other format degrades to the per-span stream.
+    fn write_run(&mut self, trace: &xsp_trace::CorrelatedTrace) -> io::Result<()> {
+        if let SinkWriter::Folded { writer, runs } = self {
+            writer.write_run(trace)?;
+            *runs += 1;
+            return Ok(());
+        }
+        for span in trace.iter_spans() {
+            self.write_span(span)?;
+        }
+        Ok(())
     }
 
     fn written(&self) -> usize {
         match self {
             SinkWriter::Jsonl(w) => w.written(),
             SinkWriter::Binary(w) => w.written(),
+            SinkWriter::Chrome(w) => w.written(),
+            SinkWriter::Folded { runs, .. } => *runs,
         }
     }
 
@@ -233,6 +263,18 @@ impl SinkWriter {
         match self {
             SinkWriter::Jsonl(w) => w.flush(),
             SinkWriter::Binary(w) => w.flush(),
+            SinkWriter::Chrome(w) => w.flush(),
+            SinkWriter::Folded { writer, .. } => writer.flush(),
+        }
+    }
+
+    /// Writes any format trailer (the Chrome `]}` envelope close) and
+    /// flushes. After this the stream is complete; only called once, via
+    /// the `finished` latch in [`SinkState`].
+    fn finish(&mut self) -> io::Result<()> {
+        match self {
+            SinkWriter::Chrome(w) => w.close(),
+            other => other.flush(),
         }
     }
 }
@@ -242,6 +284,9 @@ struct SinkState {
     /// First write failure; once set, further writes are dropped so a full
     /// disk cannot panic a sweep mid-flight.
     error: Option<io::Error>,
+    /// Whether [`ExportSink::finish`] has run: the trailer is written once,
+    /// and later writes are refused (they would corrupt a closed stream).
+    finished: bool,
 }
 
 /// A shared span-JSON-lines sink threaded through [`crate::profile::XspConfig`]:
@@ -260,15 +305,20 @@ pub struct ExportSink {
 }
 
 impl ExportSink {
+    fn from_writer(writer: SinkWriter) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(SinkState {
+                writer,
+                error: None,
+                finished: false,
+            })),
+        }
+    }
+
     /// Creates a span-JSON-lines sink over any writer (file, socket,
     /// `Vec<u8>` in tests).
     pub fn new(out: impl Write + Send + 'static) -> Self {
-        Self {
-            state: Arc::new(Mutex::new(SinkState {
-                writer: SinkWriter::Jsonl(SpanJsonLinesWriter::new(Box::new(out))),
-                error: None,
-            })),
-        }
+        Self::from_writer(SinkWriter::Jsonl(SpanJsonLinesWriter::new(Box::new(out))))
     }
 
     /// Creates a `.xspb` span-binary sink over any writer. Fallible because
@@ -276,31 +326,64 @@ impl ExportSink {
     /// instead of poisoning the first span.
     pub fn new_binary(out: impl Write + Send + 'static) -> io::Result<Self> {
         let writer: Box<dyn Write + Send> = Box::new(out);
-        Ok(Self {
-            state: Arc::new(Mutex::new(SinkState {
-                writer: SinkWriter::Binary(SpanBinaryWriter::new(writer)?),
-                error: None,
-            })),
+        Ok(Self::from_writer(SinkWriter::Binary(
+            SpanBinaryWriter::new(writer)?,
+        )))
+    }
+
+    /// Creates a Chrome trace-event sink over any writer. Fallible because
+    /// the `traceEvents` envelope opens eagerly; call
+    /// [`ExportSink::finish`] when the capture ends so the envelope closes
+    /// (an unfinished chrome sink is truncated JSON).
+    pub fn new_chrome(out: impl Write + Send + 'static) -> io::Result<Self> {
+        let writer: Box<dyn Write + Send> = Box::new(out);
+        Ok(Self::from_writer(SinkWriter::Chrome(
+            ChromeTraceWriter::new(writer)?,
+        )))
+    }
+
+    /// Creates a folded-stacks sink over any writer. Folded output
+    /// finalizes one correlated run at a time, so only run-granular feeds
+    /// (profiler sweeps) can write to it; raw span streams latch a
+    /// structured error.
+    pub fn new_folded(out: impl Write + Send + 'static) -> Self {
+        Self::from_writer(SinkWriter::Folded {
+            writer: FoldedStacksWriter::new(Box::new(out)),
+            runs: 0,
         })
     }
 
     /// Creates a sink appending to a buffered file at `path`. The format
-    /// follows the extension: `.xspb` selects span binary, everything else
+    /// follows the extension: `.xspb` selects span binary, `.json` Chrome
+    /// trace events, `.folded` folded stacks, everything else
     /// span-JSON-lines.
     pub fn create(path: &std::path::Path) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
         let out = io::BufWriter::new(file);
-        if path.extension().is_some_and(|e| e == "xspb") {
-            Self::new_binary(out)
-        } else {
-            Ok(Self::new(out))
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("xspb") => Self::new_binary(out),
+            Some("json") => Self::new_chrome(out),
+            Some("folded") => Ok(Self::new_folded(out)),
+            _ => Ok(Self::new(out)),
         }
     }
 
-    /// Appends every span of the given runs (used by the profiler after
-    /// each engine merge; runs arrive in submission order).
+    /// Appends the given finalized runs (used by the profiler after each
+    /// engine merge; runs arrive in submission order). Run granularity is
+    /// what lets chrome and folded sinks stream sweeps: folded stacks are
+    /// emitted per correlated run, every other format appends the run's
+    /// spans.
     pub(crate) fn write_runs(&self, runs: &[RunProfile]) {
-        self.write_spans(runs.iter().flat_map(|run| run.trace.iter_spans()));
+        let mut state = self.state.lock().expect("sink lock");
+        if state.error.is_some() || state.finished {
+            return;
+        }
+        for run in runs {
+            if let Err(e) = state.writer.write_run(&run.trace) {
+                state.error = Some(e);
+                return;
+            }
+        }
     }
 
     /// Appends a batch of spans (span-JSON-lines, batch order). Like every
@@ -310,9 +393,12 @@ impl ExportSink {
     /// [`ExportSink::error_message`] / [`ExportSink::take_error`]. This is
     /// the spill path of the `xspd` daemon, which appends each session's
     /// resident spans on quota pressure, teardown, and graceful shutdown.
+    /// Raw span streams are refused by folded sinks (which can only
+    /// finalize whole correlated runs): the refusal latches as a structured
+    /// `InvalidInput` error rather than silently writing the wrong format.
     pub fn write_spans<'a>(&self, spans: impl IntoIterator<Item = &'a xsp_trace::Span>) {
         let mut state = self.state.lock().expect("sink lock");
-        if state.error.is_some() {
+        if state.error.is_some() || state.finished {
             return;
         }
         for span in spans {
@@ -361,6 +447,30 @@ impl ExportSink {
         }
     }
 
+    /// Completes the stream: writes any format trailer (the Chrome `]}`
+    /// envelope close) and flushes. Idempotent — the trailer is written
+    /// once, and later writes are dropped, so every teardown path (client
+    /// close, disconnect, daemon shutdown drain) may finish the same sink.
+    /// Surfaces the latched write error like [`ExportSink::flush`].
+    pub fn finish(&self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("sink lock");
+        if let Some(e) = &state.error {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        if state.finished {
+            return Ok(());
+        }
+        state.finished = true;
+        match state.writer.finish() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let report = io::Error::new(e.kind(), e.to_string());
+                state.error = Some(e);
+                Err(report)
+            }
+        }
+    }
+
     /// Takes the first write error, if any occurred.
     pub fn take_error(&self) -> Option<io::Error> {
         self.state.lock().expect("sink lock").error.take()
@@ -386,6 +496,19 @@ mod tests {
     fn profile() -> LeveledProfile {
         let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1);
         Xsp::new(cfg).with_gpu(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1))
+    }
+
+    /// A `Write` handle over a shared buffer, so tests can inspect sink
+    /// bytes while the sink owns the writer.
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
     }
 
     #[test]
@@ -491,6 +614,74 @@ mod tests {
         sink.flush().unwrap();
         let trace = xsp_trace::export::read_span_json_lines(&bytes.lock().unwrap()[..]).unwrap();
         assert_eq!(trace.len(), sink.spans_written());
+    }
+
+    #[test]
+    fn chrome_sink_streams_runs_and_finish_closes_the_envelope() {
+        let p = profile();
+        let runs: Vec<RunProfile> = p.runs().cloned().collect();
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let sink = ExportSink::new_chrome(Buf(bytes.clone())).unwrap();
+        sink.write_runs(&runs);
+        sink.finish().unwrap();
+        sink.finish().unwrap(); // idempotent: the trailer is written once
+        let mut expected = Vec::new();
+        export_profile(&p, ExportFormat::Chrome, &mut expected).unwrap();
+        assert_eq!(
+            *bytes.lock().unwrap(),
+            expected,
+            "per-run streamed chrome bytes equal the one-shot export"
+        );
+    }
+
+    #[test]
+    fn folded_sink_finalizes_per_run_and_rejects_raw_spans() {
+        let p = profile();
+        let runs: Vec<RunProfile> = p.runs().cloned().collect();
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let sink = ExportSink::new_folded(Buf(bytes.clone()));
+        sink.write_runs(&runs);
+        assert_eq!(sink.spans_written(), runs.len(), "folded counts runs");
+        sink.finish().unwrap();
+        let mut expected = Vec::new();
+        export_profile(&p, ExportFormat::Folded, &mut expected).unwrap();
+        assert_eq!(*bytes.lock().unwrap(), expected);
+
+        // Raw span streams cannot be folded: the refusal is a structured
+        // latched error, not silently-wrong output.
+        let sink = ExportSink::new_folded(Vec::new());
+        let span =
+            xsp_trace::SpanBuilder::new("s", xsp_trace::StackLevel::Model, xsp_trace::TraceId(1))
+                .start(0)
+                .finish(1);
+        sink.write_spans([&span]);
+        let err = sink.take_error().expect("refusal must latch");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("folded"), "{err}");
+    }
+
+    #[test]
+    fn create_routes_every_extension_to_its_writer() {
+        let dir = std::env::temp_dir().join(format!("xsp_sink_route_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = profile();
+        let runs: Vec<RunProfile> = p.runs().cloned().collect();
+        for (name, format) in [
+            ("t.jsonl", ExportFormat::Spans),
+            ("t.xspb", ExportFormat::Binary),
+            ("t.json", ExportFormat::Chrome),
+            ("t.folded", ExportFormat::Folded),
+        ] {
+            let path = dir.join(name);
+            let sink = ExportSink::create(&path).unwrap();
+            sink.write_runs(&runs);
+            sink.finish().unwrap();
+            let got = std::fs::read(&path).unwrap();
+            let mut expected = Vec::new();
+            export_profile(&p, format, &mut expected).unwrap();
+            assert_eq!(got, expected, "{name} must route to the {format} writer");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

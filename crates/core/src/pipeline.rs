@@ -218,10 +218,14 @@ pub fn run_once_with_metrics(
     ] {
         buffer.flush();
     }
-    // Correlate by consuming the drained trace: the engine moves every span
-    // into the indexed store (no clone) and builds the per-level interval
-    // trees lazily — see `xsp_trace::correlate`.
-    let mut correlated = CorrelationEngine::new().correlate(server.drain());
+    // Correlate incrementally: `drain_each` streams spans straight out of
+    // the server's buckets into the engine's per-run window (no intermediate
+    // `Trace`), and `finalize_all` runs the per-run merge + lazy interval
+    // trees — byte-identical to the batch `correlate` path, see
+    // `xsp_trace::correlate`.
+    let mut engine = CorrelationEngine::new();
+    server.drain_each(|span| engine.push_span(span));
+    let mut correlated = engine.finalize_all();
     let mut used_rerun = false;
 
     // Serialized re-run for ambiguous parents (§III-A). The repeated run
@@ -468,12 +472,21 @@ fn extract_kernels(trace: &CorrelatedTrace, layers: &[LayerProfile]) -> Vec<Kern
 /// parent across run boundaries. Splitting on a per-run tag instead is
 /// tracked in the ROADMAP (it would change the capture format).
 pub fn profile_from_trace(trace: xsp_trace::Trace, level: ProfilingLevel) -> RunProfile {
-    let trace_id = trace
-        .trace_ids()
-        .first()
-        .copied()
-        .unwrap_or(xsp_trace::TraceId(0));
     let correlated = CorrelationEngine::new().correlate(trace);
+    profile_from_correlated(correlated, level)
+}
+
+/// Extracts a [`RunProfile`] from an already-correlated trace — the entry
+/// point for callers that ran correlation themselves, e.g. the daemon's
+/// per-session incremental engine, which materializes a `CorrelatedTrace`
+/// from its cached per-run correlations without re-correlating the
+/// finalized prefix.
+pub fn profile_from_correlated(correlated: CorrelatedTrace, level: ProfilingLevel) -> RunProfile {
+    let trace_id = correlated
+        .spans()
+        .first()
+        .map(|s| s.span.trace_id)
+        .unwrap_or(xsp_trace::TraceId(0));
     let phases = extract_phases(&correlated);
     let layers = extract_layers(&correlated);
     let kernels = extract_kernels(&correlated, &layers);

@@ -396,6 +396,19 @@ fn handle_frame(
             };
             let sink = match doc.get("sink").and_then(|v| v.as_str()) {
                 None => None,
+                // Session sinks receive raw span streams (spills, flushes),
+                // which a folded sink cannot accept — refuse at open with a
+                // structured error instead of latching on the first spill.
+                Some(path) if Path::new(path).extension().is_some_and(|e| e == "folded") => {
+                    return conn.reply_err(
+                        "bad_payload",
+                        &format!(
+                            "folded sinks finalize per correlated run and cannot take a \
+                             session's raw span stream; use a .jsonl, .xspb, or .json sink \
+                             and fold offline ({path})"
+                        ),
+                    );
+                }
                 Some(path) => match ExportSink::create(Path::new(path)) {
                     Ok(sink) => Some(sink),
                     Err(e) => {

@@ -16,9 +16,11 @@
 
 use std::time::{Duration, Instant};
 use xsp_core::export::{export_run_profile, ExportFormat, ExportSink};
-use xsp_core::pipeline::profile_from_trace;
+use xsp_core::pipeline::profile_from_correlated;
 use xsp_core::profile::ProfilingLevel;
-use xsp_trace::{ChannelTracer, Span, SpanStore, TracingServer};
+use xsp_trace::{
+    ChannelTracer, CorrelationEngine, Span, SpanStore, StoreCorrelationCache, TracingServer,
+};
 
 /// Default per-session span quota (resident spans) when the client's open
 /// request does not pick one.
@@ -119,6 +121,13 @@ pub struct Session {
     quota: usize,
     on_full: OnFull,
     sink: Option<ExportSink>,
+    /// Shared lazy interval-tree state for the incremental correlation
+    /// below (level buckets and trees are reused across refreshes).
+    engine: CorrelationEngine,
+    /// Per-run correlation cache over the resident store: an `Export`
+    /// request only re-correlates runs that gained spans since the last
+    /// one, so repeat exports are O(new spans), not O(resident).
+    correlation: StoreCorrelationCache,
     total: u64,
     spilled: u64,
     last_activity: Instant,
@@ -139,6 +148,8 @@ impl Session {
             quota,
             on_full,
             sink,
+            engine: CorrelationEngine::new(),
+            correlation: StoreCorrelationCache::new(),
             total: 0,
             spilled: 0,
             last_activity: Instant::now(),
@@ -229,6 +240,9 @@ impl Session {
         }
         self.spilled += self.store.len() as u64;
         self.store.clear();
+        // The store's indices restart at 0 after a clear — cached per-run
+        // correlations refer to dead entries and must be rebuilt.
+        self.correlation.invalidate();
         self.sunk = 0;
         Ok(())
     }
@@ -254,30 +268,50 @@ impl Session {
     }
 
     /// Serializes the resident spans in `format`, exactly as the offline
-    /// `xsp export --from` path would: re-correlate the span store into a
-    /// run profile and stream it. Because both paths share
-    /// [`profile_from_trace`] and [`export_run_profile`], a capture
-    /// streamed through the daemon exports byte-identically to the same
-    /// workload exported one-shot.
+    /// `xsp export --from` path would. Correlation is incremental: the
+    /// per-session [`StoreCorrelationCache`] re-correlates only runs whose
+    /// store bucket grew since the previous export (append-only stores keep
+    /// finalized runs bit-identical), so a repeat export is O(new spans).
+    /// The cache materializes the same per-run correlations the batch
+    /// engine computes and the profile flows through the shared
+    /// [`profile_from_correlated`] + [`export_run_profile`] path, so a
+    /// capture streamed through the daemon still exports byte-identically
+    /// to the same workload exported one-shot.
     pub fn export_bytes(&mut self, format: ExportFormat) -> Vec<u8> {
         self.touch();
         self.drain_lane();
         if self.store.is_empty() {
             return Vec::new();
         }
-        let trace = self.store.to_trace();
-        let profile = profile_from_trace(trace, ProfilingLevel::ModelLayerGpu);
+        self.correlation.refresh(&mut self.engine, &self.store);
+        let correlated = self.correlation.materialize(&self.store);
+        let profile = profile_from_correlated(correlated, ProfilingLevel::ModelLayerGpu);
         let mut out = Vec::new();
         export_run_profile(&profile, format, &mut out)
             .expect("export to an in-memory buffer cannot fail");
         out
     }
 
+    /// How many per-run correlation passes this session has executed over
+    /// its lifetime — the observable for "repeat exports do O(new) work":
+    /// an export after no new spans adds zero passes.
+    pub fn correlation_passes(&self) -> usize {
+        self.correlation.passes()
+    }
+
     /// Final teardown: like [`Session::flush`], used for client close,
     /// disconnect teardown, and the daemon's shutdown drain — every path
-    /// out of a session persists its spans to the sink.
+    /// out of a session persists its spans to the sink. The sink is also
+    /// finished (format trailers written, e.g. the Chrome `]}` envelope
+    /// close); [`ExportSink::finish`] is idempotent, so overlapping
+    /// teardown paths stay safe.
     pub fn close(&mut self) -> (SessionStats, Option<String>) {
-        self.flush()
+        let (stats, err) = self.flush();
+        let finish_err = self
+            .sink
+            .as_ref()
+            .and_then(|sink| sink.finish().err().map(|e| e.to_string()));
+        (stats, err.or(finish_err))
     }
 }
 
@@ -357,6 +391,71 @@ mod tests {
         let (_, err) = s.close();
         assert!(err.is_none());
         assert_eq!(sink.spans_written(), 5, "close writes only the suffix");
+    }
+
+    fn run_spans(trace_id: u64, n: usize) -> Vec<Span> {
+        (0..n)
+            .map(|i| {
+                SpanBuilder::new("s", StackLevel::Model, TraceId(trace_id))
+                    .start(i as u64)
+                    .finish(i as u64 + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repeat_export_does_o_new_correlation_work() {
+        let mut s = Session::new(1, 1000, OnFull::Shed, None);
+        s.append(run_spans(1, 3)).unwrap();
+        s.append(run_spans(2, 2)).unwrap();
+
+        let first = s.export_bytes(ExportFormat::Spans);
+        assert!(!first.is_empty());
+        assert_eq!(s.correlation_passes(), 2, "one pass per resident run");
+
+        // Nothing new: the repeat export must reuse the finalized prefix
+        // wholesale — zero additional correlation passes.
+        let second = s.export_bytes(ExportFormat::Spans);
+        assert_eq!(second, first, "no new spans, identical bytes");
+        assert_eq!(
+            s.correlation_passes(),
+            2,
+            "cached prefix, no re-correlation"
+        );
+
+        // Growing one run re-correlates only that run.
+        s.append(run_spans(2, 1)).unwrap();
+        s.export_bytes(ExportFormat::Spans);
+        assert_eq!(s.correlation_passes(), 3, "only the grown run re-runs");
+
+        // A brand-new run adds exactly one pass.
+        s.append(run_spans(3, 2)).unwrap();
+        s.export_bytes(ExportFormat::Spans);
+        assert_eq!(s.correlation_passes(), 4, "only the new run is correlated");
+    }
+
+    #[test]
+    fn spill_invalidates_the_correlation_cache() {
+        let sink = ExportSink::new(Vec::new());
+        let mut s = Session::new(1, 4, OnFull::Block, Some(sink.clone()));
+        s.append(run_spans(1, 3)).unwrap();
+        let before_spill = s.export_bytes(ExportFormat::Spans);
+        assert_eq!(s.correlation_passes(), 1);
+
+        // This append evicts the store; cached correlations point at dead
+        // store indices and must not survive.
+        s.append(run_spans(1, 3)).unwrap();
+        let after_spill = s.export_bytes(ExportFormat::Spans);
+        assert_eq!(
+            s.correlation_passes(),
+            2,
+            "post-spill export re-correlates the fresh store"
+        );
+        assert_eq!(
+            after_spill.len(),
+            before_spill.len(),
+            "a same-shape store exports the same spans (ids are fresh)"
+        );
     }
 
     #[test]

@@ -208,6 +208,29 @@ fn block_policy_without_sink_is_refused_at_open() {
 }
 
 #[test]
+fn folded_session_sink_is_refused_at_open() {
+    // Session sinks take raw span streams (spills, flushes), which folded
+    // output cannot represent — the daemon refuses at open with a
+    // structured error instead of latching on the first spill.
+    let handle = daemon(|_| {});
+    let mut c = client(&handle);
+    let sink = temp_file("refused.folded");
+    let err = c
+        .open(&OpenOptions {
+            sink: Some(sink.to_str().unwrap().to_owned()),
+            ..OpenOptions::default()
+        })
+        .unwrap_err();
+    assert_eq!(err.code(), Some("bad_payload"));
+    assert!(
+        err.to_string().contains("folded"),
+        "refusal names the format: {err}"
+    );
+    assert!(!sink.exists(), "no file is created for a refused sink");
+    handle.shutdown();
+}
+
+#[test]
 fn concurrent_flush_and_export_race_cleanly() {
     let handle = daemon(|_| {});
     let mut writer = client(&handle);

@@ -33,7 +33,7 @@
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interval::{Interval, IntervalTree};
 use crate::server::Trace;
-use crate::span::{tag_keys, Span, SpanId, StackLevel, TagValue};
+use crate::span::{tag_keys, Span, SpanId, StackLevel, TagValue, TraceId};
 use crate::store::{SpanStore, HAS_CID, IS_EXEC, IS_LAUNCH};
 
 /// A span with its resolved parent and, for async operations, the launch
@@ -296,6 +296,23 @@ struct LaunchHalf {
 /// largest — can never be a parent candidate) are never built at all.
 /// [`CorrelationEngine::trees_built`] exposes the construction count so
 /// tests can pin the laziness.
+///
+/// # Incremental mode
+///
+/// Besides the one-shot [`CorrelationEngine::correlate`] /
+/// [`CorrelationEngine::correlate_store`] entry points, the engine consumes
+/// span batches *as they arrive*: [`CorrelationEngine::push_batch`] routes
+/// each span into a sliding window of per-run column stores (keyed by
+/// [`TraceId`], first-appearance order), and
+/// [`CorrelationEngine::finalize_run`] / [`CorrelationEngine::finalize_all`]
+/// run the store-native correlation pass over a window run and retire it.
+/// Because async pairing scans a whole run (a launch may precede its
+/// execution by an arbitrary number of batches), the run is the finalization
+/// unit: peak memory is bounded by the unfinalized window rather than the
+/// whole sweep, and correlation work overlaps the evaluation that produces
+/// later runs. Finalizing runs in first-appearance order yields output
+/// byte-identical to the batch engine (the oracle proptest and goldens pin
+/// this).
 #[derive(Default)]
 pub struct CorrelationEngine {
     /// Per-level span indices of the run being correlated, `StackLevel`
@@ -306,6 +323,11 @@ pub struct CorrelationEngine {
     /// Cumulative count of tree constructions per level (across runs and
     /// traces) — observability for the laziness contract.
     trees_built: [usize; StackLevel::ALL.len()],
+    /// Sliding window of unfinalized runs, first-appearance order: spans
+    /// pushed incrementally land in a per-run column store (async roles and
+    /// run bucketing computed at push), so finalization is exactly one
+    /// store-native correlation pass with zero re-classification.
+    window: Vec<(TraceId, SpanStore)>,
 }
 
 impl CorrelationEngine {
@@ -322,6 +344,86 @@ impl CorrelationEngine {
     /// Total number of interval trees built so far.
     pub fn trees_built(&self) -> usize {
         self.trees_built.iter().sum()
+    }
+
+    /// Buffers one span into the incremental window, routed by its run id.
+    ///
+    /// The span lands in that run's column store immediately (names
+    /// interned, async role derived from the tags once), so the later
+    /// [`CorrelationEngine::finalize_run`] does no per-span work beyond the
+    /// correlation pass itself. A push for a run that was already finalized
+    /// opens a *fresh* window entry for that id: spans arriving after
+    /// finalization correlate among themselves only, exactly as if they
+    /// were a new run (the window-eviction hazard tests pin this).
+    pub fn push_span(&mut self, span: Span) {
+        let tid = span.trace_id;
+        // Runs in flight at once are few (the window is the point), so a
+        // linear scan beats a map here.
+        let slot = match self.window.iter().position(|(t, _)| *t == tid) {
+            Some(i) => i,
+            None => {
+                self.window.push((tid, SpanStore::new()));
+                self.window.len() - 1
+            }
+        };
+        self.window[slot].1.push_owned(span);
+    }
+
+    /// Buffers a batch of spans into the incremental window
+    /// ([`CorrelationEngine::push_span`] per span, in order). Batches may
+    /// split runs arbitrarily — mid-run, mid-async-pair — and may interleave
+    /// runs; only the per-run span order matters for the output.
+    pub fn push_batch(&mut self, batch: impl IntoIterator<Item = Span>) {
+        for span in batch {
+            self.push_span(span);
+        }
+    }
+
+    /// Run ids currently buffered in the window, first-appearance order —
+    /// the order [`CorrelationEngine::finalize_all`] retires them in.
+    pub fn pending_runs(&self) -> Vec<TraceId> {
+        self.window.iter().map(|(tid, _)| *tid).collect()
+    }
+
+    /// Total spans buffered in the window across all pending runs.
+    pub fn pending_spans(&self) -> usize {
+        self.window.iter().map(|(_, store)| store.len()).sum()
+    }
+
+    /// Correlates and retires one window run, freeing its buffered spans.
+    ///
+    /// Returns `None` when the run id is not in the window (never pushed,
+    /// already finalized, or a duplicate flush) — finalization is
+    /// idempotent per run. The correlated output is byte-identical to what
+    /// the batch engine would emit for this run's spans.
+    pub fn finalize_run(&mut self, run: TraceId) -> Option<CorrelatedTrace> {
+        let pos = self.window.iter().position(|(tid, _)| *tid == run)?;
+        let (_, store) = self.window.remove(pos);
+        let mut sc = StoreCorrelation::default();
+        self.correlate_store_run(&store, 0, &mut sc);
+        Some(sc.materialize(&store))
+    }
+
+    /// Correlates and retires every pending window run, first-appearance
+    /// order, into one [`CorrelatedTrace`].
+    ///
+    /// Feeding the engine via [`crate::TracingServer::drain_each`] and
+    /// finalizing here produces exactly the bytes of
+    /// `engine.correlate(server.drain())`: drained batches arrive grouped
+    /// by ascending run id, so window order, per-run span order, and the
+    /// per-run correlation pass all coincide with the batch path. An empty
+    /// window yields an empty trace.
+    pub fn finalize_all(&mut self) -> CorrelatedTrace {
+        let window = std::mem::take(&mut self.window);
+        let mut spans = Vec::new();
+        let mut ambiguities = AmbiguityReport::default();
+        for (_, store) in window {
+            let mut sc = StoreCorrelation::default();
+            self.correlate_store_run(&store, 0, &mut sc);
+            spans.extend(sc.materialized_spans(&store));
+            ambiguities.merge(sc.ambiguities);
+        }
+        CorrelatedTrace::new(spans, ambiguities)
     }
 
     /// Correlates every evaluation run of `trace` — async-pair merge plus
@@ -847,8 +949,15 @@ impl StoreCorrelation {
     /// is rebuilt from the store with the correlated parent applied and any
     /// merged launch tags appended in launch order.
     pub fn materialize(&self, store: &SpanStore) -> CorrelatedTrace {
-        let spans: Vec<CorrelatedSpan> = self
-            .entries
+        CorrelatedTrace::new(self.materialized_spans(store), self.ambiguities.clone())
+    }
+
+    /// The owned correlated spans of [`StoreCorrelation::materialize`],
+    /// without the trace indexing — callers concatenating several per-run
+    /// correlations (the incremental window, the daemon's cached prefix)
+    /// collect these and index once at the end.
+    fn materialized_spans(&self, store: &SpanStore) -> Vec<CorrelatedSpan> {
+        self.entries
             .iter()
             .map(|entry| {
                 let mut span = store.materialize(entry.span);
@@ -860,8 +969,106 @@ impl StoreCorrelation {
                     span,
                 }
             })
-            .collect();
-        CorrelatedTrace::new(spans, self.ambiguities.clone())
+            .collect()
+    }
+}
+
+/// One run's cached correlation: the run id and span count it was computed
+/// at, plus the verdicts themselves.
+struct CachedRun {
+    trace_id: TraceId,
+    /// Span count of the run bucket when the correlation was computed; a
+    /// grown bucket invalidates this entry (runs are append-only, so a
+    /// matching `(trace_id, len)` pair means an identical bucket).
+    len: usize,
+    correlation: StoreCorrelation,
+}
+
+/// A per-run correlation cache over an append-only [`SpanStore`] — the
+/// "finalized prefix" that makes repeat exports O(new spans).
+///
+/// [`StoreCorrelationCache::refresh`] walks the store's run buckets and
+/// re-correlates only the runs whose span count changed since the last
+/// refresh (runs are append-only: a bucket with the same run id and length
+/// is bit-identical, so its cached verdicts still hold). The daemon's
+/// resident sessions keep one of these per session: an `Export` request
+/// with no new spans re-correlates nothing at all, and one that appended
+/// spans to a single run pays exactly one correlation pass.
+///
+/// The cache is keyed by position, so it must be [`invalidate`]d whenever
+/// the underlying store is rebuilt or cleared (e.g. after a quota spill) —
+/// store indices restart from zero and a positional comparison would
+/// wrongly validate stale entries.
+///
+/// [`invalidate`]: StoreCorrelationCache::invalidate
+#[derive(Default)]
+pub struct StoreCorrelationCache {
+    runs: Vec<CachedRun>,
+    passes: usize,
+}
+
+impl StoreCorrelationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of per-run correlation passes executed so far — the
+    /// observability hook behind the daemon's O(new-spans) export contract
+    /// (a repeat export with nothing new must not move this counter).
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// Number of runs currently cached.
+    pub fn runs_cached(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Drops every cached run. Call when the underlying store's indices
+    /// are no longer those the cache was computed against (the store was
+    /// cleared or rebuilt).
+    pub fn invalidate(&mut self) {
+        self.runs.clear();
+    }
+
+    /// Brings the cache up to date with `store`: cached runs whose id and
+    /// span count still match are kept verbatim; everything from the first
+    /// divergence on is re-correlated through `engine` (one pass per run).
+    pub fn refresh(&mut self, engine: &mut CorrelationEngine, store: &SpanStore) {
+        let buckets = store.run_buckets();
+        let valid = self
+            .runs
+            .iter()
+            .zip(buckets)
+            .take_while(|(cached, (tid, idxs))| cached.trace_id == *tid && cached.len == idxs.len())
+            .count();
+        self.runs.truncate(valid);
+        for (run, (tid, idxs)) in buckets.iter().enumerate().skip(valid) {
+            let mut correlation = StoreCorrelation::default();
+            engine.correlate_store_run(store, run, &mut correlation);
+            self.passes += 1;
+            self.runs.push(CachedRun {
+                trace_id: *tid,
+                len: idxs.len(),
+                correlation,
+            });
+        }
+    }
+
+    /// Materializes the cached correlations, in run order, into one
+    /// [`CorrelatedTrace`] — identical to
+    /// `engine.correlate_store(store).materialize(store)` (runs correlate
+    /// independently and the cache preserves bucket order), but only the
+    /// refresh paid correlation cost.
+    pub fn materialize(&self, store: &SpanStore) -> CorrelatedTrace {
+        let mut spans = Vec::new();
+        let mut ambiguities = AmbiguityReport::default();
+        for run in &self.runs {
+            spans.extend(run.correlation.materialized_spans(store));
+            ambiguities.merge(run.correlation.ambiguities.clone());
+        }
+        CorrelatedTrace::new(spans, ambiguities)
     }
 }
 
@@ -1368,6 +1575,214 @@ mod tests {
         // Interleave publication order across the two runs.
         spans.swap(1, 5);
         assert_matches_span_engine(spans);
+    }
+
+    /// Batch-engine oracle for the incremental API: pushing `spans` in the
+    /// given batch splits and finalizing everything must reproduce
+    /// `correlate(Trace::from_spans(spans))` exactly — spans, parents,
+    /// launch intervals, ambiguity report.
+    fn assert_incremental_matches_batch(spans: Vec<Span>, splits: &[usize]) {
+        let expected = CorrelationEngine::new().correlate(Trace::from_spans(spans.clone()));
+        let mut engine = CorrelationEngine::new();
+        let mut rest = spans;
+        for &at in splits {
+            let at = at.min(rest.len());
+            let tail = rest.split_off(at);
+            engine.push_batch(rest);
+            rest = tail;
+        }
+        engine.push_batch(rest);
+        let got = engine.finalize_all();
+        assert_eq!(got.len(), expected.len(), "span counts diverge");
+        for (g, e) in got.spans().iter().zip(expected.spans()) {
+            assert_eq!(g.span, e.span, "span diverges");
+            assert_eq!(g.parent, e.parent, "parent diverges for {:?}", e.span.name);
+            assert_eq!(g.launch_interval, e.launch_interval);
+        }
+        assert_eq!(got.ambiguities.ambiguous, expected.ambiguities.ambiguous);
+        assert_eq!(got.ambiguities.orphans, expected.ambiguities.orphans);
+    }
+
+    #[test]
+    fn incremental_async_pair_straddling_a_batch_boundary_matches_batch() {
+        // The launch half arrives in one batch, its execution in the next:
+        // the pair must still merge because pairing happens at
+        // finalization, over the whole buffered run.
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mut layer = span("conv", StackLevel::Layer, 10, 400);
+        layer.parent = Some(model.id);
+        let l = launch("cudaLaunchKernel", 9, 50, 60, None);
+        let x = exec("volta_scudnn", 9, 500, 900);
+        // split between launch (index 2) and execution (index 3)
+        assert_incremental_matches_batch(vec![model, layer, l, x], &[3]);
+    }
+
+    #[test]
+    fn incremental_out_of_order_run_batches_match_batch() {
+        // Batches interleave two runs (run 2 spans arrive between run 1
+        // batches): per-run order is all that matters, and the output
+        // keeps first-appearance run order like `Trace::from_spans`.
+        let mut spans = Vec::new();
+        for tid in [1u64, 2] {
+            let mut m = span("predict", StackLevel::Model, 0, 1000);
+            m.trace_id = TraceId(tid);
+            let mid = m.id;
+            let mut layer = span("conv", StackLevel::Layer, 10, 400);
+            layer.trace_id = TraceId(tid);
+            layer.parent = Some(mid);
+            let mut l = launch("cudaLaunchKernel", 40 + tid, 50, 60, None);
+            l.trace_id = TraceId(tid);
+            let mut x = exec("volta", 40 + tid, 450, 900);
+            x.trace_id = TraceId(tid);
+            spans.extend([m, layer, l, x]);
+        }
+        // Interleave the runs, then split mid-everything.
+        spans.swap(1, 5);
+        spans.swap(3, 6);
+        for splits in [&[1usize, 2, 3][..], &[4], &[7], &[2, 5]] {
+            assert_incremental_matches_batch(spans.clone(), splits);
+        }
+    }
+
+    #[test]
+    fn incremental_empty_and_duplicate_flushes_are_inert() {
+        let mut engine = CorrelationEngine::new();
+        // Finalizing an unknown run: None, not a panic or empty trace.
+        assert!(engine.finalize_run(TraceId(7)).is_none());
+        // Empty finalize_all: an empty trace.
+        assert!(engine.finalize_all().is_empty());
+        engine.push_batch(Vec::new()); // empty batch is a no-op
+        assert_eq!(engine.pending_spans(), 0);
+        engine.push_span(span("predict", StackLevel::Model, 0, 100));
+        assert_eq!(engine.pending_runs(), vec![TraceId(1)]);
+        let first = engine.finalize_run(TraceId(1)).expect("run pending");
+        assert_eq!(first.len(), 1);
+        // Duplicate flush of the same run: already retired.
+        assert!(engine.finalize_run(TraceId(1)).is_none());
+        assert!(engine.pending_runs().is_empty());
+    }
+
+    #[test]
+    fn incremental_late_spans_after_finalize_correlate_alone() {
+        // The window-eviction hazard: once a run is finalized, its parent
+        // candidates are gone. Late spans for the same id must behave as a
+        // fresh run — correlated against each other only, matching the
+        // batch oracle over just those spans.
+        let model = span("predict", StackLevel::Model, 0, 1000);
+        let mut engine = CorrelationEngine::new();
+        engine.push_span(model);
+        engine.finalize_run(TraceId(1)).expect("run pending");
+        // Arrives after eviction: no model span in the window any more.
+        let stray = span("late_kernel", StackLevel::Kernel, 100, 200);
+        let oracle = CorrelationEngine::new().correlate(Trace::from_spans(vec![stray.clone()]));
+        engine.push_span(stray);
+        let got = engine.finalize_run(TraceId(1)).expect("fresh window run");
+        assert_eq!(got.len(), oracle.len());
+        assert_eq!(got.spans()[0].span, oracle.spans()[0].span);
+        assert_eq!(got.spans()[0].parent, None, "no candidate: stays a root");
+        // A kernel with no level above it in its run is not even an orphan
+        // in the batch engine; the incremental path must agree.
+        assert_eq!(got.ambiguities.orphans, oracle.ambiguities.orphans);
+    }
+
+    #[test]
+    fn incremental_finalize_order_and_trees_stay_lazy() {
+        // Per-run finalization reuses the engine scratch: the kernel-level
+        // tree must stay unbuilt run after run, same as the batch pass.
+        let mut engine = CorrelationEngine::new();
+        for tid in [3u64, 1, 2] {
+            let mut m = span("predict", StackLevel::Model, 0, 1000);
+            m.trace_id = TraceId(tid);
+            let mut k = span("kernel", StackLevel::Kernel, 100, 200);
+            k.trace_id = TraceId(tid);
+            engine.push_batch([m, k]);
+        }
+        assert_eq!(
+            engine.pending_runs(),
+            vec![TraceId(3), TraceId(1), TraceId(2)],
+            "window keeps first-appearance order, not id order"
+        );
+        let all = engine.finalize_all();
+        assert_eq!(all.len(), 6);
+        assert!(all.ambiguities.is_clean());
+        assert_eq!(engine.trees_built_at(StackLevel::Kernel), 0);
+        assert_eq!(engine.trees_built_at(StackLevel::Model), 3, "one per run");
+    }
+
+    #[test]
+    fn correlation_cache_matches_batch_and_does_o_new_work() {
+        let run_spans = |tid: u64| {
+            let mut m = span("predict", StackLevel::Model, 0, 1000);
+            m.trace_id = TraceId(tid);
+            let mid = m.id;
+            let mut layer = span("conv", StackLevel::Layer, 10, 400);
+            layer.trace_id = TraceId(tid);
+            layer.parent = Some(mid);
+            let mut l = launch("cudaLaunchKernel", 90 + tid, 50, 60, None);
+            l.trace_id = TraceId(tid);
+            let mut x = exec("volta", 90 + tid, 450, 900);
+            x.trace_id = TraceId(tid);
+            vec![m, layer, l, x]
+        };
+        let mut store = SpanStore::new();
+        for s in run_spans(1).iter().chain(run_spans(2).iter()) {
+            store.push(s);
+        }
+        let mut engine = CorrelationEngine::new();
+        let mut cache = StoreCorrelationCache::new();
+        cache.refresh(&mut engine, &store);
+        assert_eq!(cache.passes(), 2, "one pass per run");
+        assert_eq!(cache.runs_cached(), 2);
+
+        // Identity vs the one-shot store pass.
+        let batch = CorrelationEngine::new()
+            .correlate_store(&store)
+            .materialize(&store);
+        let cached = cache.materialize(&store);
+        assert_eq!(cached.len(), batch.len());
+        for (c, b) in cached.spans().iter().zip(batch.spans()) {
+            assert_eq!(c.span, b.span);
+            assert_eq!(c.parent, b.parent);
+            assert_eq!(c.launch_interval, b.launch_interval);
+        }
+
+        // Nothing new: a refresh re-correlates nothing.
+        cache.refresh(&mut engine, &store);
+        assert_eq!(cache.passes(), 2, "clean refresh must be free");
+
+        // Appending to run 2 re-correlates run 2 only.
+        let mut extra = span("kernel2", StackLevel::Kernel, 100, 200);
+        extra.trace_id = TraceId(2);
+        store.push(&extra);
+        cache.refresh(&mut engine, &store);
+        assert_eq!(cache.passes(), 3, "one grown run, one pass");
+
+        // A new run appends one more pass, not a full recompute.
+        for s in run_spans(3) {
+            store.push(&s);
+        }
+        cache.refresh(&mut engine, &store);
+        assert_eq!(cache.passes(), 4);
+
+        // The refreshed cache still matches the batch pass.
+        let batch = CorrelationEngine::new()
+            .correlate_store(&store)
+            .materialize(&store);
+        let cached = cache.materialize(&store);
+        assert_eq!(cached.len(), batch.len());
+        for (c, b) in cached.spans().iter().zip(batch.spans()) {
+            assert_eq!(c.span, b.span);
+            assert_eq!(c.parent, b.parent);
+        }
+
+        // Invalidation after a store clear: everything recorrelates.
+        store.clear();
+        cache.invalidate();
+        assert_eq!(cache.runs_cached(), 0);
+        store.push(&span("predict", StackLevel::Model, 0, 10));
+        cache.refresh(&mut engine, &store);
+        assert_eq!(cache.passes(), 5);
+        assert_eq!(cache.materialize(&store).len(), 1);
     }
 
     #[test]

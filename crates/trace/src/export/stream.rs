@@ -308,10 +308,23 @@ impl<W: Write> ChromeTraceWriter<W> {
         self.written
     }
 
+    /// Flushes without consuming the writer (the envelope stays open for
+    /// more events).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Closes the envelope and flushes without consuming the writer — for
+    /// long-lived sinks whose writer half lives inside an enum. Close
+    /// exactly once; a later `write_span` would write past the trailer.
+    pub fn close(&mut self) -> io::Result<()> {
+        self.out.write_all(b"]}")?;
+        self.out.flush()
+    }
+
     /// Closes the envelope, flushes, and returns the underlying writer.
     pub fn finish(mut self) -> io::Result<W> {
-        self.out.write_all(b"]}")?;
-        self.out.flush()?;
+        self.close()?;
         Ok(self.out)
     }
 }
@@ -368,6 +381,12 @@ impl<W: Write> FoldedStacksWriter<W> {
         }
         stack.pop();
         Ok(())
+    }
+
+    /// Flushes without consuming the writer (for long-lived sinks that
+    /// outlive many sweep points).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
     }
 
     /// Flushes and returns the underlying writer.

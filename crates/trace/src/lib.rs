@@ -45,7 +45,7 @@ pub mod tracer;
 pub use clock::VirtualClock;
 pub use correlate::{
     correlate_async_spans, reconstruct_parents, AmbiguityReport, CorrelatedTrace,
-    CorrelationEngine, StoreCorrelation,
+    CorrelationEngine, StoreCorrelation, StoreCorrelationCache,
 };
 pub use hierarchy::SpanTree;
 pub use intern::{NameTable, Symbol};

@@ -9,7 +9,7 @@ use xsp_trace::span::{tag_keys, Span, SpanId};
 use xsp_trace::stats::{percentile, trimmed_mean, Summary};
 use xsp_trace::{
     correlate_async_spans, reconstruct_parents, AmbiguityReport, CorrelationEngine, SpanBuilder,
-    StackLevel, Trace, TraceId,
+    SpanStore, StackLevel, StoreCorrelationCache, Trace, TraceId,
 };
 
 fn arb_intervals(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
@@ -214,6 +214,60 @@ proptest! {
         }
         prop_assert_eq!(&got.ambiguities.ambiguous, &oracle_ambiguities.ambiguous);
         prop_assert_eq!(&got.ambiguities.orphans, &oracle_ambiguities.orphans);
+    }
+
+    /// The incremental-correlation contract: feeding the same span stream
+    /// through `push_batch` at arbitrary batch boundaries, then finalizing,
+    /// must reproduce the batch engine exactly — same spans, parents,
+    /// launch intervals and ambiguity report — and so must the cached
+    /// store path (`StoreCorrelationCache::refresh` + `materialize`) when
+    /// the store grows by those same batches.
+    #[test]
+    fn incremental_engine_matches_batch_for_random_batch_splits(
+        spans in arb_correlation_forest(),
+        raw_cuts in prop::collection::vec(0usize..400, 0..6),
+    ) {
+        let batch = CorrelationEngine::new().correlate(Trace::from_spans(spans.clone()));
+
+        // Random split points over the publication stream (empty batches
+        // included when cuts collide).
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (spans.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.push(spans.len());
+
+        let mut engine = CorrelationEngine::new();
+        let mut store = SpanStore::new();
+        let mut cache = StoreCorrelationCache::new();
+        let mut cache_engine = CorrelationEngine::new();
+        let mut prev = 0usize;
+        for cut in cuts {
+            engine.push_batch(spans[prev..cut].iter().cloned());
+            for span in &spans[prev..cut] {
+                store.push(span);
+            }
+            // Refresh after every batch: intermediate refreshes must not
+            // disturb the final answer (prefix validation keeps finalized
+            // runs cached).
+            cache.refresh(&mut cache_engine, &store);
+            prev = cut;
+        }
+        let incremental = engine.finalize_all();
+        let cached = cache.materialize(&store);
+
+        for (label, got) in [("push_batch", &incremental), ("store cache", &cached)] {
+            prop_assert_eq!(got.len(), batch.len(), "{}: span count diverged", label);
+            for (g, o) in got.spans().iter().zip(batch.spans()) {
+                prop_assert_eq!(
+                    serde_json::to_string(&g.span).unwrap(),
+                    serde_json::to_string(&o.span).unwrap(),
+                    "{}: span payload diverged", label
+                );
+                prop_assert_eq!(g.parent, o.parent, "{}: parent diverged for {}", label, g.span.name);
+                prop_assert_eq!(g.launch_interval, o.launch_interval, "{}: launch interval diverged", label);
+            }
+            prop_assert_eq!(&got.ambiguities.ambiguous, &batch.ambiguities.ambiguous, "{}: ambiguous diverged", label);
+            prop_assert_eq!(&got.ambiguities.orphans, &batch.ambiguities.orphans, "{}: orphans diverged", label);
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
 use xsp_core::analysis;
-use xsp_core::export::{export_profile, export_run_profile, ExportFormat};
+use xsp_core::export::{export_profile, export_run_profile, ExportFormat, ExportSink};
 use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
 use xsp_core::scheduler::Parallelism;
@@ -31,8 +31,9 @@ USAGE:
               [--analyses a2,a6,a10,a15,...] [--library-level]
               [--chrome <out.json>] [--flamegraph <out.folded>]
   xsp export  --model <NAME> [--format spans|xspb|chrome|folded]
-              [--level 1|2|3] [-o <PATH>] [--batch <N>] [--system <NAME>]
-              [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
+              [--level 1|2|3] [-o <PATH> | --sink <PATH>] [--batch <N>]
+              [--system <NAME>] [--framework tensorflow|mxnet] [--runs <N>]
+              [--threads <T>]
   xsp export  --from <trace.jsonl|trace.xspb> [--from-format spans|xspb]
               [--format spans|xspb|chrome|folded] [-o <PATH>]
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
@@ -51,6 +52,10 @@ EXPORT:   streams the trace to -o (stdout by default) without ever holding
           --from-format overrides) offline (§III-A) and converts it to any
           format — `xsp export --from trace.xspb --format chrome` emits the
           same bytes a live chrome export of that profile would.
+          --sink streams runs to PATH *while profiling runs* instead of
+          exporting afterwards; the extension picks the format (.jsonl
+          spans, .xspb binary, .json chrome, .folded flamegraph) and the
+          bytes are identical to the matching post-hoc -o export.
 
 SERVE:    runs the resident profiling daemon (`xspd`) on a Unix socket:
           clients open sessions and stream span batches through the framed
@@ -168,6 +173,11 @@ fn list_systems() -> ExitCode {
 }
 
 fn build_xsp(flags: &HashMap<String, String>) -> Result<(Xsp, xsp_gpu::System), String> {
+    let (cfg, system) = build_config(flags)?;
+    Ok((Xsp::new(cfg), system))
+}
+
+fn build_config(flags: &HashMap<String, String>) -> Result<(XspConfig, xsp_gpu::System), String> {
     let system_name = flags
         .get("system")
         .map(|s| s.as_str())
@@ -197,7 +207,7 @@ fn build_xsp(flags: &HashMap<String, String>) -> Result<(Xsp, xsp_gpu::System), 
             .ok_or_else(|| format!("bad --threads '{raw}' (number, `auto`, or `serial`)"))?;
         cfg = cfg.parallelism(p);
     }
-    Ok((Xsp::new(cfg), system))
+    Ok((cfg, system))
 }
 
 fn lookup_model(flags: &HashMap<String, String>) -> Result<zoo::ModelEntry, String> {
@@ -329,7 +339,17 @@ fn export(flags: &HashMap<String, String>) -> ExitCode {
             );
         }
         if let Some(from) = flags.get("from") {
+            if flags.contains_key("sink") {
+                return Err(
+                    "--sink streams a live profiling run as it executes; --from \
+                     converts a finished capture — use -o for the output path"
+                        .to_owned(),
+                );
+            }
             return export_offline(flags, from, format);
+        }
+        if let Some(sink_path) = flags.get("sink") {
+            return export_live_sink(flags, sink_path, level);
         }
         let (xsp, system) = build_xsp(flags)?;
         let model = lookup_model(flags)?;
@@ -381,6 +401,69 @@ fn export(flags: &HashMap<String, String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `xsp export --sink`: attach an [`ExportSink`] to the profiling run so
+/// finished runs stream to the sink *during* the sweep (after the
+/// deterministic submission-order merge), rather than being serialized
+/// after the fact. The sink format is routed from the path extension; the
+/// bytes are identical to the matching post-hoc `-o` export.
+fn export_live_sink(
+    flags: &HashMap<String, String>,
+    path: &str,
+    level: ProfilingLevel,
+) -> Result<(), String> {
+    if path == "true" {
+        return Err(
+            "missing value for --sink (path whose extension picks the format: \
+             .jsonl, .xspb, .json, .folded)"
+                .to_owned(),
+        );
+    }
+    if flags.contains_key("out") {
+        return Err(
+            "--sink streams during profiling and replaces -o/--out; pass one output path"
+                .to_owned(),
+        );
+    }
+    if flags.contains_key("format") {
+        return Err(
+            "--sink routes the format from the path extension (.jsonl spans, \
+             .xspb binary, .json chrome, .folded flamegraph); drop --format"
+                .to_owned(),
+        );
+    }
+    let (cfg, system) = build_config(flags)?;
+    let model = lookup_model(flags)?;
+    let batch: usize = flags
+        .get("batch")
+        .map(|s| s.parse().map_err(|_| format!("bad --batch '{s}'")))
+        .transpose()?
+        .unwrap_or(1);
+    let sink =
+        ExportSink::create(std::path::Path::new(path)).map_err(|e| format!("sink {path}: {e}"))?;
+    let xsp = Xsp::new(cfg.export_sink(sink.clone()));
+    eprintln!(
+        "exporting {} @ batch {batch} on {} ({}, level {}, streaming to {path})...",
+        model.name,
+        system.name,
+        xsp.config().framework.name(),
+        level.label()
+    );
+    let profile = xsp.up_to_level(&model.graph(batch), level);
+    sink.finish().map_err(|e| format!("sink {path}: {e}"))?;
+    // Folded sinks finalize whole runs, so their write counter counts runs.
+    let unit = if path.ends_with(".folded") {
+        "folded runs"
+    } else {
+        "spans"
+    };
+    eprintln!(
+        "streamed {} {unit} across {} runs to {path}",
+        sink.spans_written(),
+        profile.runs().count()
+    );
+    Ok(())
 }
 
 /// `xsp export --from`: converts a saved capture offline (§III-A: the

@@ -1,8 +1,9 @@
 //! Collection strategies (`prop::collection::vec`).
 
 use crate::rng::TestRng;
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
 
 /// A length distribution for collection strategies.
 #[derive(Debug, Clone, Copy)]
@@ -57,47 +58,70 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S>
-where
-    S::Value: Clone,
-{
-    type Value = Vec<S::Value>;
+struct VecTree<T> {
+    elems: Vec<Rc<dyn ValueTree<Value = T>>>,
+    min_len: usize,
+}
 
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        // Constructors guarantee hi > lo.
-        let len = self.size.lo + rng.gen_index(self.size.hi - self.size.lo);
-        (0..len).map(|_| self.element.sample(rng)).collect()
+impl<T: 'static> VecTree<T> {
+    fn with(&self, elems: Vec<Rc<dyn ValueTree<Value = T>>>) -> Rc<dyn ValueTree<Value = Vec<T>>> {
+        Rc::new(VecTree {
+            elems,
+            min_len: self.min_len,
+        })
+    }
+}
+
+impl<T: 'static> ValueTree for VecTree<T> {
+    type Value = Vec<T>;
+
+    fn current(&self) -> Vec<T> {
+        self.elems.iter().map(|e| e.current()).collect()
     }
 
     /// Shrinks by removing chunks (a half from either end, then single
     /// elements) while respecting the minimum length, then by shrinking
-    /// individual elements through the element strategy. Per-element work
-    /// is capped at the first `SHRINK_POSITION_CAP` (16) positions so
+    /// individual elements through their own trees. Per-element work is
+    /// capped at the first `SHRINK_POSITION_CAP` (16) positions so
     /// candidate lists stay small on long vectors.
-    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
-        let mut out = Vec::new();
-        let len = value.len();
-        let removable = len.saturating_sub(self.size.lo);
+    fn shrink(&self) -> Vec<Rc<dyn ValueTree<Value = Vec<T>>>> {
+        let mut out: Vec<Rc<dyn ValueTree<Value = Vec<T>>>> = Vec::new();
+        let len = self.elems.len();
+        let removable = len.saturating_sub(self.min_len);
         if removable > 0 {
             let half = (len / 2).min(removable);
             if half > 1 {
-                out.push(value[..len - half].to_vec());
-                out.push(value[half..].to_vec());
+                out.push(self.with(self.elems[..len - half].to_vec()));
+                out.push(self.with(self.elems[half..].to_vec()));
             }
             for i in 0..len.min(SHRINK_POSITION_CAP) {
-                let mut v = value.clone();
-                v.remove(i);
-                out.push(v);
+                let mut elems = self.elems.clone();
+                elems.remove(i);
+                out.push(self.with(elems));
             }
         }
-        for (i, element) in value.iter().enumerate().take(SHRINK_POSITION_CAP) {
-            for candidate in self.element.shrink(element) {
-                let mut v = value.clone();
-                v[i] = candidate;
-                out.push(v);
+        for (i, element) in self.elems.iter().enumerate().take(SHRINK_POSITION_CAP) {
+            for candidate in element.shrink() {
+                let mut elems = self.elems.clone();
+                elems[i] = candidate;
+                out.push(self.with(elems));
             }
         }
         out
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = Vec<S::Value>>> {
+        // Constructors guarantee hi > lo. Length first, then elements in
+        // order — the same RNG stream as sampling values directly.
+        let len = self.size.lo + rng.gen_index(self.size.hi - self.size.lo);
+        Rc::new(VecTree {
+            elems: (0..len).map(|_| self.element.new_tree(rng)).collect(),
+            min_len: self.size.lo,
+        })
     }
 }
 
@@ -132,5 +156,25 @@ mod tests {
         let strategy = vec(0u8..10, 4usize);
         let mut rng = TestRng::deterministic("vec4");
         assert_eq!(strategy.sample(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn shrink_respects_min_len_and_shrinks_elements() {
+        let strategy = vec(0u8..10, 2..5);
+        let mut rng = TestRng::deterministic("vec_shrink");
+        let tree = loop {
+            let t = strategy.new_tree(&mut rng);
+            let v = t.current();
+            if v.len() > 2 && v.iter().any(|e| *e > 0) {
+                break t;
+            }
+        };
+        let candidates = tree.shrink();
+        assert!(!candidates.is_empty());
+        for candidate in candidates {
+            let v = candidate.current();
+            assert!(v.len() >= 2, "removal candidates honor the minimum length");
+            assert!(v.iter().all(|e| *e < 10), "elements stay in range");
+        }
     }
 }

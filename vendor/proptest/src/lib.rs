@@ -9,12 +9,12 @@
 //! Differences from real proptest, chosen for determinism and small size:
 //! inputs are generated from a PRNG seeded by the test's module path and
 //! name (every run explores the same cases — no persistence files),
-//! shrinking is candidate-based rather than value-tree-based (integers
+//! shrinking is value-tree-based ([`strategy::ValueTree`]): integers
 //! binary-search toward zero, `Vec`s remove chunks then shrink elements,
-//! `select` moves toward earlier options; mapped values and `prop_oneof!`
-//! unions do not shrink — see [`shrink`]), and the default case count is 64
-//! (overridable per block with
-//! `#![proptest_config(ProptestConfig::with_cases(n))]`).
+//! `select` moves toward earlier options, mapped values shrink through
+//! their pre-map input, and `prop_oneof!` values shrink within the chosen
+//! arm — see [`shrink`]. The default case count is 64 (overridable per
+//! block with `#![proptest_config(ProptestConfig::with_cases(n))]`).
 
 #![warn(missing_docs)]
 
@@ -26,7 +26,7 @@ pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 
-pub use strategy::{Just, Strategy};
+pub use strategy::{Just, Strategy, ValueTree};
 pub use test_runner::ProptestConfig;
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
@@ -67,8 +67,8 @@ macro_rules! __proptest_item {
             ));
             // One tuple strategy over all arguments: sampling draws the
             // components in declaration order (identical RNG stream to
-            // sampling each argument separately), and the tuple's `shrink`
-            // gives the failure driver per-argument candidates.
+            // sampling each argument separately), and the tuple's value
+            // tree gives the failure driver per-argument candidates.
             let strategies = ( $( $strategy, )+ );
             let run = $crate::shrink::bind_runner(&strategies, |values| {
                 let ( $( $arg, )+ ) = values;
@@ -76,7 +76,8 @@ macro_rules! __proptest_item {
                 (move || { $body ::std::result::Result::Ok(()) })()
             });
             for case in 0..config.cases {
-                let values = $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let tree = $crate::strategy::Strategy::new_tree(&strategies, &mut rng);
+                let values = $crate::strategy::ValueTree::current(&*tree);
                 // run_guarded converts panics (plain assert!/unwrap in the
                 // body, as opposed to prop_assert*) into failures, so
                 // panicking inputs shrink and get reported like any other.
@@ -85,7 +86,7 @@ macro_rules! __proptest_item {
                 {
                     let original = format!("{:#?}", values);
                     let (minimal, message, shrink_runs) =
-                        $crate::shrink::shrink_failure(&strategies, values, message, &run);
+                        $crate::shrink::shrink_failure(tree, values, message, &run);
                     panic!(
                         "proptest case {case} of {total} failed: {message}\n\
                          minimal failing input (after {shrink_runs} shrink runs): {minimal:#?}\n\

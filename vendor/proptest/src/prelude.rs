@@ -1,6 +1,6 @@
 //! The usual `use proptest::prelude::*;` imports.
 
 pub use crate as prop;
-pub use crate::strategy::{Just, Strategy};
+pub use crate::strategy::{Just, Strategy, ValueTree};
 pub use crate::test_runner::ProptestConfig;
 pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

@@ -1,7 +1,8 @@
 //! Sampling strategies (`prop::sample::select`).
 
 use crate::rng::TestRng;
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
+use std::rc::Rc;
 
 /// Generates values by picking uniformly from `options`.
 pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
@@ -15,30 +16,48 @@ pub struct Select<T: Clone> {
     options: Vec<T>,
 }
 
-impl<T: Clone + PartialEq> Strategy for Select<T> {
+struct SelectTree<T: Clone> {
+    options: Rc<Vec<T>>,
+    idx: usize,
+}
+
+impl<T: Clone + 'static> ValueTree for SelectTree<T> {
     type Value = T;
 
-    fn sample(&self, rng: &mut TestRng) -> T {
-        self.options[rng.gen_index(self.options.len())].clone()
+    fn current(&self) -> T {
+        self.options[self.idx].clone()
     }
 
     /// Shrinks toward earlier options: the first option, the halfway
     /// option, then the immediate predecessor (matching real proptest's
     /// "earlier elements are simpler" convention).
-    fn shrink(&self, value: &T) -> Vec<T> {
-        let Some(idx) = self.options.iter().position(|o| o == value) else {
-            return Vec::new();
-        };
+    fn shrink(&self) -> Vec<Rc<dyn ValueTree<Value = T>>> {
         let mut indices = Vec::new();
-        for candidate in [0, idx / 2, idx.saturating_sub(1)] {
-            if candidate < idx && !indices.contains(&candidate) {
+        for candidate in [0, self.idx / 2, self.idx.saturating_sub(1)] {
+            if candidate < self.idx && !indices.contains(&candidate) {
                 indices.push(candidate);
             }
         }
         indices
             .into_iter()
-            .map(|i| self.options[i].clone())
+            .map(|idx| {
+                Rc::new(SelectTree {
+                    options: self.options.clone(),
+                    idx,
+                }) as Rc<dyn ValueTree<Value = T>>
+            })
             .collect()
+    }
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = T>> {
+        Rc::new(SelectTree {
+            options: Rc::new(self.options.clone()),
+            idx: rng.gen_index(self.options.len()),
+        })
     }
 }
 
@@ -54,5 +73,20 @@ mod tests {
         for expected in ['a', 'b', 'c'] {
             assert!(drawn.contains(&expected));
         }
+    }
+
+    #[test]
+    fn shrinks_toward_earlier_options() {
+        let strategy = select(vec!['a', 'b', 'c', 'd']);
+        let mut rng = TestRng::deterministic("select_shrink");
+        let tree = loop {
+            let t = strategy.new_tree(&mut rng);
+            if t.current() == 'd' {
+                break t;
+            }
+        };
+        let candidates: Vec<char> = tree.shrink().iter().map(|t| t.current()).collect();
+        assert_eq!(candidates[0], 'a');
+        assert!(candidates.iter().all(|c| *c < 'd'));
     }
 }

@@ -1,15 +1,18 @@
 //! The shrinking driver: descends from a failing input toward a minimal
 //! counterexample by re-running the property against shrink candidates.
 //!
-//! Real proptest shrinks through per-strategy value trees; this subset keeps
-//! the strategy-as-sampler design and instead asks each strategy for a short
-//! list of *candidate* smaller values ([`Strategy::shrink`]). The driver
+//! Shrinking is value-tree-based, as in real proptest: sampling a strategy
+//! yields a [`ValueTree`] that remembers how the value was generated, and
+//! each tree proposes candidate *trees* with smaller values. The driver
 //! adopts the first candidate that still fails and restarts from it, which
 //! gives binary-search-like descent for integers (candidates lead with the
-//! range minimum, then the midpoint, then the predecessor) and
-//! remove-chunks descent for collections.
+//! range minimum, then the midpoint, then the predecessor), remove-chunks
+//! descent for collections, and — because candidates are regenerated
+//! through the originating tree — shrinking that works through `prop_map`
+//! and within the chosen `prop_oneof!` arm.
 
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
+use std::rc::Rc;
 
 /// Cap on property re-executions spent shrinking one failure, so a slow
 /// property cannot turn a failing test into a hung test.
@@ -38,29 +41,31 @@ where
 
 /// Shrinks a failing input toward a minimal counterexample.
 ///
-/// `run` re-executes the property; `Err` means the candidate still fails.
+/// `tree` is the value tree that produced the failing `value`; `run`
+/// re-executes the property (`Err` means the candidate still fails).
 /// Returns the smallest failing value found, the failure message produced by
 /// *that* value (so the reported assertion matches the reported input), and
 /// the number of property re-runs spent.
-pub fn shrink_failure<S, F>(
-    strategy: &S,
-    mut value: S::Value,
+pub fn shrink_failure<V, F>(
+    mut tree: Rc<dyn ValueTree<Value = V>>,
+    mut value: V,
     mut message: String,
     run: F,
-) -> (S::Value, String, usize)
+) -> (V, String, usize)
 where
-    S: Strategy,
-    F: Fn(&S::Value) -> Result<(), String>,
+    F: Fn(&V) -> Result<(), String>,
 {
     let mut runs = 0usize;
     'descend: while runs < MAX_SHRINK_RUNS {
-        for candidate in strategy.shrink(&value) {
+        for candidate in tree.shrink() {
             if runs >= MAX_SHRINK_RUNS {
                 break 'descend;
             }
             runs += 1;
-            if let Err(candidate_message) = run_guarded(&run, &candidate) {
-                value = candidate;
+            let candidate_value = candidate.current();
+            if let Err(candidate_message) = run_guarded(&run, &candidate_value) {
+                tree = candidate;
+                value = candidate_value;
                 message = candidate_message;
                 continue 'descend;
             }
@@ -114,11 +119,21 @@ pub fn int_candidates(value: i128, lo: i128, hi: i128) -> Vec<i128> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::IntTree;
+
+    fn int_tree(value: i128, lo: i128, hi: i128) -> Rc<dyn ValueTree<Value = i64>> {
+        Rc::new(IntTree {
+            value,
+            lo,
+            hi,
+            to: |v| v as i64,
+        })
+    }
 
     #[test]
     fn integer_descent_finds_exact_boundary() {
         // Property: fails iff x >= 7. The minimal counterexample is 7.
-        let strategy = 0i64..100_000;
+        let tree = int_tree(99_123, 0, 99_999);
         let run = |x: &i64| {
             if *x >= 7 {
                 Err(format!("{x} >= 7"))
@@ -126,7 +141,7 @@ mod tests {
                 Ok(())
             }
         };
-        let (minimal, message, runs) = shrink_failure(&strategy, 99_123, "seed".into(), run);
+        let (minimal, message, runs) = shrink_failure(tree, 99_123, "seed".into(), run);
         assert_eq!(minimal, 7);
         assert!(message.contains("7 >= 7"), "{message}");
         assert!(runs < 100, "binary search should be cheap, took {runs}");
@@ -155,9 +170,10 @@ mod tests {
     fn run_budget_is_enforced() {
         // A property that always fails with an always-shrinkable value
         // would loop forever without the cap.
-        let strategy = 0i64..i64::MAX;
+        let seed = (i64::MAX - 1) as i128;
+        let tree = int_tree(seed, 0, seed);
         let run = |_: &i64| Err("always fails".to_owned());
-        let (minimal, _, runs) = shrink_failure(&strategy, i64::MAX - 1, "seed".into(), run);
+        let (minimal, _, runs) = shrink_failure(tree, i64::MAX - 1, "seed".into(), run);
         assert_eq!(minimal, 0, "always-failing property shrinks to the floor");
         assert!(runs <= MAX_SHRINK_RUNS);
     }

@@ -1,38 +1,63 @@
-//! The [`Strategy`] trait and the combinators the workspace uses.
+//! The [`Strategy`] trait, its [`ValueTree`] shrinking counterpart, and the
+//! combinators the workspace uses.
 
 use crate::rng::TestRng;
 use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generated value together with its shrink state — the per-strategy half
+/// of the shrinking protocol (real proptest's design, reduced to what the
+/// workspace needs).
+///
+/// Sampling a [`Strategy`] produces a tree, not a bare value: the tree
+/// remembers *how* the value was generated (the chosen `prop_oneof!` arm,
+/// the pre-map input, each collection element's own tree), so every
+/// candidate from [`ValueTree::shrink`] is a structurally valid regeneration
+/// — mapped values shrink by shrinking the unmapped input and re-applying
+/// the map, unions shrink within the arm that produced the failure.
+pub trait ValueTree {
+    /// The type of the value this tree holds.
+    type Value;
+
+    /// The tree's value.
+    fn current(&self) -> Self::Value;
+
+    /// Proposes candidate trees with "smaller" values, ordered
+    /// most-aggressive first, for the shrinking driver
+    /// ([`crate::shrink::shrink_failure`]) to try. Leaf strategies
+    /// (constants, floats) return no candidates.
+    fn shrink(&self) -> Vec<Rc<dyn ValueTree<Value = Self::Value>>>;
+}
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a strategy
-/// is just a deterministic sampler over a [`TestRng`].
+/// A strategy is a deterministic sampler over a [`TestRng`]: `new_tree`
+/// draws one [`ValueTree`] (value plus shrink state), [`Strategy::sample`]
+/// is the value-only shorthand. Combinators compose trees, so shrinking
+/// works through `prop_map`, `prop_oneof!`, tuples, and collections alike.
 pub trait Strategy {
     /// The type of generated values.
-    type Value;
+    type Value: 'static;
 
-    /// Draws one value.
-    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// Draws one value together with its shrink state.
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = Self::Value>>;
 
-    /// Proposes candidate values "smaller" than `value`, ordered
-    /// most-aggressive first, for the shrinking driver
-    /// ([`crate::shrink::shrink_failure`]) to try. Strategies that cannot
-    /// shrink (mapped values, unions) return no candidates — the failing
-    /// input is then reported as-is.
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let _ = value;
-        Vec::new()
+    /// Draws one value (discarding the shrink state).
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        self.new_tree(rng).current()
     }
 
-    /// Maps generated values through `map_fn`.
+    /// Maps generated values through `map_fn`. Mapped values shrink by
+    /// shrinking the *input* and re-applying the map.
     fn prop_map<O, F>(self, map_fn: F) -> Map<Self, F>
     where
         Self: Sized,
-        F: Fn(Self::Value) -> O,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
     {
         Map {
             inner: self,
-            map_fn,
+            map_fn: Rc::new(map_fn),
         }
     }
 }
@@ -40,24 +65,16 @@ pub trait Strategy {
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
 
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (**self).sample(rng)
-    }
-
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        (**self).shrink(value)
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = Self::Value>> {
+        (**self).new_tree(rng)
     }
 }
 
-impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+impl<T: 'static> Strategy for Box<dyn Strategy<Value = T>> {
     type Value = T;
 
-    fn sample(&self, rng: &mut TestRng) -> T {
-        (**self).sample(rng)
-    }
-
-    fn shrink(&self, value: &T) -> Vec<T> {
-        (**self).shrink(value)
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = T>> {
+        (**self).new_tree(rng)
     }
 }
 
@@ -69,22 +86,113 @@ where
     Box::new(strategy)
 }
 
+/// A tree with no shrink candidates — constants and floats.
+struct LeafTree<T: Clone>(T);
+
+impl<T: Clone + 'static> ValueTree for LeafTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+
+    fn shrink(&self) -> Vec<Rc<dyn ValueTree<Value = T>>> {
+        Vec::new()
+    }
+}
+
+/// Value tree for integer ranges: carries the range bounds so every
+/// candidate from [`crate::shrink::int_candidates`] re-wraps with the same
+/// bounds and can keep descending.
+pub(crate) struct IntTree<T> {
+    pub(crate) value: i128,
+    pub(crate) lo: i128,
+    /// Inclusive upper bound.
+    pub(crate) hi: i128,
+    pub(crate) to: fn(i128) -> T,
+}
+
+impl<T: 'static> ValueTree for IntTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        (self.to)(self.value)
+    }
+
+    fn shrink(&self) -> Vec<Rc<dyn ValueTree<Value = T>>> {
+        crate::shrink::int_candidates(self.value, self.lo, self.hi)
+            .into_iter()
+            .map(|value| {
+                Rc::new(IntTree {
+                    value,
+                    lo: self.lo,
+                    hi: self.hi,
+                    to: self.to,
+                }) as Rc<dyn ValueTree<Value = T>>
+            })
+            .collect()
+    }
+}
+
 /// Strategy returned by [`Strategy::prop_map`].
-#[derive(Debug, Clone)]
 pub struct Map<S, F> {
     inner: S,
-    map_fn: F,
+    map_fn: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            map_fn: self.map_fn.clone(),
+        }
+    }
+}
+
+struct MapTree<T, F> {
+    inner: Rc<dyn ValueTree<Value = T>>,
+    map_fn: Rc<F>,
+}
+
+impl<T, O, F> ValueTree for MapTree<T, F>
+where
+    T: 'static,
+    O: 'static,
+    F: Fn(T) -> O + 'static,
+{
+    type Value = O;
+
+    fn current(&self) -> O {
+        (self.map_fn)(self.inner.current())
+    }
+
+    fn shrink(&self) -> Vec<Rc<dyn ValueTree<Value = O>>> {
+        self.inner
+            .shrink()
+            .into_iter()
+            .map(|inner| {
+                Rc::new(MapTree {
+                    inner,
+                    map_fn: self.map_fn.clone(),
+                }) as Rc<dyn ValueTree<Value = O>>
+            })
+            .collect()
+    }
 }
 
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
-    F: Fn(S::Value) -> O,
+    O: 'static,
+    F: Fn(S::Value) -> O + 'static,
 {
     type Value = O;
 
-    fn sample(&self, rng: &mut TestRng) -> O {
-        (self.map_fn)(self.inner.sample(rng))
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = O>> {
+        Rc::new(MapTree {
+            inner: self.inner.new_tree(rng),
+            map_fn: self.map_fn.clone(),
+        })
     }
 }
 
@@ -92,11 +200,11 @@ where
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
 
-impl<T: Clone> Strategy for Just<T> {
+impl<T: Clone + 'static> Strategy for Just<T> {
     type Value = T;
 
-    fn sample(&self, _rng: &mut TestRng) -> T {
-        self.0.clone()
+    fn new_tree(&self, _rng: &mut TestRng) -> Rc<dyn ValueTree<Value = T>> {
+        Rc::new(LeafTree(self.0.clone()))
     }
 }
 
@@ -113,12 +221,15 @@ impl<T> OneOf<T> {
     }
 }
 
-impl<T> Strategy for OneOf<T> {
+impl<T: 'static> Strategy for OneOf<T> {
     type Value = T;
 
-    fn sample(&self, rng: &mut TestRng) -> T {
+    /// Draws the arm, then delegates to it: the returned tree *is* the
+    /// chosen arm's tree, so a failing union value shrinks within the arm
+    /// that produced it.
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = T>> {
         let idx = rng.gen_index(self.options.len());
-        self.options[idx].sample(rng)
+        self.options[idx].new_tree(rng)
     }
 }
 
@@ -127,41 +238,31 @@ macro_rules! int_range_strategy {
         impl Strategy for Range<$t> {
             type Value = $t;
 
-            fn sample(&self, rng: &mut TestRng) -> $t {
+            fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = $t>> {
                 assert!(self.start < self.end, "empty range strategy");
-                rng.$via(self.start as i128, self.end as i128) as $t
-            }
-
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                crate::shrink::int_candidates(
-                    *value as i128,
-                    self.start as i128,
-                    self.end as i128 - 1,
-                )
-                .into_iter()
-                .map(|v| v as $t)
-                .collect()
+                let value = rng.$via(self.start as i128, self.end as i128);
+                Rc::new(IntTree {
+                    value,
+                    lo: self.start as i128,
+                    hi: self.end as i128 - 1,
+                    to: |v| v as $t,
+                })
             }
         }
 
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
 
-            fn sample(&self, rng: &mut TestRng) -> $t {
+            fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = $t>> {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
-                rng.$via(lo as i128, hi as i128 + 1) as $t
-            }
-
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                crate::shrink::int_candidates(
-                    *value as i128,
-                    *self.start() as i128,
-                    *self.end() as i128,
-                )
-                .into_iter()
-                .map(|v| v as $t)
-                .collect()
+                let value = rng.$via(lo as i128, hi as i128 + 1);
+                Rc::new(IntTree {
+                    value,
+                    lo: lo as i128,
+                    hi: hi as i128,
+                    to: |v| v as $t,
+                })
             }
         }
     )*};
@@ -183,67 +284,64 @@ int_range_strategy!(
 impl Strategy for Range<f64> {
     type Value = f64;
 
-    fn sample(&self, rng: &mut TestRng) -> f64 {
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = f64>> {
         assert!(self.start < self.end, "empty range strategy");
         let v = self.start + (self.end - self.start) * rng.gen_unit_f64();
         // Rounding can land exactly on `end` for very narrow ranges; keep
         // the half-open contract.
-        if v < self.end {
-            v
-        } else {
-            self.start
-        }
+        Rc::new(LeafTree(if v < self.end { v } else { self.start }))
     }
 }
 
 impl Strategy for RangeInclusive<f64> {
     type Value = f64;
 
-    fn sample(&self, rng: &mut TestRng) -> f64 {
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = f64>> {
         let (lo, hi) = (*self.start(), *self.end());
         assert!(lo <= hi, "empty range strategy");
-        lo + (hi - lo) * rng.gen_unit_f64()
+        Rc::new(LeafTree(lo + (hi - lo) * rng.gen_unit_f64()))
     }
 }
 
 impl Strategy for Range<f32> {
     type Value = f32;
 
-    fn sample(&self, rng: &mut TestRng) -> f32 {
+    fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = f32>> {
         assert!(self.start < self.end, "empty range strategy");
         let v = self.start + (self.end - self.start) * rng.gen_unit_f64() as f32;
-        if v < self.end {
-            v
-        } else {
-            self.start
-        }
+        Rc::new(LeafTree(if v < self.end { v } else { self.start }))
     }
 }
 
 macro_rules! tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+)
-        where
-            $($name::Value: Clone),+
-        {
-            type Value = ($($name::Value,)+);
+        /// Shrinks one component at a time, earlier components first —
+        /// the driver therefore minimizes arguments left to right.
+        impl<$($name: 'static),+> ValueTree for ($(Rc<dyn ValueTree<Value = $name>>,)+) {
+            type Value = ($($name,)+);
 
-            fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.sample(rng),)+)
+            fn current(&self) -> Self::Value {
+                ($(self.$idx.current(),)+)
             }
 
-            /// Shrinks one component at a time, earlier components first —
-            /// the driver therefore minimizes arguments left to right.
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-                let mut out = Vec::new();
+            fn shrink(&self) -> Vec<Rc<dyn ValueTree<Value = Self::Value>>> {
+                let mut out: Vec<Rc<dyn ValueTree<Value = Self::Value>>> = Vec::new();
                 $(
-                    for candidate in self.$idx.shrink(&value.$idx) {
-                        let mut next = value.clone();
+                    for candidate in self.$idx.shrink() {
+                        let mut next = self.clone();
                         next.$idx = candidate;
-                        out.push(next);
+                        out.push(Rc::new(next));
                     }
                 )+
                 out
+            }
+        }
+
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_tree(&self, rng: &mut TestRng) -> Rc<dyn ValueTree<Value = Self::Value>> {
+                Rc::new(($(self.$idx.new_tree(rng),)+))
             }
         }
     )*};
@@ -301,6 +399,64 @@ mod tests {
         let samples: Vec<u8> = (0..200).map(|_| strategy.sample(&mut rng)).collect();
         for expected in 1..=3u8 {
             assert!(samples.contains(&expected));
+        }
+    }
+
+    #[test]
+    fn mapped_trees_shrink_through_the_inner_strategy() {
+        let strategy = (0u64..100).prop_map(|v| v * 3);
+        let mut rng = TestRng::deterministic("map_shrink");
+        let tree = loop {
+            let t = strategy.new_tree(&mut rng);
+            if t.current() >= 30 {
+                break t;
+            }
+        };
+        let candidates: Vec<u64> = tree.shrink().iter().map(|t| t.current()).collect();
+        assert!(!candidates.is_empty(), "mapped values must shrink");
+        assert_eq!(candidates[0], 0, "lead candidate maps the range minimum");
+        assert!(
+            candidates.iter().all(|c| c % 3 == 0),
+            "every candidate flows through the map: {candidates:?}"
+        );
+    }
+
+    #[test]
+    fn oneof_trees_shrink_within_the_chosen_arm() {
+        let strategy = OneOf::new(vec![boxed(5u32..10), boxed(100u32..200)]);
+        let mut rng = TestRng::deterministic("oneof_shrink");
+        for _ in 0..50 {
+            let tree = strategy.new_tree(&mut rng);
+            let v = tree.current();
+            for candidate in tree.shrink() {
+                let c = candidate.current();
+                if (5..10).contains(&v) {
+                    assert!((5..10).contains(&c), "{v} shrank out of its arm to {c}");
+                } else {
+                    assert!((100..200).contains(&c), "{v} shrank out of its arm to {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_trees_shrink_one_component_at_a_time() {
+        let strategy = (1u32..100, 1u32..100);
+        let mut rng = TestRng::deterministic("tuple_shrink");
+        let tree = loop {
+            let t = strategy.new_tree(&mut rng);
+            let (a, b) = t.current();
+            if a > 1 && b > 1 {
+                break t;
+            }
+        };
+        let (a, b) = tree.current();
+        for candidate in tree.shrink() {
+            let (ca, cb) = candidate.current();
+            assert!(
+                (ca == a) ^ (cb == b),
+                "exactly one component moves per candidate: ({a},{b}) -> ({ca},{cb})"
+            );
         }
     }
 }

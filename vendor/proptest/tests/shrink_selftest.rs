@@ -33,6 +33,19 @@ proptest! {
         // converges to the unique minimal counterexample (50, 50).
         prop_assert!(a < 50 || b < 50, "a = {a} and b = {b} are both >= 50");
     }
+
+    fn failing_mapped_property(x in (0u64..100_000).prop_map(|v| v * 2)) {
+        // Fails for every even x >= 14. Shrinking happens on the pre-map
+        // input (which descends to 7), so the minimal counterexample is 14
+        // — value trees shrink *through* prop_map.
+        prop_assert!(x < 14, "x = {x} is not < 14");
+    }
+
+    fn failing_oneof_property(x in prop_oneof![0u64..10, 100u64..100_000]) {
+        // Only the second arm can fail; its value tree shrinks within that
+        // arm toward its range minimum, 100.
+        prop_assert!(x < 100, "x = {x} is not < 100");
+    }
 }
 
 /// Runs a failing property with the default panic hook silenced and returns
@@ -104,5 +117,26 @@ fn multi_argument_counterexample_is_minimal() {
     assert!(
         message.contains(&minimal),
         "expected (50, 50) as minimal counterexample:\n{message}"
+    );
+}
+
+#[test]
+fn mapped_counterexample_is_minimal() {
+    let message = panic_message(failing_mapped_property);
+    let minimal = format!("{:#?}", (14u64,));
+    assert!(
+        message.contains(&minimal),
+        "expected 14 (inner input shrunk to 7, then mapped) as minimal counterexample:\n{message}"
+    );
+    assert!(message.contains("x = 14 is not < 14"), "{message}");
+}
+
+#[test]
+fn oneof_counterexample_is_minimal() {
+    let message = panic_message(failing_oneof_property);
+    let minimal = format!("{:#?}", (100u64,));
+    assert!(
+        message.contains(&minimal),
+        "expected 100 (the failing arm's range minimum) as minimal counterexample:\n{message}"
     );
 }
