@@ -4,7 +4,7 @@
 
 use xsp_bench::{banner, resnet50, timed};
 use xsp_core::analysis::{ax1_library_calls, library_span_count};
-use xsp_core::profile::XspConfig;
+use xsp_core::profile::{ProfileRequest, XspConfig};
 use xsp_core::report::{fmt_ms, Table};
 use xsp_core::Xsp;
 use xsp_framework::FrameworkKind;
@@ -20,7 +20,7 @@ fn main() {
             .runs(1)
             .library_level(true);
         let xsp = Xsp::new(cfg);
-        let profile = xsp.leveled(&resnet50().graph(64));
+        let profile = xsp.run(ProfileRequest::new(&resnet50().graph(64)));
         println!(
             "library-level spans captured: {}",
             library_span_count(&profile)

@@ -3,7 +3,7 @@
 
 use xsp_bench::{banner, par_points, timed};
 use xsp_core::analysis::ax2_host_dispatch;
-use xsp_core::profile::XspConfig;
+use xsp_core::profile::{ProfileRequest, XspConfig};
 use xsp_core::report::{fmt_ms, Table};
 use xsp_core::Xsp;
 use xsp_framework::FrameworkKind;
@@ -22,7 +22,12 @@ fn main() {
         let xsp = Xsp::new(cfg);
         let profiles = par_points(
             vec!["MLPerf_ResNet50_v1.5", "MLPerf_SSD_MobileNet_v1_300x300"],
-            |name| (name, xsp.leveled(&zoo::by_name(name).unwrap().graph(4))),
+            |name| {
+                (
+                    name,
+                    xsp.run(ProfileRequest::new(&zoo::by_name(name).unwrap().graph(4))),
+                )
+            },
         );
         for (name, profile) in profiles {
             let rows = ax2_host_dispatch(&profile);

@@ -1,0 +1,153 @@
+//! Extension experiment: the inference-serving tier under load — a
+//! continuous-batching scheduler decoding GPT-2 against its KV cache on
+//! Tesla_V100, swept across decode batch capacities and both attention
+//! lowerings.
+//!
+//! Not in the paper (its pipeline profiles one inference at a time); this
+//! target opens the third compute regime the ROADMAP calls for:
+//! bandwidth-bound KV-cache decode. The expectations it pins:
+//! tokens/second grows with decode occupancy (weight streaming amortizes
+//! across the batch), the decode phase dominates the makespan, every
+//! KV-decode kernel sits left of the V100 ridge point (AI 17.44), and the
+//! fused FlashAttention-style lowering beats the materialized score chain.
+//!
+//! The scheduler itself is strictly sequential; parallelism lives inside
+//! the memoized step profiles, so every printed table is byte-identical
+//! for any `XSP_THREADS` — CI runs the quick pass under both
+//! `XSP_THREADS=1` and `XSP_THREADS=4` and diffs the `--json` summary.
+//!
+//! `--quick` (or `XSP_BENCH_QUICK=1`) runs a smaller arrival trace at two
+//! batch capacities; `--json <path>` writes the machine-readable summary
+//! CI uploads as the `BENCH_serving_ci.json` artifact.
+
+use xsp_bench::summary::{json_flag_path, BenchSummary};
+use xsp_bench::{banner, timed, xsp_on};
+use xsp_core::analysis::{ax4_cache_roofline, ax4_latency_split, ax4_occupancy_throughput};
+use xsp_core::profile::ProfilingLevel;
+use xsp_core::report::{fmt_ms, fmt_pct, Table};
+use xsp_core::serving::{simulate, ArrivalTrace, ServingConfig, ServingModel};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+use xsp_models::transformer::DecodeAttention;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("XSP_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let json_path = json_flag_path(std::env::args());
+    let mut summary = BenchSummary::start("ext_serving_load", quick);
+    timed("ext_serving_load", || {
+        banner(
+            "EXT — serving tier: continuous batching over KV-cache decode on Tesla_V100",
+            "expectation: tokens/s grows with decode occupancy; decode dominates the latency split; every KV-decode kernel is memory-bound (left of AI 17.44); fused attention beats the materialized chain",
+        );
+        let system = systems::tesla_v100();
+        let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 1);
+        let (requests, rate) = if quick { (10, 60.0) } else { (32, 80.0) };
+        let trace = ArrivalTrace::synthetic(42, requests, rate, (16, 64), (4, 16));
+        let capacities: &[usize] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
+
+        let mut t = Table::new(
+            format!("GPT-2 serving, {requests} requests @ {rate:.0} req/s"),
+            &[
+                "Max batch",
+                "Tokens/s",
+                "Occupancy (%)",
+                "Decode (%)",
+                "TTFT (ms)",
+                "TPOT (ms)",
+            ],
+        );
+        let mut throughputs = Vec::new();
+        for &max_batch in capacities {
+            let cfg = ServingConfig::default()
+                .max_batch(max_batch)
+                .level(ProfilingLevel::ModelLayerGpu);
+            let report = simulate(&xsp, ServingModel::Gpt2Small, &trace, &cfg);
+            let split = ax4_latency_split(&report);
+            summary.point(
+                format!("gpt2/max_batch{max_batch}"),
+                &[
+                    ("tokens_per_s", report.tokens_per_s()),
+                    ("occupancy_pct", report.mean_occupancy_percent()),
+                    ("decode_pct", split.decode_percent),
+                    ("ttft_ms", split.mean_ttft_ms),
+                    ("tpot_ms", split.mean_tpot_ms),
+                    ("makespan_ms", report.makespan_ms),
+                ],
+            );
+            t.row(vec![
+                max_batch.to_string(),
+                format!("{:.1}", report.tokens_per_s()),
+                fmt_pct(report.mean_occupancy_percent()),
+                fmt_pct(split.decode_percent),
+                fmt_ms(split.mean_ttft_ms),
+                fmt_ms(split.mean_tpot_ms),
+            ]);
+            throughputs.push(report.tokens_per_s());
+            assert!(
+                split.decode_percent > split.prefill_percent,
+                "decode must dominate at max_batch {max_batch}"
+            );
+
+            // within one simulation, fuller decode batches generate faster
+            let rows = ax4_occupancy_throughput(&report);
+            if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+                if first.batch < last.batch {
+                    assert!(
+                        last.tokens_per_s > first.tokens_per_s,
+                        "occupancy scaling broken at max_batch {max_batch}"
+                    );
+                }
+            }
+
+            // the third regime: every KV-decode kernel left of the ridge
+            let profile = report
+                .representative_decode
+                .as_ref()
+                .expect("decode steps ran");
+            let points = ax4_cache_roofline(profile, &system);
+            assert!(!points.is_empty(), "no KV-decode roofline points");
+            assert!(
+                points.iter().all(|p| p.memory_bound),
+                "compute-bound decode kernel at max_batch {max_batch}"
+            );
+        }
+        println!("{t}");
+        assert!(
+            throughputs.last().unwrap() > throughputs.first().unwrap(),
+            "serving throughput must grow with batch capacity: {throughputs:?}"
+        );
+
+        // fused-attention counterfactual at the largest capacity
+        let max_batch = *capacities.last().unwrap();
+        let base = ServingConfig::default()
+            .max_batch(max_batch)
+            .level(ProfilingLevel::Model);
+        let materialized = simulate(&xsp, ServingModel::Gpt2Small, &trace, &base);
+        let fused = simulate(
+            &xsp,
+            ServingModel::Gpt2Small,
+            &trace,
+            &base.attention(DecodeAttention::Fused),
+        );
+        println!(
+            "fused attention counterfactual @ max batch {max_batch}: decode {} -> {} ms ({}% faster)",
+            fmt_ms(materialized.decode_ms()),
+            fmt_ms(fused.decode_ms()),
+            fmt_pct(100.0 * (1.0 - fused.decode_ms() / materialized.decode_ms()))
+        );
+        assert!(fused.decode_ms() < materialized.decode_ms());
+        summary.point(
+            "gpt2/fused_counterfactual",
+            &[
+                ("materialized_decode_ms", materialized.decode_ms()),
+                ("fused_decode_ms", fused.decode_ms()),
+            ],
+        );
+    });
+    if let Some(path) = json_path {
+        summary.write(&path).expect("bench summary write");
+    }
+}

@@ -22,6 +22,7 @@ use xsp_core::analysis::{
     ax3_family_shares, ax3_gemm_roofline, convolution_latency_percent, gemm_percent_of, regime_of,
     ComputeRegime,
 };
+use xsp_core::profile::ProfileRequest;
 use xsp_core::report::{fmt_ms, fmt_pct, Table};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -75,7 +76,7 @@ fn main() {
         );
         // one independent engine point per (model, seq) pair
         let points = par_points(grid, |(name, build, seq)| {
-            let profile = xsp.leveled(&build(1, seq));
+            let profile = xsp.run(ProfileRequest::new(&build(1, seq)));
             // aggregate the kernel families once, derive both answers
             let shares = ax3_family_shares(&profile);
             let gemm_pct = gemm_percent_of(&shares);
@@ -145,7 +146,9 @@ fn main() {
 
         // conv baseline through the identical pipeline: the regime, not
         // just the numbers, must differ
-        let baseline = xsp.leveled(&zoo::by_name("ResNet_v1_50").unwrap().graph(1));
+        let baseline = xsp.run(ProfileRequest::new(
+            &zoo::by_name("ResNet_v1_50").unwrap().graph(1),
+        ));
         let conv_pct = convolution_latency_percent(&baseline);
         let baseline_shares = ax3_family_shares(&baseline);
         let baseline_gemm = gemm_percent_of(&baseline_shares);

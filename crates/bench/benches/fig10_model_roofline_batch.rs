@@ -3,6 +3,7 @@
 
 use xsp_bench::{banner, par_points, resnet50, timed, xsp_on, BATCHES};
 use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::profile::{ProfileMode, ProfileRequest};
 use xsp_core::roofline::attainable_tflops;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -21,7 +22,8 @@ fn main() {
             "batch", "AI (f/B)", "Tflop/s", "roof", "bound"
         );
         let points = par_points(BATCHES.to_vec(), |batch| {
-            let p = xsp.with_gpu(&model.graph(batch));
+            let p = xsp
+                .run(ProfileRequest::new(&model.graph(batch)).mode(ProfileMode::ModelAndMetrics));
             (batch, a15_model_aggregate(&p, &system))
         });
         let mut bound_at = Vec::new();

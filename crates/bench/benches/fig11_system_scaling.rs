@@ -4,6 +4,7 @@
 
 use xsp_bench::{banner, par_points, resnet50, timed, xsp_on, BATCHES};
 use xsp_core::analysis::a10_kernel_info_by_name;
+use xsp_core::profile::{ProfileMode, ProfileRequest};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 
@@ -31,7 +32,8 @@ fn main() {
             .collect();
         let points = par_points(grid, |(s, b)| {
             let xsp = xsp_on(s, FrameworkKind::TensorFlow, 1);
-            let p = xsp.with_gpu(&resnet50().graph(b));
+            let p = xsp
+                .run(ProfileRequest::new(&resnet50().graph(b)).mode(ProfileMode::ModelAndMetrics));
             (b, p.throughput(), p.kernel_latency_ms())
         });
         let sweeps: Vec<SystemSweep> = systems::all()
@@ -71,7 +73,9 @@ fn main() {
         println!("\nkernel selection per system (batch 256):");
         let selections = par_points(systems::all(), |s| {
             let xsp = xsp_on(s.clone(), FrameworkKind::TensorFlow, 1);
-            let p = xsp.with_gpu(&resnet50().graph(256));
+            let p = xsp.run(
+                ProfileRequest::new(&resnet50().graph(256)).mode(ProfileMode::ModelAndMetrics),
+            );
             let rows = a10_kernel_info_by_name(&p, &s);
             let conv = rows.iter().find(|r| r.name.contains("scudnn")).unwrap();
             (s, conv.name.clone(), conv.count)

@@ -3,7 +3,7 @@
 
 use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::a15_model_aggregate;
-use xsp_core::profile::Xsp;
+use xsp_core::profile::{ProfileMode, ProfileRequest, Xsp};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo;
@@ -27,7 +27,8 @@ fn main() {
         let points = par_points(zoo::image_classification_models(), |m| {
             let sweep = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
             let optimal = Xsp::optimal_batch(&sweep);
-            let p = xsp.with_gpu(&m.graph(optimal));
+            let p =
+                xsp.run(ProfileRequest::new(&m.graph(optimal)).mode(ProfileMode::ModelAndMetrics));
             (m, optimal, a15_model_aggregate(&p, &system))
         });
         for (m, optimal, a) in points {

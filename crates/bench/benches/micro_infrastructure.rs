@@ -15,7 +15,7 @@ use std::hint::black_box;
 use std::time::Instant;
 use xsp_bench::summary::{json_flag_path, BenchSummary};
 use xsp_core::pipeline::run_once;
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::scheduler::{parmap, Parallelism};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -234,7 +234,7 @@ fn bench_evaluation_engine(c: &mut Criterion) {
                 .parallelism(par),
         );
         g.bench_function(format!("leveled_{label}"), |b| {
-            b.iter(|| black_box(xsp.leveled(&graph)))
+            b.iter(|| black_box(xsp.run(ProfileRequest::new(&graph))))
         });
     }
     // dispatch overhead of the pool itself on trivial work

@@ -4,6 +4,7 @@
 
 use xsp_bench::{banner, par_points, resnet50, timed, xsp_on, BATCHES};
 use xsp_core::analysis::a15_model_aggregate;
+use xsp_core::profile::{ProfileMode, ProfileRequest};
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -33,7 +34,8 @@ fn main() {
         let mut bounds = Vec::new();
         let mut occs = Vec::new();
         let points = par_points(BATCHES.to_vec(), |batch| {
-            let p = xsp.with_gpu(&model.graph(batch));
+            let p = xsp
+                .run(ProfileRequest::new(&model.graph(batch)).mode(ProfileMode::ModelAndMetrics));
             (batch, a15_model_aggregate(&p, &system))
         });
         for (batch, a) in points {

@@ -4,7 +4,7 @@
 
 use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::convolution_latency_percent;
-use xsp_core::profile::Xsp;
+use xsp_core::profile::{ProfileRequest, Xsp};
 use xsp_core::report::{fmt_ms, Table};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -56,7 +56,7 @@ fn main() {
                 .unwrap_or(0.0);
             let max_tp = sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
             // conv share needs layer-level profiling at the optimal batch
-            let lp = xsp.leveled(&m.graph(optimal));
+            let lp = xsp.run(ProfileRequest::new(&m.graph(optimal)));
             let conv_pct = convolution_latency_percent(&lp);
             (m, optimal, online, max_tp, conv_pct)
         });

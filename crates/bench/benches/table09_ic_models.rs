@@ -8,7 +8,7 @@ use xsp_core::analysis::{
     a11_kernel_info_by_layer, a15_model_aggregate, a3_layer_latency, a4_layer_allocation,
     dominant_stage,
 };
-use xsp_core::profile::Xsp;
+use xsp_core::profile::{ProfileRequest, Xsp};
 use xsp_core::report::{fmt_bound, fmt_ms, fmt_pct, Table};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -48,7 +48,7 @@ fn main() {
         let points = par_points(zoo::image_classification_models(), |m| {
             let sweep = xsp.batch_sweep(|b| m.graph(b), &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
             let optimal = Xsp::optimal_batch(&sweep);
-            let p = xsp.leveled(&m.graph(optimal));
+            let p = xsp.run(ProfileRequest::new(&m.graph(optimal)));
             let a15 = a15_model_aggregate(&p, &system);
             let total_layers = p.layers().len();
             let lat = dominant_stage(&a3_layer_latency(&p), total_layers);

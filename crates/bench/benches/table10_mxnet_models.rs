@@ -5,7 +5,7 @@
 
 use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::a15_model_aggregate;
-use xsp_core::profile::Xsp;
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp};
 use xsp_core::report::{fmt_bound, fmt_pct, Table};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -40,14 +40,18 @@ fn main() {
         // each model needs a TF and an MXNet characterization — both inside
         // one engine point so the pair stays together
         let points = par_points(zoo::mxnet_models(), |m| {
-            let tf_online = tf.model_only(&m.graph(1)).model_latency_ms();
-            let mx_online = mx.model_only(&m.graph(1)).model_latency_ms();
+            let tf_online = tf
+                .run(ProfileRequest::new(&m.graph(1)).level(ProfilingLevel::Model))
+                .model_latency_ms();
+            let mx_online = mx
+                .run(ProfileRequest::new(&m.graph(1)).level(ProfilingLevel::Model))
+                .model_latency_ms();
             let tf_sweep = tf.batch_sweep(|b| m.graph(b), &batches);
             let mx_sweep = mx.batch_sweep(|b| m.graph(b), &batches);
             let mx_optimal = Xsp::optimal_batch(&mx_sweep);
             let tf_max = tf_sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
             let mx_max = mx_sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
-            let p = mx.leveled(&m.graph(mx_optimal));
+            let p = mx.run(ProfileRequest::new(&m.graph(mx_optimal)));
             // reduce to the aggregate here so the full trace drops per point
             let a15 = a15_model_aggregate(&p, &system);
             (m, tf_online, mx_online, mx_optimal, tf_max, mx_max, a15)

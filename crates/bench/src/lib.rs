@@ -19,7 +19,9 @@
 
 pub mod summary;
 
-use xsp_core::profile::{BatchProfile, LeveledProfile, Xsp, XspConfig};
+use xsp_core::profile::{
+    BatchProfile, LeveledProfile, ProfileRequest, ProfilingLevel, Xsp, XspConfig,
+};
 use xsp_core::scheduler::{parmap, Parallelism};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::{systems, System};
@@ -50,7 +52,10 @@ pub fn resnet50() -> ModelEntry {
 pub fn resnet50_profile(batch: usize) -> (LeveledProfile, System) {
     let system = systems::tesla_v100();
     let xsp = xsp_on(system.clone(), FrameworkKind::TensorFlow, 2);
-    (xsp.leveled(&resnet50().graph(batch)), system)
+    (
+        xsp.run(ProfileRequest::new(&resnet50().graph(batch))),
+        system,
+    )
 }
 
 /// The engine parallelism the bench harness fans experiment points out
@@ -80,7 +85,8 @@ pub fn resnet50_sweep(system: System, batches: &[usize]) -> Vec<BatchProfile> {
     let xsp = xsp_on(system, FrameworkKind::TensorFlow, 2);
     par_points(batches.to_vec(), |batch| BatchProfile {
         batch,
-        profile: xsp.model_only(&resnet50().graph(batch)),
+        profile: xsp
+            .run(ProfileRequest::new(&resnet50().graph(batch)).level(ProfilingLevel::Model)),
     })
 }
 
@@ -133,7 +139,8 @@ mod tests {
         let engine = resnet50_sweep(systems::tesla_v100(), &[1, 2, 4]);
         let xsp = xsp_on(systems::tesla_v100(), FrameworkKind::TensorFlow, 2);
         for p in engine.iter().zip([1usize, 2, 4]) {
-            let serial = xsp.model_only(&resnet50().graph(p.1));
+            let serial =
+                xsp.run(ProfileRequest::new(&resnet50().graph(p.1)).level(ProfilingLevel::Model));
             assert_eq!(p.0.profile.to_span_json(), serial.to_span_json());
         }
     }

@@ -228,7 +228,7 @@ pub fn a15_model_aggregate(profile: &LeveledProfile, system: &System) -> ModelAg
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{Xsp, XspConfig};
+    use crate::profile::{ProfileRequest, Xsp, XspConfig};
     use xsp_framework::FrameworkKind;
     use xsp_gpu::systems;
     use xsp_models::zoo;
@@ -237,7 +237,9 @@ mod tests {
         let system = systems::tesla_v100();
         let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(1));
         (
-            xsp.leveled(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(4)),
+            xsp.run(ProfileRequest::new(
+                &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(4),
+            )),
             system,
         )
     }

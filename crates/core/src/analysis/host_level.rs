@@ -65,7 +65,7 @@ pub fn ax2_host_dispatch(profile: &LeveledProfile) -> Vec<HostDispatchRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{Xsp, XspConfig};
+    use crate::profile::{ProfileRequest, Xsp, XspConfig};
     use xsp_framework::FrameworkKind;
     use xsp_gpu::systems;
     use xsp_models::zoo;
@@ -74,7 +74,9 @@ mod tests {
         let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
             .runs(1)
             .host_level(host_level);
-        Xsp::new(cfg).leveled(&zoo::by_name(model).unwrap().graph(batch))
+        Xsp::new(cfg).run(ProfileRequest::new(
+            &zoo::by_name(model).unwrap().graph(batch),
+        ))
     }
 
     #[test]

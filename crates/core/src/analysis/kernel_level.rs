@@ -174,7 +174,7 @@ pub fn a10_kernel_info_by_name(profile: &LeveledProfile, system: &System) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{Xsp, XspConfig};
+    use crate::profile::{ProfileRequest, Xsp, XspConfig};
     use xsp_framework::FrameworkKind;
     use xsp_gpu::systems;
     use xsp_models::zoo;
@@ -183,7 +183,9 @@ mod tests {
         let system = systems::tesla_v100();
         let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(1));
         (
-            xsp.leveled(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(4)),
+            xsp.run(ProfileRequest::new(
+                &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(4),
+            )),
             system,
         )
     }

@@ -138,7 +138,7 @@ pub fn convolution_latency_percent(profile: &LeveledProfile) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{Xsp, XspConfig};
+    use crate::profile::{ProfileRequest, Xsp, XspConfig};
     use xsp_framework::FrameworkKind;
     use xsp_gpu::systems;
     use xsp_models::zoo;
@@ -146,7 +146,9 @@ mod tests {
     fn profile() -> LeveledProfile {
         let xsp =
             Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1));
-        xsp.leveled(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2))
+        xsp.run(ProfileRequest::new(
+            &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2),
+        ))
     }
 
     #[test]

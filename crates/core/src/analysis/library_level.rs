@@ -108,7 +108,7 @@ pub fn library_span_layers(profile: &LeveledProfile) -> Vec<(String, Option<u64>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{Xsp, XspConfig};
+    use crate::profile::{ProfileRequest, Xsp, XspConfig};
     use xsp_framework::FrameworkKind;
     use xsp_gpu::systems;
     use xsp_models::zoo;
@@ -118,7 +118,9 @@ mod tests {
         let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
             .runs(1)
             .library_level(library_level);
-        Xsp::new(cfg).leveled(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2))
+        Xsp::new(cfg).run(ProfileRequest::new(
+            &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2),
+        ))
     }
 
     #[test]

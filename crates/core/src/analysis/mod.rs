@@ -19,6 +19,7 @@ mod kernel_level;
 mod layer_level;
 mod library_level;
 mod model_level;
+mod serving;
 mod stage;
 mod workload;
 
@@ -39,6 +40,10 @@ pub use library_level::{
     ax1_library_calls, library_span_count, library_span_layers, LibraryCallRow,
 };
 pub use model_level::{a1_model_info, ModelInfoRow, ModelInfoTable};
+pub use serving::{
+    ax4_cache_roofline, ax4_latency_split, ax4_occupancy_throughput, AxAnalysis, LatencySplit,
+    OccupancyThroughputRow, ParseAxError,
+};
 pub use stage::{dominant_stage, stage_of_index, Stage, StageSummary};
 pub use workload::{
     ax3_compute_regime, ax3_family_shares, ax3_gemm_roofline, gemm_latency_percent,

@@ -18,6 +18,12 @@ pub enum KernelFamily {
     /// Dense cuBLAS GEMMs: `*_sgemm_*` single and strided-batched kernels
     /// (attention projections and score/context products, FC/FFN layers).
     Gemm,
+    /// KV-cache decode kernels: seq=1 GEMV-shaped projections
+    /// (`*_sgemv_decode_*`), cached-attention score/context products, the
+    /// cache-append copy, decode softmax, and the fused
+    /// `flash_attention_decode` kernel. These stream weights or cache once
+    /// per token and are bandwidth-bound almost regardless of batch.
+    KvDecode,
     /// cuDNN convolutions: `*_scudnn_*`, implicit GEMM, depthwise,
     /// transform-domain (`fft2d`/`cgemm`) and their helper kernels.
     Convolution,
@@ -39,6 +45,7 @@ impl KernelFamily {
     pub fn label(self) -> &'static str {
         match self {
             KernelFamily::Gemm => "gemm",
+            KernelFamily::KvDecode => "kv-decode",
             KernelFamily::Convolution => "convolution",
             KernelFamily::Elementwise => "elementwise",
             KernelFamily::Normalization => "normalization",
@@ -49,11 +56,21 @@ impl KernelFamily {
     }
 }
 
-/// Classifies a kernel by its (library-conventional) name. Convolution
-/// markers are checked before the GEMM marker because cuDNN's implicit-GEMM
+/// Classifies a kernel by its (library-conventional) name. Decode markers
+/// are checked first because the decode tier reuses library vocabulary —
+/// `decode_softmax_warp_fw` would otherwise land in [`Normalization`] and
+/// `kv_cache_append_kernel` in [`DataMovement`]. Convolution markers are
+/// checked before the GEMM marker because cuDNN's implicit-GEMM
 /// convolution kernels carry `sgemm` in their names too
 /// (`implicit_convolve_sgemm`).
+///
+/// [`Normalization`]: KernelFamily::Normalization
+/// [`DataMovement`]: KernelFamily::DataMovement
 pub fn kernel_family(name: &str) -> KernelFamily {
+    let decode_markers = ["decode", "kv_cache", "flash_attention", "sgemv"];
+    if decode_markers.iter().any(|m| name.contains(m)) {
+        return KernelFamily::KvDecode;
+    }
     let conv_markers = [
         "scudnn",
         "convolve",
@@ -150,6 +167,10 @@ pub enum ComputeRegime {
     ConvBound,
     /// Dense GEMM kernels carry the largest share (the transformer tier).
     GemmBound,
+    /// KV-cache decode kernels carry the largest share (the inference-
+    /// serving tier's seq=1 decode steps): GPU time goes to streaming
+    /// weights and cache, not to math.
+    BandwidthBound,
     /// Neither — host-heavy detection models, copy-dominated graphs.
     Mixed,
 }
@@ -162,6 +183,7 @@ pub fn regime_of(shares: &[FamilyShareRow]) -> ComputeRegime {
     match shares.first().map(|r| r.family) {
         Some(KernelFamily::Convolution) => ComputeRegime::ConvBound,
         Some(KernelFamily::Gemm) => ComputeRegime::GemmBound,
+        Some(KernelFamily::KvDecode) => ComputeRegime::BandwidthBound,
         _ => ComputeRegime::Mixed,
     }
 }
@@ -215,7 +237,7 @@ pub fn ax3_gemm_roofline(profile: &LeveledProfile, system: &System) -> Vec<Roofl
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{Xsp, XspConfig};
+    use crate::profile::{ProfileRequest, Xsp, XspConfig};
     use xsp_framework::FrameworkKind;
     use xsp_gpu::systems;
     use xsp_models::{transformer, zoo};
@@ -267,22 +289,64 @@ mod tests {
     }
 
     #[test]
+    fn decode_markers_win_over_library_vocabulary() {
+        assert_eq!(
+            kernel_family("volta_sgemv_decode_tn_v1"),
+            KernelFamily::KvDecode
+        );
+        // "softmax" would match Normalization, "append" nothing — decode
+        // markers must be checked first.
+        assert_eq!(
+            kernel_family("decode_softmax_warp_fw"),
+            KernelFamily::KvDecode
+        );
+        assert_eq!(
+            kernel_family("kv_cache_append_kernel<float>"),
+            KernelFamily::KvDecode
+        );
+        assert_eq!(
+            kernel_family("flash_attention_decode_kernel<float>"),
+            KernelFamily::KvDecode
+        );
+        assert_eq!(
+            kernel_family("volta_sgemv_decode_scores_batched"),
+            KernelFamily::KvDecode
+        );
+    }
+
+    #[test]
+    fn decode_step_is_bandwidth_bound() {
+        let p = xsp().run(ProfileRequest::new(&transformer::gpt2_decode_step(
+            4,
+            256,
+            transformer::DecodeAttention::Materialized,
+        )));
+        assert_eq!(ax3_compute_regime(&p), ComputeRegime::BandwidthBound);
+        // ...and the prefill graph stays GEMM-bound: the regimes are
+        // genuinely different, not a classifier artifact.
+        let prefill = xsp().run(ProfileRequest::new(&transformer::gpt2_small(4, 256)));
+        assert_eq!(ax3_compute_regime(&prefill), ComputeRegime::GemmBound);
+    }
+
+    #[test]
     fn bert_is_gemm_bound_resnet_is_conv_bound() {
-        let bert = xsp().leveled(&transformer::bert_base(1, 128));
+        let bert = xsp().run(ProfileRequest::new(&transformer::bert_base(1, 128)));
         assert_eq!(ax3_compute_regime(&bert), ComputeRegime::GemmBound);
         assert!(
             gemm_latency_percent(&bert) > 50.0,
             "BERT GEMM share {:.1}%",
             gemm_latency_percent(&bert)
         );
-        let resnet = xsp().leveled(&zoo::by_name("ResNet_v1_50").unwrap().graph(4));
+        let resnet = xsp().run(ProfileRequest::new(
+            &zoo::by_name("ResNet_v1_50").unwrap().graph(4),
+        ));
         assert_eq!(ax3_compute_regime(&resnet), ComputeRegime::ConvBound);
         assert!(gemm_latency_percent(&resnet) < 20.0);
     }
 
     #[test]
     fn family_shares_sum_to_100() {
-        let p = xsp().leveled(&transformer::bert_base(1, 64));
+        let p = xsp().run(ProfileRequest::new(&transformer::bert_base(1, 64)));
         let shares = ax3_family_shares(&p);
         let total: f64 = shares.iter().map(|r| r.latency_percent).sum();
         assert!((total - 100.0).abs() < 1e-6, "{total}");
@@ -294,7 +358,7 @@ mod tests {
     #[test]
     fn gemm_roofline_covers_projections_and_batched_products() {
         let system = systems::tesla_v100();
-        let p = xsp().leveled(&transformer::bert_base(1, 128));
+        let p = xsp().run(ProfileRequest::new(&transformer::bert_base(1, 128)));
         let points = ax3_gemm_roofline(&p, &system);
         assert!(!points.is_empty());
         let batched: Vec<_> = points

@@ -488,14 +488,17 @@ impl fmt::Debug for ExportSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{Xsp, XspConfig};
+    use crate::profile::{ProfileMode, ProfileRequest, ProfilingLevel, Xsp, XspConfig};
     use xsp_framework::FrameworkKind;
     use xsp_gpu::systems;
     use xsp_models::zoo;
 
     fn profile() -> LeveledProfile {
         let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1);
-        Xsp::new(cfg).with_gpu(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1))
+        Xsp::new(cfg).run(
+            ProfileRequest::new(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1))
+                .mode(ProfileMode::ModelAndMetrics),
+        )
     }
 
     /// A `Write` handle over a shared buffer, so tests can inspect sink
@@ -602,10 +605,10 @@ mod tests {
             .export_sink(sink.clone());
         let xsp = Xsp::new(cfg);
         let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
-        let p = xsp.model_only(&graph);
+        let p = xsp.run(ProfileRequest::new(&graph).level(ProfilingLevel::Model));
         assert_eq!(sink.spans_written(), p.iter_spans().count());
         let after_first = sink.spans_written();
-        let p2 = xsp.model_only(&graph);
+        let p2 = xsp.run(ProfileRequest::new(&graph).level(ProfilingLevel::Model));
         assert_eq!(
             sink.spans_written(),
             after_first + p2.iter_spans().count(),
@@ -700,7 +703,10 @@ mod tests {
             .runs(1)
             .export_sink(sink.clone());
         // the profile itself must survive the broken sink
-        let p = Xsp::new(cfg).model_only(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1));
+        let p = Xsp::new(cfg).run(
+            ProfileRequest::new(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1))
+                .level(ProfilingLevel::Model),
+        );
         assert!(p.model_latency_ms() > 0.0);
         assert!(sink.flush().is_err(), "error must surface on flush");
         assert!(

@@ -34,14 +34,14 @@
 //! ## Quickstart
 //!
 //! ```
-//! use xsp_core::profile::{Xsp, XspConfig};
+//! use xsp_core::profile::{ProfileRequest, Xsp, XspConfig};
 //! use xsp_framework::FrameworkKind;
 //! use xsp_gpu::systems;
 //!
 //! let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow);
 //! let xsp = Xsp::new(cfg);
 //! let graph = xsp_models::zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(4);
-//! let profile = xsp.leveled(&graph);
+//! let profile = xsp.run(ProfileRequest::new(&graph));
 //! assert!(profile.model_latency_ms() > 0.0);
 //! let a2 = xsp_core::analysis::a2_layer_info(&profile);
 //! assert!(!a2.is_empty());
@@ -57,9 +57,17 @@ pub mod profile;
 pub mod report;
 pub mod roofline;
 pub mod scheduler;
+pub mod serving;
 
 pub use export::{export_profile, ExportFormat, ExportSink, ParseFormatError};
 pub use pipeline::{KernelProfile, LayerProfile, ModelPhases, RunProfile};
-pub use profile::{BatchProfile, LeveledProfile, ParseLevelError, ProfilingLevel, Xsp, XspConfig};
+pub use profile::{
+    BatchProfile, LeveledProfile, ParseLevelError, ProfileMode, ProfileRequest, ProfilingLevel,
+    Xsp, XspConfig,
+};
 pub use roofline::{classify, RooflinePoint};
 pub use scheduler::{parmap, Parallelism};
+pub use serving::{
+    simulate, simulate_streaming, ArrivalTrace, RequestRecord, ServingConfig, ServingModel,
+    ServingReport, ServingRequest, StepKind, StepRecord,
+};

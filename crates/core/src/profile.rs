@@ -495,6 +495,104 @@ impl RunKind {
     }
 }
 
+/// What a profiling request runs beside the plain latency ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// The leveled ladder up to [`ProfileRequest::level`]: M runs at every
+    /// level, plus the metric-collection runs when the request reaches
+    /// M/L/G — the paper's full leveled experimentation.
+    #[default]
+    Leveled,
+    /// M runs plus metric-collection runs only — kernels without layer
+    /// runs (A15 across batch sizes needs kernels but not layers). The
+    /// request's level is ignored: metric collection always replays at
+    /// M/L/G.
+    ModelAndMetrics,
+}
+
+/// One profiling request: a graph plus the level/mode shaping which runs
+/// the orchestrator submits to the evaluation engine. This is the single
+/// entry point every consumer — CLI subcommands, sweeps, benches, the
+/// serving tier's per-step profiles — goes through:
+///
+/// ```
+/// use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
+/// use xsp_framework::FrameworkKind;
+/// use xsp_gpu::systems;
+///
+/// let xsp = Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(2));
+/// let graph = xsp_models::zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
+/// // the full leveled experiment (M, M/L, M/L/G + metrics)…
+/// let full = xsp.run(ProfileRequest::new(&graph));
+/// assert!(!full.kernels().is_empty());
+/// // …or just the cheap model-level runs of a batch sweep
+/// let m = xsp.run(ProfileRequest::new(&graph).level(ProfilingLevel::Model));
+/// assert!(m.model_latency_ms() > 0.0);
+/// ```
+///
+/// The request fully determines the seed offsets (span-id scopes) of the
+/// runs it expands to, so a given `(level, mode)` profiles — and
+/// serializes — identically no matter which consumer submitted it.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileRequest<'g> {
+    graph: &'g LayerGraph,
+    level: ProfilingLevel,
+    mode: ProfileMode,
+}
+
+impl<'g> ProfileRequest<'g> {
+    /// A request for the full leveled experimentation of `graph`
+    /// (level M/L/G, [`ProfileMode::Leveled`]).
+    pub fn new(graph: &'g LayerGraph) -> Self {
+        Self {
+            graph,
+            level: ProfilingLevel::ModelLayerGpu,
+            mode: ProfileMode::Leveled,
+        }
+    }
+
+    /// Truncates the leveled ladder at `level`: `Model` runs M only,
+    /// `ModelLayer` runs M and M/L, `ModelLayerGpu` the full experiment
+    /// including metric collection.
+    pub fn level(mut self, level: ProfilingLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Selects which run combination the request expands to.
+    pub fn mode(mut self, mode: ProfileMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The graph being profiled.
+    pub fn graph(&self) -> &'g LayerGraph {
+        self.graph
+    }
+
+    /// The run kinds the request expands to, in submission order.
+    fn run_kinds(&self) -> Vec<RunKind> {
+        match (self.mode, self.level) {
+            (ProfileMode::Leveled, ProfilingLevel::Model) => {
+                vec![RunKind::Plain(ProfilingLevel::Model)]
+            }
+            (ProfileMode::Leveled, ProfilingLevel::ModelLayer) => vec![
+                RunKind::Plain(ProfilingLevel::Model),
+                RunKind::Plain(ProfilingLevel::ModelLayer),
+            ],
+            (ProfileMode::Leveled, ProfilingLevel::ModelLayerGpu) => vec![
+                RunKind::Plain(ProfilingLevel::Model),
+                RunKind::Plain(ProfilingLevel::ModelLayer),
+                RunKind::Plain(ProfilingLevel::ModelLayerGpu),
+                RunKind::Metrics,
+            ],
+            (ProfileMode::ModelAndMetrics, _) => {
+                vec![RunKind::Plain(ProfilingLevel::Model), RunKind::Metrics]
+            }
+        }
+    }
+}
+
 impl Xsp {
     /// Creates a profiler with the given configuration.
     pub fn new(cfg: XspConfig) -> Self {
@@ -571,63 +669,14 @@ impl Xsp {
         profile
     }
 
-    /// Runs the full leveled experimentation on one graph: `runs`
-    /// evaluations at each of M, M/L, M/L/G, plus the metric-collection
-    /// runs. All `4 × runs` points are independent and fan out to the
-    /// evaluation engine per [`XspConfig::parallelism`]; the result does not
-    /// depend on the worker count.
+    /// Executes one [`ProfileRequest`]: `runs` evaluations of each run
+    /// kind the request expands to (submission order = kind order), fanned
+    /// out to the evaluation engine per [`XspConfig::parallelism`]. All
+    /// points are independent and the result does not depend on the worker
+    /// count:
     ///
     /// ```
-    /// use xsp_core::profile::{Xsp, XspConfig};
-    /// use xsp_core::scheduler::Parallelism;
-    /// use xsp_framework::FrameworkKind;
-    /// use xsp_gpu::systems;
-    ///
-    /// let cfg = XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
-    ///     .runs(2)
-    ///     .parallelism(Parallelism::Fixed(4));
-    /// let graph = xsp_models::zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
-    /// let profile = Xsp::new(cfg).leveled(&graph);
-    /// assert_eq!(profile.m_runs.len(), 2);
-    /// assert!(profile.model_latency_ms() > 0.0);
-    /// assert!(!profile.kernels().is_empty());
-    /// ```
-    pub fn leveled(&self, graph: &LayerGraph) -> LeveledProfile {
-        self.profile_of(
-            graph,
-            &[
-                RunKind::Plain(ProfilingLevel::Model),
-                RunKind::Plain(ProfilingLevel::ModelLayer),
-                RunKind::Plain(ProfilingLevel::ModelLayerGpu),
-                RunKind::Metrics,
-            ],
-        )
-    }
-
-    /// Leveled experimentation truncated at `level` — the CLI's
-    /// `xsp export --level` knob: `Model` runs M only (same as
-    /// [`Xsp::model_only`]), `ModelLayer` runs M and M/L, and
-    /// `ModelLayerGpu` is the full [`Xsp::leveled`] experiment including
-    /// metric-collection runs.
-    pub fn up_to_level(&self, graph: &LayerGraph, level: ProfilingLevel) -> LeveledProfile {
-        match level {
-            ProfilingLevel::Model => self.model_only(graph),
-            ProfilingLevel::ModelLayer => self.profile_of(
-                graph,
-                &[
-                    RunKind::Plain(ProfilingLevel::Model),
-                    RunKind::Plain(ProfilingLevel::ModelLayer),
-                ],
-            ),
-            ProfilingLevel::ModelLayerGpu => self.leveled(graph),
-        }
-    }
-
-    /// Model-level only (cheap; used by batch sweeps). The `runs`
-    /// evaluations fan out to the engine like [`Xsp::leveled`]'s.
-    ///
-    /// ```
-    /// use xsp_core::profile::{Xsp, XspConfig};
+    /// use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
     /// use xsp_core::scheduler::Parallelism;
     /// use xsp_framework::FrameworkKind;
     /// use xsp_gpu::systems;
@@ -640,22 +689,50 @@ impl Xsp {
     ///     )
     /// };
     /// let graph = xsp_models::zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
-    /// let parallel = xsp(Parallelism::Fixed(2)).model_only(&graph);
-    /// let serial = xsp(Parallelism::Serial).model_only(&graph);
+    /// let request = ProfileRequest::new(&graph).level(ProfilingLevel::Model);
+    /// let parallel = xsp(Parallelism::Fixed(2)).run(request);
+    /// let serial = xsp(Parallelism::Serial).run(request);
     /// // the determinism contract: worker count never changes the result
     /// assert_eq!(parallel.to_span_json(), serial.to_span_json());
     /// ```
-    pub fn model_only(&self, graph: &LayerGraph) -> LeveledProfile {
-        self.profile_of(graph, &[RunKind::Plain(ProfilingLevel::Model)])
+    pub fn run(&self, request: ProfileRequest<'_>) -> LeveledProfile {
+        self.profile_of(request.graph(), &request.run_kinds())
     }
 
-    /// Model + GPU-level only profile (A15 across batch sizes needs kernels
-    /// but not layers).
+    /// Runs the full leveled experimentation on one graph.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `xsp.run(ProfileRequest::new(graph))` — see the migration note in ARCHITECTURE.md"
+    )]
+    pub fn leveled(&self, graph: &LayerGraph) -> LeveledProfile {
+        self.run(ProfileRequest::new(graph))
+    }
+
+    /// Leveled experimentation truncated at `level`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `xsp.run(ProfileRequest::new(graph).level(level))` — see the migration note in ARCHITECTURE.md"
+    )]
+    pub fn up_to_level(&self, graph: &LayerGraph, level: ProfilingLevel) -> LeveledProfile {
+        self.run(ProfileRequest::new(graph).level(level))
+    }
+
+    /// Model-level only (cheap; used by batch sweeps).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `xsp.run(ProfileRequest::new(graph).level(ProfilingLevel::Model))` — see the migration note in ARCHITECTURE.md"
+    )]
+    pub fn model_only(&self, graph: &LayerGraph) -> LeveledProfile {
+        self.run(ProfileRequest::new(graph).level(ProfilingLevel::Model))
+    }
+
+    /// Model + GPU-level only profile.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `xsp.run(ProfileRequest::new(graph).mode(ProfileMode::ModelAndMetrics))` — see the migration note in ARCHITECTURE.md"
+    )]
     pub fn with_gpu(&self, graph: &LayerGraph) -> LeveledProfile {
-        self.profile_of(
-            graph,
-            &[RunKind::Plain(ProfilingLevel::Model), RunKind::Metrics],
-        )
+        self.run(ProfileRequest::new(graph).mode(ProfileMode::ModelAndMetrics))
     }
 
     /// Sweeps batch sizes (model-level profiling only), stopping early once
@@ -675,7 +752,7 @@ impl Xsp {
         let mut best = 0.0f64;
         for &batch in batches {
             let graph = build(batch);
-            let profile = self.model_only(&graph);
+            let profile = self.run(ProfileRequest::new(&graph).level(ProfilingLevel::Model));
             let tp = profile.throughput();
             out.push(BatchProfile { batch, profile });
             if tp > best * 1.02 {
@@ -728,7 +805,7 @@ mod tests {
 
     #[test]
     fn leveled_profile_is_complete() {
-        let p = xsp().leveled(&tiny(2));
+        let p = xsp().run(ProfileRequest::new(&tiny(2)));
         assert_eq!(p.m_runs.len(), 2);
         assert!(!p.layers().is_empty());
         assert!(!p.kernels().is_empty());
@@ -738,7 +815,7 @@ mod tests {
 
     #[test]
     fn overheads_are_positive_and_ordered() {
-        let p = xsp().leveled(&tiny(2));
+        let p = xsp().run(ProfileRequest::new(&tiny(2)));
         let o = p.overhead_report();
         assert!(
             o.model_ms < o.model_layer_ms,
@@ -754,7 +831,7 @@ mod tests {
 
     #[test]
     fn gpu_latency_percent_is_sane() {
-        let p = xsp().leveled(&tiny(2));
+        let p = xsp().run(ProfileRequest::new(&tiny(2)));
         let pct = p.gpu_latency_percent();
         assert!(pct > 5.0 && pct < 100.0, "GPU latency {pct}%");
     }
@@ -763,7 +840,7 @@ mod tests {
     fn optimal_batch_rule_applies_5_percent_doubling() {
         // synthetic sweep: throughput saturates at batch 8
         let mk = |batch: usize, tp_ms: f64| {
-            let mut p = xsp().model_only(&tiny(1));
+            let mut p = xsp().run(ProfileRequest::new(&tiny(1)).level(ProfilingLevel::Model));
             // overwrite the measured latency by fabricating batch/latency
             p.batch = batch;
             for r in &mut p.m_runs {
@@ -800,14 +877,43 @@ mod tests {
                 .runs(2)
                 .parallelism(p)
         };
-        let serial = Xsp::new(cfg(Parallelism::Serial)).leveled(&tiny(2));
-        let parallel = Xsp::new(cfg(Parallelism::Fixed(4))).leveled(&tiny(2));
+        let serial = Xsp::new(cfg(Parallelism::Serial)).run(ProfileRequest::new(&tiny(2)));
+        let parallel = Xsp::new(cfg(Parallelism::Fixed(4))).run(ProfileRequest::new(&tiny(2)));
         assert_eq!(
             serial.to_span_json(),
             parallel.to_span_json(),
             "worker count must not change the trace"
         );
         assert_eq!(serial.model_latency_ms(), parallel.model_latency_ms());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_run() {
+        // The four pre-ProfileRequest entry points must stay byte-identical
+        // to the requests they document as replacements.
+        let xsp = xsp();
+        let g = tiny(2);
+        assert_eq!(
+            xsp.leveled(&g).to_span_json(),
+            xsp.run(ProfileRequest::new(&g)).to_span_json()
+        );
+        assert_eq!(
+            xsp.model_only(&g).to_span_json(),
+            xsp.run(ProfileRequest::new(&g).level(ProfilingLevel::Model))
+                .to_span_json()
+        );
+        assert_eq!(
+            xsp.up_to_level(&g, ProfilingLevel::ModelLayer)
+                .to_span_json(),
+            xsp.run(ProfileRequest::new(&g).level(ProfilingLevel::ModelLayer))
+                .to_span_json()
+        );
+        assert_eq!(
+            xsp.with_gpu(&g).to_span_json(),
+            xsp.run(ProfileRequest::new(&g).mode(ProfileMode::ModelAndMetrics))
+                .to_span_json()
+        );
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct OpenOptions {
     pub quota: Option<usize>,
     /// Backpressure policy spelling (`"shed"` / `"block"`).
     pub on_full: Option<&'static str>,
+    /// Model the session profiles, resolved against the zoo at open
+    /// (exact name, or the CLI's forgiving prefix lookup).
+    pub model: Option<String>,
 }
 
 /// What went wrong with a request.
@@ -106,6 +109,16 @@ impl DaemonClient {
 
     /// Opens a session; returns its id.
     pub fn open(&mut self, options: &OpenOptions) -> Result<u64, ClientError> {
+        self.open_resolved(options).map(|(id, _)| id)
+    }
+
+    /// Opens a session; returns its id and the resolved zoo model name
+    /// when the options carried one (a prefix open like `"bert-base"`
+    /// learns the full entry name from the ack).
+    pub fn open_resolved(
+        &mut self,
+        options: &OpenOptions,
+    ) -> Result<(u64, Option<String>), ClientError> {
         let mut doc = serde_json::Map::new();
         if let Some(sink) = &options.sink {
             doc.insert("sink".into(), serde_json::to_value(sink));
@@ -116,14 +129,23 @@ impl DaemonClient {
         if let Some(on_full) = options.on_full {
             doc.insert("on_full".into(), serde_json::to_value(&on_full.to_owned()));
         }
+        if let Some(model) = &options.model {
+            doc.insert("model".into(), serde_json::to_value(model));
+        }
         let payload = serde_json::to_string(&serde_json::Value::Object(doc))
             .expect("open request serialization cannot fail")
             .into_bytes();
         self.send_frame(FrameKind::Open, &payload)?;
         let ok = self.expect_ok()?;
-        ok.get("session")
+        let id = ok
+            .get("session")
             .and_then(|v| v.as_u64())
-            .ok_or_else(|| ClientError::Protocol("open ack lacks a session id".into()))
+            .ok_or_else(|| ClientError::Protocol("open ack lacks a session id".into()))?;
+        let model = ok
+            .get("model")
+            .and_then(|v| v.as_str())
+            .map(|s| s.to_owned());
+        Ok((id, model))
     }
 
     /// Appends a span batch to `session` (serialized as span-JSON-lines).

@@ -34,7 +34,10 @@ pub const HEADER_LEN: usize = 5;
 #[repr(u8)]
 pub enum FrameKind {
     /// Open a session. JSON payload: `{"sink": path?, "quota": n?,
-    /// "on_full": "shed"|"block"?}`. Response: `Ok {"session": id}`.
+    /// "on_full": "shed"|"block"?, "model": name?}`. The model is resolved
+    /// against the zoo with the CLI's forgiving lookup; an unknown name is
+    /// refused with an `unknown_model` error listing the nearest entries.
+    /// Response: `Ok {"session": id, "model": resolved?}`.
     Open = 0x01,
     /// Append spans. Payload: 8-byte BE session id + span-JSON-lines.
     /// Response: `Ok {"resident", "total", "spilled"}` or `Err`.

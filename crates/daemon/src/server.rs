@@ -382,6 +382,17 @@ fn handle_frame(
             if quota == 0 {
                 return conn.reply_err("bad_payload", "quota must be positive");
             }
+            // Optional model annotation: validated against the zoo with the
+            // same forgiving lookup the CLI's --model uses, so a typo is
+            // refused at open with the nearest entries instead of tagging
+            // the session with a name nothing can resolve later.
+            let model = match doc.get("model").and_then(|v| v.as_str()) {
+                None => None,
+                Some(name) => match xsp_models::zoo::lookup(name) {
+                    Ok(entry) => Some(entry.name),
+                    Err(e) => return conn.reply_err("unknown_model", &e.to_string()),
+                },
+            };
             let on_full = match doc.get("on_full").and_then(|v| v.as_str()) {
                 None => OnFull::Shed,
                 Some(raw) => match OnFull::parse(raw) {
@@ -426,6 +437,11 @@ fn handle_frame(
             conn.opened.push(id);
             let mut doc = serde_json::Map::new();
             doc.insert("session".into(), serde_json::to_value(&id));
+            if let Some(model) = model {
+                // Echo the *resolved* zoo name so a prefix open
+                // ("bert-base") learns what it actually got.
+                doc.insert("model".into(), serde_json::Value::String(model.to_owned()));
+            }
             let payload = serde_json::to_string(&serde_json::Value::Object(doc))
                 .expect("open ack serialization cannot fail")
                 .into_bytes();

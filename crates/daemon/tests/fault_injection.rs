@@ -179,6 +179,7 @@ fn quota_block_evicts_to_sink_and_accepts() {
             sink: Some(sink.to_str().unwrap().to_owned()),
             quota: Some(5),
             on_full: Some("block"),
+            ..OpenOptions::default()
         })
         .unwrap();
     c.append_spans(session, &mk_spans(4, 0)).unwrap();
@@ -502,4 +503,46 @@ fn sigterm_drains_the_real_xspd_binary() {
     );
     assert!(!socket.exists(), "socket file removed on the way out");
     std::fs::remove_file(&sink).ok();
+}
+
+#[test]
+fn open_resolves_model_with_the_cli_lookup() {
+    let handle = daemon(|_| {});
+    let mut c = client(&handle);
+    // A forgiving prefix open learns the resolved zoo name from the ack.
+    let (session, model) = c
+        .open_resolved(&OpenOptions {
+            model: Some("bert-base".to_owned()),
+            ..OpenOptions::default()
+        })
+        .unwrap();
+    assert_eq!(model.as_deref(), Some("BERT-Base_SQuAD_384"));
+    assert_eq!(
+        c.append_spans(session, &mk_spans(2, 0))
+            .unwrap()
+            .stats
+            .resident,
+        2
+    );
+    // A model-less open keeps working and echoes nothing.
+    let (_, none) = c.open_resolved(&OpenOptions::default()).unwrap();
+    assert_eq!(none, None);
+    handle.shutdown();
+}
+
+#[test]
+fn open_refuses_unknown_model_with_nearest_entries() {
+    let handle = daemon(|_| {});
+    let mut c = client(&handle);
+    let err = c
+        .open(&OpenOptions {
+            model: Some("resnet15".to_owned()),
+            ..OpenOptions::default()
+        })
+        .unwrap_err();
+    assert_eq!(err.code(), Some("unknown_model"));
+    let msg = err.to_string();
+    assert!(msg.contains("nearest"), "lists nearest entries: {msg}");
+    assert!(msg.contains("ResNet_v1_50"), "names the likely fix: {msg}");
+    handle.shutdown();
 }

@@ -1,0 +1,330 @@
+//! KV-cache decode kernels — the serving tier's seq=1 workload.
+//!
+//! Autoregressive decoding evaluates one new token per request per step
+//! against a cache of previously-computed K/V tensors. Every dense product
+//! degenerates to a GEMV-shaped kernel (`n = batch`, a handful of rows in
+//! flight) whose weights/cache stream through DRAM exactly once, so the
+//! arithmetic intensity collapses to `O(batch)` flops/byte — far below the
+//! V100 ridge point of ~17.4 — and the whole step is bandwidth-bound. This
+//! is the third compute regime beside the CNN tier's ConvBound and the
+//! encoder tier's GemmBound.
+//!
+//! The module provides the decode counterparts of [`crate::attention`]:
+//! a weight-streaming GEMV family ([`decode_gemv_kernels`]) used for the
+//! QKV/output projections and decode-time linears, the cache-append copy,
+//! the materialized score/softmax/context path against the cached context,
+//! and a FlashAttention-style fused kernel ([`flash_decode_kernel`]) that
+//! never materializes the score row — the counterfactual the ax4 analyses
+//! compare against.
+//!
+//! All kernel names carry a `decode` / `kv_cache` / `flash_attention`
+//! marker so `xsp_core::analysis::kernel_family` classifies them into the
+//! `KvDecode` family.
+
+use crate::F32;
+use serde::{Deserialize, Serialize};
+use xsp_gpu::{Dim3, GpuArchitecture, KernelDesc};
+
+/// Geometry of one decode step of multi-head attention: `batch` requests,
+/// each producing one new token attended against `cache_len` cached
+/// context tokens (the cache length *after* the step's K/V append).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodeParams {
+    /// Requests decoded together (the continuous-batching occupancy).
+    pub batch: usize,
+    /// Context tokens attended per request, including the new token.
+    pub cache_len: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Per-head feature dimension (`d_model / heads`).
+    pub head_dim: usize,
+}
+
+impl DecodeParams {
+    /// The model (hidden) dimension, `heads × head_dim`.
+    pub fn d_model(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// GEMV slices of the batched score/context products: one per
+    /// `(request, head)` pair.
+    pub fn gemv_batches(&self) -> u64 {
+        self.batch as u64 * self.heads as u64
+    }
+
+    /// Elements of one cached tensor (K or V) actually attended:
+    /// `batch × heads × cache_len × head_dim`.
+    pub fn cache_elements(&self) -> u64 {
+        self.gemv_batches() * self.cache_len as u64 * self.head_dim as u64
+    }
+
+    /// Bytes streamed from the cache per step (K and V, fp32).
+    pub fn cache_bytes(&self) -> u64 {
+        2 * self.cache_elements() * F32
+    }
+
+    /// Elements of the materialized score row, `batch × heads × cache_len`.
+    pub fn score_elements(&self) -> u64 {
+        self.gemv_batches() * self.cache_len as u64
+    }
+
+    /// Bytes of the step's appended K/V pair (`2 × batch × d_model`, fp32).
+    pub fn new_kv_bytes(&self) -> u64 {
+        2 * self.batch as u64 * self.d_model() as u64 * F32
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.batch > 0 && self.cache_len > 0 && self.heads > 0 && self.head_dim > 0,
+            "degenerate decode geometry {self:?}"
+        );
+    }
+}
+
+/// A weight-streaming GEMV batch: `C[m × n] = W[m × k] · X[k × n] + b`
+/// with `n = tokens in flight` (the decode batch). Unlike
+/// [`crate::gemm_kernels`], the weight matrix is read exactly once — with
+/// only a few output columns there are no column waves to amortize it
+/// over — so the arithmetic intensity is `≈ n/2` flops/byte and the kernel
+/// lives on the bandwidth roof.
+pub fn decode_gemv_kernels(m: u64, n: u64, k: u64, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    assert!(m > 0 && n > 0 && k > 0, "degenerate GEMV {m}x{n}x{k}");
+    let prefix = arch.cudnn_kernel_prefix();
+    let name = format!("{prefix}_sgemv_decode_tn_v1");
+    let flops = 2 * m * n * k + m * n; // MACs + bias add
+    let reads = (m * k + k * n + m) * F32; // weights once + activations + bias
+    let writes = m * n * F32;
+    vec![KernelDesc::new(
+        name,
+        Dim3::new(
+            m.div_ceil(128).clamp(1, u32::MAX as u64) as u32,
+            n as u32,
+            1,
+        ),
+        Dim3::x(128),
+    )
+    .flops(flops)
+    .dram(reads, writes)
+    .efficiency(0.05, 0.85, 0.5)
+    .fixed_overhead(4_000)]
+}
+
+/// The decode QKV projection: one GEMV batch computing Q, K and V for the
+/// step's single token per request, `W_qkv[3·d_model × d_model] · x`.
+pub fn decode_qkv_kernels(p: &DecodeParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let d = p.d_model() as u64;
+    decode_gemv_kernels(3 * d, p.batch as u64, d, arch)
+}
+
+/// Appending the step's K/V pair to the cache: a pure data-movement kernel
+/// over `2 × batch × d_model` values (strided scatter into the per-request
+/// cache slabs).
+pub fn kv_cache_append_kernel(p: &DecodeParams) -> KernelDesc {
+    p.validate();
+    crate::ops::copy_kernel("kv_cache_append_kernel<float>", p.new_kv_bytes())
+}
+
+/// The decode score product `q · K_cacheᵀ`: one GEMV of `cache_len`
+/// outputs per `(request, head)` slice, streaming the whole K cache, with
+/// the `1/√head_dim` scale folded in. At `≈ 0.5` flops per cache byte this
+/// is the most bandwidth-bound kernel in the repertoire.
+pub fn decode_scores_kernels(p: &DecodeParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let prefix = arch.cudnn_kernel_prefix();
+    let (l, hd, b) = (p.cache_len as u64, p.head_dim as u64, p.gemv_batches());
+    let flops = 2 * b * l * hd + p.score_elements(); // MACs + alpha scale
+    let reads = b * (l * hd + hd) * F32; // K cache + the query vector
+    let writes = p.score_elements() * F32;
+    vec![KernelDesc::new(
+        format!("{prefix}_sgemv_decode_scores_batched"),
+        Dim3::new(
+            l.div_ceil(256).clamp(1, u32::MAX as u64) as u32,
+            1,
+            b as u32,
+        ),
+        Dim3::x(256),
+    )
+    .flops(flops)
+    .dram(reads, writes)
+    .efficiency(0.04, 0.82, 0.5)
+    .fixed_overhead(4_000)]
+}
+
+/// Softmax over the materialized score row: `batch × heads` rows of
+/// `cache_len` logits, one warp per row.
+pub fn decode_softmax_kernel(p: &DecodeParams) -> KernelDesc {
+    p.validate();
+    let elements = p.score_elements();
+    KernelDesc::new(
+        "decode_softmax_warp_fw",
+        Dim3::x(p.gemv_batches().div_ceil(4).clamp(1, u32::MAX as u64) as u32),
+        Dim3::x(128),
+    )
+    // max + sub + exp + sum + div, warp-fused single pass
+    .flops(elements * 6)
+    .dram(elements * F32, elements * F32)
+    .efficiency(0.15, 0.72, 0.6)
+    .fixed_overhead(2_500)
+}
+
+/// The decode context product `softmax(scores) · V_cache`: one GEMV of
+/// `head_dim` outputs per `(request, head)` slice, streaming the V cache.
+pub fn decode_context_kernels(p: &DecodeParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let prefix = arch.cudnn_kernel_prefix();
+    let (l, hd, b) = (p.cache_len as u64, p.head_dim as u64, p.gemv_batches());
+    let flops = 2 * b * l * hd;
+    let reads = b * (l * hd + l) * F32; // V cache + the probability row
+    let writes = b * hd * F32;
+    vec![KernelDesc::new(
+        format!("{prefix}_sgemv_decode_context_batched"),
+        Dim3::new(
+            hd.div_ceil(128).clamp(1, u32::MAX as u64) as u32,
+            1,
+            b as u32,
+        ),
+        Dim3::x(128),
+    )
+    .flops(flops)
+    .dram(reads, writes)
+    .efficiency(0.04, 0.82, 0.5)
+    .fixed_overhead(4_000)]
+}
+
+/// The decode output projection: `W_o[d_model × d_model]` re-mixing the
+/// concatenated heads for the step's token per request.
+pub fn decode_output_kernels(p: &DecodeParams, arch: GpuArchitecture) -> Vec<KernelDesc> {
+    p.validate();
+    let d = p.d_model() as u64;
+    decode_gemv_kernels(d, p.batch as u64, d, arch)
+}
+
+/// FlashAttention-style fused decode kernel — the counterfactual to the
+/// materialized scores→softmax→context chain. One `(request, head)` slice
+/// per block streams its K and V cache rows exactly once, keeping the
+/// running online-softmax state (row max, normalizer, output accumulator)
+/// in registers: the `cache_len`-wide score row is never written to or
+/// re-read from DRAM, and three kernel launches collapse into one.
+pub fn flash_decode_kernel(p: &DecodeParams) -> KernelDesc {
+    p.validate();
+    let (l, hd, b) = (p.cache_len as u64, p.head_dim as u64, p.gemv_batches());
+    // score MACs + context MACs, plus the online-softmax rescale
+    // (exp + max + two fused multiply-adds per cached token).
+    let flops = 4 * b * l * hd + 10 * b * l;
+    let reads = b * (2 * l * hd + hd) * F32; // K and V caches once + query
+    let writes = b * hd * F32;
+    KernelDesc::new(
+        "flash_attention_decode_kernel<float>",
+        Dim3::x(b.clamp(1, u32::MAX as u64) as u32),
+        Dim3::x(128),
+    )
+    .flops(flops)
+    .dram(reads, writes)
+    .efficiency(0.10, 0.88, 0.6)
+    .fixed_overhead(3_500)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// V100 ridge point, flops/byte (peak 15.7 Tflops / 900 GB/s).
+    const V100_RIDGE: f64 = 17.44;
+
+    fn gpt2_decode(batch: usize, cache_len: usize) -> DecodeParams {
+        DecodeParams {
+            batch,
+            cache_len,
+            heads: 12,
+            head_dim: 64,
+        }
+    }
+
+    fn ai(ks: &[KernelDesc]) -> f64 {
+        let flops: u64 = ks.iter().map(|k| k.flops).sum();
+        let bytes: u64 = ks.iter().map(|k| k.dram_total()).sum();
+        flops as f64 / bytes as f64
+    }
+
+    #[test]
+    fn qkv_projection_is_bandwidth_bound() {
+        let ks = decode_qkv_kernels(&gpt2_decode(8, 1024), GpuArchitecture::Volta);
+        // AI ≈ batch/2 flops/byte — far below the ridge.
+        assert!(ai(&ks) < V100_RIDGE / 2.0, "ai = {}", ai(&ks));
+        assert!(ks[0].name.contains("sgemv_decode"));
+    }
+
+    #[test]
+    fn score_product_ai_is_half_flop_per_byte() {
+        let ks = decode_scores_kernels(&gpt2_decode(4, 2048), GpuArchitecture::Volta);
+        let ai = ai(&ks);
+        assert!((0.3..0.7).contains(&ai), "ai = {ai}");
+    }
+
+    #[test]
+    fn every_decode_kernel_is_below_the_ridge() {
+        let p = gpt2_decode(8, 1024);
+        let mut ks = decode_qkv_kernels(&p, GpuArchitecture::Volta);
+        ks.push(kv_cache_append_kernel(&p));
+        ks.extend(decode_scores_kernels(&p, GpuArchitecture::Volta));
+        ks.push(decode_softmax_kernel(&p));
+        ks.extend(decode_context_kernels(&p, GpuArchitecture::Volta));
+        ks.extend(decode_output_kernels(&p, GpuArchitecture::Volta));
+        for k in &ks {
+            let ai = k.flops as f64 / k.dram_total().max(1) as f64;
+            assert!(ai < V100_RIDGE, "{} ai = {ai}", k.name);
+        }
+    }
+
+    #[test]
+    fn flash_kernel_saves_score_materialization_traffic() {
+        let p = gpt2_decode(8, 2048);
+        let materialized: u64 = decode_scores_kernels(&p, GpuArchitecture::Volta)
+            .iter()
+            .chain(decode_context_kernels(&p, GpuArchitecture::Volta).iter())
+            .map(|k| k.dram_total())
+            .sum::<u64>()
+            + decode_softmax_kernel(&p).dram_total();
+        let fused = flash_decode_kernel(&p).dram_total();
+        assert!(
+            fused < materialized,
+            "fused {fused} >= materialized {materialized}"
+        );
+        // The saving is exactly the score row's extra round trips (written
+        // once, read twice by softmax+context, written once more by
+        // softmax, plus the probability-row read) — so it grows with
+        // cache_len.
+        let longer = gpt2_decode(8, 4096);
+        let m2: u64 = decode_scores_kernels(&longer, GpuArchitecture::Volta)
+            .iter()
+            .chain(decode_context_kernels(&longer, GpuArchitecture::Volta).iter())
+            .map(|k| k.dram_total())
+            .sum::<u64>()
+            + decode_softmax_kernel(&longer).dram_total();
+        let f2 = flash_decode_kernel(&longer).dram_total();
+        assert!(m2 - f2 > materialized - fused);
+    }
+
+    #[test]
+    fn cache_append_moves_both_tensors() {
+        let p = gpt2_decode(4, 128);
+        let k = kv_cache_append_kernel(&p);
+        assert_eq!(k.dram_total(), 2 * p.new_kv_bytes());
+        assert!(k.name.contains("kv_cache"));
+    }
+
+    #[test]
+    fn cache_accounting() {
+        let p = gpt2_decode(2, 1024);
+        assert_eq!(p.d_model(), 768);
+        assert_eq!(p.cache_bytes(), 2 * 2 * 1024 * 768 * 4);
+        assert_eq!(p.new_kv_bytes(), 2 * 2 * 768 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate decode geometry")]
+    fn zero_cache_rejected() {
+        decode_qkv_kernels(&gpt2_decode(1, 0), GpuArchitecture::Volta);
+    }
+}

@@ -26,12 +26,14 @@
 
 pub mod attention;
 pub mod conv;
+pub mod decode;
 pub mod elementwise;
 pub mod gemm;
 pub mod ops;
 
 pub use attention::AttentionParams;
 pub use conv::{choose_conv_algo, conv2d_kernels, depthwise_conv2d_kernels, ConvAlgo, ConvParams};
+pub use decode::DecodeParams;
 pub use elementwise::{elementwise_kernel, ElementwiseBackend, ElementwiseOp};
 pub use gemm::{batched_gemm_kernels, gemm_kernels};
 

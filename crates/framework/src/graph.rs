@@ -8,7 +8,7 @@
 //! executed form before running.
 
 use serde::{Deserialize, Serialize};
-use xsp_dnn::{AttentionParams, ConvParams};
+use xsp_dnn::{AttentionParams, ConvParams, DecodeParams};
 
 /// Tensor shape, outermost dimension first (NCHW for image tensors).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -152,6 +152,32 @@ pub enum LayerOp {
     LayerNorm,
     /// GELU activation (transformer feed-forward nonlinearity).
     Gelu,
+    /// Appending the decode step's K/V pair to the per-request cache.
+    KvCacheAppend(DecodeParams),
+    /// Decode-time fused Q/K/V projection: a GEMV batch of
+    /// `(3·d_model, batch, d_model)` for the step's single token.
+    DecodeQkvProjection(DecodeParams),
+    /// Decode `q·K_cacheᵀ` score product streaming the K cache.
+    DecodeAttentionScores(DecodeParams),
+    /// Softmax over the materialized decode score row.
+    DecodeAttentionSoftmax(DecodeParams),
+    /// Decode `softmax(scores)·V_cache` context product streaming the V
+    /// cache.
+    DecodeAttentionContext(DecodeParams),
+    /// Decode attention output projection, `(d_model, batch, d_model)` GEMV.
+    DecodeAttentionOutput(DecodeParams),
+    /// FlashAttention-style fused decode attention: scores, softmax and
+    /// context in one kernel, score row never materialized — replaces the
+    /// three ops above on the fused path.
+    FlashDecodeAttention(DecodeParams),
+    /// Dense layer at decode time: same weights as [`LayerOp::MatMul`] but
+    /// lowered to a weight-streaming GEMV (only `batch` tokens in flight).
+    DecodeLinear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
 }
 
 impl LayerOp {
@@ -194,6 +220,14 @@ impl LayerOp {
             LayerOp::AttentionOutput(_) => "AttentionOutputMatMul",
             LayerOp::LayerNorm => "LayerNorm",
             LayerOp::Gelu => "Gelu",
+            LayerOp::KvCacheAppend(_) => "KvCacheAppend",
+            LayerOp::DecodeQkvProjection(_) => "DecodeQkvMatMul",
+            LayerOp::DecodeAttentionScores(_) => "DecodeBatchMatMulQK",
+            LayerOp::DecodeAttentionSoftmax(_) => "DecodeAttentionSoftmax",
+            LayerOp::DecodeAttentionContext(_) => "DecodeBatchMatMulQKV",
+            LayerOp::DecodeAttentionOutput(_) => "DecodeAttentionOutputMatMul",
+            LayerOp::FlashDecodeAttention(_) => "FlashDecodeAttention",
+            LayerOp::DecodeLinear { .. } => "DecodeMatMul",
         }
     }
 
@@ -218,7 +252,8 @@ impl LayerOp {
     }
 
     /// Whether the op belongs to the scaled-dot-product attention chain
-    /// (QKV through output projection, softmax included).
+    /// (QKV through output projection, softmax included) — prefill or
+    /// decode flavor.
     pub fn is_attention(&self) -> bool {
         matches!(
             self,
@@ -227,6 +262,29 @@ impl LayerOp {
                 | LayerOp::AttentionSoftmax(_)
                 | LayerOp::AttentionContext(_)
                 | LayerOp::AttentionOutput(_)
+                | LayerOp::DecodeQkvProjection(_)
+                | LayerOp::DecodeAttentionScores(_)
+                | LayerOp::DecodeAttentionSoftmax(_)
+                | LayerOp::DecodeAttentionContext(_)
+                | LayerOp::DecodeAttentionOutput(_)
+                | LayerOp::FlashDecodeAttention(_)
+        )
+    }
+
+    /// Whether the op belongs to the KV-cache decode repertoire (seq=1
+    /// serving steps): cache maintenance, decode attention (materialized or
+    /// fused), and decode-time GEMV linears.
+    pub fn is_decode(&self) -> bool {
+        matches!(
+            self,
+            LayerOp::KvCacheAppend(_)
+                | LayerOp::DecodeQkvProjection(_)
+                | LayerOp::DecodeAttentionScores(_)
+                | LayerOp::DecodeAttentionSoftmax(_)
+                | LayerOp::DecodeAttentionContext(_)
+                | LayerOp::DecodeAttentionOutput(_)
+                | LayerOp::FlashDecodeAttention(_)
+                | LayerOp::DecodeLinear { .. }
         )
     }
 
@@ -290,6 +348,18 @@ impl Layer {
                 let d = p.d_model() as u64;
                 (d * d + d) * 4
             }
+            LayerOp::DecodeQkvProjection(p) => {
+                let d = p.d_model() as u64;
+                (3 * d * d + 3 * d) * 4
+            }
+            LayerOp::DecodeAttentionOutput(p) => {
+                let d = p.d_model() as u64;
+                (d * d + d) * 4
+            }
+            LayerOp::DecodeLinear {
+                in_features,
+                out_features,
+            } => (*in_features as u64 * *out_features as u64 + *out_features as u64) * 4,
             // gamma and beta over the trailing feature dimension
             LayerOp::LayerNorm => 2 * self.out_shape.0.last().copied().unwrap_or(1) as u64 * 4,
             _ => 0,

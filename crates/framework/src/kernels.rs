@@ -7,8 +7,8 @@
 
 use crate::graph::{Layer, LayerOp};
 use xsp_dnn::{
-    attention, conv2d_kernels, depthwise_conv2d_kernels, elementwise_kernel, gemm_kernels, ops,
-    ElementwiseBackend, ElementwiseOp,
+    attention, conv2d_kernels, decode, depthwise_conv2d_kernels, elementwise_kernel, gemm_kernels,
+    ops, ElementwiseBackend, ElementwiseOp,
 };
 use xsp_gpu::{GpuArchitecture, KernelDesc};
 
@@ -31,8 +31,16 @@ pub fn library_call(layer: &Layer, backend: ElementwiseBackend) -> Option<&'stat
             Some("cublasSgemmStridedBatched")
         }
         LayerOp::AttentionSoftmax(_) => Some("cudnnSoftmaxForward"),
+        LayerOp::DecodeQkvProjection(_)
+        | LayerOp::DecodeAttentionOutput(_)
+        | LayerOp::DecodeLinear { .. } => Some("cublasSgemv"),
+        LayerOp::DecodeAttentionScores(_) | LayerOp::DecodeAttentionContext(_) => {
+            Some("cublasSgemvStridedBatched")
+        }
         // LayerNorm/GELU/embedding-gather execute as framework-fused custom
-        // kernels — no vendor-library API call to interpose on.
+        // kernels — no vendor-library API call to interpose on; so do the
+        // decode softmax, the KV-cache append, and the fused flash-decode
+        // attention.
         _ => None,
     }
 }
@@ -152,6 +160,20 @@ pub fn layer_kernels(
             vec![attention::layernorm_kernel(elements, features)]
         }
         LayerOp::Gelu => vec![attention::gelu_kernel(elements)],
+        LayerOp::KvCacheAppend(p) => vec![decode::kv_cache_append_kernel(p)],
+        LayerOp::DecodeQkvProjection(p) => decode::decode_qkv_kernels(p, arch),
+        LayerOp::DecodeAttentionScores(p) => decode::decode_scores_kernels(p, arch),
+        LayerOp::DecodeAttentionSoftmax(p) => vec![decode::decode_softmax_kernel(p)],
+        LayerOp::DecodeAttentionContext(p) => decode::decode_context_kernels(p, arch),
+        LayerOp::DecodeAttentionOutput(p) => decode::decode_output_kernels(p, arch),
+        LayerOp::FlashDecodeAttention(p) => vec![decode::flash_decode_kernel(p)],
+        LayerOp::DecodeLinear {
+            in_features,
+            out_features,
+        } => {
+            let rows = (elements / (*out_features as u64).max(1)).max(1);
+            decode::decode_gemv_kernels(*out_features as u64, rows, *in_features as u64, arch)
+        }
     }
 }
 

@@ -115,6 +115,15 @@ impl FrameworkKind {
             LayerOp::AttentionSoftmax(_) => 12_000,
             LayerOp::LayerNorm => 13_000,
             LayerOp::Gelu => 10_000,
+            // Decode-step ops: same library-dispatch class as their prefill
+            // counterparts. At seq=1 these dispatches are a *large* share of
+            // the step — the launch-bound tail the fused flash path trims.
+            LayerOp::KvCacheAppend(_) => 9_000,
+            LayerOp::DecodeQkvProjection(_) | LayerOp::DecodeAttentionOutput(_) => 16_000,
+            LayerOp::DecodeAttentionScores(_) | LayerOp::DecodeAttentionContext(_) => 18_000,
+            LayerOp::DecodeAttentionSoftmax(_) => 12_000,
+            LayerOp::FlashDecodeAttention(_) => 14_000,
+            LayerOp::DecodeLinear { .. } => 16_000,
         };
         match self {
             FrameworkKind::TensorFlow => base,

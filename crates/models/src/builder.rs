@@ -2,7 +2,7 @@
 //! [`GraphBuilder`] for NCHW image models, [`SeqBuilder`] for
 //! (batch, seq, features) token-sequence models (transformers).
 
-use xsp_dnn::{AttentionParams, ConvParams};
+use xsp_dnn::{AttentionParams, ConvParams, DecodeParams};
 use xsp_framework::{Layer, LayerGraph, LayerOp, TensorShape};
 
 /// Builds a [`LayerGraph`] while tracking the current NCHW tensor shape and
@@ -524,6 +524,85 @@ impl SeqBuilder {
             self.name("attention/output/dense/MatMul"),
             LayerOp::AttentionOutput(p),
             TensorShape(vec![b, s, d]),
+        ));
+        self
+    }
+
+    /// The KV-cache decode counterpart of [`SeqBuilder::attention`] for a
+    /// seq=1 graph: cache append, GEMV-shaped QKV projection, then either
+    /// the materialized scores→softmax→context chain streaming the cached
+    /// K/V (`fused == false`) or the single FlashAttention-style fused
+    /// kernel (`fused == true`), and the output projection. `cache_len` is
+    /// the attended context length including the step's new token.
+    pub fn decode_attention(&mut self, heads: usize, cache_len: usize, fused: bool) -> &mut Self {
+        assert_eq!(self.seq, 1, "decode attention requires a seq=1 graph");
+        assert!(
+            heads > 0 && self.features % heads == 0,
+            "features {} not divisible into {heads} heads",
+            self.features
+        );
+        let p = DecodeParams {
+            batch: self.batch,
+            cache_len,
+            heads,
+            head_dim: self.features / heads,
+        };
+        let d = self.features;
+        let b = self.batch;
+        self.graph.push(Layer::new(
+            self.name("attention/self/qkv/DecodeMatMul"),
+            LayerOp::DecodeQkvProjection(p),
+            TensorShape(vec![b, 1, 3 * d]),
+        ));
+        self.graph.push(Layer::new(
+            self.name("attention/self/kv_cache/Append"),
+            LayerOp::KvCacheAppend(p),
+            TensorShape(vec![b, 2, cache_len, d]),
+        ));
+        if fused {
+            self.graph.push(Layer::new(
+                self.name("attention/self/FlashDecode"),
+                LayerOp::FlashDecodeAttention(p),
+                TensorShape(vec![b, 1, d]),
+            ));
+        } else {
+            self.graph.push(Layer::new(
+                self.name("attention/self/scores/DecodeBatchMatMul"),
+                LayerOp::DecodeAttentionScores(p),
+                TensorShape(vec![b, heads, 1, cache_len]),
+            ));
+            self.graph.push(Layer::new(
+                self.name("attention/self/DecodeSoftmax"),
+                LayerOp::DecodeAttentionSoftmax(p),
+                TensorShape(vec![b, heads, 1, cache_len]),
+            ));
+            self.graph.push(Layer::new(
+                self.name("attention/self/context/DecodeBatchMatMul"),
+                LayerOp::DecodeAttentionContext(p),
+                TensorShape(vec![b, 1, d]),
+            ));
+        }
+        self.graph.push(Layer::new(
+            self.name("attention/output/dense/DecodeMatMul"),
+            LayerOp::DecodeAttentionOutput(p),
+            TensorShape(vec![b, 1, d]),
+        ));
+        self
+    }
+
+    /// Token-wise dense layer lowered to a weight-streaming decode GEMV —
+    /// the seq=1 counterpart of [`SeqBuilder::linear`].
+    pub fn decode_linear(&mut self, name: &str, out_features: usize) -> &mut Self {
+        let in_features = self.features;
+        self.features = out_features;
+        let shape = self.token_shape();
+        self.graph.push(Layer::new(
+            self.name(name),
+            LayerOp::DecodeLinear {
+                in_features,
+                out_features,
+            },
+            shape,
         ));
         self
     }

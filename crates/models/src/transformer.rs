@@ -128,6 +128,102 @@ pub fn gpt2_small(batch: usize, seq: usize) -> LayerGraph {
     })
 }
 
+/// Which lowering the decode attention chain uses; see
+/// [`xsp_dnn::decode`] for the kernel-level counterfactual argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeAttention {
+    /// Materialized scores → softmax → context chain against the cache.
+    #[default]
+    Materialized,
+    /// FlashAttention-style fused single kernel, score row never
+    /// materialized.
+    Fused,
+}
+
+/// Emits one decode-step block: the KV-cache attention chain at seq=1,
+/// residual + LayerNorm, and the feed-forward pair lowered to
+/// weight-streaming decode GEMVs.
+fn decode_block(
+    b: &mut SeqBuilder,
+    index: usize,
+    cfg: &TransformerConfig,
+    cache_len: usize,
+    path: DecodeAttention,
+) {
+    b.scoped(format!("layer_{index}"));
+    b.decode_attention(cfg.heads, cache_len, path == DecodeAttention::Fused);
+    b.residual_add("attention/output/add")
+        .layer_norm("attention/output/LayerNorm");
+    b.decode_linear("intermediate/dense/DecodeMatMul", cfg.d_ff)
+        .gelu();
+    b.decode_linear("output/dense/DecodeMatMul", cfg.d_model);
+    b.residual_add("output/add").layer_norm("output/LayerNorm");
+}
+
+/// Builds one autoregressive decode step of a `cfg` stack: `batch` requests
+/// each evaluate a single new token against `cache_len` cached context
+/// tokens (including the new one). This is the serving tier's unit of work
+/// — the continuous-batching scheduler profiles one such graph per step —
+/// and the bandwidth-bound third compute regime: every dense product is a
+/// weight/cache-streaming GEMV.
+pub fn decode_step(
+    batch: usize,
+    cache_len: usize,
+    cfg: TransformerConfig,
+    path: DecodeAttention,
+    head: impl FnOnce(&mut SeqBuilder),
+) -> LayerGraph {
+    assert!(batch > 0 && cache_len > 0, "degenerate decode shape");
+    let mut b = SeqBuilder::new(batch, 1);
+    b.embed(cfg.vocab, cfg.d_model);
+    b.layer_norm("embeddings/LayerNorm");
+    for i in 0..cfg.layers {
+        decode_block(&mut b, i, &cfg, cache_len, path);
+    }
+    b.scoped("");
+    head(&mut b);
+    b.finish()
+}
+
+/// One GPT-2 small decode step at `(batch, cache_len)`, with the LM head
+/// as a vocab-wide decode GEMV (at batch 1 that projection alone streams
+/// ~154 MB of weights — the honest reason decode is bandwidth-bound).
+pub fn gpt2_decode_step(batch: usize, cache_len: usize, path: DecodeAttention) -> LayerGraph {
+    let cfg = TransformerConfig::gpt2_small();
+    let vocab = cfg.vocab;
+    decode_step(batch, cache_len, cfg, path, |b| {
+        b.decode_linear("lm_head/DecodeMatMul", vocab);
+        b.softmax("lm_head/Softmax");
+    })
+}
+
+/// One BERT-Base decode step (incremental SQuAD-style scoring of one
+/// appended token against cached context).
+pub fn bert_base_decode_step(batch: usize, cache_len: usize, path: DecodeAttention) -> LayerGraph {
+    decode_step(
+        batch,
+        cache_len,
+        TransformerConfig::bert_base(),
+        path,
+        |b| {
+            b.decode_linear("squad/logits/DecodeMatMul", 2);
+        },
+    )
+}
+
+/// One BERT-Large decode step.
+pub fn bert_large_decode_step(batch: usize, cache_len: usize, path: DecodeAttention) -> LayerGraph {
+    decode_step(
+        batch,
+        cache_len,
+        TransformerConfig::bert_large(),
+        path,
+        |b| {
+            b.decode_linear("squad/logits/DecodeMatMul", 2);
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +313,70 @@ mod tests {
     #[should_panic(expected = "degenerate transformer")]
     fn zero_seq_rejected() {
         bert_base(1, 0);
+    }
+
+    #[test]
+    fn decode_step_structure() {
+        let g = gpt2_decode_step(4, 256, DecodeAttention::Materialized);
+        assert_eq!(
+            count(&g, |op| matches!(op, LayerOp::DecodeQkvProjection(_))),
+            12
+        );
+        assert_eq!(count(&g, |op| matches!(op, LayerOp::KvCacheAppend(_))), 12);
+        assert_eq!(
+            count(&g, |op| matches!(op, LayerOp::DecodeAttentionScores(_))),
+            12
+        );
+        // 2 FFN + LM head decode GEMVs
+        assert_eq!(
+            count(&g, |op| matches!(op, LayerOp::DecodeLinear { .. })),
+            12 * 2 + 1
+        );
+        // no prefill-shaped ops anywhere in a decode step
+        assert_eq!(count(&g, |op| matches!(op, LayerOp::MatMul { .. })), 0);
+        assert_eq!(count(&g, |op| matches!(op, LayerOp::QkvProjection(_))), 0);
+        assert_eq!(g.batch(), 4);
+    }
+
+    #[test]
+    fn fused_path_replaces_score_chain_with_one_op() {
+        let m = gpt2_decode_step(2, 128, DecodeAttention::Materialized);
+        let f = gpt2_decode_step(2, 128, DecodeAttention::Fused);
+        assert_eq!(
+            count(&f, |op| matches!(op, LayerOp::FlashDecodeAttention(_))),
+            12
+        );
+        assert_eq!(
+            count(&f, |op| matches!(op, LayerOp::DecodeAttentionScores(_))),
+            0
+        );
+        // fused collapses 3 ops into 1 per block
+        assert_eq!(m.len() - f.len(), 12 * 2);
+    }
+
+    #[test]
+    fn decode_step_carries_full_weights() {
+        // A decode step touches every parameter the prefill graph does —
+        // same footprint, streamed per step.
+        let prefill = gpt2_small(1, 256).weights_mb();
+        let decode = gpt2_decode_step(1, 256, DecodeAttention::Materialized).weights_mb();
+        assert!(
+            (prefill - decode).abs() / prefill < 0.01,
+            "prefill {prefill} vs decode {decode}"
+        );
+    }
+
+    #[test]
+    fn decode_weights_are_cache_invariant() {
+        assert_eq!(
+            gpt2_decode_step(1, 64, DecodeAttention::Materialized).weights_mb(),
+            gpt2_decode_step(8, 2048, DecodeAttention::Materialized).weights_mb()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate decode")]
+    fn zero_cache_rejected() {
+        gpt2_decode_step(1, 0, DecodeAttention::Materialized);
     }
 }

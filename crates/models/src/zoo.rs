@@ -857,9 +857,159 @@ pub fn image_classification_models() -> Vec<ModelEntry> {
         .collect()
 }
 
+/// Why a forgiving [`lookup`] failed — structured so every consumer (the
+/// CLI's `--model` flag, the daemon's `Open` frame) renders the same
+/// guidance, nearest zoo entries included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupError {
+    /// No entry matched, even forgivingly; `nearest` holds the closest
+    /// `(id, name)` pairs by edit distance over normalized names,
+    /// closest first.
+    Unknown {
+        /// The query as given.
+        query: String,
+        /// Closest zoo entries, `(id, name)`, closest first.
+        nearest: Vec<(u32, &'static str)>,
+    },
+    /// The query prefix-matched more than one entry.
+    Ambiguous {
+        /// The query as given.
+        query: String,
+        /// Every `(id, name)` the prefix matched, in id order.
+        matches: Vec<(u32, &'static str)>,
+    },
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let list = |pairs: &[(u32, &'static str)]| {
+            pairs
+                .iter()
+                .map(|(id, name)| format!("{id} {name}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        match self {
+            LookupError::Unknown { query, nearest } => {
+                write!(
+                    f,
+                    "unknown model '{query}'; nearest: {} (try: xsp list-models)",
+                    list(nearest)
+                )
+            }
+            LookupError::Ambiguous { query, matches } => {
+                write!(f, "ambiguous model '{query}': matches {}", list(matches))
+            }
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+fn normalize(s: &str) -> String {
+    s.to_ascii_lowercase().replace('-', "_")
+}
+
+/// Classic Levenshtein edit distance — small strings, O(a·b) DP row.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b_chars: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b_chars.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b_chars.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b_chars.len()]
+}
+
+/// Forgiving model lookup across every tier: exact name first, then
+/// case-insensitive with `-`/`_` interchangeable, then unique-prefix
+/// (`bert-base` → BERT-Base_SQuAD_384). An exact normalized match wins
+/// outright, so a full name that happens to prefix another entry
+/// (DeepLabv3_MobileNet_v2 vs ..._DM0.5) is never reported ambiguous.
+/// Failures come back as a structured [`LookupError`] carrying the nearest
+/// zoo ids/names.
+pub fn lookup(name: &str) -> Result<ModelEntry, LookupError> {
+    if let Some(exact) = by_name(name) {
+        return Ok(exact);
+    }
+    let needle = normalize(name);
+    if let Some(exact) = all_models()
+        .into_iter()
+        .find(|m| normalize(m.name) == needle)
+    {
+        return Ok(exact);
+    }
+    let mut matches: Vec<ModelEntry> = all_models()
+        .into_iter()
+        .filter(|m| normalize(m.name).starts_with(&needle))
+        .collect();
+    match matches.len() {
+        1 => Ok(matches.remove(0)),
+        0 => {
+            let mut scored: Vec<(usize, u32, &'static str)> = all_models()
+                .iter()
+                .map(|m| (edit_distance(&needle, &normalize(m.name)), m.id, m.name))
+                .collect();
+            scored.sort_by_key(|a| (a.0, a.1));
+            Err(LookupError::Unknown {
+                query: name.to_owned(),
+                nearest: scored
+                    .into_iter()
+                    .take(3)
+                    .map(|(_, id, n)| (id, n))
+                    .collect(),
+            })
+        }
+        _ => Err(LookupError::Ambiguous {
+            query: name.to_owned(),
+            matches: matches.into_iter().map(|m| (m.id, m.name)).collect(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lookup_is_forgiving() {
+        assert_eq!(lookup("BERT-Base_SQuAD_384").unwrap().id, 56);
+        assert_eq!(lookup("bert-base").unwrap().id, 56);
+        assert_eq!(lookup("gpt2_small_256").unwrap().id, 58);
+    }
+
+    #[test]
+    fn lookup_unknown_lists_nearest() {
+        let err = lookup("GPT2_Smal_256").unwrap_err();
+        match &err {
+            LookupError::Unknown { nearest, .. } => {
+                assert_eq!(nearest.first().map(|(id, _)| *id), Some(58));
+                assert_eq!(nearest.len(), 3);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        assert!(err.to_string().contains("GPT2_Small_256"));
+        assert!(err.to_string().contains("list-models"));
+    }
+
+    #[test]
+    fn lookup_ambiguous_lists_all_matches() {
+        let err = lookup("bert").unwrap_err();
+        match err {
+            LookupError::Ambiguous { matches, .. } => {
+                assert_eq!(
+                    matches.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                    vec![56, 57]
+                );
+            }
+            other => panic!("expected Ambiguous, got {other:?}"),
+        }
+    }
 
     #[test]
     fn fifty_five_tensorflow_models() {

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example compare_frameworks`
 
 use xsp_core::analysis::a15_model_aggregate;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileMode, ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::report::{fmt_ms, Table};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -30,11 +30,14 @@ fn main() {
     for name in ["ResNet_v1_50", "MobileNet_v1_1.0_224"] {
         let m = zoo::by_name(name).unwrap();
         for (label, xsp) in [("TensorFlow", &tf), ("MXNet", &mx)] {
-            let online = xsp.model_only(&m.graph(1)).model_latency_ms();
+            let online = xsp
+                .run(ProfileRequest::new(&m.graph(1)).level(ProfilingLevel::Model))
+                .model_latency_ms();
             let sweep = xsp.batch_sweep(|b| m.graph(b), &batches);
             let optimal = Xsp::optimal_batch(&sweep);
             let max_tp = sweep.iter().map(|p| p.throughput()).fold(0.0, f64::max);
-            let p = xsp.with_gpu(&m.graph(optimal));
+            let p =
+                xsp.run(ProfileRequest::new(&m.graph(optimal)).mode(ProfileMode::ModelAndMetrics));
             let a = a15_model_aggregate(&p, &system);
             t.row(vec![
                 name.to_owned(),

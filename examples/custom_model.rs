@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example custom_model`
 
 use xsp_core::analysis::a15_model_aggregate;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileMode, ProfileRequest, Xsp, XspConfig};
 use xsp_dnn::ConvParams;
 use xsp_framework::{FrameworkKind, Layer, LayerGraph, LayerOp, TensorShape};
 use xsp_gpu::systems;
@@ -17,7 +17,7 @@ fn a15_sweep(xsp: &Xsp, name: &str, build: impl Fn(usize) -> LayerGraph) {
     println!("\n== {name} ==");
     println!("batch | model_ms | kernel_ms | Gflops | reads_MB | writes_MB | occ% |    AI | bound");
     for batch in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
-        let p = xsp.with_gpu(&build(batch));
+        let p = xsp.run(ProfileRequest::new(&build(batch)).mode(ProfileMode::ModelAndMetrics));
         let a = a15_model_aggregate(&p, &system);
         println!(
             "{:5} | {:8.2} | {:9.2} | {:6.1} | {:8.0} | {:9.0} | {:4.1} | {:5.2} | {}",

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example leveled_overhead`
 
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, Xsp, XspConfig};
 use xsp_core::report::fmt_ms;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -14,7 +14,7 @@ fn main() {
     let system = systems::tesla_v100();
     let xsp = Xsp::new(XspConfig::new(system, FrameworkKind::TensorFlow).runs(2));
     let model = zoo::by_name("MobileNet_v1_0.5_160").unwrap();
-    let profile = xsp.leveled(&model.graph(8));
+    let profile = xsp.run(ProfileRequest::new(&model.graph(8)));
 
     let o = profile.overhead_report();
     println!("Leveled experimentation for {} (batch 8):", model.name);

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use xsp_core::analysis;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -20,7 +20,7 @@ fn main() {
 
     // Across-stack profile at batch 256 (the model's optimal batch size).
     let graph = model.graph(256);
-    let profile = xsp.leveled(&graph);
+    let profile = xsp.run(ProfileRequest::new(&graph));
 
     // Leveled experimentation (Figure 2).
     let o = profile.overhead_report();
@@ -112,7 +112,7 @@ fn main() {
     );
 
     // Online latency (batch 1).
-    let online = xsp.model_only(&model.graph(1));
+    let online = xsp.run(ProfileRequest::new(&model.graph(1)).level(ProfilingLevel::Model));
     println!(
         "\nonline latency (batch 1): {} ms",
         fmt_ms(online.model_latency_ms())

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example system_sweep`
 
 use xsp_core::analysis::a10_kernel_info_by_name;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileMode, ProfileRequest, Xsp, XspConfig};
 use xsp_core::report::Table;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -25,7 +25,7 @@ fn main() {
     );
     for system in systems::all() {
         let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(2));
-        let p = xsp.with_gpu(&model.graph(64));
+        let p = xsp.run(ProfileRequest::new(&model.graph(64)).mode(ProfileMode::ModelAndMetrics));
         let a10 = a10_kernel_info_by_name(&p, &system);
         let conv = a10
             .iter()

@@ -11,13 +11,17 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
-use xsp_core::analysis;
+use xsp_core::analysis::{self, AxAnalysis};
 use xsp_core::export::{export_profile, export_run_profile, ExportFormat, ExportSink};
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::report::{fmt_bound, fmt_mb, fmt_ms, fmt_pct, Table};
 use xsp_core::scheduler::Parallelism;
+use xsp_core::serving::{
+    simulate_streaming, ArrivalTrace, ServingConfig, ServingModel, ServingReport,
+};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
+use xsp_models::transformer::DecodeAttention;
 use xsp_models::zoo;
 
 fn usage() -> &'static str {
@@ -36,6 +40,12 @@ USAGE:
               [--threads <T>]
   xsp export  --from <trace.jsonl|trace.xspb> [--from-format spans|xspb]
               [--format spans|xspb|chrome|folded] [-o <PATH>]
+  xsp analyze --ax <1|2|3|4> --model <NAME> [--batch <N>] [--system <NAME>]
+              [--framework tensorflow|mxnet] [--runs <N>] [--threads <T>]
+              ax4 only: [--max-batch <N>] [--requests <N>] [--rate <REQ/S>]
+              [--prompt <LO-HI>] [--decode <LO-HI>] [--seed <N>]
+              [--cache-bucket <N>] [--fused] [--level 1|2|3]
+              [--trace <out.jsonl>]
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
               [--threads <T>]
   xsp serve   --socket <PATH> [--quota <SPANS>] [--idle-timeout <SECS>]
@@ -63,9 +73,26 @@ SERVE:    runs the resident profiling daemon (`xspd`) on a Unix socket:
           served from in-flight sessions (see ARCHITECTURE.md). SIGTERM
           drains every session to its sink before exiting.
 
+ANALYZE:  runs one extension analysis end to end. --ax accepts 1|ax1|library
+          (library-call table; enables the library level itself),
+          2|ax2|host (host/dispatch attribution; enables the host level),
+          3|ax3|workload (kernel families + compute regime), and
+          4|ax4|serving (continuous-batching serving simulation:
+          tokens/sec vs decode occupancy, prefill/decode/idle latency
+          split, KV-cache roofline). ax4 serves the model with a seeded
+          synthetic arrival trace — --requests arrivals at --rate req/s,
+          prompt/decode token counts drawn uniformly from --prompt/--decode
+          (inclusive LO-HI ranges) — through a continuous-batching
+          scheduler with --max-batch slots; --fused switches the decode
+          attention to the fused (FlashAttention-style) lowering, and
+          --trace streams the per-step span trace to a JSONL file. Tables
+          are byte-identical for every --threads setting.
+
 ANALYSES: a1 (via sweep), a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
           a13, a14, a15, ax1 (library level; needs --library-level),
-          ax3 (kernel latency by family / compute regime)
+          ax2 (host level; needs --host-level), ax3 (kernel latency by
+          family / compute regime). ax4 profiles a serving workload, not
+          one inference — use `xsp analyze --ax 4`.
 
 THREADS:  worker count of the parallel evaluation engine: a number, `auto`
           (one per core, the default), or `serial`/`1` (single-threaded, for
@@ -120,6 +147,7 @@ fn main() -> ExitCode {
         "list-models" => list_models(),
         "list-systems" => list_systems(),
         "profile" => profile(&args.flags),
+        "analyze" => analyze(&args.flags),
         "export" => export(&args.flags),
         "serve" => serve(&args.flags),
         "sweep" => sweep(&args.flags),
@@ -202,6 +230,9 @@ fn build_config(flags: &HashMap<String, String>) -> Result<(XspConfig, xsp_gpu::
     if flags.contains_key("library-level") {
         cfg = cfg.library_level(true);
     }
+    if flags.contains_key("host-level") {
+        cfg = cfg.host_level(true);
+    }
     if let Some(raw) = flags.get("threads") {
         let p = Parallelism::parse(raw)
             .ok_or_else(|| format!("bad --threads '{raw}' (number, `auto`, or `serial`)"))?;
@@ -214,38 +245,11 @@ fn lookup_model(flags: &HashMap<String, String>) -> Result<zoo::ModelEntry, Stri
     let name = flags
         .get("model")
         .ok_or_else(|| "missing --model".to_owned())?;
-    if let Some(exact) = zoo::by_name(name) {
-        return Ok(exact);
-    }
-    // Forgiving lookup: case-insensitive, `-`/`_` interchangeable, unique
-    // prefix accepted (`bert-base` → BERT-Base_SQuAD_384). An exact
-    // normalized match wins outright, so a full name that happens to
-    // prefix another entry (DeepLabv3_MobileNet_v2 vs ..._DM0.5) is never
-    // reported ambiguous.
-    let normalize = |s: &str| s.to_ascii_lowercase().replace('-', "_");
-    let needle = normalize(name);
-    if let Some(exact) = zoo::all_models()
-        .into_iter()
-        .find(|m| normalize(m.name) == needle)
-    {
-        return Ok(exact);
-    }
-    let matches: Vec<zoo::ModelEntry> = zoo::all_models()
-        .into_iter()
-        .filter(|m| normalize(m.name).starts_with(&needle))
-        .collect();
-    match matches.len() {
-        0 => Err(format!("unknown model '{name}' (try: xsp list-models)")),
-        1 => Ok(matches.into_iter().next().expect("one match")),
-        _ => Err(format!(
-            "ambiguous model '{name}': matches {}",
-            matches
-                .iter()
-                .map(|m| m.name)
-                .collect::<Vec<_>>()
-                .join(", ")
-        )),
-    }
+    // Forgiving lookup (exact name → normalized exact → unique prefix)
+    // with a structured rejection: the unknown-model error lists the
+    // nearest zoo entries by edit distance, the same message the daemon's
+    // Open frame returns.
+    zoo::lookup(name).map_err(|e| e.to_string())
 }
 
 fn profile(flags: &HashMap<String, String>) -> ExitCode {
@@ -264,7 +268,7 @@ fn profile(flags: &HashMap<String, String>) -> ExitCode {
             xsp.config().framework.name(),
             xsp.config().runs
         );
-        let p = xsp.leveled(&model.graph(batch));
+        let p = xsp.run(ProfileRequest::new(&model.graph(batch)));
 
         let o = p.overhead_report();
         println!(
@@ -365,7 +369,7 @@ fn export(flags: &HashMap<String, String>) -> ExitCode {
             xsp.config().framework.name(),
             level.label()
         );
-        let profile = xsp.up_to_level(&model.graph(batch), level);
+        let profile = xsp.run(ProfileRequest::new(&model.graph(batch)).level(level));
         let written = match flags.get("out") {
             Some(path) => {
                 let file = std::fs::File::create(path)
@@ -450,7 +454,7 @@ fn export_live_sink(
         xsp.config().framework.name(),
         level.label()
     );
-    let profile = xsp.up_to_level(&model.graph(batch), level);
+    let profile = xsp.run(ProfileRequest::new(&model.graph(batch)).level(level));
     sink.finish().map_err(|e| format!("sink {path}: {e}"))?;
     // Folded sinks finalize whole runs, so their write counter counts runs.
     let unit = if path.ends_with(".folded") {
@@ -783,7 +787,62 @@ fn render_analysis(
                 }
             );
         }
-        "ax3" => {
+        "a1" => return Err("a1 is produced by `xsp sweep`".to_owned()),
+        // Everything else goes through the shared `--ax` parser, so
+        // `profile --analyses` and `analyze --ax` accept the same
+        // spellings and reject with the same structured message.
+        other => match AxAnalysis::parse(other) {
+            Ok(ax) => render_ax(ax, p)?,
+            Err(e) => return Err(format!("{e} (or one of a2..a15)")),
+        },
+    }
+    Ok(())
+}
+
+/// Renders one extension analysis of a single-inference profile — the
+/// shared back half of `profile --analyses axN` and `analyze --ax N`.
+fn render_ax(which: AxAnalysis, p: &xsp_core::LeveledProfile) -> Result<(), String> {
+    match which {
+        AxAnalysis::Ax1 => {
+            let rows = analysis::ax1_library_calls(p);
+            if rows.is_empty() {
+                return Err("ax1 needs --library-level".to_owned());
+            }
+            let mut t = Table::new(
+                "AX1 — library API calls",
+                &["API", "Calls", "Total (ms)", "%", "Kernels"],
+            );
+            for r in &rows {
+                t.row(vec![
+                    r.api.clone(),
+                    r.count.to_string(),
+                    fmt_ms(r.total_ms),
+                    fmt_pct(r.percent),
+                    r.kernels.to_string(),
+                ]);
+            }
+            println!("{t}");
+        }
+        AxAnalysis::Ax2 => {
+            let rows = analysis::ax2_host_dispatch(p);
+            if rows.is_empty() {
+                return Err("ax2 needs --host-level".to_owned());
+            }
+            let mut t = Table::new(
+                "AX2 — host dispatch by op type",
+                &["Op type", "Dispatches", "Total (ms)", "%"],
+            );
+            for r in rows.iter().take(10) {
+                t.row(vec![
+                    r.op_type.clone(),
+                    r.count.to_string(),
+                    fmt_ms(r.total_ms),
+                    fmt_pct(r.percent),
+                ]);
+            }
+            println!("{t}");
+        }
+        AxAnalysis::Ax3 => {
             let shares = analysis::ax3_family_shares(p);
             let mut t = Table::new(
                 "AX3 — kernel latency by family",
@@ -804,30 +863,260 @@ fn render_analysis(
                 fmt_pct(analysis::gemm_percent_of(&shares))
             );
         }
-        "ax1" => {
-            let rows = analysis::ax1_library_calls(p);
-            if rows.is_empty() {
-                return Err("ax1 needs --library-level".to_owned());
-            }
+        AxAnalysis::Ax4 => {
+            return Err("ax4 profiles a serving workload, not one inference; run \
+                 `xsp analyze --ax 4 --model <NAME>`"
+                .to_owned())
+        }
+    }
+    Ok(())
+}
+
+/// `xsp analyze`: one extension analysis end to end. AX1–AX3 profile a
+/// single inference (enabling whatever extra level the analysis needs);
+/// AX4 runs the continuous-batching serving simulation.
+fn analyze(flags: &HashMap<String, String>) -> ExitCode {
+    let result = (|| -> Result<(), String> {
+        let raw = flags
+            .get("ax")
+            .ok_or_else(|| "missing --ax <1|2|3|4>".to_owned())?;
+        let ax = AxAnalysis::parse(raw).map_err(|e| e.to_string())?;
+        if ax == AxAnalysis::Ax4 {
+            return analyze_serving(flags);
+        }
+        let (mut cfg, system) = build_config(flags)?;
+        // The analysis knows what it needs; enable the level rather than
+        // making the user pair --ax 1 with --library-level by hand.
+        match ax {
+            AxAnalysis::Ax1 => cfg = cfg.library_level(true),
+            AxAnalysis::Ax2 => cfg = cfg.host_level(true),
+            _ => {}
+        }
+        let xsp = Xsp::new(cfg);
+        let model = lookup_model(flags)?;
+        let batch: usize = flags
+            .get("batch")
+            .map(|s| s.parse().map_err(|_| format!("bad --batch '{s}'")))
+            .transpose()?
+            .unwrap_or(1);
+        eprintln!(
+            "analyzing {} ({}) @ batch {batch} on {}...",
+            model.name,
+            ax.label(),
+            system.name
+        );
+        let p = xsp.run(ProfileRequest::new(&model.graph(batch)));
+        render_ax(ax, &p)
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses an inclusive `LO-HI` token range (a single number means a
+/// degenerate `N-N` range).
+fn parse_range(raw: &str, flag: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("bad --{flag} '{raw}' (a token count or an inclusive LO-HI range)");
+    let (lo, hi) = match raw.split_once('-') {
+        Some((lo, hi)) => (
+            lo.trim().parse().map_err(|_| bad())?,
+            hi.trim().parse().map_err(|_| bad())?,
+        ),
+        None => {
+            let n: usize = raw.trim().parse().map_err(|_| bad())?;
+            (n, n)
+        }
+    };
+    if lo == 0 || hi < lo {
+        return Err(bad());
+    }
+    Ok((lo, hi))
+}
+
+/// `xsp analyze --ax 4`: serve the model's decode-step variant through the
+/// continuous-batching simulator and render the AX4 tables. Status goes to
+/// stderr; stdout carries only the deterministic tables, so the output is
+/// byte-identical for every --threads setting.
+fn analyze_serving(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (cfg, system) = build_config(flags)?;
+    let xsp = Xsp::new(cfg);
+    let entry = lookup_model(flags)?;
+    let model = ServingModel::from_zoo_id(entry.id).ok_or_else(|| {
+        format!(
+            "{} has no decode-step variant; ax4 serves the transformer tier: \
+             BERT-Base_SQuAD_384 (56), BERT-Large_SQuAD_384 (57), \
+             GPT2_Small_256 (58)",
+            entry.name
+        )
+    })?;
+    let parse_num = |key: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|s| s.parse().map_err(|_| format!("bad --{key} '{s}'")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let max_batch = parse_num("max-batch", 8)?;
+    let requests = parse_num("requests", 24)?;
+    let cache_bucket = parse_num("cache-bucket", 64)?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+        .transpose()?
+        .unwrap_or(42);
+    let rate: f64 = flags
+        .get("rate")
+        .map(|s| s.parse().map_err(|_| format!("bad --rate '{s}'")))
+        .transpose()?
+        .unwrap_or(40.0);
+    if rate <= 0.0 || rate.is_nan() {
+        return Err(format!("bad --rate '{rate}' (must be positive)"));
+    }
+    let prompt = parse_range(
+        flags.get("prompt").map(|s| s.as_str()).unwrap_or("16-64"),
+        "prompt",
+    )?;
+    let decode = parse_range(
+        flags.get("decode").map(|s| s.as_str()).unwrap_or("8-32"),
+        "decode",
+    )?;
+    let level = match flags.get("level") {
+        Some(raw) => ProfilingLevel::parse(raw).map_err(|e| e.to_string())?,
+        None => ProfilingLevel::ModelLayerGpu,
+    };
+    let attention = if flags.contains_key("fused") {
+        DecodeAttention::Fused
+    } else {
+        DecodeAttention::Materialized
+    };
+    let scfg = ServingConfig::default()
+        .max_batch(max_batch)
+        .cache_bucket(cache_bucket)
+        .level(level)
+        .attention(attention);
+    let trace = ArrivalTrace::synthetic(seed, requests, rate, prompt, decode);
+    let sink = match flags.get("trace") {
+        Some(p) if p != "true" => Some((
+            p.clone(),
+            ExportSink::create(std::path::Path::new(p)).map_err(|e| format!("trace {p}: {e}"))?,
+        )),
+        Some(_) => return Err("missing value for --trace (output JSONL path)".to_owned()),
+        None => None,
+    };
+    eprintln!(
+        "serving {} on {}: {requests} requests @ {rate:.0} req/s, max batch \
+         {max_batch}, {} attention, level {}...",
+        model.label(),
+        system.name,
+        match attention {
+            DecodeAttention::Materialized => "materialized",
+            DecodeAttention::Fused => "fused",
+        },
+        level.label()
+    );
+    let report = simulate_streaming(&xsp, model, &trace, &scfg, sink.as_ref().map(|(_, s)| s));
+    if let Some((path, sink)) = &sink {
+        sink.finish().map_err(|e| format!("trace {path}: {e}"))?;
+        eprintln!("streamed {} spans to {path}", sink.spans_written());
+    }
+    render_serving_report(&report, &system);
+    Ok(())
+}
+
+/// Renders the AX4 tables of a finished serving simulation to stdout.
+fn render_serving_report(report: &ServingReport, system: &xsp_gpu::System) {
+    let rows = analysis::ax4_occupancy_throughput(report);
+    let mut t = Table::new(
+        "AX4a — tokens/sec vs decode occupancy",
+        &[
+            "Batch",
+            "Occupancy (%)",
+            "Steps",
+            "Tokens",
+            "Latency (ms)",
+            "Tokens/s",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.batch.to_string(),
+            fmt_pct(r.occupancy_percent),
+            r.steps.to_string(),
+            r.tokens.to_string(),
+            fmt_ms(r.latency_ms),
+            format!("{:.1}", r.tokens_per_s),
+        ]);
+    }
+    println!("{t}");
+
+    let split = analysis::ax4_latency_split(report);
+    let mut t = Table::new(
+        "AX4b — prefill/decode latency split",
+        &["Phase", "Total (ms)", "%"],
+    );
+    t.row(vec![
+        "prefill".to_owned(),
+        fmt_ms(split.prefill_ms),
+        fmt_pct(split.prefill_percent),
+    ]);
+    t.row(vec![
+        "decode".to_owned(),
+        fmt_ms(split.decode_ms),
+        fmt_pct(split.decode_percent),
+    ]);
+    t.row(vec![
+        "idle".to_owned(),
+        fmt_ms(split.idle_ms),
+        fmt_pct(split.idle_percent),
+    ]);
+    println!("{t}");
+    println!(
+        "queue wait {} ms | TTFT mean {} / max {} ms | TPOT {} ms",
+        fmt_ms(split.mean_queue_wait_ms),
+        fmt_ms(split.mean_ttft_ms),
+        fmt_ms(split.max_ttft_ms),
+        fmt_ms(split.mean_tpot_ms)
+    );
+
+    if let Some(p) = &report.representative_decode {
+        let mut points = analysis::ax4_cache_roofline(p, system);
+        points.sort_by(|a, b| b.latency_ms.partial_cmp(&a.latency_ms).unwrap());
+        if !points.is_empty() {
             let mut t = Table::new(
-                "AX1 — library API calls",
-                &["API", "Calls", "Total (ms)", "%", "Kernels"],
+                "AX4c — KV-cache roofline (top 10 decode kernels)",
+                &["Kernel", "AI", "Tflop/s", "Latency (ms)", "Mem-bound"],
             );
-            for r in &rows {
+            for r in points.iter().take(10) {
                 t.row(vec![
-                    r.api.clone(),
-                    r.count.to_string(),
-                    fmt_ms(r.total_ms),
-                    fmt_pct(r.percent),
-                    r.kernels.to_string(),
+                    r.name.chars().take(46).collect(),
+                    format!("{:.2}", r.arithmetic_intensity),
+                    format!("{:.2}", r.throughput_tflops),
+                    fmt_ms(r.latency_ms),
+                    fmt_bound(r.memory_bound),
                 ]);
             }
             println!("{t}");
+            println!(
+                "system ridge point: {:.2} flops/byte",
+                system.ideal_arithmetic_intensity()
+            );
         }
-        "a1" => return Err("a1 is produced by `xsp sweep`".to_owned()),
-        other => return Err(format!("unknown analysis '{other}'")),
     }
-    Ok(())
+
+    println!(
+        "serving summary: {:.1} tokens/s | mean decode occupancy {}% | \
+         makespan {} ms | {} requests, {} steps, {} tokens",
+        report.tokens_per_s(),
+        fmt_pct(report.mean_occupancy_percent()),
+        fmt_ms(report.makespan_ms),
+        report.requests.len(),
+        report.steps.len(),
+        report.tokens_emitted
+    );
 }
 
 fn sweep(flags: &HashMap<String, String>) -> ExitCode {

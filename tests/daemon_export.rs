@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 use xsp_core::export::{export_profile, ExportFormat};
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::scheduler::Parallelism;
 use xsp_daemon::{spawn, DaemonClient, DaemonConfig, DaemonHandle, OpenOptions};
 use xsp_framework::FrameworkKind;
@@ -35,9 +35,9 @@ fn one_shot(model: &str, parallelism: Parallelism) -> xsp_core::LeveledProfile {
             .runs(1)
             .parallelism(parallelism),
     )
-    .up_to_level(
-        &zoo::by_name(model).unwrap().graph(1),
-        ProfilingLevel::ModelLayerGpu,
+    .run(
+        ProfileRequest::new(&zoo::by_name(model).unwrap().graph(1))
+            .level(ProfilingLevel::ModelLayerGpu),
     )
 }
 

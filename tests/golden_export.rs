@@ -15,7 +15,7 @@
 //! `XSP_BLESS=1 cargo test --test golden_export` — then review the diff.
 
 use xsp_core::export::{export_profile, ExportFormat};
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::scheduler::Parallelism;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -34,9 +34,9 @@ fn xsp(parallelism: Parallelism) -> Xsp {
 }
 
 fn export_bytes(parallelism: Parallelism, format: ExportFormat) -> Vec<u8> {
-    let profile = xsp(parallelism).up_to_level(
-        &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1),
-        ProfilingLevel::ModelLayerGpu,
+    let profile = xsp(parallelism).run(
+        ProfileRequest::new(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1))
+            .level(ProfilingLevel::ModelLayerGpu),
     );
     let mut out = Vec::new();
     export_profile(&profile, format, &mut out).expect("Vec export cannot fail");

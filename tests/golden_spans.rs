@@ -15,7 +15,7 @@
 //! To regenerate after an *intentional* schema change:
 //! `XSP_BLESS=1 cargo test --test golden_spans` — then review the diff.
 
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileMode, ProfileRequest, Xsp, XspConfig};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::transformer;
@@ -28,7 +28,8 @@ fn current_span_json() -> String {
             .runs(1)
             .seed(0x5E_ED),
     );
-    xsp.with_gpu(&transformer::bert_base(1, 64)).to_span_json()
+    xsp.run(ProfileRequest::new(&transformer::bert_base(1, 64)).mode(ProfileMode::ModelAndMetrics))
+        .to_span_json()
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! other and with ground truth wherever they overlap.
 
 use xsp_core::analysis::*;
-use xsp_core::profile::{BatchProfile, Xsp, XspConfig};
+use xsp_core::profile::{BatchProfile, ProfileRequest, Xsp, XspConfig};
 use xsp_core::roofline::attainable_tflops;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -12,7 +12,9 @@ fn profile(batch: usize) -> (xsp_core::LeveledProfile, xsp_gpu::System) {
     let system = systems::tesla_v100();
     let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(1));
     (
-        xsp.leveled(&zoo::by_name("Inception_v1").unwrap().graph(batch)),
+        xsp.run(ProfileRequest::new(
+            &zoo::by_name("Inception_v1").unwrap().graph(batch),
+        )),
         system,
     )
 }
@@ -145,7 +147,7 @@ fn kernel_flops_match_analytic_conv_flops() {
             _ => None,
         })
         .unwrap();
-    let p = xsp.leveled(&graph);
+    let p = xsp.run(ProfileRequest::new(&graph));
     let a8 = a8_kernel_info(&p, &system);
     let stem_kernel = a8
         .iter()

@@ -1,7 +1,7 @@
 //! Correlation integration: the kernel↔layer mapping that defines XSP.
 
 use xsp_core::pipeline::{run_once, run_once_with_metrics};
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo;
@@ -130,6 +130,8 @@ fn correlation_consistent_across_all_levels_of_zoo_sample() {
 #[test]
 fn xsp_object_smoke() {
     let xsp = Xsp::new(cfg());
-    let p = xsp.leveled(&zoo::by_name("BVLC_AlexNet_Caffe").unwrap().graph(2));
+    let p = xsp.run(ProfileRequest::new(
+        &zoo::by_name("BVLC_AlexNet_Caffe").unwrap().graph(2),
+    ));
     assert!(p.model_latency_ms() > 0.0);
 }

@@ -1,14 +1,16 @@
 //! Leveled experimentation integration (§III-C): the accuracy/overhead
 //! contract that justifies the methodology.
 
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo;
 
 fn leveled(batch: usize) -> xsp_core::LeveledProfile {
     let xsp = Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(3));
-    xsp.leveled(&zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(batch))
+    xsp.run(ProfileRequest::new(
+        &zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(batch),
+    ))
 }
 
 #[test]
@@ -65,8 +67,12 @@ fn layer_overhead_scales_with_layer_count() {
     // The layer profiler costs per executed layer, so a deeper model pays
     // proportionally more (Figure 2's 157ms for 234 layers).
     let xsp = Xsp::new(XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow).runs(1));
-    let shallow = xsp.leveled(&zoo::by_name("BVLC_AlexNet_Caffe").unwrap().graph(8));
-    let deep = xsp.leveled(&zoo::by_name("ResNet_v1_152").unwrap().graph(8));
+    let shallow = xsp.run(ProfileRequest::new(
+        &zoo::by_name("BVLC_AlexNet_Caffe").unwrap().graph(8),
+    ));
+    let deep = xsp.run(ProfileRequest::new(
+        &zoo::by_name("ResNet_v1_152").unwrap().graph(8),
+    ));
     let so = shallow.overhead_report().layer_overhead_ms;
     let do_ = deep.overhead_report().layer_overhead_ms;
     let shallow_layers = shallow.layers().len() as f64;

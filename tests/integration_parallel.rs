@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use proptest::sample::select;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileMode, ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::scheduler::Parallelism;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -33,8 +33,8 @@ proptest! {
         model in select(vec!["MobileNet_v1_0.25_128", "MobileNet_v1_0.5_160"]),
     ) {
         let graph = zoo::by_name(model).unwrap().graph(batch);
-        let serial = xsp_with(seed, runs, Parallelism::Serial).leveled(&graph);
-        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).leveled(&graph);
+        let serial = xsp_with(seed, runs, Parallelism::Serial).run(ProfileRequest::new(&graph));
+        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).run(ProfileRequest::new(&graph));
         prop_assert_eq!(serial.to_span_json(), parallel.to_span_json());
     }
 
@@ -46,8 +46,8 @@ proptest! {
         runs in 1usize..4,
     ) {
         let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
-        let serial = xsp_with(seed, runs, Parallelism::Serial).model_only(&graph);
-        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).model_only(&graph);
+        let serial = xsp_with(seed, runs, Parallelism::Serial).run(ProfileRequest::new(&graph).level(ProfilingLevel::Model));
+        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).run(ProfileRequest::new(&graph).level(ProfilingLevel::Model));
         prop_assert_eq!(serial.to_span_json(), parallel.to_span_json());
     }
 }
@@ -57,14 +57,14 @@ proptest! {
 #[test]
 fn every_parallelism_setting_agrees() {
     let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
-    let reference = xsp_with(7, 2, Parallelism::Serial).leveled(&graph);
+    let reference = xsp_with(7, 2, Parallelism::Serial).run(ProfileRequest::new(&graph));
     for p in [
         Parallelism::Fixed(2),
         Parallelism::Fixed(3),
         Parallelism::Fixed(8),
         Parallelism::Auto,
     ] {
-        let profile = xsp_with(7, 2, p).leveled(&graph);
+        let profile = xsp_with(7, 2, p).run(ProfileRequest::new(&graph));
         assert_eq!(
             reference.to_span_json(),
             profile.to_span_json(),
@@ -84,8 +84,10 @@ fn every_parallelism_setting_agrees() {
 #[test]
 fn with_gpu_is_engine_deterministic() {
     let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
-    let serial = xsp_with(11, 2, Parallelism::Serial).with_gpu(&graph);
-    let parallel = xsp_with(11, 2, Parallelism::Fixed(4)).with_gpu(&graph);
+    let serial = xsp_with(11, 2, Parallelism::Serial)
+        .run(ProfileRequest::new(&graph).mode(ProfileMode::ModelAndMetrics));
+    let parallel = xsp_with(11, 2, Parallelism::Fixed(4))
+        .run(ProfileRequest::new(&graph).mode(ProfileMode::ModelAndMetrics));
     assert_eq!(serial.to_span_json(), parallel.to_span_json());
     let k_serial: Vec<_> = serial.kernels().iter().map(|k| k.name.clone()).collect();
     let k_parallel: Vec<_> = parallel.kernels().iter().map(|k| k.name.clone()).collect();

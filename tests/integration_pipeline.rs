@@ -1,7 +1,7 @@
 //! End-to-end pipeline integration: a full leveled profile of a real zoo
 //! model must produce a consistent across-stack view.
 
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo;
@@ -11,7 +11,7 @@ fn profile() -> (xsp_core::LeveledProfile, xsp_gpu::System) {
     let system = systems::tesla_v100();
     let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(2));
     let graph = zoo::by_name("MLPerf_ResNet50_v1.5").unwrap().graph(32);
-    (xsp.leveled(&graph), system)
+    (xsp.run(ProfileRequest::new(&graph)), system)
 }
 
 #[test]
@@ -105,7 +105,7 @@ fn profile_is_deterministic() {
     let graph = zoo::by_name("MobileNet_v1_0.5_128").unwrap().graph(4);
     let run = || {
         let xsp = Xsp::new(XspConfig::new(system.clone(), FrameworkKind::TensorFlow).runs(1));
-        let p = xsp.leveled(&graph);
+        let p = xsp.run(ProfileRequest::new(&graph));
         (
             p.model_latency_ms(),
             p.kernel_latency_ms(),
@@ -125,7 +125,8 @@ fn different_seeds_vary_but_agree_statistically() {
                 .runs(1)
                 .seed(seed),
         );
-        xsp.model_only(&graph).model_latency_ms()
+        xsp.run(ProfileRequest::new(&graph).level(ProfilingLevel::Model))
+            .model_latency_ms()
     };
     let a = at_seed(1);
     let b = at_seed(2);

@@ -9,7 +9,7 @@ use xsp_core::analysis::{
     ax3_compute_regime, ax3_gemm_roofline, gemm_latency_percent, kernel_family, ComputeRegime,
     KernelFamily,
 };
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::scheduler::Parallelism;
 use xsp_framework::{FrameworkKind, LayerGraph};
 use xsp_gpu::systems;
@@ -49,8 +49,8 @@ proptest! {
         model in select(vec!["bert_base", "gpt2_small"]),
     ) {
         let graph = build(model, batch, seq);
-        let serial = xsp_with(seed, 1, Parallelism::Serial).leveled(&graph);
-        let parallel = xsp_with(seed, 1, Parallelism::Fixed(4)).leveled(&graph);
+        let serial = xsp_with(seed, 1, Parallelism::Serial).run(ProfileRequest::new(&graph));
+        let parallel = xsp_with(seed, 1, Parallelism::Fixed(4)).run(ProfileRequest::new(&graph));
         prop_assert_eq!(serial.to_span_json(), parallel.to_span_json());
     }
 
@@ -65,7 +65,7 @@ proptest! {
         model in select(vec!["bert_base", "gpt2_small"]),
     ) {
         let graph = build(model, batch, seq);
-        let p = xsp_with(7, 1, Parallelism::Serial).leveled(&graph);
+        let p = xsp_with(7, 1, Parallelism::Serial).run(ProfileRequest::new(&graph));
         prop_assert_eq!(p.m_runs.len(), 1);
         prop_assert_eq!(p.ml_runs.len(), 1);
         prop_assert_eq!(p.mlg_runs.len(), 1);
@@ -117,7 +117,7 @@ fn attention_gemms_occupy_a_different_regime_than_conv() {
     let system = systems::tesla_v100();
     let xsp = xsp_with(7, 1, Parallelism::Serial);
 
-    let bert = xsp.leveled(&transformer::bert_base(1, 128));
+    let bert = xsp.run(ProfileRequest::new(&transformer::bert_base(1, 128)));
     assert_eq!(ax3_compute_regime(&bert), ComputeRegime::GemmBound);
     let attention_points: Vec<_> = ax3_gemm_roofline(&bert, &system)
         .into_iter()
@@ -132,7 +132,9 @@ fn attention_gemms_occupy_a_different_regime_than_conv() {
     // batch 64: past the batch-16/32 memory-bound dip cuDNN's algorithm
     // switch causes (Figure 10), so conv kernels sit in their steady
     // compute-bound regime
-    let resnet = xsp.leveled(&zoo::by_name("ResNet_v1_50").unwrap().graph(64));
+    let resnet = xsp.run(ProfileRequest::new(
+        &zoo::by_name("ResNet_v1_50").unwrap().graph(64),
+    ));
     assert_eq!(ax3_compute_regime(&resnet), ComputeRegime::ConvBound);
     let conv_points: Vec<_> = xsp_core::analysis::a9_kernel_roofline(&resnet, &system)
         .into_iter()
@@ -162,7 +164,7 @@ fn attention_gemms_occupy_a_different_regime_than_conv() {
 fn zoo_language_models_profile_end_to_end() {
     let xsp = xsp_with(7, 1, Parallelism::Serial);
     for m in zoo::language_models() {
-        let p = xsp.leveled(&m.graph(1));
+        let p = xsp.run(ProfileRequest::new(&m.graph(1)));
         assert!(p.model_latency_ms() > 1.0, "{}", m.name);
         assert!(
             gemm_latency_percent(&p) > 50.0,
@@ -182,7 +184,7 @@ fn zoo_language_models_profile_end_to_end() {
 fn latency_scales_with_seq_and_batch() {
     let xsp = xsp_with(7, 1, Parallelism::Serial);
     let ms = |b: usize, s: usize| {
-        xsp.model_only(&transformer::bert_base(b, s))
+        xsp.run(ProfileRequest::new(&transformer::bert_base(b, s)).level(ProfilingLevel::Model))
             .model_latency_ms()
     };
     let short = ms(1, 64);
@@ -205,7 +207,7 @@ fn folded_stacks_expose_attention_kernels_with_self_time() {
     use xsp_trace::export::{to_folded_stacks, FoldedStacksWriter};
 
     let xsp = xsp_with(7, 1, Parallelism::Serial);
-    let profile = xsp.leveled(&transformer::bert_base(1, 64));
+    let profile = xsp.run(ProfileRequest::new(&transformer::bert_base(1, 64)));
     let run = &profile.mlg_runs[0];
 
     let folded = to_folded_stacks(&run.trace);

@@ -2,7 +2,7 @@
 //! task-level signatures match §IV-A.
 
 use xsp_core::analysis::convolution_latency_percent;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
 use xsp_models::zoo::{self};
@@ -15,7 +15,7 @@ fn xsp(framework: FrameworkKind) -> Xsp {
 fn all_55_tensorflow_models_profile_at_model_level() {
     let xsp = xsp(FrameworkKind::TensorFlow);
     for m in zoo::tensorflow_models() {
-        let p = xsp.model_only(&m.graph(1));
+        let p = xsp.run(ProfileRequest::new(&m.graph(1)).level(ProfilingLevel::Model));
         let ms = p.model_latency_ms();
         assert!(ms > 0.1, "{}: {ms} ms", m.name);
         assert!(ms < 60_000.0, "{}: {ms} ms", m.name);
@@ -26,7 +26,7 @@ fn all_55_tensorflow_models_profile_at_model_level() {
 fn all_10_mxnet_models_profile_at_model_level() {
     let xsp = xsp(FrameworkKind::MXNet);
     for m in zoo::mxnet_models() {
-        let p = xsp.model_only(&m.graph(1));
+        let p = xsp.run(ProfileRequest::new(&m.graph(1)).level(ProfilingLevel::Model));
         assert!(p.model_latency_ms() > 0.1, "{}", m.name);
     }
 }
@@ -41,7 +41,7 @@ fn ic_models_are_conv_dominated() {
         ("Inception_v3", 45.0),
         ("MobileNet_v1_1.0_224", 30.0),
     ] {
-        let p = xsp.leveled(&zoo::by_name(name).unwrap().graph(16));
+        let p = xsp.run(ProfileRequest::new(&zoo::by_name(name).unwrap().graph(16)));
         let pct = convolution_latency_percent(&p);
         assert!(pct > min_pct, "{name}: conv {pct:.1}% < {min_pct}%");
     }
@@ -51,7 +51,7 @@ fn ic_models_are_conv_dominated() {
 fn detection_models_are_where_dominated() {
     let xsp = xsp(FrameworkKind::TensorFlow);
     for name in ["SSD_MobileNet_v2", "MLPerf_SSD_MobileNet_v1_300x300"] {
-        let p = xsp.leveled(&zoo::by_name(name).unwrap().graph(4));
+        let p = xsp.run(ProfileRequest::new(&zoo::by_name(name).unwrap().graph(4)));
         let conv_pct = convolution_latency_percent(&p);
         assert!(conv_pct < 15.0, "{name}: conv {conv_pct:.1}%");
         // Where layers carry the latency
@@ -76,7 +76,8 @@ fn mobilenet_grid_orders_by_cost() {
     let xsp = xsp(FrameworkKind::TensorFlow);
     let tp = |name: &str| {
         let m = zoo::by_name(name).unwrap();
-        xsp.model_only(&m.graph(64)).throughput()
+        xsp.run(ProfileRequest::new(&m.graph(64)).level(ProfilingLevel::Model))
+            .throughput()
     };
     assert!(tp("MobileNet_v1_0.25_128") > tp("MobileNet_v1_0.5_160"));
     assert!(tp("MobileNet_v1_0.5_160") > tp("MobileNet_v1_1.0_224"));
@@ -86,8 +87,11 @@ fn mobilenet_grid_orders_by_cost() {
 fn deeper_resnets_are_slower() {
     let xsp = xsp(FrameworkKind::TensorFlow);
     let ms = |name: &str| {
-        xsp.model_only(&zoo::by_name(name).unwrap().graph(16))
-            .model_latency_ms()
+        xsp.run(
+            ProfileRequest::new(&zoo::by_name(name).unwrap().graph(16))
+                .level(ProfilingLevel::Model),
+        )
+        .model_latency_ms()
     };
     let r50 = ms("ResNet_v1_50");
     let r101 = ms("ResNet_v1_101");
@@ -99,11 +103,17 @@ fn deeper_resnets_are_slower() {
 fn faster_rcnn_nas_is_the_slowest_model() {
     let xsp = xsp(FrameworkKind::TensorFlow);
     let nas = xsp
-        .model_only(&zoo::by_name("Faster_RCNN_NAS").unwrap().graph(1))
+        .run(
+            ProfileRequest::new(&zoo::by_name("Faster_RCNN_NAS").unwrap().graph(1))
+                .level(ProfilingLevel::Model),
+        )
         .model_latency_ms();
     for other in ["Faster_RCNN_ResNet101", "Mask_RCNN_ResNet101_v2", "VGG19"] {
         let ms = xsp
-            .model_only(&zoo::by_name(other).unwrap().graph(1))
+            .run(
+                ProfileRequest::new(&zoo::by_name(other).unwrap().graph(1))
+                    .level(ProfilingLevel::Model),
+            )
             .model_latency_ms();
         assert!(nas > ms * 3.0, "NAS {nas} vs {other} {ms}");
     }
@@ -112,7 +122,9 @@ fn faster_rcnn_nas_is_the_slowest_model() {
 #[test]
 fn srgan_is_conv_heavy() {
     let xsp = xsp(FrameworkKind::TensorFlow);
-    let p = xsp.leveled(&zoo::by_name("SRGAN").unwrap().graph(1));
+    let p = xsp.run(ProfileRequest::new(
+        &zoo::by_name("SRGAN").unwrap().graph(1),
+    ));
     let pct = convolution_latency_percent(&p);
     assert!(pct > 50.0, "SRGAN conv {pct:.1}% (paper: 62.3%)");
 }

@@ -6,7 +6,7 @@
 //! scheduler, exactly like the JSON formats before it.
 
 use proptest::prelude::*;
-use xsp_core::profile::{Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, Xsp, XspConfig};
 use xsp_core::scheduler::Parallelism;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -42,8 +42,8 @@ proptest! {
         runs in 1usize..3,
     ) {
         let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(2);
-        let serial = xsp_with(seed, runs, Parallelism::Serial).leveled(&graph);
-        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).leveled(&graph);
+        let serial = xsp_with(seed, runs, Parallelism::Serial).run(ProfileRequest::new(&graph));
+        let parallel = xsp_with(seed, runs, Parallelism::Fixed(4)).run(ProfileRequest::new(&graph));
 
         // Same strings at the same symbol ids: the whole table, in order.
         let (names_s, store_s) = symbol_table(&serial);
@@ -74,7 +74,7 @@ proptest! {
 fn symbols_are_first_appearance_ordered() {
     use xsp_trace::span::tag_keys;
     let graph = zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1);
-    let profile = xsp_with(3, 1, Parallelism::Serial).leveled(&graph);
+    let profile = xsp_with(3, 1, Parallelism::Serial).run(ProfileRequest::new(&graph));
     let spans = profile.all_spans();
     let store = SpanStore::from_spans(&spans);
 

@@ -9,7 +9,7 @@
 
 use xsp_core::export::{export_profile, export_run_profile, ExportFormat};
 use xsp_core::pipeline::profile_from_trace;
-use xsp_core::profile::{ProfilingLevel, Xsp, XspConfig};
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::scheduler::Parallelism;
 use xsp_framework::FrameworkKind;
 use xsp_gpu::systems;
@@ -23,9 +23,9 @@ fn live_profile() -> xsp_core::LeveledProfile {
             .runs(1)
             .parallelism(Parallelism::Serial),
     )
-    .up_to_level(
-        &zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1),
-        ProfilingLevel::ModelLayerGpu,
+    .run(
+        ProfileRequest::new(&zoo::by_name("MobileNet_v1_0.25_128").unwrap().graph(1))
+            .level(ProfilingLevel::ModelLayerGpu),
     )
 }
 
