@@ -6,10 +6,10 @@
 //! `--quick` (or `XSP_BENCH_QUICK=1`) runs a reduced grid — the CI smoke
 //! lane, executed at `XSP_THREADS=1` and `4` by the daemon-integration
 //! job. `--json <path>` writes the machine-readable summary uploaded as
-//! the `BENCH_daemon_ci.json` artifact.
+//! the `BENCH_daemon_load_ci.json` artifact.
 
 use std::time::{Duration, Instant};
-use xsp_bench::summary::{json_flag_path, BenchSummary};
+use xsp_bench::summary::{json_artifact_path, BenchSummary};
 use xsp_bench::{banner, timed};
 use xsp_core::export::ExportFormat;
 use xsp_daemon::{spawn, DaemonClient, DaemonConfig, OpenOptions};
@@ -65,7 +65,7 @@ fn main() {
         || std::env::var("XSP_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
-    let json_path = json_flag_path(std::env::args());
+    let json_path = json_artifact_path("daemon_load", std::env::args());
     let mut summary = BenchSummary::start("daemon_load", quick);
     timed("daemon_load", || {
         banner(

@@ -18,9 +18,9 @@
 //!
 //! `--quick` (or `XSP_BENCH_QUICK=1`) runs a smaller arrival trace at two
 //! batch capacities; `--json <path>` writes the machine-readable summary
-//! CI uploads as the `BENCH_serving_ci.json` artifact.
+//! CI uploads as the `BENCH_ext_serving_load_ci.json` artifact.
 
-use xsp_bench::summary::{json_flag_path, BenchSummary};
+use xsp_bench::summary::{json_artifact_path, BenchSummary};
 use xsp_bench::{banner, timed, xsp_on};
 use xsp_core::analysis::{ax4_cache_roofline, ax4_latency_split, ax4_occupancy_throughput};
 use xsp_core::profile::ProfilingLevel;
@@ -35,7 +35,7 @@ fn main() {
         || std::env::var("XSP_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
-    let json_path = json_flag_path(std::env::args());
+    let json_path = json_artifact_path("ext_serving_load", std::env::args());
     let mut summary = BenchSummary::start("ext_serving_load", quick);
     timed("ext_serving_load", || {
         banner(

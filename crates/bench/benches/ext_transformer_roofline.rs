@@ -13,10 +13,10 @@
 //!
 //! `--json <path>` additionally writes a machine-readable summary (one
 //! entry per grid point plus the conv baseline) — CI uploads it as the
-//! `BENCH_ci.json` artifact so the perf trajectory is diffable across
+//! `BENCH_ext_transformer_roofline_ci.json` artifact so the perf trajectory is diffable across
 //! commits.
 
-use xsp_bench::summary::{json_flag_path, BenchSummary};
+use xsp_bench::summary::{json_artifact_path, BenchSummary};
 use xsp_bench::{banner, par_points, timed, xsp_on};
 use xsp_core::analysis::{
     ax3_family_shares, ax3_gemm_roofline, convolution_latency_percent, gemm_percent_of, regime_of,
@@ -33,7 +33,7 @@ fn main() {
         || std::env::var("XSP_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
-    let json_path = json_flag_path(std::env::args());
+    let json_path = json_artifact_path("ext_transformer_roofline", std::env::args());
     let mut summary = BenchSummary::start("ext_transformer_roofline", quick);
     timed("ext_transformer_roofline", || {
         banner(

@@ -7,13 +7,13 @@
 //! `--quick` (or `XSP_BENCH_QUICK=1`) runs only the correlation-path and
 //! pipeline groups with a reduced sample count — the CI smoke lane.
 //! `--json <path>` writes a machine-readable summary (median latencies of
-//! the correlation-path benchmarks) so `BENCH_micro_ci.json` tracks
+//! the correlation-path benchmarks) so `BENCH_micro_infrastructure_ci.json` tracks
 //! correlation regressions as an artifact delta across commits.
 
 use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
-use xsp_bench::summary::{json_flag_path, BenchSummary};
+use xsp_bench::summary::{json_artifact_path, BenchSummary};
 use xsp_core::pipeline::run_once;
 use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
 use xsp_core::scheduler::{parmap, Parallelism};
@@ -268,7 +268,7 @@ fn main() {
         || std::env::var("XSP_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
-    let json_path = json_flag_path(std::env::args());
+    let json_path = json_artifact_path("micro_infrastructure", std::env::args());
     // The summary exists (and pays for its second measurement pass) only
     // when --json asked for the artifact.
     let mut summary = json_path

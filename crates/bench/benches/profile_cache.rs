@@ -1,0 +1,162 @@
+//! The content-addressed profile cache under its two production loads: a
+//! model-level batch sweep repeated warm, and a serving simulation whose
+//! step profiles resolve from the cache on the repeat run.
+//!
+//! The cache's contract is "free repeats without changing a byte": a warm
+//! run must serve `Arc` bumps instead of re-profiling (gated here at ≥5×
+//! the cold wall time for both workloads) while every profile it returns
+//! stays byte-identical to the cold computation — the same
+//! any-`XSP_THREADS` determinism contract CI diffs on the CLI.
+//!
+//! `--quick` (or `XSP_BENCH_QUICK=1`) shrinks the batch range and the
+//! arrival trace; `--json [path]` writes the machine-readable summary CI
+//! uploads as the `BENCH_profile_cache_ci.json` artifact.
+
+use std::time::Instant;
+use xsp_bench::summary::{json_artifact_path, BenchSummary};
+use xsp_bench::{banner, par_points, resnet50, timed};
+use xsp_core::cache;
+use xsp_core::profile::{ProfileRequest, ProfilingLevel, Xsp, XspConfig};
+use xsp_core::report::Table;
+use xsp_core::serving::{simulate, ArrivalTrace, ServingConfig, ServingModel};
+use xsp_framework::FrameworkKind;
+use xsp_gpu::systems;
+
+/// The warm/cold wall-time ratio the cache must clear for each workload.
+const MIN_SPEEDUP: f64 = 5.0;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("XSP_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let json_path = json_artifact_path("profile_cache", std::env::args());
+    let mut summary = BenchSummary::start("profile_cache", quick);
+    timed("profile_cache", || {
+        banner(
+            "EXT — content-addressed profile cache: warm sweeps and serving repeats",
+            "expectation: warm repeats serve from the fingerprint cache at \
+             >=5x the cold wall time with byte-identical profiles",
+        );
+        // The gate times cold against warm, so the process-wide cache must
+        // start empty (another bench in this process may have filled it).
+        cache::global().clear();
+
+        let xsp = Xsp::new(
+            XspConfig::new(systems::tesla_v100(), FrameworkKind::TensorFlow)
+                .runs(2)
+                .cached(true),
+        );
+        let batches: Vec<usize> = if quick {
+            vec![1, 2, 4, 8]
+        } else {
+            vec![1, 2, 4, 8, 16, 32, 64]
+        };
+
+        let sweep = |xsp: &Xsp| {
+            par_points(batches.clone(), |batch| {
+                xsp.run_shared(
+                    ProfileRequest::new(&resnet50().graph(batch))
+                        .level(ProfilingLevel::ModelLayerGpu),
+                )
+            })
+        };
+
+        let mut t = Table::new(
+            "Profile cache: warm repeat vs cold".to_owned(),
+            &["Workload", "Cold (ms)", "Warm (ms)", "Speedup"],
+        );
+
+        // Workload 1: the batch sweep, repeated warm.
+        let start = Instant::now();
+        let cold = sweep(&xsp);
+        let sweep_cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let warm = sweep(&xsp);
+        let sweep_warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        for (c, w) in cold.iter().zip(&warm) {
+            assert!(
+                c.to_span_json() == w.to_span_json(),
+                "warm sweep profile diverged from cold"
+            );
+        }
+        let stats = cache::global().stats();
+        assert!(
+            stats.hits >= batches.len() as u64,
+            "warm sweep must hit the cache once per point: {stats}"
+        );
+        let sweep_speedup = sweep_cold_ms / sweep_warm_ms.max(1e-9);
+        t.row(vec![
+            format!("sweep x{}", batches.len()),
+            format!("{sweep_cold_ms:.2}"),
+            format!("{sweep_warm_ms:.2}"),
+            format!("{sweep_speedup:.1}x"),
+        ]);
+        summary.point(
+            "sweep",
+            &[
+                ("cold_ms", sweep_cold_ms),
+                ("warm_ms", sweep_warm_ms),
+                ("speedup", sweep_speedup),
+            ],
+        );
+
+        // Workload 2: a serving simulation — every decode step profiles
+        // through the memo's `run_shared`, so the repeat run resolves its
+        // step shapes from the cache.
+        let (requests, rate) = if quick { (8, 60.0) } else { (24, 80.0) };
+        let trace = ArrivalTrace::synthetic(42, requests, rate, (16, 64), (4, 16));
+        let cfg = ServingConfig::default()
+            .max_batch(8)
+            .level(ProfilingLevel::ModelLayerGpu);
+        let start = Instant::now();
+        let cold_report = simulate(&xsp, ServingModel::Gpt2Small, &trace, &cfg);
+        let serving_cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let warm_report = simulate(&xsp, ServingModel::Gpt2Small, &trace, &cfg);
+        let serving_warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            cold_report.makespan_ms == warm_report.makespan_ms,
+            "warm serving run diverged from cold"
+        );
+        let (cold_decode, warm_decode) = (
+            cold_report.representative_decode.as_ref().unwrap(),
+            warm_report.representative_decode.as_ref().unwrap(),
+        );
+        assert!(
+            cold_decode.to_span_json() == warm_decode.to_span_json(),
+            "warm decode profile diverged from cold"
+        );
+        let serving_speedup = serving_cold_ms / serving_warm_ms.max(1e-9);
+        t.row(vec![
+            format!("serving x{requests}"),
+            format!("{serving_cold_ms:.2}"),
+            format!("{serving_warm_ms:.2}"),
+            format!("{serving_speedup:.1}x"),
+        ]);
+        summary.point(
+            "serving",
+            &[
+                ("cold_ms", serving_cold_ms),
+                ("warm_ms", serving_warm_ms),
+                ("speedup", serving_speedup),
+            ],
+        );
+        println!("{t}");
+        println!("[cache {}]", cache::global().stats());
+
+        assert!(
+            sweep_speedup >= MIN_SPEEDUP,
+            "warm sweep must be >={MIN_SPEEDUP}x cold, got {sweep_speedup:.1}x \
+             ({sweep_cold_ms:.2}ms -> {sweep_warm_ms:.2}ms)"
+        );
+        assert!(
+            serving_speedup >= MIN_SPEEDUP,
+            "warm serving must be >={MIN_SPEEDUP}x cold, got {serving_speedup:.1}x \
+             ({serving_cold_ms:.2}ms -> {serving_warm_ms:.2}ms)"
+        );
+    });
+    if let Some(path) = json_path {
+        summary.write(&path).expect("bench summary write");
+    }
+}

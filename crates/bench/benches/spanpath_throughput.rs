@@ -21,7 +21,7 @@
 use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
-use xsp_bench::summary::{json_flag_path, BenchSummary};
+use xsp_bench::summary::{json_artifact_path, BenchSummary};
 use xsp_trace::export::{SpanBinaryReader, SpanJsonLinesWriter};
 use xsp_trace::span::tag_keys;
 use xsp_trace::{
@@ -302,7 +302,7 @@ fn main() {
         || std::env::var("XSP_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
-    let json_path = json_flag_path(std::env::args());
+    let json_path = json_artifact_path("spanpath_throughput", std::env::args());
     let mut summary = json_path
         .is_some()
         .then(|| BenchSummary::start("spanpath_throughput", quick));

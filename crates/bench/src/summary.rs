@@ -5,8 +5,8 @@
 //! be tracked across commits without scraping stdout. A bench opts in via
 //! `--json <path>` (see [`json_flag_path`]): it records one
 //! [`SummaryPoint`] per experiment point and writes a single JSON document
-//! at the end — `BENCH_ci.json` in the CI workflow, uploaded as a build
-//! artifact for every `XSP_THREADS` lane.
+//! at the end — the canonical `BENCH_<bench>_ci.json` in the CI workflow,
+//! uploaded as a build artifact for every `XSP_THREADS` lane.
 
 use serde::Serialize;
 use std::time::Instant;
@@ -124,6 +124,31 @@ pub fn json_flag_path(args: impl Iterator<Item = String>) -> Option<String> {
     None
 }
 
+/// Resolves the bench's JSON artifact path from its argument list with the
+/// canonical default: `--json <path>`/`--json=<path>` name an explicit
+/// path, a bare `--json` (no value) means "the standard artifact for this
+/// bench" — `BENCH_<bench>_ci.json` at the workspace root. Benches that
+/// route through this helper cannot drift from the naming convention the
+/// CI upload steps expect.
+pub fn json_artifact_path(bench: &str, args: impl Iterator<Item = String>) -> Option<String> {
+    let mut saw_bare_json = false;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.peek() {
+                // `--json --quick`: the next token is another flag, so the
+                // bare spelling picked the canonical name.
+                Some(next) if next.starts_with("--") => saw_bare_json = true,
+                Some(_) => return args.next(),
+                None => saw_bare_json = true,
+            }
+        } else if let Some(path) = a.strip_prefix("--json=") {
+            return Some(path.to_owned());
+        }
+    }
+    saw_bare_json.then(|| format!("BENCH_{bench}_ci.json"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +171,36 @@ mod tests {
         );
         assert_eq!(json_flag_path(argv(&["--quick"])), None);
         assert_eq!(json_flag_path(argv(&["--json"])), None, "missing value");
+    }
+
+    #[test]
+    fn json_artifact_path_defaults_bare_json_to_canonical_name() {
+        let argv = |v: &[&str]| {
+            v.iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        assert_eq!(
+            json_artifact_path("demo", argv(&["--json", "out.json"])),
+            Some("out.json".to_owned()),
+            "explicit path wins"
+        );
+        assert_eq!(
+            json_artifact_path("demo", argv(&["--json=b.json"])),
+            Some("b.json".to_owned())
+        );
+        assert_eq!(
+            json_artifact_path("demo", argv(&["--quick", "--json"])),
+            Some("BENCH_demo_ci.json".to_owned()),
+            "bare --json at the end picks the canonical artifact"
+        );
+        assert_eq!(
+            json_artifact_path("demo", argv(&["--json", "--quick"])),
+            Some("BENCH_demo_ci.json".to_owned()),
+            "bare --json before another flag picks the canonical artifact"
+        );
+        assert_eq!(json_artifact_path("demo", argv(&["--quick"])), None);
     }
 
     #[test]

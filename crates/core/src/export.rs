@@ -354,13 +354,17 @@ impl ExportSink {
     }
 
     /// Creates a sink appending to a buffered file at `path`. The format
-    /// follows the extension: `.xspb` selects span binary, `.json` Chrome
-    /// trace events, `.folded` folded stacks, everything else
-    /// span-JSON-lines.
+    /// follows the extension, matched case-insensitively (`.XSPB` routes
+    /// like `.xspb`): `.xspb` selects span binary, `.json` Chrome trace
+    /// events, `.folded` folded stacks, everything else span-JSON-lines.
     pub fn create(path: &std::path::Path) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
         let out = io::BufWriter::new(file);
-        match path.extension().and_then(|e| e.to_str()) {
+        let ext = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(|e| e.to_ascii_lowercase());
+        match ext.as_deref() {
             Some("xspb") => Self::new_binary(out),
             Some("json") => Self::new_chrome(out),
             Some("folded") => Ok(Self::new_folded(out)),
@@ -369,11 +373,11 @@ impl ExportSink {
     }
 
     /// Appends the given finalized runs (used by the profiler after each
-    /// engine merge; runs arrive in submission order). Run granularity is
-    /// what lets chrome and folded sinks stream sweeps: folded stacks are
-    /// emitted per correlated run, every other format appends the run's
-    /// spans.
-    pub(crate) fn write_runs(&self, runs: &[RunProfile]) {
+    /// engine merge, and to replay cache-served profiles; runs arrive in
+    /// submission order). Run granularity is what lets chrome and folded
+    /// sinks stream sweeps: folded stacks are emitted per correlated run,
+    /// every other format appends the run's spans.
+    pub(crate) fn write_runs<'a>(&self, runs: impl IntoIterator<Item = &'a RunProfile>) {
         let mut state = self.state.lock().expect("sink lock");
         if state.error.is_some() || state.finished {
             return;
@@ -674,6 +678,36 @@ mod tests {
             ("t.xspb", ExportFormat::Binary),
             ("t.json", ExportFormat::Chrome),
             ("t.folded", ExportFormat::Folded),
+        ] {
+            let path = dir.join(name);
+            let sink = ExportSink::create(&path).unwrap();
+            sink.write_runs(&runs);
+            sink.finish().unwrap();
+            let got = std::fs::read(&path).unwrap();
+            let mut expected = Vec::new();
+            export_profile(&p, format, &mut expected).unwrap();
+            assert_eq!(got, expected, "{name} must route to the {format} writer");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_routes_extensions_case_insensitively() {
+        // Upper- and mixed-case spellings of every extension must route to
+        // the same writer their lowercase form does.
+        let dir = std::env::temp_dir().join(format!("xsp_sink_route_ci_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = profile();
+        let runs: Vec<RunProfile> = p.runs().cloned().collect();
+        for (name, format) in [
+            ("u.JSONL", ExportFormat::Spans),
+            ("u.Jsonl", ExportFormat::Spans),
+            ("u.XSPB", ExportFormat::Binary),
+            ("u.XspB", ExportFormat::Binary),
+            ("u.JSON", ExportFormat::Chrome),
+            ("u.Json", ExportFormat::Chrome),
+            ("u.FOLDED", ExportFormat::Folded),
+            ("u.FoLdEd", ExportFormat::Folded),
         ] {
             let path = dir.join(name);
             let sink = ExportSink::create(&path).unwrap();

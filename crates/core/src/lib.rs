@@ -51,6 +51,7 @@
 
 pub mod analysis;
 pub mod api;
+pub mod cache;
 pub mod export;
 pub mod pipeline;
 pub mod profile;
@@ -59,6 +60,7 @@ pub mod roofline;
 pub mod scheduler;
 pub mod serving;
 
+pub use cache::{CacheStats, Fnv128, GraphFingerprint, ProfileCache, ShardedCache};
 pub use export::{export_profile, ExportFormat, ExportSink, ParseFormatError};
 pub use pipeline::{KernelProfile, LayerProfile, ModelPhases, RunProfile};
 pub use profile::{

@@ -19,10 +19,13 @@
 //! and merge results in submission order — output is byte-identical for
 //! any [`Parallelism`] setting.
 
+use crate::cache::{self, GraphFingerprint};
 use crate::export::ExportSink;
 use crate::pipeline::{run_once, run_once_with_metrics, KernelProfile, LayerProfile, RunProfile};
 use crate::scheduler::{parmap, Parallelism};
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 use xsp_cupti::MetricKind;
 use xsp_framework::{FrameworkKind, LayerGraph};
 use xsp_gpu::System;
@@ -143,6 +146,16 @@ pub struct XspConfig {
     /// progresses — sweeps export as they run instead of materializing
     /// every profile first. See [`crate::export::ExportSink`].
     pub export_sink: Option<ExportSink>,
+    /// Consult the process-wide content-addressed profile cache
+    /// ([`crate::cache`]) on every request: hits skip profiling entirely
+    /// and hand back the shared profile. Off by default — a request can
+    /// still opt in per call via
+    /// [`ProfileRequest::cached`](ProfileRequest::cached).
+    pub cached: bool,
+    /// On-disk cache directory: misses that find a persisted `.xspc` here
+    /// rebuild from it instead of re-profiling, and computed profiles are
+    /// persisted back. Implies [`XspConfig::cached`].
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl XspConfig {
@@ -163,6 +176,8 @@ impl XspConfig {
             host_level: false,
             parallelism: Parallelism::from_env_or(Parallelism::Auto),
             export_sink: None,
+            cached: false,
+            cache_dir: None,
         }
     }
 
@@ -208,6 +223,20 @@ impl XspConfig {
     /// appended to it as evaluation progresses.
     pub fn export_sink(mut self, sink: ExportSink) -> Self {
         self.export_sink = Some(sink);
+        self
+    }
+
+    /// Builder: consult the process-wide profile cache on every request.
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self
+    }
+
+    /// Builder: persist profiles to (and rebuild them from) `.xspc` files
+    /// in `dir`. Implies [`XspConfig::cached`].
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self.cached = true;
         self
     }
 }
@@ -538,6 +567,8 @@ pub struct ProfileRequest<'g> {
     graph: &'g LayerGraph,
     level: ProfilingLevel,
     mode: ProfileMode,
+    /// Per-request cache override; `None` defers to [`XspConfig::cached`].
+    cached: Option<bool>,
 }
 
 impl<'g> ProfileRequest<'g> {
@@ -548,6 +579,7 @@ impl<'g> ProfileRequest<'g> {
             graph,
             level: ProfilingLevel::ModelLayerGpu,
             mode: ProfileMode::Leveled,
+            cached: None,
         }
     }
 
@@ -565,9 +597,23 @@ impl<'g> ProfileRequest<'g> {
         self
     }
 
+    /// Overrides the config's [`XspConfig::cached`] policy for this one
+    /// request: `true` consults (and fills) the process-wide profile
+    /// cache, `false` forces a cold profile even under a cached config.
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.cached = Some(cached);
+        self
+    }
+
     /// The graph being profiled.
     pub fn graph(&self) -> &'g LayerGraph {
         self.graph
+    }
+
+    /// Whether this request goes through the profile cache, after applying
+    /// the per-request override on top of the config default.
+    fn effective_cached(&self, cfg: &XspConfig) -> bool {
+        self.cached.unwrap_or(cfg.cached)
     }
 
     /// The run kinds the request expands to, in submission order.
@@ -696,7 +742,66 @@ impl Xsp {
     /// assert_eq!(parallel.to_span_json(), serial.to_span_json());
     /// ```
     pub fn run(&self, request: ProfileRequest<'_>) -> LeveledProfile {
-        self.profile_of(request.graph(), &request.run_kinds())
+        match Arc::try_unwrap(self.run_shared(request)) {
+            Ok(profile) => profile,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+
+    /// Executes one [`ProfileRequest`] like [`Xsp::run`], returning the
+    /// profile behind an [`Arc`] — the entry point for consumers that keep
+    /// profiles around (the serving memo, sweeps over repeated shapes),
+    /// where a cache hit must stay a pointer bump instead of a span-vector
+    /// deep copy.
+    ///
+    /// When the request opts into caching (via [`ProfileRequest::cached`]
+    /// or [`XspConfig::cached`]), the process-wide
+    /// [`crate::cache::global`] cache is consulted first, then the
+    /// [`XspConfig::cache_dir`] disk tier, and only then is the profile
+    /// computed (and stored back in both tiers). A hit replays the
+    /// profile's runs to any configured export sink in the canonical
+    /// [`LeveledProfile::runs`] order — exactly the submission order a
+    /// cold run streams — so sink bytes stay identical, warm or cold, at
+    /// any worker count.
+    pub fn run_shared(&self, request: ProfileRequest<'_>) -> Arc<LeveledProfile> {
+        if !request.effective_cached(&self.cfg) {
+            let profile = Arc::new(self.profile_of(request.graph(), &request.run_kinds()));
+            return profile;
+        }
+        let fingerprint =
+            GraphFingerprint::of(&self.cfg, request.graph, request.level, request.mode);
+        let shared = cache::global();
+        if let Some(hit) = shared.get(fingerprint.0) {
+            self.replay_to_sink(&hit);
+            return hit;
+        }
+        if let Some(dir) = &self.cfg.cache_dir {
+            if let Some(loaded) = cache::load_from_dir(dir, fingerprint) {
+                shared.note_disk_hit();
+                shared.insert(fingerprint.0, Arc::clone(&loaded));
+                self.replay_to_sink(&loaded);
+                return loaded;
+            }
+        }
+        // Cold: profile normally (run_specs streams to the sink itself),
+        // then fill both tiers. Persistence failures degrade to a
+        // recompute next time — a full disk must not fail the run.
+        let profile = Arc::new(self.profile_of(request.graph(), &request.run_kinds()));
+        shared.insert(fingerprint.0, Arc::clone(&profile));
+        if let Some(dir) = &self.cfg.cache_dir {
+            let _ = cache::persist_to_dir(dir, fingerprint, &profile);
+        }
+        profile
+    }
+
+    /// Streams a cache-served profile's runs to the configured export
+    /// sink, replicating exactly what the cold path's per-merge
+    /// [`ExportSink`] write produced: runs in canonical order, which *is*
+    /// the submission order every request expands its kinds in.
+    fn replay_to_sink(&self, profile: &LeveledProfile) {
+        if let Some(sink) = &self.cfg.export_sink {
+            sink.write_runs(profile.runs());
+        }
     }
 
     /// Runs the full leveled experimentation on one graph.

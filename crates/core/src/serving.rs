@@ -28,6 +28,7 @@
 //! single-inference captures.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::export::ExportSink;
 use crate::pipeline::profile_from_correlated;
@@ -315,8 +316,10 @@ pub struct ServingReport {
     pub tokens_emitted: usize,
     /// The profile of the most latency-weighted decode step shape — the
     /// representative input for [`crate::analysis::ax4_cache_roofline`].
-    /// `None` when the trace never reached a decode step.
-    pub representative_decode: Option<LeveledProfile>,
+    /// Shared with the scheduler's step memo (an `Arc` bump, not a
+    /// span-vector deep copy). `None` when the trace never reached a
+    /// decode step.
+    pub representative_decode: Option<Arc<LeveledProfile>>,
 }
 
 impl ServingReport {
@@ -453,7 +456,7 @@ pub fn simulate_streaming(
     });
     let mut pending = pending.into_iter().peekable();
 
-    let mut memo: BTreeMap<StepShape, LeveledProfile> = BTreeMap::new();
+    let mut memo: BTreeMap<StepShape, Arc<LeveledProfile>> = BTreeMap::new();
     let mut decode_weight: BTreeMap<StepShape, f64> = BTreeMap::new();
     let mut engine = sink.map(|_| CorrelationEngine::new());
 
@@ -508,7 +511,10 @@ pub fn simulate_streaming(
                     model.decode_graph(batch, attend, cfg.attention)
                 }
             };
-            xsp.run(ProfileRequest::new(&graph).level(cfg.level))
+            // `run_shared` keeps the memoized profile behind an `Arc` —
+            // and, when the config opts into the process-wide cache, lets
+            // repeat simulations skip profiling the shape entirely.
+            xsp.run_shared(ProfileRequest::new(&graph).level(cfg.level))
         });
         let latency_ms = profile.model_latency_ms();
         let start_ms = clock_ms;

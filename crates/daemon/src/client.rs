@@ -192,6 +192,18 @@ impl DaemonClient {
 
     /// Exports the session's resident spans; returns the serialized bytes.
     pub fn export(&mut self, session: u64, format: ExportFormat) -> Result<Vec<u8>, ClientError> {
+        Ok(self.export_counting_passes(session, format)?.0)
+    }
+
+    /// Like [`DaemonClient::export`], additionally returning the session's
+    /// lifetime correlation-pass count from the end-of-stream frame — the
+    /// observable for daemon-wide export-cache sharing: an export served
+    /// from the shared cache adds zero passes to its session.
+    pub fn export_counting_passes(
+        &mut self,
+        session: u64,
+        format: ExportFormat,
+    ) -> Result<(Vec<u8>, u64), ClientError> {
         let mut doc = serde_json::Map::new();
         doc.insert("session".into(), serde_json::to_value(&session));
         doc.insert(
@@ -222,7 +234,11 @@ impl DaemonClient {
                             announced
                         )));
                     }
-                    return Ok(bytes);
+                    let passes = doc
+                        .get("correlation_passes")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0);
+                    return Ok((bytes, passes));
                 }
                 Frame {
                     kind: FrameKind::Err,

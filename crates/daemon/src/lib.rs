@@ -24,7 +24,7 @@ pub mod session;
 
 pub use client::{ClientError, DaemonClient, OpenOptions};
 pub use server::{spawn, DaemonConfig, DaemonHandle};
-pub use session::{OnFull, Session, SessionStats, DEFAULT_QUOTA};
+pub use session::{ExportCache, OnFull, Session, SessionStats, DEFAULT_QUOTA};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;

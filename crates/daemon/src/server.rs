@@ -25,7 +25,7 @@
 use crate::protocol::{
     err_payload, write_frame, Frame, FrameError, FrameKind, FrameReader, DATA_CHUNK, MAX_PAYLOAD,
 };
-use crate::session::{OnFull, Session, SessionStats, DEFAULT_QUOTA};
+use crate::session::{ExportCache, OnFull, Session, SessionStats, DEFAULT_QUOTA};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
@@ -35,6 +35,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xsp_core::export::{ExportFormat, ExportSink};
+
+/// Capacity of the process-wide export byte cache (finished exports, all
+/// sessions, all formats). FIFO-evicted per shard once full.
+const EXPORT_CACHE_CAPACITY: usize = 64;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -70,6 +74,11 @@ struct Registry {
     /// Ids of sessions the idle reaper closed; lets late frames get the
     /// truthful `session_expired` instead of `unknown_session`.
     expired: HashSet<u64>,
+    /// Process-wide export byte cache, installed into every session at
+    /// open: sessions that ingested identical captures (a fleet of traced
+    /// processes profiling one model) share finished export bytes instead
+    /// of re-correlating per session.
+    export_cache: Arc<ExportCache>,
 }
 
 impl Registry {
@@ -78,16 +87,16 @@ impl Registry {
             next_id: 1,
             sessions: HashMap::new(),
             expired: HashSet::new(),
+            export_cache: Arc::new(ExportCache::with_capacity(EXPORT_CACHE_CAPACITY)),
         }
     }
 
     fn open(&mut self, quota: usize, on_full: OnFull, sink: Option<ExportSink>) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.sessions.insert(
-            id,
-            Arc::new(Mutex::new(Session::new(id, quota, on_full, sink))),
-        );
+        let mut session = Session::new(id, quota, on_full, sink);
+        session.share_export_cache(Arc::clone(&self.export_cache));
+        self.sessions.insert(id, Arc::new(Mutex::new(session)));
         id
     }
 
@@ -410,7 +419,12 @@ fn handle_frame(
                 // Session sinks receive raw span streams (spills, flushes),
                 // which a folded sink cannot accept — refuse at open with a
                 // structured error instead of latching on the first spill.
-                Some(path) if Path::new(path).extension().is_some_and(|e| e == "folded") => {
+                Some(path)
+                    if Path::new(path)
+                        .extension()
+                        .and_then(|e| e.to_str())
+                        .is_some_and(|e| e.eq_ignore_ascii_case("folded")) =>
+                {
                     return conn.reply_err(
                         "bad_payload",
                         &format!(
@@ -531,12 +545,20 @@ fn handle_frame(
                 Ok(found) => found,
                 Err((code, msg)) => return conn.reply_err(&code, &msg),
             };
-            let bytes = session.lock().export_bytes(format);
+            let (bytes, passes) = {
+                let mut session = session.lock();
+                let bytes = session.export_bytes(format);
+                (bytes, session.correlation_passes() as u64)
+            };
             for chunk in bytes.chunks(DATA_CHUNK.min(MAX_PAYLOAD)) {
                 conn.reply(FrameKind::Data, chunk)?;
             }
             let mut doc = serde_json::Map::new();
             doc.insert("bytes".into(), serde_json::to_value(&(bytes.len() as u64)));
+            // Lifetime correlation passes: the client-visible observable
+            // for exports served from the daemon-wide export cache (a
+            // shared-cache hit adds zero passes).
+            doc.insert("correlation_passes".into(), serde_json::to_value(&passes));
             let payload = serde_json::to_string(&serde_json::Value::Object(doc))
                 .expect("end serialization cannot fail")
                 .into_bytes();

@@ -14,13 +14,23 @@
 //! visible to live export — the `spilled` counter in every ack makes that
 //! trade visible to the client.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xsp_core::cache::{Fnv128, ShardedCache};
 use xsp_core::export::{export_run_profile, ExportFormat, ExportSink};
 use xsp_core::pipeline::profile_from_correlated;
 use xsp_core::profile::ProfilingLevel;
+use xsp_trace::export::spans_to_binary;
 use xsp_trace::{
     ChannelTracer, CorrelationEngine, Span, SpanStore, StoreCorrelationCache, TracingServer,
 };
+
+/// Process-wide export byte cache shared by every session of a daemon:
+/// keyed by the session's content fingerprint combined with the export
+/// format, valued by the finished export bytes. Two sessions that ingested
+/// the same capture (the N-processes-profiling-one-model fleet case) serve
+/// the second export as an `Arc` bump with zero correlation passes.
+pub type ExportCache = ShardedCache<Arc<Vec<u8>>>;
 
 /// Default per-session span quota (resident spans) when the client's open
 /// request does not pick one.
@@ -131,6 +141,15 @@ pub struct Session {
     total: u64,
     spilled: u64,
     last_activity: Instant,
+    /// Running fingerprint of the resident content: every accepted batch
+    /// folds its canonical `.xspb` re-encoding in (so JSONL and binary
+    /// appends of the same spans hash identically), and a spill resets it
+    /// (evicted spans are no longer visible to live export). Sessions with
+    /// equal fingerprints hold byte-identical resident captures.
+    content_hash: Fnv128,
+    /// Export byte cache shared across the daemon's sessions, installed by
+    /// the registry at open; `None` for standalone sessions (unit tests).
+    export_cache: Option<Arc<ExportCache>>,
 }
 
 impl Session {
@@ -153,7 +172,22 @@ impl Session {
             total: 0,
             spilled: 0,
             last_activity: Instant::now(),
+            content_hash: Fnv128::new(),
+            export_cache: None,
         }
+    }
+
+    /// Installs the daemon-wide export cache; exports consult it by
+    /// content fingerprint before correlating, and publish into it after.
+    pub fn share_export_cache(&mut self, cache: Arc<ExportCache>) {
+        self.export_cache = Some(cache);
+    }
+
+    /// Fingerprint of the resident capture (order-sensitive over accepted
+    /// batches, reset by spills). Two sessions that appended the same
+    /// batches in the same order report the same fingerprint.
+    pub fn content_fingerprint(&self) -> u128 {
+        self.content_hash.finish()
     }
 
     /// The session id.
@@ -220,6 +254,10 @@ impl Session {
                 OnFull::Block => self.spill()?,
             }
         }
+        // The batch is accepted: fold its canonical binary encoding into
+        // the content fingerprint before the spans move into the lane.
+        self.content_hash
+            .write_field("batch", &spans_to_binary(&spans));
         self.tracer.report_batch(spans);
         self.drain_lane();
         self.total += n as u64;
@@ -243,6 +281,9 @@ impl Session {
         // The store's indices restart at 0 after a clear — cached per-run
         // correlations refer to dead entries and must be rebuilt.
         self.correlation.invalidate();
+        // Live export now covers only post-spill spans; the content
+        // fingerprint restarts with them.
+        self.content_hash = Fnv128::new();
         self.sunk = 0;
         Ok(())
     }
@@ -277,11 +318,21 @@ impl Session {
     /// [`profile_from_correlated`] + [`export_run_profile`] path, so a
     /// capture streamed through the daemon still exports byte-identically
     /// to the same workload exported one-shot.
+    /// When a daemon-wide [`ExportCache`] is installed, the finished bytes
+    /// are additionally shared by content fingerprint: a second session
+    /// that ingested the same capture serves its export straight from the
+    /// cache, with zero correlation passes of its own.
     pub fn export_bytes(&mut self, format: ExportFormat) -> Vec<u8> {
         self.touch();
         self.drain_lane();
         if self.store.is_empty() {
             return Vec::new();
+        }
+        let key = self.export_key(format);
+        if let Some(cache) = &self.export_cache {
+            if let Some(hit) = cache.get(key) {
+                return (*hit).clone();
+            }
         }
         self.correlation.refresh(&mut self.engine, &self.store);
         let correlated = self.correlation.materialize(&self.store);
@@ -289,7 +340,19 @@ impl Session {
         let mut out = Vec::new();
         export_run_profile(&profile, format, &mut out)
             .expect("export to an in-memory buffer cannot fail");
+        if let Some(cache) = &self.export_cache {
+            cache.insert(key, Arc::new(out.clone()));
+        }
         out
+    }
+
+    /// Cache key for an export: the content fingerprint extended with the
+    /// format label, so the four formats of one capture occupy distinct
+    /// slots.
+    fn export_key(&self, format: ExportFormat) -> u128 {
+        let mut key = self.content_hash;
+        key.write_field("format", format.label().as_bytes());
+        key.finish()
     }
 
     /// How many per-run correlation passes this session has executed over
@@ -455,6 +518,82 @@ mod tests {
             after_spill.len(),
             before_spill.len(),
             "a same-shape store exports the same spans (ids are fresh)"
+        );
+    }
+
+    #[test]
+    fn sessions_with_identical_content_share_the_export_cache() {
+        let cache = Arc::new(ExportCache::with_capacity(16));
+        let mut a = Session::new(1, 1000, OnFull::Shed, None);
+        let mut b = Session::new(2, 1000, OnFull::Shed, None);
+        a.share_export_cache(Arc::clone(&cache));
+        b.share_export_cache(Arc::clone(&cache));
+
+        // The same capture streamed to both sessions (span ids included,
+        // exactly as identical wire batches would carry them).
+        let capture = run_spans(1, 3);
+        a.append(capture.clone()).unwrap();
+        b.append(capture).unwrap();
+        assert_eq!(
+            a.content_fingerprint(),
+            b.content_fingerprint(),
+            "identical appends, identical fingerprints"
+        );
+
+        let first = a.export_bytes(ExportFormat::Spans);
+        assert!(a.correlation_passes() > 0, "the first export correlates");
+
+        // The second session serves straight from the shared cache: byte
+        // identity with zero correlation passes of its own.
+        let second = b.export_bytes(ExportFormat::Spans);
+        assert_eq!(second, first);
+        assert_eq!(b.correlation_passes(), 0, "served from the shared cache");
+        assert_eq!(cache.stats().hits, 1);
+
+        // A divergent append forks the fingerprint and misses the cache.
+        b.append(run_spans(2, 1)).unwrap();
+        assert_ne!(a.content_fingerprint(), b.content_fingerprint());
+        let diverged = b.export_bytes(ExportFormat::Spans);
+        assert_ne!(diverged, first);
+        assert!(b.correlation_passes() > 0, "divergent content correlates");
+    }
+
+    #[test]
+    fn content_fingerprint_is_encoding_agnostic_and_resets_on_spill() {
+        // The fingerprint hashes the canonical re-encoding, so a session
+        // fed parsed spans (whether the wire carried JSONL or .xspb, the
+        // daemon parses both to `Vec<Span>`) fingerprints identically.
+        let mut a = Session::new(1, 1000, OnFull::Shed, None);
+        let mut b = Session::new(2, 1000, OnFull::Shed, None);
+        let capture = run_spans(1, 4);
+        a.append(capture.clone()).unwrap();
+        b.append(capture).unwrap();
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        assert_eq!(
+            a.content_fingerprint(),
+            a.content_fingerprint(),
+            "reading the fingerprint does not perturb it"
+        );
+
+        // A spill clears the store; the fingerprint follows the resident
+        // content, covering only post-spill batches.
+        let sink = ExportSink::new(Vec::new());
+        let mut c = Session::new(3, 4, OnFull::Block, Some(sink));
+        c.append(run_spans(1, 3)).unwrap();
+        let pre_spill = c.content_fingerprint();
+        let batch = run_spans(1, 3);
+        c.append(batch.clone()).unwrap(); // evicts, then accepts
+        let mut fresh = Session::new(4, 1000, OnFull::Shed, None);
+        fresh.append(batch).unwrap();
+        assert_ne!(
+            c.content_fingerprint(),
+            pre_spill,
+            "spill restarts the fingerprint"
+        );
+        assert_eq!(
+            c.content_fingerprint(),
+            fresh.content_fingerprint(),
+            "post-spill fingerprint covers exactly the resident batches"
         );
     }
 

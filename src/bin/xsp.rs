@@ -49,6 +49,9 @@ USAGE:
   xsp sweep   --model <NAME> [--system <NAME>] [--framework tensorflow|mxnet]
               [--threads <T>]
   xsp serve   --socket <PATH> [--quota <SPANS>] [--idle-timeout <SECS>]
+  xsp cache   stats|warm|clear --cache-dir <DIR>
+              warm: --model <NAME> [--batch <N>] [--level 1|2|3]
+              [--system <NAME>] [--framework tensorflow|mxnet] [--runs <N>]
 
 EXPORT:   streams the trace to -o (stdout by default) without ever holding
           the serialized trace in memory. Formats: `spans` (span-JSON-lines,
@@ -66,6 +69,18 @@ EXPORT:   streams the trace to -o (stdout by default) without ever holding
           exporting afterwards; the extension picks the format (.jsonl
           spans, .xspb binary, .json chrome, .folded flamegraph) and the
           bytes are identical to the matching post-hoc -o export.
+
+CACHE:    operates the content-addressed profile cache. Profiles are
+          addressed by a 128-bit fingerprint over the graph, framework,
+          system, level, mode, and measurement policy — independent of the
+          worker count — and persisted as `.xspc` files. `stats` lists the
+          directory (corrupt files are reported and ignored), `warm`
+          profiles a model into it, `clear` deletes the `.xspc` files.
+          Any profiling command accepts --cached (consult the in-process
+          cache) and --cache-dir <DIR> (also rebuild from / persist to
+          disk; implies --cached; the XSP_CACHE_DIR environment variable
+          sets the default). Warm runs export byte-identically to cold
+          runs at any --threads setting.
 
 SERVE:    runs the resident profiling daemon (`xspd`) on a Unix socket:
           clients open sessions and stream span batches through the framed
@@ -107,12 +122,16 @@ MODELS:   --model accepts the exact zoo name (see `xsp list-models`) or any
 
 struct Args {
     cmd: String,
+    /// Optional sub-verb: the one bare word a command may take before its
+    /// flags (`xsp cache stats`).
+    verb: Option<String>,
     flags: HashMap<String, String>,
 }
 
 fn parse_args() -> Option<Args> {
     let mut argv = std::env::args().skip(1);
     let cmd = argv.next()?;
+    let mut verb: Option<String> = None;
     let mut flags = HashMap::new();
     let mut key: Option<String> = None;
     for a in argv {
@@ -127,6 +146,10 @@ fn parse_args() -> Option<Args> {
             key = Some(stripped.to_owned());
         } else if let Some(k) = key.take() {
             flags.insert(k, a);
+        } else if verb.is_none() && flags.is_empty() {
+            // One leading positional sub-verb (`xsp cache stats`); any
+            // later stray positional is still rejected.
+            verb = Some(a);
         } else {
             eprintln!("unexpected argument: {a}");
             return None;
@@ -135,7 +158,7 @@ fn parse_args() -> Option<Args> {
     if let Some(k) = key.take() {
         flags.insert(k, "true".to_owned());
     }
-    Some(Args { cmd, flags })
+    Some(Args { cmd, verb, flags })
 }
 
 fn main() -> ExitCode {
@@ -143,6 +166,15 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // Only `cache` takes a sub-verb; a stray positional anywhere else is
+    // the same parse error it always was.
+    if args.cmd != "cache" {
+        if let Some(verb) = &args.verb {
+            eprintln!("unexpected argument: {verb}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
     match args.cmd.as_str() {
         "list-models" => list_models(),
         "list-systems" => list_systems(),
@@ -151,6 +183,7 @@ fn main() -> ExitCode {
         "export" => export(&args.flags),
         "serve" => serve(&args.flags),
         "sweep" => sweep(&args.flags),
+        "cache" => cache_cmd(args.verb.as_deref(), &args.flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             ExitCode::SUCCESS
@@ -238,7 +271,24 @@ fn build_config(flags: &HashMap<String, String>) -> Result<(XspConfig, xsp_gpu::
             .ok_or_else(|| format!("bad --threads '{raw}' (number, `auto`, or `serial`)"))?;
         cfg = cfg.parallelism(p);
     }
+    if flags.contains_key("cached") {
+        cfg = cfg.cached(true);
+    }
+    if let Some(dir) = cache_dir_of(flags) {
+        // --cache-dir (or the XSP_CACHE_DIR default) implies --cached.
+        cfg = cfg.cache_dir(dir);
+    }
     Ok((cfg, system))
+}
+
+/// The cache directory: `--cache-dir`, defaulting to the `XSP_CACHE_DIR`
+/// environment variable.
+fn cache_dir_of(flags: &HashMap<String, String>) -> Option<String> {
+    flags
+        .get("cache-dir")
+        .cloned()
+        .or_else(|| std::env::var("XSP_CACHE_DIR").ok())
+        .filter(|d| !d.is_empty() && d != "true")
 }
 
 fn lookup_model(flags: &HashMap<String, String>) -> Result<zoo::ModelEntry, String> {
@@ -250,6 +300,102 @@ fn lookup_model(flags: &HashMap<String, String>) -> Result<zoo::ModelEntry, Stri
     // nearest zoo entries by edit distance, the same message the daemon's
     // Open frame returns.
     zoo::lookup(name).map_err(|e| e.to_string())
+}
+
+/// `xsp cache stats|warm|clear`: operate the on-disk `.xspc` profile
+/// cache. `stats` inventories the directory (corrupt files are reported,
+/// never fatal), `warm` profiles a model once so later cached runs — in
+/// any process — rebuild from disk instead of re-profiling, `clear`
+/// deletes the `.xspc` files and nothing else.
+fn cache_cmd(verb: Option<&str>, flags: &HashMap<String, String>) -> ExitCode {
+    let result = (|| -> Result<(), String> {
+        let verb =
+            verb.ok_or_else(|| "missing cache verb (expected: stats, warm, or clear)".to_owned())?;
+        let dir = cache_dir_of(flags).ok_or_else(|| {
+            "missing cache directory: pass --cache-dir <DIR> or set XSP_CACHE_DIR".to_owned()
+        })?;
+        let dir_path = std::path::PathBuf::from(&dir);
+        match verb {
+            "stats" => {
+                let scan = xsp_core::cache::scan_dir(&dir_path);
+                let mut t = Table::new(
+                    format!("Profile cache at {dir}"),
+                    &["File", "Runs", "Spans", "KiB"],
+                );
+                let (mut spans, mut bytes) = (0usize, 0u64);
+                for e in &scan.entries {
+                    spans += e.spans;
+                    bytes += e.bytes;
+                    t.row(vec![
+                        e.file.clone(),
+                        e.runs.to_string(),
+                        e.spans.to_string(),
+                        format!("{:.1}", e.bytes as f64 / 1024.0),
+                    ]);
+                }
+                println!("{t}");
+                println!(
+                    "{} profile(s), {spans} spans, {:.1} KiB on disk",
+                    scan.entries.len(),
+                    bytes as f64 / 1024.0
+                );
+                for (file, reason) in &scan.corrupt {
+                    println!("corrupt (ignored by lookups): {file}: {reason}");
+                }
+                Ok(())
+            }
+            "warm" => {
+                let (xsp, system) = build_xsp(flags)?;
+                let model = lookup_model(flags)?;
+                let batch: usize = flags
+                    .get("batch")
+                    .map(|s| s.parse().map_err(|_| format!("bad --batch '{s}'")))
+                    .transpose()?
+                    .unwrap_or(1);
+                let level = match flags.get("level") {
+                    Some(raw) => ProfilingLevel::parse(raw).map_err(|e| e.to_string())?,
+                    None => ProfilingLevel::ModelLayerGpu,
+                };
+                let graph = model.graph(batch);
+                let fp = xsp_core::cache::GraphFingerprint::of(
+                    xsp.config(),
+                    &graph,
+                    level,
+                    xsp_core::profile::ProfileMode::Leveled,
+                );
+                eprintln!(
+                    "warming {} @ batch {batch} on {} (level {}, fingerprint {fp})...",
+                    model.name,
+                    system.name,
+                    level.label()
+                );
+                let profile = xsp.run_shared(ProfileRequest::new(&graph).level(level).cached(true));
+                let stats = xsp_core::cache::global().stats();
+                println!(
+                    "{} now holds {} run(s), {} span(s) [{stats}]",
+                    dir_path.join(xsp_core::cache::xspc_file_name(fp)).display(),
+                    profile.runs().count(),
+                    profile.iter_spans().count(),
+                );
+                Ok(())
+            }
+            "clear" => {
+                let removed = xsp_core::cache::clear_dir(&dir_path).map_err(|e| e.to_string())?;
+                println!("removed {removed} .xspc file(s) from {dir}");
+                Ok(())
+            }
+            other => Err(format!(
+                "unknown cache verb '{other}' (expected: stats, warm, or clear)"
+            )),
+        }
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn profile(flags: &HashMap<String, String>) -> ExitCode {

@@ -139,3 +139,49 @@ fn four_concurrent_sessions_export_independently_and_identically() {
     }
     handle.shutdown();
 }
+
+/// Two sessions streaming the same capture share the daemon's
+/// process-wide export cache: the second session's export is byte-for-byte
+/// the first one's, served with zero correlation passes of its own.
+#[test]
+fn two_sessions_share_the_process_wide_export_cache() {
+    let handle = start_daemon();
+    let profile = one_shot("MobileNet_v1_0.25_128", Parallelism::Fixed(4));
+    let batches = capture_batches(&profile, 64);
+
+    let mut c = DaemonClient::connect(handle.socket_path()).expect("connect");
+    let first = c.open(&OpenOptions::default()).expect("open first");
+    let second = c.open(&OpenOptions::default()).expect("open second");
+    for batch in &batches {
+        c.append_spans(first, batch).expect("append first");
+        c.append_spans(second, batch).expect("append second");
+    }
+
+    for format in ExportFormat::ALL {
+        let (cold, cold_passes) = c
+            .export_counting_passes(first, format)
+            .expect("cold export");
+        let (warm, warm_passes) = c
+            .export_counting_passes(second, format)
+            .expect("warm export");
+        assert!(
+            warm == cold,
+            "{format}: shared-cache export diverged ({} vs {} bytes)",
+            warm.len(),
+            cold.len()
+        );
+        assert!(
+            cold_passes > 0,
+            "{format}: the first session correlates for itself"
+        );
+        assert_eq!(
+            warm_passes, 0,
+            "{format}: the second session must serve from the shared cache"
+        );
+        // One-shot equivalence still holds for cache-served bytes.
+        assert!(warm == one_shot_bytes(&profile, format));
+    }
+    c.close(first).expect("close first");
+    c.close(second).expect("close second");
+    handle.shutdown();
+}
